@@ -1,0 +1,43 @@
+//! Criterion bench: the consistency-engine ablation — reproducible vs
+//! naive quantiles inside `LCA-KP` (experiment E11's timing form: the
+//! reproducible engine's overhead is the price of consistency).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcakp_core::{KnapsackLca, LcaKp, QuantileEngine};
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::ItemId;
+use lcakp_oracle::{InstanceOracle, Seed};
+use lcakp_reproducible::SampleBudget;
+use lcakp_workloads::{Family, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quantile-engine");
+    group.sample_size(10);
+    let eps = Epsilon::new(1, 4).expect("valid eps");
+    let spec = WorkloadSpec::new(Family::SmallDominated, 20_000, 5);
+    let norm = spec.generate_normalized().expect("workload generates");
+    for engine in [QuantileEngine::Reproducible, QuantileEngine::Naive] {
+        let lca = LcaKp::new(eps)
+            .expect("lca builds")
+            .with_engine(engine)
+            .with_budget(SampleBudget::Calibrated { factor: 0.02 });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{engine:?}")),
+            &norm,
+            |b, norm| {
+                let oracle = InstanceOracle::new(norm);
+                let seed = Seed::from_entropy_u64(1);
+                let mut rng = Seed::from_entropy_u64(2).rng();
+                b.iter(|| {
+                    lca.query(&oracle, &mut rng, black_box(ItemId(3)), &seed)
+                        .expect("query runs")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion bench: `LCA-KP` per-query cost (experiment E4's timing
+//! form): flat in n, polynomial in 1/ε.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcakp_core::{KnapsackLca, LcaKp};
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::ItemId;
+use lcakp_oracle::{InstanceOracle, Seed};
+use lcakp_reproducible::SampleBudget;
+use lcakp_workloads::{Family, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_query_vs_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lca-kp-query-vs-n");
+    group.sample_size(10);
+    let eps = Epsilon::new(1, 4).expect("valid eps");
+    let lca = LcaKp::new(eps)
+        .expect("lca builds")
+        .with_budget(SampleBudget::Calibrated { factor: 0.02 });
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let spec = WorkloadSpec::new(Family::SmallDominated, n, 7);
+        let norm = spec.generate_normalized().expect("workload generates");
+        group.bench_with_input(BenchmarkId::from_parameter(n), &norm, |b, norm| {
+            let oracle = InstanceOracle::new(norm);
+            let seed = Seed::from_entropy_u64(1);
+            let mut rng = Seed::from_entropy_u64(2).rng();
+            b.iter(|| {
+                lca.query(&oracle, &mut rng, black_box(ItemId(n / 2)), &seed)
+                    .expect("query runs")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_query_vs_eps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lca-kp-query-vs-eps");
+    group.sample_size(10);
+    let spec = WorkloadSpec::new(Family::SmallDominated, 20_000, 7);
+    let norm = spec.generate_normalized().expect("workload generates");
+    for &(num, den) in &[(1u64, 2u64), (1, 4), (1, 8)] {
+        let eps = Epsilon::new(num, den).expect("valid eps");
+        let lca = LcaKp::new(eps)
+            .expect("lca builds")
+            .with_budget(SampleBudget::Calibrated { factor: 0.02 });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{num}-{den}")),
+            &norm,
+            |b, norm| {
+                let oracle = InstanceOracle::new(norm);
+                let seed = Seed::from_entropy_u64(1);
+                let mut rng = Seed::from_entropy_u64(2).rng();
+                b.iter(|| {
+                    lca.query(&oracle, &mut rng, black_box(ItemId(11)), &seed)
+                        .expect("query runs")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_vs_n, bench_query_vs_eps);
+criterion_main!(benches);

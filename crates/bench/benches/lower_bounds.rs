@@ -1,0 +1,39 @@
+//! Criterion bench: adversary-experiment throughput (the E1–E3 engines).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcakp_lowerbounds::approx_reduction::{run_approx_experiment, RatioPair};
+use lcakp_lowerbounds::maximal_feasible::run_maximal_experiment;
+use lcakp_lowerbounds::or_reduction::{
+    run_point_query_experiment, run_weighted_sampling_experiment,
+};
+use std::hint::black_box;
+
+fn bench_or_reduction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("or-reduction");
+    group.sample_size(10);
+    for &n in &[256usize, 2048] {
+        group.bench_with_input(BenchmarkId::new("point-query", n), &n, |b, &n| {
+            b.iter(|| run_point_query_experiment(black_box(n), (n / 3) as u64, 200, 1));
+        });
+        group.bench_with_input(BenchmarkId::new("weighted", n), &n, |b, &n| {
+            b.iter(|| run_weighted_sampling_experiment(black_box(n), 4, 200, 1));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hard_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hard-families");
+    group.sample_size(10);
+    group.bench_function("approx-reduction-n1024", |b| {
+        let ratios = RatioPair::new(50, 25, 100);
+        b.iter(|| run_approx_experiment(1024, ratios, 100, 200, 2));
+    });
+    group.bench_function("maximal-feasible-n550", |b| {
+        b.iter(|| run_maximal_experiment(550, 50, 200, 3));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_or_reduction, bench_hard_families);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Criterion bench: reproducible median / quantile cost vs sample size
+//! and domain width (experiment E7's timing form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcakp_reproducible::{rmedian, rquantile, Domain, RMedianConfig, RQuantileConfig, Seed};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::hint::black_box;
+
+fn sample(n: usize, bits: u32, seed: u64) -> Vec<u128> {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let max = if bits == 0 { 1 } else { 1u128 << bits };
+    (0..n).map(|_| rng.gen_range(0..max)).collect()
+}
+
+fn bench_rmedian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmedian");
+    let seed = Seed::from_entropy_u64(1);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let data = sample(n, 40, 7);
+        let config = RMedianConfig {
+            domain: Domain::new(40).expect("domain fits"),
+            tau: 0.05,
+        };
+        group.bench_with_input(BenchmarkId::new("samples", n), &data, |b, data| {
+            b.iter(|| rmedian(black_box(data), &config, &seed).expect("rmedian runs"));
+        });
+    }
+    for &bits in &[8u32, 32, 64] {
+        let data = sample(20_000, bits, 9);
+        let config = RMedianConfig {
+            domain: Domain::new(bits).expect("domain fits"),
+            tau: 0.05,
+        };
+        group.bench_with_input(BenchmarkId::new("domain-bits", bits), &data, |b, data| {
+            b.iter(|| rmedian(black_box(data), &config, &seed).expect("rmedian runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rquantile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rquantile");
+    let seed = Seed::from_entropy_u64(2);
+    let data = sample(20_000, 32, 11);
+    for &p in &[0.1f64, 0.5, 0.9] {
+        let config = RQuantileConfig {
+            domain: Domain::new(32).expect("domain fits"),
+            p,
+            tau: 0.05,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(p), &data, |b, data| {
+            b.iter(|| rquantile(black_box(data), &config, &seed).expect("rquantile runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rmedian, bench_rquantile);
+criterion_main!(benches);

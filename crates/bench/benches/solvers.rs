@@ -1,0 +1,55 @@
+//! Criterion bench: the Knapsack substrate solvers (experiment E10's
+//! timing panel in statistical form).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::solvers;
+use lcakp_workloads::{Family, WorkloadSpec};
+use std::hint::black_box;
+
+fn bench_exact_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact-solvers");
+    for &n in &[16usize, 24, 32] {
+        let spec = WorkloadSpec::new(Family::WeaklyCorrelated { range: 200 }, n, 42);
+        let instance = spec.generate().expect("workload generates");
+        group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &instance, |b, inst| {
+            b.iter(|| solvers::branch_and_bound(black_box(inst)).expect("bb runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("meet_in_the_middle", n), &instance, |b, inst| {
+            b.iter(|| solvers::meet_in_the_middle(black_box(inst)).expect("mitm runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("dp_by_weight", n), &instance, |b, inst| {
+            b.iter(|| solvers::dp_by_weight(black_box(inst)).expect("dp runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_scalable_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalable-solvers");
+    group.sample_size(20);
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let spec = WorkloadSpec::new(Family::WeaklyCorrelated { range: 1000 }, n, 42);
+        let instance = spec.generate().expect("workload generates");
+        group.bench_with_input(BenchmarkId::new("modified_greedy", n), &instance, |b, inst| {
+            b.iter(|| solvers::modified_greedy(black_box(inst)));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("fractional_optimum", n),
+            &instance,
+            |b, inst| {
+                b.iter(|| solvers::fractional::fractional_optimum(black_box(inst)));
+            },
+        );
+    }
+    let eps = Epsilon::new(1, 8).expect("valid eps");
+    let spec = WorkloadSpec::new(Family::WeaklyCorrelated { range: 100 }, 500, 42);
+    let instance = spec.generate().expect("workload generates");
+    group.bench_function("fptas-n500-eps1/8", |b| {
+        b.iter(|| solvers::fptas(black_box(&instance), eps).expect("fptas runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_solvers, bench_scalable_solvers);
+criterion_main!(benches);

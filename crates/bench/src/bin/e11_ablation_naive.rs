@@ -1,0 +1,80 @@
+//! E11 — the design ablation the paper motivates in Section 4.1:
+//! replacing the reproducible quantile with the naive empirical quantile
+//! breaks the consistency of the constructed solution rule.
+//!
+//! The measurement compares the *rules* (`Index_large`, `e_small`,
+//! `B_indicator`) that independent runs construct: two runs answer every
+//! possible query identically iff their rules are identical, so rule
+//! agreement is exactly solution consistency — measured without paying
+//! per-item query costs. The instance is large (20 000 distinct
+//! tie-broken efficiencies) so that the empirical quantile's run-to-run
+//! flutter is visible; on tiny instances every efficiency atom is
+//! over-sampled and even the naive engine accidentally agrees.
+
+use lcakp_bench::{banner, Table};
+use lcakp_core::{LcaKp, QuantileEngine, SolutionRule};
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_oracle::{InstanceOracle, Seed};
+use lcakp_reproducible::SampleBudget;
+use lcakp_workloads::{Family, WorkloadSpec};
+use std::collections::HashMap;
+
+fn main() {
+    banner(
+        "E11",
+        "ablation: naive quantiles in place of rQuantile break rule consistency",
+        "Section 4.1 (\"this random sampling will lead to inconsistent answers\")",
+    );
+
+    let n = 20_000;
+    let runs = 10;
+    let eps = Epsilon::new(1, 6).expect("valid eps");
+    let mut table = Table::new([
+        "workload",
+        "engine",
+        "distinct rules",
+        "mode agreement",
+        "distinct e_small values",
+    ]);
+    for spec in [
+        WorkloadSpec::new(Family::SmallDominated, n, 0x11),
+        WorkloadSpec::new(Family::GarbageMix { garbage_percent: 25 }, n, 0x11),
+        WorkloadSpec::new(Family::WeaklyCorrelated { range: 1000 }, n, 0x11),
+    ] {
+        let norm = spec.generate_normalized().expect("workload generates");
+        let oracle = InstanceOracle::new(&norm);
+        for engine in [QuantileEngine::Reproducible, QuantileEngine::Naive] {
+            let lca = LcaKp::new(eps)
+                .expect("lca builds")
+                .with_engine(engine)
+                .with_budget(SampleBudget::Calibrated { factor: 0.01 });
+            let seed = Seed::from_entropy_u64(0x111);
+            let mut rules: Vec<SolutionRule> = Vec::with_capacity(runs);
+            for run in 0..runs {
+                let mut rng = Seed::from_entropy_u64(0xFACE + run as u64).rng();
+                rules.push(lca.build_rule(&oracle, &mut rng, &seed).expect("rule builds"));
+            }
+            let mut counts: HashMap<String, usize> = HashMap::new();
+            let mut cutoffs: HashMap<Option<u64>, usize> = HashMap::new();
+            for rule in &rules {
+                *counts.entry(format!("{rule:?}")).or_insert(0) += 1;
+                *cutoffs.entry(rule.e_small).or_insert(0) += 1;
+            }
+            let mode = counts.values().copied().max().unwrap_or(0);
+            table.row([
+                spec.family.to_string(),
+                format!("{engine:?}"),
+                counts.len().to_string(),
+                format!("{:.3}", mode as f64 / runs as f64),
+                cutoffs.len().to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nExpected shape: the Reproducible engine concentrates the {runs} runs on one\n\
+         rule (distinct = 1); the Naive engine's empirical thresholds flutter with the\n\
+         fresh sample, fragmenting the runs across many distinct rules — exactly the\n\
+         inconsistency Section 4.1 predicts."
+    );
+}

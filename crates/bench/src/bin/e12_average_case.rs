@@ -1,0 +1,105 @@
+//! E12 (extension) — the paper's closing question (Section 5, citing
+//! [BCPR24]): can *average-case* assumptions substitute for weighted
+//! sampling? Here: rejection sampling turns point queries into weighted
+//! samples at cost `n·p_cap/P` point queries per sample — O(1) on benign
+//! random instances, and degrading exactly on the needle-in-a-haystack
+//! structure behind Theorem 3.2.
+
+use lcakp_bench::{banner, Table};
+use lcakp_core::solution_audit::{audit_selection, exact_optimum};
+use lcakp_core::LcaKp;
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_oracle::{InstanceOracle, ItemOracle, RejectionSamplingOracle, Seed};
+use lcakp_reproducible::SampleBudget;
+use lcakp_workloads::{Family, WorkloadSpec};
+
+fn main() {
+    banner(
+        "E12 (extension)",
+        "average-case escape: rejection sampling emulates weighted sampling on benign instances",
+        "Section 5 (open question, [BCPR24]); contrast with Theorem 3.2",
+    );
+
+    let n = 250;
+    // ε = 1/8: small enough that the small-item cut-off machinery is
+    // active (see the note in e5_approximation).
+    let eps = Epsilon::new(1, 8).expect("valid eps");
+    let mut table = Table::new([
+        "workload",
+        "needle factor p_cap/p̄",
+        "expected probes/sample",
+        "measured probes (1 rule)",
+        "ratio vs OPT",
+        "feasible",
+    ]);
+    for (label, spec) in [
+        (
+            "benign: uncorrelated",
+            WorkloadSpec::new(Family::Uncorrelated { range: 100 }, n, 0x12),
+        ),
+        (
+            "benign: subset-sum",
+            WorkloadSpec::new(Family::SubsetSum { range: 100 }, n, 0x12),
+        ),
+        (
+            "needle: one dominant item",
+            WorkloadSpec::new(
+                Family::LargeDominated {
+                    heavy: 1,
+                    heavy_profit: 100_000,
+                },
+                n,
+                0x12,
+            ),
+        ),
+    ] {
+        let norm = spec.generate_normalized().expect("workload generates");
+        let inner = InstanceOracle::new(&norm);
+        let p_cap = norm
+            .as_instance()
+            .items()
+            .iter()
+            .map(|item| item.profit)
+            .max()
+            .expect("nonempty");
+        let oracle = RejectionSamplingOracle::new(&inner, p_cap, 100_000);
+        let mean_profit = norm.total_profit() as f64 / n as f64;
+        let lca = LcaKp::new(eps)
+            .expect("lca builds")
+            .with_budget(SampleBudget::Calibrated { factor: 0.002 })
+            .with_max_samples_per_query(50_000_000);
+        let mut rng = Seed::from_entropy_u64(0x121).rng();
+        let seed = Seed::from_entropy_u64(0x122);
+        // One rule build (the per-query work), materialized via
+        // MAPPING-GREEDY for the quality audit — full per-item assembly
+        // through a 250× rejection overhead would be pointless burn.
+        let rule = match lca.build_rule(&oracle, &mut rng, &seed) {
+            Ok(rule) => rule,
+            Err(err) => {
+                eprintln!("skipping {label}: {err}");
+                continue;
+            }
+        };
+        let probes = oracle.stats().point_queries;
+        let selection = rule.materialize(&norm);
+        let optimum = exact_optimum(&norm).expect("optimum computable");
+        let audit = audit_selection(&norm, &selection, optimum);
+        table.row([
+            label.to_string(),
+            format!("{:.1}", p_cap as f64 / mean_profit),
+            format!("{:.1}", oracle.expected_cost_per_sample()),
+            probes.to_string(),
+            format!("{:.3}", audit.ratio),
+            audit.feasible.to_string(),
+        ]);
+        inner.reset_stats();
+    }
+    table.print();
+    println!(
+        "\nExpected shape: on benign families the probes-per-sample factor is a small\n\
+         constant and the solution quality matches the weighted-sampling LCA; on the\n\
+         needle family the factor tracks the profit skew (~n·p_max/P) — average-case\n\
+         assumptions buy back what Theorem 3.2 forbids in the worst case, and only\n\
+         that."
+    );
+}

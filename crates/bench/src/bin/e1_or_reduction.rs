@@ -1,0 +1,50 @@
+//! E1 — Theorem 3.2 / Figure 1: no sublinear-query LCA for exact
+//! Knapsack; weighted sampling escapes the wall with O(1) samples.
+
+use lcakp_bench::{banner, Table};
+use lcakp_lowerbounds::or_reduction;
+
+fn main() {
+    banner(
+        "E1",
+        "exact Knapsack LCA needs Ω(n) point queries; O(1) weighted samples suffice",
+        "Theorem 3.2, Lemma 3.1, Figure 1; Section 4 (weighted sampling model)",
+    );
+
+    let trials = 4_000;
+    println!("Point-query strategy on the hard OR distribution (target 2/3):");
+    let mut table = Table::new(["n", "budget", "budget/n", "success", "clears 2/3"]);
+    for &n in &[256usize, 1024, 4096] {
+        for frac_percent in [0u64, 5, 10, 20, 33, 50, 100] {
+            let budget = (n as u64 * frac_percent) / 100;
+            let rate = or_reduction::run_point_query_experiment(n, budget, trials, 0xE1);
+            table.row([
+                n.to_string(),
+                budget.to_string(),
+                format!("{:.2}", frac_percent as f64 / 100.0),
+                format!("{:.3}", rate.rate()),
+                if rate.clears(2.0 / 3.0) { "yes" } else { "no" }.to_string(),
+            ]);
+        }
+    }
+    table.print();
+
+    println!("\nWeighted-sampling strategy (same task, constant budget):");
+    let mut table = Table::new(["n", "samples", "success"]);
+    for &n in &[256usize, 4096, 65_536] {
+        for &samples in &[1u64, 2, 4, 8] {
+            let rate = or_reduction::run_weighted_sampling_experiment(n, samples, trials, 0x1E1);
+            table.row([
+                n.to_string(),
+                samples.to_string(),
+                format!("{:.3}", rate.rate()),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nExpected shape: point-query success ≈ 1/2 + q/(2(n−1)) — crossing 2/3 only at\n\
+         q ≈ n/3 (the Ω(n) wall) — while weighted sampling crosses it at a constant\n\
+         budget independent of n."
+    );
+}

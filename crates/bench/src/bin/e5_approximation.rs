@@ -1,0 +1,75 @@
+//! E5 — Theorem 4.1 / Lemmas 4.7–4.8: the assembled solution is feasible
+//! and `(1/2, 6ε)`-approximate.
+
+use lcakp_bench::{banner, Table};
+use lcakp_core::solution_audit::assemble_and_audit;
+use lcakp_core::LcaKp;
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_oracle::Seed;
+use lcakp_workloads::standard_suite;
+
+fn main() {
+    banner(
+        "E5",
+        "assembled LCA-KP answers form a feasible (1/2, 6ε)-approximate solution",
+        "Theorem 4.1, Lemma 4.7 (feasibility), Lemma 4.8 (value)",
+    );
+
+    let n = 120;
+    let mut table = Table::new([
+        "workload",
+        "eps",
+        "OPT",
+        "value",
+        "ratio",
+        "feasible",
+        "half-slack",
+        "6eps",
+        "within bound",
+    ]);
+    for spec in standard_suite(n, 0xE5) {
+        let norm = match spec.generate_normalized() {
+            Ok(norm) => norm,
+            Err(err) => {
+                eprintln!("skipping {spec}: {err}");
+                continue;
+            }
+        };
+        // ε ≤ 1/6: the paper's small-item cut-off needs k ≥ 3, which
+        // needs t = ⌊1/q⌋ ≥ 4 — at ε ≥ 1/4 the algorithm (correctly, per
+        // Algorithm 3) returns only large items, and the 6ε bound is
+        // vacuous anyway. Budget factors shrink with ε to keep runtime
+        // bounded; E6 reports the consistency cost of that.
+        for &(num, den, factor) in &[(1u64, 8u64, 0.002f64)] {
+            let eps = Epsilon::new(num, den).expect("valid eps");
+            let lca = LcaKp::new(eps)
+                .expect("lca builds")
+                .with_budget(lcakp_reproducible::SampleBudget::Calibrated { factor });
+            let mut rng = Seed::from_entropy_u64(0x5E5).rng();
+            let audit =
+                match assemble_and_audit(&lca, &norm, &mut rng, &Seed::from_entropy_u64(7)) {
+                    Ok(audit) => audit,
+                    Err(err) => {
+                        eprintln!("skipping {spec} at ε={num}/{den}: {err}");
+                        continue;
+                    }
+                };
+            table.row([
+                spec.family.to_string(),
+                format!("{num}/{den}"),
+                audit.optimum.to_string(),
+                audit.value.to_string(),
+                format!("{:.3}", audit.ratio),
+                audit.feasible.to_string(),
+                format!("{:.4}", audit.half_slack),
+                format!("{:.4}", 6.0 * eps.as_f64()),
+                audit.satisfies_theorem(eps).to_string(),
+            ]);
+        }
+    }
+    table.print();
+    println!(
+        "\nExpected shape: every row is feasible and 'within bound' — value is at least\n\
+         OPT/2 − 6ε in normalized units (most rows do far better than 1/2)."
+    );
+}

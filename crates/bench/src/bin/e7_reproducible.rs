@@ -1,0 +1,117 @@
+//! E7 — Theorems 2.7 / 4.5: the reproducible median / quantile is
+//! ρ-reproducible and τ-accurate; its sample complexity carries the
+//! `log* |X|` tower.
+
+use lcakp_bench::{banner, Table};
+use lcakp_reproducible::harness::{measure_reproducibility, DiscreteDist};
+use lcakp_reproducible::{
+    log_star_of_bits, naive_quantile, rquantile, Domain, RQuantileConfig, ReproParams,
+    SampleBudget, Seed,
+};
+
+fn zoo() -> Vec<(&'static str, DiscreteDist)> {
+    vec![
+        ("uniform-2^20", DiscreteDist::uniform(1 << 20)),
+        (
+            "bimodal",
+            DiscreteDist::new(vec![(100, 0.5), (1_000_000, 0.5)]),
+        ),
+        (
+            "heavy-atom+uniform",
+            DiscreteDist::new(
+                (0..1000u128)
+                    .map(|v| (v + (1 << 19), 0.0006))
+                    .chain(std::iter::once((1000u128, 0.4)))
+                    .collect(),
+            ),
+        ),
+        (
+            "geometric-ish",
+            DiscreteDist::new((0..40u128).map(|k| (1u128 << k, 0.5f64.powi(k as i32 + 1))).collect()),
+        ),
+    ]
+}
+
+fn main() {
+    banner(
+        "E7",
+        "rQuantile is reproducible and τ-accurate; naive quantiles are neither",
+        "Theorem 2.7 ([ILPS22, Thm 4.2]), Theorem 4.5, Algorithm 1",
+    );
+
+    let tau = 0.05;
+    let trials = 25;
+    let mut table = Table::new([
+        "distribution",
+        "p",
+        "samples",
+        "rq agreement",
+        "rq accuracy",
+        "naive agreement",
+    ]);
+    for (name, dist) in zoo() {
+        for &p in &[0.5f64, 0.9] {
+            for &samples in &[4_000usize, 40_000] {
+                let rq = measure_reproducibility(
+                    &dist,
+                    samples,
+                    p,
+                    tau,
+                    trials,
+                    Seed::from_entropy_u64(0xE7),
+                    |sample, seed| {
+                        let config = RQuantileConfig {
+                            domain: Domain::new(41).expect("domain fits"),
+                            p,
+                            tau,
+                        };
+                        rquantile(sample, &config, seed).expect("rquantile runs")
+                    },
+                );
+                let naive = measure_reproducibility(
+                    &dist,
+                    samples,
+                    p,
+                    tau,
+                    trials,
+                    Seed::from_entropy_u64(0x7E7),
+                    |sample, _| naive_quantile(sample, p),
+                );
+                table.row([
+                    name.to_string(),
+                    format!("{p}"),
+                    samples.to_string(),
+                    format!("{:.3}", rq.agreement_rate()),
+                    format!("{:.3}", rq.accuracy_rate()),
+                    format!("{:.3}", naive.agreement_rate()),
+                ]);
+            }
+        }
+    }
+    table.print();
+
+    println!("\nSample-complexity formulas (paper, Theoretical policy):");
+    let mut table = Table::new(["domain bits", "log*|X|", "n_rq at tau=0.2, rho=0.1"]);
+    for &bits in &[4u32, 16, 64] {
+        let params = ReproParams {
+            rho: 0.1,
+            tau: 0.2,
+            beta: 0.05,
+            domain_bits: bits,
+        };
+        table.row([
+            bits.to_string(),
+            log_star_of_bits(bits).to_string(),
+            SampleBudget::Theoretical
+                .rquantile_samples(&params)
+                .to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "\nExpected shape: rQuantile agreement near 1 and rising with sample size, with\n\
+         accuracy ≈ 1; the naive empirical quantile agrees across fresh samples almost\n\
+         never on continuous-like distributions. The theoretical budget grows by a\n\
+         (12/τ²) factor per log* level."
+    );
+}

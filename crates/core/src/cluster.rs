@@ -1,0 +1,295 @@
+//! A simulated distributed serving fleet — the deployment story of the
+//! paper's introduction made concrete.
+//!
+//! "This paradigm of computation in particular allows for hugely
+//! distributed algorithms, where independent instances of a given LCA
+//! provide consistent access to a common output solution." This module
+//! simulates exactly that: a pool of worker threads, each holding only
+//! the shared seed and (counted) oracle access, draining a common query
+//! queue with no inter-worker communication. The output records which
+//! worker answered what, so tests and experiments can verify that the
+//! union of answers behaves like one solution regardless of how queries
+//! were scheduled.
+
+use crate::lca::{KnapsackLca, LcaAnswer};
+use crate::LcaError;
+use crossbeam::channel;
+use lcakp_knapsack::{ItemId, Selection};
+use lcakp_oracle::{ItemOracle, Seed, WeightedSampler};
+use std::fmt;
+
+/// Configuration of a simulated cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// Bounded depth of the shared query queue (backpressure).
+    pub queue_depth: usize,
+    /// Root for deriving each worker's private sampling-entropy stream.
+    pub entropy_root: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            workers: 4,
+            queue_depth: 64,
+            entropy_root: 0x5eed_c105,
+        }
+    }
+}
+
+/// One answered query, with provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutedAnswer {
+    /// The queried item.
+    pub item: ItemId,
+    /// The answer.
+    pub answer: LcaAnswer,
+    /// Which worker served it.
+    pub worker: usize,
+}
+
+/// The outcome of a cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// All answers, in completion order.
+    pub answers: Vec<RoutedAnswer>,
+    /// Queries served per worker.
+    pub worker_loads: Vec<usize>,
+}
+
+impl ClusterRun {
+    /// Collapses the answers into a selection over `n` items (later
+    /// duplicates of the same item overwrite earlier ones; with a
+    /// consistent LCA they agree anyway).
+    pub fn to_selection(&self, n: usize) -> Selection {
+        let mut selection = Selection::new(n);
+        for routed in &self.answers {
+            if routed.answer.include {
+                selection.insert(routed.item);
+            } else {
+                selection.remove(routed.item);
+            }
+        }
+        selection
+    }
+
+    /// For items that were queried more than once (possibly by different
+    /// workers): the fraction of items whose answers all agree.
+    pub fn duplicate_agreement(&self) -> f64 {
+        use std::collections::HashMap;
+        let mut by_item: HashMap<ItemId, Vec<bool>> = HashMap::new();
+        for routed in &self.answers {
+            by_item
+                .entry(routed.item)
+                .or_default()
+                .push(routed.answer.include);
+        }
+        let duplicated: Vec<&Vec<bool>> =
+            by_item.values().filter(|answers| answers.len() > 1).collect();
+        if duplicated.is_empty() {
+            return 1.0;
+        }
+        let agreeing = duplicated
+            .iter()
+            .filter(|answers| answers.iter().all(|&x| x == answers[0]))
+            .count();
+        agreeing as f64 / duplicated.len() as f64
+    }
+}
+
+impl fmt::Display for ClusterRun {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ClusterRun(answers={}, loads={:?}, dup_agreement={:.3})",
+            self.answers.len(),
+            self.worker_loads,
+            self.duplicate_agreement()
+        )
+    }
+}
+
+/// Serves `queries` through a pool of `config.workers` independent LCA
+/// instances sharing `seed` and `oracle`. Workers race on a bounded
+/// queue; scheduling is nondeterministic, which is the point — the
+/// answers must not care.
+///
+/// # Errors
+///
+/// Returns the first [`LcaError`] any worker hit (after all workers have
+/// stopped).
+pub fn serve_queries<L, O>(
+    lca: &L,
+    oracle: &O,
+    seed: &Seed,
+    queries: &[ItemId],
+    config: ClusterConfig,
+) -> Result<ClusterRun, LcaError>
+where
+    L: KnapsackLca + Sync,
+    O: ItemOracle + WeightedSampler + Sync,
+{
+    assert!(config.workers > 0, "need at least one worker");
+    let (work_tx, work_rx) = channel::bounded::<ItemId>(config.queue_depth.max(1));
+    let (done_tx, done_rx) = channel::unbounded::<Result<RoutedAnswer, LcaError>>();
+
+    std::thread::scope(|scope| {
+        for worker in 0..config.workers {
+            let work_rx = work_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                let mut rng = Seed::from_entropy_u64(
+                    config.entropy_root ^ (worker as u64).wrapping_mul(0x9e37_79b9),
+                )
+                .rng();
+                for item in work_rx.iter() {
+                    let result = lca
+                        .query(oracle, &mut rng, item, seed)
+                        .map(|answer| RoutedAnswer {
+                            item,
+                            answer,
+                            worker,
+                        });
+                    if done_tx.send(result).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(done_tx);
+        for &item in queries {
+            work_tx.send(item).expect("workers alive while feeding");
+        }
+        drop(work_tx);
+
+        let mut answers = Vec::with_capacity(queries.len());
+        let mut worker_loads = vec![0usize; config.workers];
+        let mut first_error = None;
+        for result in done_rx.iter() {
+            match result {
+                Ok(routed) => {
+                    worker_loads[routed.worker] += 1;
+                    answers.push(routed);
+                }
+                Err(err) => {
+                    if first_error.is_none() {
+                        first_error = Some(err);
+                    }
+                }
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(ClusterRun {
+                answers,
+                worker_loads,
+            }),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trivial::FullScanLca;
+    use crate::LcaKp;
+    use lcakp_knapsack::iky::Epsilon;
+    use lcakp_oracle::InstanceOracle;
+    use lcakp_reproducible::SampleBudget;
+    use lcakp_workloads::{Family, WorkloadSpec};
+
+    #[test]
+    fn deterministic_lca_cluster_matches_sequential() {
+        let norm = WorkloadSpec::new(Family::SubsetSum { range: 50 }, 60, 1)
+            .generate_normalized()
+            .unwrap();
+        let oracle = InstanceOracle::new(&norm);
+        let lca = FullScanLca::new();
+        let seed = Seed::from_entropy_u64(2);
+        let queries: Vec<ItemId> = (0..60).map(ItemId).collect();
+        let run = serve_queries(&lca, &oracle, &seed, &queries, ClusterConfig::default())
+            .unwrap();
+        assert_eq!(run.answers.len(), 60);
+
+        let mut rng = Seed::from_entropy_u64(3).rng();
+        let sequential = lca.assemble(&oracle, &mut rng, &seed).unwrap();
+        assert_eq!(run.to_selection(60), sequential);
+        assert_eq!(run.worker_loads.iter().sum::<usize>(), 60);
+    }
+
+    #[test]
+    fn duplicated_queries_agree_for_deterministic_lca() {
+        let norm = WorkloadSpec::new(Family::SubsetSum { range: 50 }, 30, 4)
+            .generate_normalized()
+            .unwrap();
+        let oracle = InstanceOracle::new(&norm);
+        let lca = FullScanLca::new();
+        let seed = Seed::from_entropy_u64(5);
+        // Every item queried three times, interleaved.
+        let queries: Vec<ItemId> = (0..90).map(|index| ItemId(index % 30)).collect();
+        let run = serve_queries(&lca, &oracle, &seed, &queries, ClusterConfig::default())
+            .unwrap();
+        assert_eq!(run.duplicate_agreement(), 1.0, "{run}");
+    }
+
+    #[test]
+    fn lca_kp_cluster_union_is_feasible() {
+        let norm = WorkloadSpec::new(Family::SmallDominated, 90, 6)
+            .generate_normalized()
+            .unwrap();
+        let oracle = InstanceOracle::new(&norm);
+        let eps = Epsilon::new(1, 3).unwrap();
+        let lca = LcaKp::new(eps)
+            .unwrap()
+            .with_budget(SampleBudget::Calibrated { factor: 0.02 });
+        let seed = Seed::from_entropy_u64(7);
+        let queries: Vec<ItemId> = (0..90).map(ItemId).collect();
+        let run = serve_queries(
+            &lca,
+            &oracle,
+            &seed,
+            &queries,
+            ClusterConfig {
+                workers: 6,
+                queue_depth: 8,
+                entropy_root: 99,
+            },
+        )
+        .unwrap();
+        let selection = run.to_selection(90);
+        assert!(
+            selection.is_feasible(norm.as_instance()),
+            "cluster union infeasible: {run}"
+        );
+        // Every worker that exists got counted; loads sum to the queries.
+        assert_eq!(run.worker_loads.len(), 6);
+        assert_eq!(run.worker_loads.iter().sum::<usize>(), 90);
+    }
+
+    #[test]
+    fn single_worker_degenerates_to_sequential_order() {
+        let norm = WorkloadSpec::new(Family::SubsetSum { range: 20 }, 10, 8)
+            .generate_normalized()
+            .unwrap();
+        let oracle = InstanceOracle::new(&norm);
+        let lca = FullScanLca::new();
+        let seed = Seed::from_entropy_u64(9);
+        let queries: Vec<ItemId> = (0..10).map(ItemId).collect();
+        let run = serve_queries(
+            &lca,
+            &oracle,
+            &seed,
+            &queries,
+            ClusterConfig {
+                workers: 1,
+                queue_depth: 2,
+                entropy_root: 1,
+            },
+        )
+        .unwrap();
+        let served: Vec<ItemId> = run.answers.iter().map(|routed| routed.item).collect();
+        assert_eq!(served, queries);
+    }
+}

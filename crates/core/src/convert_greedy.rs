@@ -1,0 +1,250 @@
+//! `CONVERT-GREEDY` — Algorithm 3 of the paper.
+//!
+//! Runs the modified-greedy 1/2-approximation over the reduced instance Ĩ
+//! and *converts* its outcome into threshold form: instead of a set of Ĩ
+//! items, it emits (a) the original ids of the selected large items,
+//! (b) an efficiency cut-off `e_small = ẽ_{k−2}` under which small items
+//! of the original instance are excluded, and (c) the `B_indicator` flag
+//! for the singleton branch. This is exactly the information an LCA can
+//! apply to a *single queried item* without seeing the rest of the
+//! instance.
+
+use lcakp_knapsack::iky::{EpsSequence, TildeInstance, TildeOrigin};
+use lcakp_knapsack::ItemId;
+use std::fmt;
+
+/// Output of Algorithm 3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConvertGreedyOutput {
+    /// `Index_large`: original ids of the large items in the solution.
+    pub large_selected: Vec<ItemId>,
+    /// `e_small`: efficiency-key threshold for small items (`None` is the
+    /// paper's `−1`).
+    pub e_small: Option<u64>,
+    /// `B_indicator`: `true` iff the singleton branch won.
+    pub singleton: bool,
+}
+
+impl fmt::Display for ConvertGreedyOutput {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ConvertGreedy(large={:?}, e_small={:?}, singleton={})",
+            self.large_selected, self.e_small, self.singleton
+        )
+    }
+}
+
+/// Runs `CONVERT-GREEDY` on Ĩ (Algorithm 3).
+///
+/// * Line 1–2: sort Ĩ canonically by efficiency; find the largest prefix
+///   `j` whose weight fits the capacity.
+/// * Line 3: find the largest `k` with `ẽ_k >` the efficiency of the last
+///   prefix item.
+/// * Lines 4–10 (prefix branch, `Σ_{i≤j} p_i ≥ p_{j+1}` or `j = |S̃|`):
+///   emit the large prefix items and `e_small = ẽ_{k−2}` when `k ≥ 3`.
+/// * Lines 11–13 (singleton branch): the cut-off item alone beats the
+///   prefix; emit it as the sole member. The paper's Lemma 4.7 argues the
+///   winner is always a large item; if a degenerate EPS ever makes a
+///   synthetic representative win, this implementation returns the empty
+///   rule (the representative's profit is ≤ ε², so at most ε² of value is
+///   forfeited) — a corner recorded in `DESIGN.md`.
+///
+/// Everything is deterministic in `(Ĩ, EPS)`: identical inputs give
+/// identical outputs, which is the consistency backbone of Lemma 4.9.
+pub fn convert_greedy(tilde: &TildeInstance, seq: &EpsSequence) -> ConvertGreedyOutput {
+    let items = tilde.items();
+    let capacity = tilde.capacity_mu() as u128;
+    // Definition 2.2 assumes every weight is at most K; for general
+    // instances, items that do not fit on their own can never be chosen,
+    // so they are excluded from the greedy order up front (exactly as
+    // `modified_greedy` does on raw instances).
+    let order: Vec<usize> = tilde
+        .greedy_order()
+        .into_iter()
+        .filter(|&index| items[index].weight_mu as u128 <= capacity)
+        .collect();
+
+    // Greedy prefix (line 2).
+    let mut weight: u128 = 0;
+    let mut profit: u128 = 0;
+    let mut prefix_len = 0usize;
+    for &index in &order {
+        let item = items[index];
+        if weight + item.weight_mu as u128 <= capacity {
+            weight += item.weight_mu as u128;
+            profit += item.profit_mu as u128;
+            prefix_len += 1;
+        } else {
+            break;
+        }
+    }
+
+    let cutoff = order.get(prefix_len).map(|&index| items[index]);
+
+    // Prefix branch condition (line 4): j = |S̃| or Σ p_i ≥ p_{j+1}.
+    let prefix_wins = match cutoff {
+        None => true,
+        Some(item) => profit >= item.profit_mu as u128,
+    };
+
+    if prefix_wins {
+        let large_selected: Vec<ItemId> = order[..prefix_len]
+            .iter()
+            .filter_map(|&index| match items[index].origin {
+                TildeOrigin::Large(id) => Some(id),
+                TildeOrigin::SmallRep { .. } => None,
+            })
+            .collect();
+        let mut large_selected = large_selected;
+        large_selected.sort();
+
+        // Line 3: k = largest index with ẽ_k > p_j/w_j, where (p_j, w_j)
+        // is the last prefix item. With an empty prefix there is no such
+        // item and no cut-off.
+        let e_small = if prefix_len == 0 {
+            None
+        } else {
+            let last = items[order[prefix_len - 1]];
+            // Count thresholds strictly above the last item's efficiency:
+            // ẽ/2³² > p/w ⇔ ẽ·w > p·2³². Thresholds are non-increasing,
+            // so this is a prefix count — the paper's k.
+            let k = seq
+                .keys()
+                .iter()
+                .take_while(|&&key| {
+                    key as u128 * last.weight_mu as u128
+                        > (last.profit_mu as u128) << 32
+                })
+                .count();
+            if k >= 3 {
+                Some(seq.threshold(k - 2))
+            } else {
+                None
+            }
+        };
+        ConvertGreedyOutput {
+            large_selected,
+            e_small,
+            singleton: false,
+        }
+    } else {
+        // Singleton branch (lines 11–13).
+        let winner = cutoff.expect("cutoff exists when the prefix loses");
+        match winner.origin {
+            TildeOrigin::Large(id) => ConvertGreedyOutput {
+                large_selected: vec![id],
+                e_small: None,
+                singleton: true,
+            },
+            TildeOrigin::SmallRep { .. } => ConvertGreedyOutput {
+                large_selected: Vec::new(),
+                e_small: None,
+                singleton: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcakp_knapsack::iky::{exact_eps, Epsilon, Partition};
+    use lcakp_knapsack::{Instance, NormalizedInstance};
+
+    fn build(
+        pairs: Vec<(u64, u64)>,
+        capacity: u64,
+        eps: Epsilon,
+    ) -> (NormalizedInstance, TildeInstance, EpsSequence) {
+        let norm =
+            NormalizedInstance::new(Instance::from_pairs(pairs, capacity).unwrap()).unwrap();
+        let partition = Partition::compute(&norm, eps);
+        let seq = exact_eps(&norm, eps, &partition);
+        let tilde = TildeInstance::build_from_instance(&norm, eps, partition.large(), &seq);
+        (norm, tilde, seq)
+    }
+
+    #[test]
+    fn prefix_branch_selects_efficient_large_items() {
+        let eps = Epsilon::new(1, 2).unwrap();
+        // Two large items; the efficient one fits, the other does not.
+        let (_, tilde, seq) = build(vec![(60, 2), (40, 100)], 4, eps);
+        let out = convert_greedy(&tilde, &seq);
+        assert!(!out.singleton);
+        assert_eq!(out.large_selected, vec![ItemId(0)]);
+    }
+
+    #[test]
+    fn whole_instance_fits() {
+        let eps = Epsilon::new(1, 2).unwrap();
+        let (_, tilde, seq) = build(vec![(60, 2), (40, 3)], 100, eps);
+        let out = convert_greedy(&tilde, &seq);
+        assert!(!out.singleton);
+        assert_eq!(out.large_selected, vec![ItemId(0), ItemId(1)]);
+    }
+
+    #[test]
+    fn singleton_branch_triggers_on_trap() {
+        // Three large fillers (100, 1) → efficiency 100; the trap
+        // (400, 6) → efficiency ~67 but profit above the whole prefix.
+        // Capacity = trap weight: the prefix holds the fillers, cannot
+        // add the trap, and loses on profit. At ε = 1/3, every item is
+        // large (ε² = 1/9, smallest p̂ = 100/700 ≈ 0.14).
+        let eps = Epsilon::new(1, 3).unwrap();
+        let pairs: Vec<(u64, u64)> = vec![(100, 1), (100, 1), (100, 1), (400, 6)];
+        let (_, tilde, seq) = build(pairs, 6, eps);
+        let out = convert_greedy(&tilde, &seq);
+        assert!(out.singleton, "{out}");
+        assert_eq!(out.large_selected, vec![ItemId(3)]);
+        assert_eq!(out.e_small, None);
+    }
+
+    #[test]
+    fn deterministic_on_identical_inputs() {
+        let eps = Epsilon::new(1, 3).unwrap();
+        let pairs: Vec<(u64, u64)> = (1..=60u64).map(|index| (1 + index % 9, index)).collect();
+        let (_, tilde, seq) = build(pairs, 300, eps);
+        let a = convert_greedy(&tilde, &seq);
+        let b = convert_greedy(&tilde, &seq);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn small_cutoff_appears_on_small_dominated_instances() {
+        // 200 small items with spread efficiencies, ε = 1/5 → an EPS of
+        // four buckets. The capacity (≈0.6 of total weight) lets the
+        // greedy prefix consume the representatives of buckets 0–2 and
+        // end inside bucket 3, so k = 3 and a cut-off ẽ_{k−2} = ẽ_1 is
+        // emitted.
+        let eps = Epsilon::new(1, 5).unwrap();
+        let pairs: Vec<(u64, u64)> = (1..=200u64).map(|index| (2, index)).collect();
+        let (_, tilde, seq) = build(pairs, 12_000, eps);
+        assert!(seq.len() >= 3, "need a deep EPS for this test, got {seq}");
+        let out = convert_greedy(&tilde, &seq);
+        assert!(!out.singleton);
+        assert!(out.large_selected.is_empty());
+        assert!(
+            out.e_small.is_some(),
+            "expected a small cut-off from {out}"
+        );
+    }
+
+    #[test]
+    fn empty_eps_yields_no_cutoff() {
+        let eps = Epsilon::new(1, 2).unwrap();
+        let (_, tilde, _) = build(vec![(60, 2), (40, 3)], 100, eps);
+        let out = convert_greedy(&tilde, &EpsSequence::empty());
+        assert_eq!(out.e_small, None);
+    }
+
+    #[test]
+    fn display_formats() {
+        let out = ConvertGreedyOutput {
+            large_selected: vec![ItemId(1)],
+            e_small: Some(7),
+            singleton: false,
+        };
+        assert!(out.to_string().contains("singleton=false"));
+    }
+}

@@ -1,0 +1,88 @@
+use lcakp_knapsack::KnapsackError;
+use lcakp_reproducible::ReproducibleError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from LCA queries.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum LcaError {
+    /// An underlying Knapsack-substrate error.
+    Knapsack(KnapsackError),
+    /// A reproducible-statistics error.
+    Reproducible(ReproducibleError),
+    /// The configured sample budget requires more samples per query than
+    /// the safety cap allows; relax ε, the budget factor, or the cap.
+    SampleBudgetTooLarge {
+        /// Samples the configuration asked for.
+        needed: u64,
+        /// The configured cap.
+        cap: u64,
+    },
+    /// The queried item id is outside the instance.
+    ItemOutOfRange {
+        /// Queried index.
+        index: usize,
+        /// Instance size.
+        len: usize,
+    },
+}
+
+impl fmt::Display for LcaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LcaError::Knapsack(err) => write!(f, "knapsack error: {err}"),
+            LcaError::Reproducible(err) => write!(f, "reproducible-statistics error: {err}"),
+            LcaError::SampleBudgetTooLarge { needed, cap } => write!(
+                f,
+                "query needs {needed} samples, above the safety cap {cap}"
+            ),
+            LcaError::ItemOutOfRange { index, len } => {
+                write!(f, "queried item {index} outside instance of {len} items")
+            }
+        }
+    }
+}
+
+impl Error for LcaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LcaError::Knapsack(err) => Some(err),
+            LcaError::Reproducible(err) => Some(err),
+            LcaError::SampleBudgetTooLarge { .. } | LcaError::ItemOutOfRange { .. } => None,
+        }
+    }
+}
+
+impl From<KnapsackError> for LcaError {
+    fn from(err: KnapsackError) -> Self {
+        LcaError::Knapsack(err)
+    }
+}
+
+impl From<ReproducibleError> for LcaError {
+    fn from(err: ReproducibleError) -> Self {
+        LcaError::Reproducible(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let err = LcaError::from(KnapsackError::EmptyInstance);
+        assert!(err.to_string().contains("knapsack"));
+        assert!(err.source().is_some());
+        let err = LcaError::SampleBudgetTooLarge { needed: 10, cap: 5 };
+        assert!(err.source().is_none());
+        assert!(err.to_string().contains("10"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LcaError>();
+    }
+}

@@ -1,0 +1,184 @@
+//! Approximation auditing: assemble an LCA's answers into a full
+//! solution and measure it against the exact optimum — the machinery
+//! behind experiment E5 (Theorem 4.1's `(1/2, 6ε)` guarantee).
+
+use crate::lca::KnapsackLca;
+use crate::LcaError;
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::{solvers, NormalizedInstance, Selection};
+use lcakp_oracle::{InstanceOracle, Seed};
+use rand::Rng;
+use std::fmt;
+
+/// An assembled solution measured against the exact optimum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApproxAudit {
+    /// Value of the assembled solution (raw units).
+    pub value: u64,
+    /// Exact optimum (raw units).
+    pub optimum: u64,
+    /// Whether the assembled solution fits the capacity.
+    pub feasible: bool,
+    /// `value / optimum` (1.0 when the optimum is 0).
+    pub ratio: f64,
+    /// Normalized additive slack `(OPT/2 − value)/P`, clamped at 0 —
+    /// the quantity Theorem 4.1 bounds by 6ε.
+    pub half_slack: f64,
+}
+
+impl ApproxAudit {
+    /// Whether the audit satisfies the `(1/2, 6ε)` bound of Theorem 4.1:
+    /// `value ≥ OPT/2 − 6ε` in normalized units, and feasibility.
+    pub fn satisfies_theorem(&self, eps: Epsilon) -> bool {
+        self.feasible && self.half_slack <= 6.0 * eps.as_f64() + 1e-9
+    }
+}
+
+impl fmt::Display for ApproxAudit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value={} optimum={} feasible={} ratio={:.4} half_slack={:.4}",
+            self.value, self.optimum, self.feasible, self.ratio, self.half_slack
+        )
+    }
+}
+
+/// Measures a selection against a known optimum.
+pub fn audit_selection(
+    norm: &NormalizedInstance,
+    selection: &Selection,
+    optimum: u64,
+) -> ApproxAudit {
+    let instance = norm.as_instance();
+    let value = selection.value(instance);
+    let feasible = selection.is_feasible(instance);
+    let total = norm.total_profit() as f64;
+    let half_slack = ((optimum as f64 / 2.0 - value as f64) / total).max(0.0);
+    ApproxAudit {
+        value,
+        optimum,
+        feasible,
+        ratio: if optimum == 0 {
+            1.0
+        } else {
+            value as f64 / optimum as f64
+        },
+        half_slack,
+    }
+}
+
+/// Computes the exact optimum with the cheapest exact solver that
+/// accepts the instance (weight DP, then profit DP, then branch and
+/// bound).
+///
+/// # Errors
+///
+/// Propagates the last solver's error if every solver refuses.
+pub fn exact_optimum(norm: &NormalizedInstance) -> Result<u64, LcaError> {
+    let instance = norm.as_instance();
+    if let Ok(outcome) = solvers::dp_by_weight(instance) {
+        return Ok(outcome.value);
+    }
+    if let Ok(outcome) = solvers::dp_by_profit(instance) {
+        return Ok(outcome.value);
+    }
+    Ok(solvers::branch_and_bound(instance)?.value)
+}
+
+/// Assembles a solution by independent per-item LCA queries (the honest
+/// usage) and audits it against the exact optimum.
+///
+/// # Errors
+///
+/// Propagates query and solver errors.
+pub fn assemble_and_audit<L, R>(
+    lca: &L,
+    norm: &NormalizedInstance,
+    rng: &mut R,
+    seed: &Seed,
+) -> Result<ApproxAudit, LcaError>
+where
+    L: KnapsackLca,
+    R: Rng + ?Sized,
+{
+    let oracle = InstanceOracle::new(norm);
+    let selection = lca.assemble(&oracle, rng, seed)?;
+    let optimum = exact_optimum(norm)?;
+    Ok(audit_selection(norm, &selection, optimum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trivial::{EmptyLca, FullScanLca};
+    use lcakp_knapsack::Instance;
+
+    fn fixture() -> NormalizedInstance {
+        NormalizedInstance::new(
+            Instance::from_pairs([(10, 5), (7, 3), (2, 2), (1, 1)], 6).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn audit_of_exact_solution_has_ratio_one() {
+        let norm = fixture();
+        let outcome = solvers::dp_by_weight(norm.as_instance()).unwrap();
+        let audit = audit_selection(&norm, &outcome.selection, outcome.value);
+        assert_eq!(audit.ratio, 1.0);
+        assert!(audit.feasible);
+        assert_eq!(audit.half_slack, 0.0);
+    }
+
+    #[test]
+    fn empty_lca_fails_the_theorem_bound_at_small_eps() {
+        let norm = fixture();
+        let mut rng = Seed::from_entropy_u64(1).rng();
+        let audit = assemble_and_audit(
+            &EmptyLca::new(),
+            &norm,
+            &mut rng,
+            &Seed::from_entropy_u64(2),
+        )
+        .unwrap();
+        assert_eq!(audit.value, 0);
+        // OPT = 11; half-slack = 5.5/20 = 0.275 > 6ε at ε = 1/100.
+        let eps = Epsilon::new(1, 100).unwrap();
+        assert!(!audit.satisfies_theorem(eps));
+    }
+
+    #[test]
+    fn full_scan_satisfies_half_approximation() {
+        let norm = fixture();
+        let mut rng = Seed::from_entropy_u64(1).rng();
+        let audit = assemble_and_audit(
+            &FullScanLca::new(),
+            &norm,
+            &mut rng,
+            &Seed::from_entropy_u64(2),
+        )
+        .unwrap();
+        assert!(audit.feasible);
+        assert!(audit.ratio >= 0.5);
+        assert!(audit.satisfies_theorem(Epsilon::new(1, 100).unwrap()));
+    }
+
+    #[test]
+    fn exact_optimum_falls_back_across_solvers() {
+        let norm = fixture();
+        // OPT = item 0 (10) + item 3 (1) at weight 6.
+        assert_eq!(exact_optimum(&norm).unwrap(), 11);
+    }
+
+    #[test]
+    fn zero_optimum_ratio_is_one() {
+        let norm = NormalizedInstance::new(
+            Instance::from_pairs([(1, 10), (1, 10)], 5).unwrap(),
+        )
+        .unwrap();
+        let selection = Selection::new(2);
+        let audit = audit_selection(&norm, &selection, 0);
+        assert_eq!(audit.ratio, 1.0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Baseline LCAs bracketing `LCA-KP`.
+//!
+//! * [`EmptyLca`] — the trivially consistent LCA the paper mentions after
+//!   Definition 2.4: always answer **no**, consistent with the feasible
+//!   solution ∅ at zero queries. Any useful LCA must beat its value.
+//! * [`FullScanLca`] — the other extreme: read the *entire* instance on
+//!   every query (n point queries), solve it deterministically with the
+//!   modified greedy 1/2-approximation, answer membership. Perfectly
+//!   consistent, trivially correct, and exactly the Ω(n) behavior the
+//!   lower bounds say is unavoidable without weighted sampling.
+
+use crate::lca::{DecisionReason, KnapsackLca, LcaAnswer};
+use crate::LcaError;
+use lcakp_knapsack::solvers::modified_greedy;
+use lcakp_knapsack::{Instance, ItemId};
+use lcakp_oracle::{ItemOracle, Seed, WeightedSampler};
+use rand::Rng;
+
+/// Always answers **no** — consistent with the empty solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EmptyLca;
+
+impl EmptyLca {
+    /// Creates the trivial LCA.
+    pub fn new() -> Self {
+        EmptyLca
+    }
+}
+
+impl KnapsackLca for EmptyLca {
+    fn query<O, R>(
+        &self,
+        oracle: &O,
+        _rng: &mut R,
+        item: ItemId,
+        _seed: &Seed,
+    ) -> Result<LcaAnswer, LcaError>
+    where
+        O: ItemOracle + WeightedSampler,
+        R: Rng + ?Sized,
+    {
+        if item.index() >= oracle.len() {
+            return Err(LcaError::ItemOutOfRange {
+                index: item.index(),
+                len: oracle.len(),
+            });
+        }
+        Ok(LcaAnswer {
+            include: false,
+            reason: DecisionReason::TrivialEmpty,
+        })
+    }
+}
+
+/// Reads the whole instance per query and answers from a deterministic
+/// 1/2-approximate solve — the Ω(n)-query baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FullScanLca;
+
+impl FullScanLca {
+    /// Creates the full-scan baseline.
+    pub fn new() -> Self {
+        FullScanLca
+    }
+}
+
+impl KnapsackLca for FullScanLca {
+    fn query<O, R>(
+        &self,
+        oracle: &O,
+        _rng: &mut R,
+        item: ItemId,
+        _seed: &Seed,
+    ) -> Result<LcaAnswer, LcaError>
+    where
+        O: ItemOracle + WeightedSampler,
+        R: Rng + ?Sized,
+    {
+        if item.index() >= oracle.len() {
+            return Err(LcaError::ItemOutOfRange {
+                index: item.index(),
+                len: oracle.len(),
+            });
+        }
+        // Pay n point queries to reconstruct the instance.
+        let items: Vec<lcakp_knapsack::Item> =
+            (0..oracle.len()).map(|index| oracle.query(ItemId(index))).collect();
+        let instance = Instance::new(items, oracle.capacity())?;
+        let outcome = modified_greedy(&instance);
+        Ok(LcaAnswer {
+            include: outcome.selection.contains(item),
+            reason: DecisionReason::FullScan,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcakp_knapsack::{Instance, NormalizedInstance};
+    use lcakp_oracle::InstanceOracle;
+
+    fn oracle_fixture() -> NormalizedInstance {
+        NormalizedInstance::new(
+            Instance::from_pairs([(10, 5), (7, 3), (2, 2)], 5).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_lca_always_no_and_free() {
+        let norm = oracle_fixture();
+        let oracle = InstanceOracle::new(&norm);
+        let lca = EmptyLca::new();
+        let seed = Seed::from_entropy_u64(0);
+        let mut rng = Seed::from_entropy_u64(1).rng();
+        for index in 0..3 {
+            let answer = lca.query(&oracle, &mut rng, ItemId(index), &seed).unwrap();
+            assert!(!answer.include);
+        }
+        assert_eq!(oracle.stats().total(), 0, "EmptyLca must not query");
+    }
+
+    #[test]
+    fn full_scan_pays_n_queries_and_is_consistent() {
+        let norm = oracle_fixture();
+        let oracle = InstanceOracle::new(&norm);
+        let lca = FullScanLca::new();
+        let seed = Seed::from_entropy_u64(0);
+        let mut rng = Seed::from_entropy_u64(1).rng();
+        let first = lca.query(&oracle, &mut rng, ItemId(0), &seed).unwrap();
+        assert_eq!(oracle.stats().point_queries, 3);
+        let again = lca.query(&oracle, &mut rng, ItemId(0), &seed).unwrap();
+        assert_eq!(first, again);
+        assert_eq!(oracle.stats().point_queries, 6);
+    }
+
+    #[test]
+    fn full_scan_solution_is_half_approximate() {
+        let norm = oracle_fixture();
+        let oracle = InstanceOracle::new(&norm);
+        let lca = FullScanLca::new();
+        let seed = Seed::from_entropy_u64(0);
+        let mut rng = Seed::from_entropy_u64(1).rng();
+        let selection = lca.assemble(&oracle, &mut rng, &seed).unwrap();
+        let value = selection.value(norm.as_instance());
+        let optimum = lcakp_knapsack::solvers::dp_by_weight(norm.as_instance())
+            .unwrap()
+            .value;
+        assert!(2 * value >= optimum);
+        assert!(selection.is_feasible(norm.as_instance()));
+    }
+
+    #[test]
+    fn out_of_range_errors() {
+        let norm = oracle_fixture();
+        let oracle = InstanceOracle::new(&norm);
+        let seed = Seed::from_entropy_u64(0);
+        let mut rng = Seed::from_entropy_u64(1).rng();
+        assert!(EmptyLca::new()
+            .query(&oracle, &mut rng, ItemId(9), &seed)
+            .is_err());
+        assert!(FullScanLca::new()
+            .query(&oracle, &mut rng, ItemId(9), &seed)
+            .is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests of the `LCA-KP` decision machinery: every rule
+//! that `CONVERT-GREEDY` can emit materializes to a feasible solution,
+//! and per-item decisions match the materialized set (Algorithm 2 ≡
+//! Algorithm 4 on every item).
+
+use lcakp_core::{convert_greedy, SolutionRule};
+use lcakp_knapsack::iky::{exact_eps, Epsilon, Partition, TildeInstance};
+use lcakp_knapsack::{Instance, Item, NormalizedInstance};
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec((1u64..400, 1u64..200), 2..40),
+        1u64..800,
+    )
+        .prop_map(|(pairs, capacity)| Instance::from_pairs(pairs, capacity).unwrap())
+}
+
+fn rule_for(norm: &NormalizedInstance, eps: Epsilon) -> SolutionRule {
+    let partition = Partition::compute(norm, eps);
+    let seq = exact_eps(norm, eps, &partition);
+    let tilde = TildeInstance::build_from_instance(norm, eps, partition.large(), &seq);
+    let out = convert_greedy(&tilde, &seq);
+    SolutionRule {
+        eps,
+        capacity: norm.as_instance().capacity(),
+        large_selected: out.large_selected.into_iter().collect(),
+        e_small: out.e_small,
+        singleton: out.singleton,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Lemma 4.7 with the exact EPS: the materialized C is feasible, for
+    /// every sampled instance and several ε.
+    #[test]
+    fn materialized_rule_is_feasible(instance in arb_instance()) {
+        let norm = NormalizedInstance::new(instance).unwrap();
+        for (num, den) in [(1u64, 3u64), (1, 5), (1, 8)] {
+            let eps = Epsilon::new(num, den).unwrap();
+            let rule = rule_for(&norm, eps);
+            let selection = rule.materialize(&norm);
+            prop_assert!(
+                selection.is_feasible(norm.as_instance()),
+                "ε = {num}/{den}: rule {rule} infeasible"
+            );
+        }
+    }
+
+    /// Per-item `decide` equals membership in the materialized selection
+    /// (the LCA's per-query path and MAPPING-GREEDY agree item by item).
+    #[test]
+    fn decide_matches_materialize(instance in arb_instance()) {
+        let norm = NormalizedInstance::new(instance).unwrap();
+        let eps = Epsilon::new(1, 4).unwrap();
+        let rule = rule_for(&norm, eps);
+        let selection = rule.materialize(&norm);
+        for (id, item) in norm.as_instance().iter() {
+            prop_assert_eq!(
+                selection.contains(id),
+                rule.decide(norm.norms(), id, item).include
+            );
+        }
+    }
+
+    /// Large items the rule selects really are large-class items.
+    #[test]
+    fn selected_large_items_are_large(instance in arb_instance()) {
+        let norm = NormalizedInstance::new(instance).unwrap();
+        let eps = Epsilon::new(1, 4).unwrap();
+        let rule = rule_for(&norm, eps);
+        for &id in &rule.large_selected {
+            prop_assert!(norm.nprofit(id) > eps.squared());
+        }
+    }
+
+    /// The cut-off, when present, is at least ε² (so garbage items are
+    /// automatically excluded, as the paper's Algorithm 2 relies on).
+    #[test]
+    fn cutoff_is_at_least_eps_squared(instance in arb_instance()) {
+        let norm = NormalizedInstance::new(instance).unwrap();
+        let eps = Epsilon::new(1, 4).unwrap();
+        let rule = rule_for(&norm, eps);
+        if let Some(cutoff) = rule.e_small {
+            // key/2^32 ≥ ε² ⇔ key·den² ≥ num²·2^32 — up to the tie-break
+            // perturbation of the low TIE_BITS bits.
+            let num = eps.num() as u128;
+            let den = eps.den() as u128;
+            let slack = (1u128 << lcakp_knapsack::Norms::TIE_BITS) * den * den;
+            prop_assert!(
+                (cutoff as u128) * den * den + slack >= num * num * (1u128 << 32),
+                "cut-off {cutoff} below ε²"
+            );
+        }
+    }
+
+    /// Rules are deterministic functions of (instance, ε).
+    #[test]
+    fn rule_construction_is_deterministic(instance in arb_instance()) {
+        let norm = NormalizedInstance::new(instance).unwrap();
+        let eps = Epsilon::new(1, 5).unwrap();
+        prop_assert_eq!(rule_for(&norm, eps), rule_for(&norm, eps));
+    }
+
+    /// The empty rule rejects every item of every instance.
+    #[test]
+    fn empty_rule_rejects_all(instance in arb_instance()) {
+        let norm = NormalizedInstance::new(instance).unwrap();
+        let rule = SolutionRule::empty(
+            Epsilon::new(1, 2).unwrap(),
+            norm.as_instance().capacity(),
+        );
+        for (id, item) in norm.as_instance().iter() {
+            prop_assert!(!rule.decide(norm.norms(), id, item).include);
+        }
+    }
+}
+
+/// Zero-weight items require care: they are always addable, and a rule
+/// with a finite cut-off must include or exclude them purely by
+/// efficiency (infinite efficiency passes any cut-off).
+#[test]
+fn zero_weight_items_pass_any_cutoff() {
+    let instance = Instance::new(
+        vec![Item::new(1, 0), Item::new(50, 5), Item::new(3, 6)],
+        5,
+    )
+    .unwrap();
+    let norm = NormalizedInstance::new(instance).unwrap();
+    let eps = Epsilon::new(1, 3).unwrap();
+    let mut rule = SolutionRule::empty(eps, 5);
+    rule.e_small = Some(u64::MAX);
+    let answer = rule.decide(norm.norms(), lcakp_knapsack::ItemId(0), Item::new(1, 0));
+    assert!(answer.include, "infinite efficiency must clear any threshold");
+}

@@ -1,0 +1,105 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing instances or running solvers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KnapsackError {
+    /// The instance has no items.
+    EmptyInstance,
+    /// An item's profit or weight exceeds [`crate::MAX_UNIT`], or the item
+    /// count exceeds [`crate::MAX_ITEMS`]; the exact fixed-point arithmetic
+    /// used for efficiency comparisons would overflow.
+    UnitTooLarge {
+        /// Index of the offending item.
+        index: usize,
+    },
+    /// The instance has more than [`crate::MAX_ITEMS`] items.
+    TooManyItems {
+        /// Number of items supplied.
+        count: usize,
+    },
+    /// The total profit of the instance is zero, so profit-proportional
+    /// sampling and profit normalization are undefined.
+    ZeroTotalProfit,
+    /// The total weight of the instance is zero, so weight normalization is
+    /// undefined.
+    ZeroTotalWeight,
+    /// A solver's working-set bound was exceeded (e.g. `n * capacity` for the
+    /// weight-indexed dynamic program). The payload is a human-readable
+    /// description of the violated bound.
+    SolverBudgetExceeded {
+        /// Name of the solver that refused to run.
+        solver: &'static str,
+        /// The size that exceeded the solver's budget.
+        size: u128,
+        /// The solver's maximum supported size.
+        max: u128,
+    },
+    /// An approximation parameter was outside its valid range (e.g. ε = 0).
+    InvalidEpsilon {
+        /// Stringified offending value.
+        value: String,
+    },
+}
+
+impl fmt::Display for KnapsackError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KnapsackError::EmptyInstance => write!(f, "instance has no items"),
+            KnapsackError::UnitTooLarge { index } => write!(
+                f,
+                "item {index} has profit or weight above the fixed-point limit"
+            ),
+            KnapsackError::TooManyItems { count } => {
+                write!(f, "instance has {count} items, above the supported maximum")
+            }
+            KnapsackError::ZeroTotalProfit => write!(f, "total profit is zero"),
+            KnapsackError::ZeroTotalWeight => write!(f, "total weight is zero"),
+            KnapsackError::SolverBudgetExceeded { solver, size, max } => write!(
+                f,
+                "{solver} working set {size} exceeds its supported maximum {max}"
+            ),
+            KnapsackError::InvalidEpsilon { value } => {
+                write!(f, "approximation parameter {value} is outside (0, 1]")
+            }
+        }
+    }
+}
+
+impl Error for KnapsackError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            KnapsackError::EmptyInstance,
+            KnapsackError::UnitTooLarge { index: 3 },
+            KnapsackError::TooManyItems { count: 10 },
+            KnapsackError::ZeroTotalProfit,
+            KnapsackError::ZeroTotalWeight,
+            KnapsackError::SolverBudgetExceeded {
+                solver: "dp_by_weight",
+                size: 100,
+                max: 10,
+            },
+            KnapsackError::InvalidEpsilon {
+                value: "0".to_owned(),
+            },
+        ];
+        for err in errors {
+            let text = err.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KnapsackError>();
+    }
+}

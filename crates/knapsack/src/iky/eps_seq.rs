@@ -1,0 +1,325 @@
+//! Equally Partitioning Sequences (Definition 4.3).
+//!
+//! An EPS is a non-increasing sequence of efficiency thresholds
+//! `ẽ_1 ≥ … ≥ ẽ_t` that slices the *small* items into buckets
+//! `A_0, …, A_t` with per-bucket total (normalized) profit in
+//! `[ε, ε + ε²)` (the last bucket in `[0, ε + ε²)`).
+//!
+//! Thresholds are stored as fixed-point efficiency *keys*
+//! (see [`NormalizedInstance::efficiency_key`]); for an integer key `e`,
+//! "exact efficiency ≥ e·2⁻³²" is equivalent to "efficiency key ≥ e", so
+//! bucket membership computed over keys agrees with the exact semantics.
+
+use crate::iky::partition::Partition;
+use crate::rat::Epsilon;
+use crate::{ItemId, KnapsackError, NormalizedInstance, Rat};
+
+/// A non-increasing sequence of efficiency-key thresholds `ẽ_1 ≥ … ≥ ẽ_t`.
+///
+/// Indexing follows the paper's 1-based convention through
+/// [`EpsSequence::threshold`]; raw 0-based access is available through
+/// [`EpsSequence::keys`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpsSequence {
+    keys: Vec<u64>,
+}
+
+impl EpsSequence {
+    /// Creates a sequence, validating that it is non-increasing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KnapsackError::InvalidEpsilon`] if the keys increase at
+    /// any point (the sequence would not define a partition).
+    pub fn new(keys: Vec<u64>) -> Result<Self, KnapsackError> {
+        if keys.windows(2).any(|pair| pair[0] < pair[1]) {
+            return Err(KnapsackError::InvalidEpsilon {
+                value: "efficiency thresholds must be non-increasing".to_owned(),
+            });
+        }
+        Ok(EpsSequence { keys })
+    }
+
+    /// The empty sequence (used when `1 − p(L(Ĩ)) < ε`, Algorithm 2
+    /// line 17).
+    pub fn empty() -> Self {
+        EpsSequence { keys: Vec::new() }
+    }
+
+    /// Number of thresholds `t`.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Returns `true` if there are no thresholds.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The threshold `ẽ_k`, 1-based as in the paper.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0` or `k > t`.
+    pub fn threshold(&self, k: usize) -> u64 {
+        assert!(k >= 1 && k <= self.keys.len(), "threshold index out of range");
+        self.keys[k - 1]
+    }
+
+    /// All thresholds, 0-based (`keys()[i] = ẽ_{i+1}`).
+    pub fn keys(&self) -> &[u64] {
+        &self.keys
+    }
+
+    /// The bucket index of an efficiency key: bucket `0` holds keys
+    /// `≥ ẽ_1`, bucket `k` (for `1 ≤ k ≤ t−1`) holds `ẽ_k > key ≥ ẽ_{k+1}`,
+    /// bucket `t` holds keys `< ẽ_t`. With no thresholds, everything is in
+    /// bucket `0`.
+    pub fn bucket_of_key(&self, key: u64) -> usize {
+        // Number of thresholds strictly greater than `key`; the sequence is
+        // non-increasing, so this is a prefix length.
+        self.keys.partition_point(|&threshold| threshold > key)
+    }
+
+    /// Drops the last threshold (the `t' = t − 1` adjustment of Algorithm 2
+    /// lines 11–12). No-op on an empty sequence.
+    pub fn truncate_last(&mut self) {
+        self.keys.pop();
+    }
+}
+
+impl std::fmt::Display for EpsSequence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "EPS[")?;
+        for (index, key) in self.keys.iter().enumerate() {
+            if index > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{key}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Offline construction of an EPS from full knowledge of the instance:
+/// sort the small items by (tie-broken) efficiency descending and close a
+/// bucket as soon as its profit mass reaches ε *and* the next item has a
+/// strictly smaller key (so the threshold separates cleanly — the
+/// tie-broken order makes clean breaks exist even on all-tied families
+/// like subset-sum).
+///
+/// This is the reference EPS used to validate the Ĩ-construction
+/// (Lemma 4.4, experiment E9); the LCA estimates an EPS by sampling
+/// instead.
+pub fn exact_eps(
+    norm: &NormalizedInstance,
+    eps: Epsilon,
+    partition: &Partition,
+) -> EpsSequence {
+    let mut small: Vec<(ItemId, u64)> = partition
+        .small()
+        .iter()
+        .map(|&id| (id, norm.tie_broken_efficiency_key(id)))
+        .collect();
+    small.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    let total_profit = norm.total_profit() as u128;
+    let eps_num = eps.num() as u128;
+    let eps_den = eps.den() as u128;
+
+    let mut keys = Vec::new();
+    let mut bucket_profit: u128 = 0;
+    for (position, &(id, key)) in small.iter().enumerate() {
+        bucket_profit += norm.item(id).profit as u128;
+        let next_key = small.get(position + 1).map(|&(_, next)| next);
+        // Mass ≥ ε ⇔ bucket_profit / P ≥ num/den ⇔ bucket_profit·den ≥ num·P.
+        let full = bucket_profit * eps_den >= eps_num * total_profit;
+        let clean_break = next_key.map_or(false, |next| next < key);
+        if full && clean_break {
+            keys.push(key);
+            bucket_profit = 0;
+        }
+    }
+    EpsSequence { keys }
+}
+
+/// Profit mass of one EPS bucket, with its bound check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketMass {
+    /// Bucket index (0-based; bucket `t` is the tail).
+    pub index: usize,
+    /// Exact normalized profit mass of the bucket over the small items.
+    pub mass: Rat,
+    /// Whether the mass satisfies Definition 4.3's bound for this bucket.
+    pub within_bounds: bool,
+}
+
+/// Result of verifying Definition 4.3 for a candidate sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpsVerification {
+    /// Per-bucket masses and checks.
+    pub buckets: Vec<BucketMass>,
+    /// `true` iff every bucket satisfies its bound.
+    pub is_eps: bool,
+}
+
+/// Verifies whether `seq` is an EPS with respect to the instance
+/// (Definition 4.3): every bucket of small items has mass in `[ε, ε + ε²)`
+/// except the tail bucket, which may be lighter.
+pub fn verify_eps(
+    norm: &NormalizedInstance,
+    eps: Epsilon,
+    partition: &Partition,
+    seq: &EpsSequence,
+) -> EpsVerification {
+    let bucket_count = seq.len() + 1;
+    let mut masses: Vec<u128> = vec![0; bucket_count];
+    for &id in partition.small() {
+        let bucket = seq.bucket_of_key(norm.tie_broken_efficiency_key(id));
+        masses[bucket] += norm.item(id).profit as u128;
+    }
+    let total = norm.total_profit() as u128;
+    let lower = eps.as_rat();
+    let upper = lower
+        .checked_add(eps.squared())
+        .expect("ε + ε² cannot overflow for ε ≤ 1");
+
+    let mut buckets = Vec::with_capacity(bucket_count);
+    let mut is_eps = true;
+    for (index, &raw) in masses.iter().enumerate() {
+        let mass = Rat::new(raw, total);
+        let is_tail = index == bucket_count - 1;
+        let within_bounds = mass < upper && (is_tail || mass >= lower);
+        is_eps &= within_bounds;
+        buckets.push(BucketMass {
+            index,
+            mass,
+            within_bounds,
+        });
+    }
+    EpsVerification { buckets, is_eps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instance;
+
+    fn norm(pairs: Vec<(u64, u64)>, capacity: u64) -> NormalizedInstance {
+        NormalizedInstance::new(Instance::from_pairs(pairs, capacity).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn sequence_validation() {
+        assert!(EpsSequence::new(vec![5, 5, 3, 1]).is_ok());
+        assert!(EpsSequence::new(vec![3, 5]).is_err());
+        assert!(EpsSequence::new(vec![]).is_ok());
+    }
+
+    #[test]
+    fn threshold_is_one_based() {
+        let seq = EpsSequence::new(vec![9, 7, 2]).unwrap();
+        assert_eq!(seq.threshold(1), 9);
+        assert_eq!(seq.threshold(3), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn threshold_zero_panics() {
+        let seq = EpsSequence::new(vec![9]).unwrap();
+        let _ = seq.threshold(0);
+    }
+
+    #[test]
+    fn bucket_assignment() {
+        let seq = EpsSequence::new(vec![10, 5, 5, 2]).unwrap();
+        assert_eq!(seq.bucket_of_key(12), 0);
+        assert_eq!(seq.bucket_of_key(10), 0);
+        assert_eq!(seq.bucket_of_key(7), 1);
+        // Key equal to a repeated threshold lands after all strictly
+        // greater thresholds.
+        assert_eq!(seq.bucket_of_key(5), 1);
+        assert_eq!(seq.bucket_of_key(3), 3);
+        assert_eq!(seq.bucket_of_key(1), 4);
+    }
+
+    #[test]
+    fn empty_sequence_buckets_everything_to_zero() {
+        let seq = EpsSequence::empty();
+        assert_eq!(seq.bucket_of_key(0), 0);
+        assert_eq!(seq.bucket_of_key(u64::MAX), 0);
+    }
+
+    #[test]
+    fn truncate_last_drops_tail() {
+        let mut seq = EpsSequence::new(vec![9, 4]).unwrap();
+        seq.truncate_last();
+        assert_eq!(seq.keys(), &[9]);
+        let mut empty = EpsSequence::empty();
+        empty.truncate_last();
+        assert!(empty.is_empty());
+    }
+
+    /// A pure-small instance where the exact EPS is easy to predict:
+    /// 100 items of profit 1 with pairwise-distinct weights 1..=100 (hence
+    /// pairwise-distinct efficiencies); ε = 1/10 means each bucket should
+    /// hold exactly 10 items.
+    #[test]
+    fn exact_eps_builds_balanced_buckets() {
+        let pairs: Vec<(u64, u64)> = (1..=100u64).map(|weight| (1, weight)).collect();
+        let norm = norm(pairs, 10_000);
+        let eps = Epsilon::new(1, 10).unwrap();
+        let partition = Partition::compute(&norm, eps);
+        assert!(partition.large().is_empty());
+        let seq = exact_eps(&norm, eps, &partition);
+        assert!(!seq.is_empty());
+        let verification = verify_eps(&norm, eps, &partition, &seq);
+        assert!(
+            verification.is_eps,
+            "exact EPS should verify: {:?}",
+            verification.buckets
+        );
+    }
+
+    /// Subset-sum: every efficiency identical. The raw order admits no
+    /// clean break, but the tie-broken order does — the EPS exists and
+    /// verifies.
+    #[test]
+    fn exact_eps_handles_all_tied_efficiencies() {
+        let pairs: Vec<(u64, u64)> = (1..=100u64).map(|w| (w % 7 + 1, w % 7 + 1)).collect();
+        let norm = norm(pairs, 200);
+        let eps = Epsilon::new(1, 5).unwrap();
+        let partition = Partition::compute(&norm, eps);
+        assert!(partition.large().is_empty());
+        let seq = exact_eps(&norm, eps, &partition);
+        assert!(
+            !seq.is_empty(),
+            "tie-broken order must allow bucket boundaries on subset-sum"
+        );
+        let verification = verify_eps(&norm, eps, &partition, &seq);
+        assert!(
+            verification.is_eps,
+            "subset-sum EPS should verify: {:?}",
+            verification.buckets
+        );
+    }
+
+    #[test]
+    fn verify_rejects_unbalanced_sequence() {
+        let pairs: Vec<(u64, u64)> = (1..=100u64).map(|weight| (1, weight)).collect();
+        let norm = norm(pairs, 10_000);
+        let eps = Epsilon::new(1, 10).unwrap();
+        let partition = Partition::compute(&norm, eps);
+        // A single huge threshold puts everything in the tail bucket —
+        // bucket 0 mass is 0 < ε.
+        let seq = EpsSequence::new(vec![u64::MAX]).unwrap();
+        let verification = verify_eps(&norm, eps, &partition, &seq);
+        assert!(!verification.is_eps);
+    }
+
+    #[test]
+    fn display_formats() {
+        let seq = EpsSequence::new(vec![3, 1]).unwrap();
+        assert_eq!(seq.to_string(), "EPS[3, 1]");
+    }
+}

@@ -1,0 +1,215 @@
+//! The large / small / garbage partition of Section 4:
+//!
+//! * `L(I)` — items with normalized profit `p̂ > ε²`;
+//! * `S(I)` — items with `p̂ ≤ ε²` and efficiency `p̂/ŵ ≥ ε²`;
+//! * `G(I)` — items with `p̂ ≤ ε²` and efficiency `< ε²`.
+//!
+//! All comparisons are exact rationals; the partition is a deterministic
+//! function of the instance and ε.
+
+use crate::rat::Epsilon;
+use crate::{Efficiency, Item, ItemId, NormalizedInstance};
+
+/// The class of an item in the IKY partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ItemClass {
+    /// Normalized profit exceeds ε².
+    Large,
+    /// Profit ≤ ε² but efficiency ≥ ε².
+    Small,
+    /// Profit ≤ ε² and efficiency < ε².
+    Garbage,
+}
+
+impl std::fmt::Display for ItemClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ItemClass::Large => write!(f, "large"),
+            ItemClass::Small => write!(f, "small"),
+            ItemClass::Garbage => write!(f, "garbage"),
+        }
+    }
+}
+
+/// Classifies a single item (exact arithmetic).
+///
+/// Zero-weight positive-profit items have infinite efficiency, hence are
+/// `Small` whenever their profit is ≤ ε². Zero-profit items have
+/// efficiency 0 < ε² and are always `Garbage`.
+///
+/// ```
+/// use lcakp_knapsack::{Instance, Item, NormalizedInstance};
+/// use lcakp_knapsack::iky::{classify_item, Epsilon, ItemClass};
+/// # fn main() -> Result<(), lcakp_knapsack::KnapsackError> {
+/// let instance = Instance::from_pairs([(50, 1), (1, 1), (1, 100)], 10)?;
+/// let norm = NormalizedInstance::new(instance)?;
+/// let eps = Epsilon::new(1, 4)?; // ε² = 1/16; total profit 52.
+/// assert_eq!(classify_item(&norm, eps, Item::new(50, 1)), ItemClass::Large);
+/// assert_eq!(classify_item(&norm, eps, Item::new(1, 1)), ItemClass::Small);
+/// assert_eq!(classify_item(&norm, eps, Item::new(1, 100)), ItemClass::Garbage);
+/// # Ok(())
+/// # }
+/// ```
+pub fn classify_item(norm: &NormalizedInstance, eps: Epsilon, item: Item) -> ItemClass {
+    let eps_sq = eps.squared();
+    if norm.nprofit_of(item.profit) > eps_sq {
+        return ItemClass::Large;
+    }
+    match norm.efficiency_of(item) {
+        Efficiency::Infinite => ItemClass::Small,
+        Efficiency::Finite(eff) => {
+            if eff >= eps_sq {
+                ItemClass::Small
+            } else {
+                ItemClass::Garbage
+            }
+        }
+    }
+}
+
+/// The full partition of an instance into `L(I)`, `S(I)`, `G(I)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    large: Vec<ItemId>,
+    small: Vec<ItemId>,
+    garbage: Vec<ItemId>,
+}
+
+impl Partition {
+    /// Computes the partition by classifying every item.
+    pub fn compute(norm: &NormalizedInstance, eps: Epsilon) -> Self {
+        let mut large = Vec::new();
+        let mut small = Vec::new();
+        let mut garbage = Vec::new();
+        for (id, item) in norm.as_instance().iter() {
+            match classify_item(norm, eps, item) {
+                ItemClass::Large => large.push(id),
+                ItemClass::Small => small.push(id),
+                ItemClass::Garbage => garbage.push(id),
+            }
+        }
+        Partition {
+            large,
+            small,
+            garbage,
+        }
+    }
+
+    /// Ids of large items, in increasing order.
+    pub fn large(&self) -> &[ItemId] {
+        &self.large
+    }
+
+    /// Ids of small items, in increasing order.
+    pub fn small(&self) -> &[ItemId] {
+        &self.small
+    }
+
+    /// Ids of garbage items, in increasing order.
+    pub fn garbage(&self) -> &[ItemId] {
+        &self.garbage
+    }
+
+    /// Total raw profit of the large items.
+    pub fn large_profit(&self, norm: &NormalizedInstance) -> u64 {
+        self.large
+            .iter()
+            .map(|&id| norm.item(id).profit)
+            .sum()
+    }
+
+    /// Total raw profit of the garbage items — bounded by ε² of the total,
+    /// plus the (total-weight / capacity) slack, per the argument in
+    /// Lemma 4.6.
+    pub fn garbage_profit(&self, norm: &NormalizedInstance) -> u64 {
+        self.garbage
+            .iter()
+            .map(|&id| norm.item(id).profit)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Instance;
+
+    fn norm(pairs: &[(u64, u64)], capacity: u64) -> NormalizedInstance {
+        NormalizedInstance::new(Instance::from_pairs(pairs.iter().copied(), capacity).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn partition_is_exhaustive_and_disjoint() {
+        let norm = norm(&[(50, 1), (1, 1), (1, 100), (30, 5), (2, 3)], 10);
+        let eps = Epsilon::new(1, 4).unwrap();
+        let partition = Partition::compute(&norm, eps);
+        let total =
+            partition.large().len() + partition.small().len() + partition.garbage().len();
+        assert_eq!(total, norm.len());
+        let mut all: Vec<ItemId> = partition
+            .large()
+            .iter()
+            .chain(partition.small())
+            .chain(partition.garbage())
+            .copied()
+            .collect();
+        all.sort();
+        all.dedup();
+        assert_eq!(all.len(), norm.len());
+    }
+
+    #[test]
+    fn boundary_profit_is_not_large() {
+        // total profit 16, ε = 1/4 → ε² = 1/16 → raw threshold exactly 1.
+        let norm = norm(&[(1, 1), (15, 15)], 16);
+        let eps = Epsilon::new(1, 4).unwrap();
+        // p̂ = 1/16 = ε² is NOT > ε² → not large; efficiency (1/16)/(1/16) = 1 ≥ ε² → small.
+        assert_eq!(
+            classify_item(&norm, eps, Item::new(1, 1)),
+            ItemClass::Small
+        );
+        assert_eq!(
+            classify_item(&norm, eps, Item::new(15, 15)),
+            ItemClass::Large
+        );
+    }
+
+    #[test]
+    fn zero_profit_items_are_garbage() {
+        let norm = norm(&[(0, 5), (10, 5)], 10);
+        let eps = Epsilon::new(1, 2).unwrap();
+        assert_eq!(
+            classify_item(&norm, eps, Item::new(0, 5)),
+            ItemClass::Garbage
+        );
+    }
+
+    #[test]
+    fn zero_weight_profit_items_are_small_or_large() {
+        let norm = norm(&[(1, 0), (100, 10)], 10);
+        let eps = Epsilon::new(1, 10).unwrap(); // ε² = 1/100; p̂ = 1/101 ≤ ε²
+        assert_eq!(classify_item(&norm, eps, Item::new(1, 0)), ItemClass::Small);
+        let eps = Epsilon::new(1, 2).unwrap();
+        assert_eq!(
+            classify_item(&norm, eps, Item::new(100, 0)),
+            ItemClass::Large
+        );
+    }
+
+    #[test]
+    fn profit_accessors() {
+        let norm = norm(&[(50, 1), (1, 1), (1, 100)], 10);
+        let eps = Epsilon::new(1, 4).unwrap();
+        let partition = Partition::compute(&norm, eps);
+        assert_eq!(partition.large_profit(&norm), 50);
+        assert_eq!(partition.garbage_profit(&norm), 1);
+    }
+
+    #[test]
+    fn display_class() {
+        assert_eq!(ItemClass::Large.to_string(), "large");
+        assert_eq!(ItemClass::Small.to_string(), "small");
+        assert_eq!(ItemClass::Garbage.to_string(), "garbage");
+    }
+}

@@ -1,0 +1,57 @@
+//! Knapsack substrate for the `lca-knapsack` workspace.
+//!
+//! This crate implements everything the paper *relies on* about the Knapsack
+//! problem itself, independent of the local-computation model:
+//!
+//! * the instance model ([`Instance`], [`NormalizedInstance`]) with exact
+//!   fixed-point arithmetic so that efficiency comparisons are total,
+//!   deterministic and free of floating-point inconsistency (Section 4.2 of
+//!   the paper, "mapping to a finite domain");
+//! * exact solvers ([`solvers::dp_by_weight`], [`solvers::dp_by_profit`],
+//!   [`solvers::branch_and_bound`], [`solvers::meet_in_the_middle`],
+//!   [`solvers::brute_force`]) used as ground truth in every experiment;
+//! * the classical approximation algorithms the paper draws on
+//!   ([`solvers::greedy_prefix`], [`solvers::modified_greedy`] — the
+//!   1/2-approximation of [WS11, Exercise 3.1] — and [`solvers::fptas`]);
+//! * the machinery of Ito–Kiyoshima–Yoshida (TAMC 2012) in [`iky`]:
+//!   the large/small/garbage partition, equally partitioning sequences,
+//!   and the reduced instance Ĩ whose optimum (1, 6ε)-approximates OPT(I)
+//!   (Lemma 4.4 of the paper).
+//!
+//! # Example
+//!
+//! ```
+//! use lcakp_knapsack::{Instance, Item};
+//! use lcakp_knapsack::solvers;
+//!
+//! # fn main() -> Result<(), lcakp_knapsack::KnapsackError> {
+//! let instance = Instance::new(
+//!     vec![Item::new(60, 10), Item::new(100, 20), Item::new(120, 30)],
+//!     50,
+//! )?;
+//! let exact = solvers::dp_by_weight(&instance)?;
+//! assert_eq!(exact.value, 220);
+//! let half = solvers::modified_greedy(&instance);
+//! assert!(2 * half.value >= exact.value);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod instance;
+mod item;
+mod rat;
+mod solution;
+
+pub mod iky;
+pub mod preprocess;
+pub mod solvers;
+
+pub use error::KnapsackError;
+pub use instance::{Efficiency, Instance, NormalizedInstance, Norms, MAX_ITEMS, MAX_UNIT};
+pub use item::{Item, ItemId};
+pub use rat::Rat;
+pub use solution::{Selection, SolutionAudit, SolveOutcome};

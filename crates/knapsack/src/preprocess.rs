@@ -1,0 +1,167 @@
+//! Safe instance preprocessing.
+//!
+//! Two value-preserving reductions every Knapsack pipeline wants before
+//! an expensive solve:
+//!
+//! * **oversized items** (`w > K`) can never be chosen — drop them;
+//! * **free items** (`w = 0`, `p > 0`) are in *some* optimal solution —
+//!   force them in and solve the rest.
+//!
+//! (Classic pairwise dominance is deliberately *not* applied: in 0/1
+//! Knapsack both a "dominating" and a "dominated" item can coexist in
+//! the optimum, so removing dominated items is unsound.)
+//!
+//! The reductions are recorded so solutions of the reduced instance lift
+//! exactly back to the original index space.
+
+use crate::{Instance, Item, ItemId, KnapsackError, Selection, SolveOutcome};
+
+/// A reduced instance together with the bookkeeping to lift solutions
+/// back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Preprocessed {
+    /// The reduced instance (may be a single null item if everything was
+    /// removed — [`Instance`] cannot be empty).
+    pub reduced: Instance,
+    /// Items forced into every solution (free items), in original ids.
+    pub forced: Vec<ItemId>,
+    /// Profit contributed by the forced items.
+    pub forced_profit: u64,
+    /// Items removed as unusable (oversized), in original ids.
+    pub removed: Vec<ItemId>,
+    /// `map[j]` = original id of reduced item `j` (`None` for the null
+    /// placeholder inserted when everything was removed).
+    map: Vec<Option<ItemId>>,
+    /// Length of the original instance.
+    original_len: usize,
+}
+
+impl Preprocessed {
+    /// Lifts a selection over the reduced instance to the original index
+    /// space, adding back the forced items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `selection` does not match the reduced instance's size.
+    pub fn lift(&self, selection: &Selection) -> Selection {
+        assert_eq!(selection.len(), self.reduced.len(), "selection size mismatch");
+        let mut lifted = Selection::new(self.original_len);
+        for id in selection.ones() {
+            if let Some(original) = self.map[id.index()] {
+                lifted.insert(original);
+            }
+        }
+        for &id in &self.forced {
+            lifted.insert(id);
+        }
+        lifted
+    }
+
+    /// Lifts a solver outcome, adding the forced profit.
+    pub fn lift_outcome(&self, outcome: &SolveOutcome) -> SolveOutcome {
+        SolveOutcome {
+            value: outcome.value + self.forced_profit,
+            selection: self.lift(&outcome.selection),
+        }
+    }
+}
+
+/// Applies the safe reductions.
+///
+/// # Errors
+///
+/// Propagates [`KnapsackError`] from reconstructing the reduced instance
+/// (cannot occur for inputs that were themselves valid).
+pub fn preprocess(instance: &Instance) -> Result<Preprocessed, KnapsackError> {
+    let mut forced = Vec::new();
+    let mut forced_profit = 0u64;
+    let mut removed = Vec::new();
+    let mut kept_items = Vec::new();
+    let mut map = Vec::new();
+    for (id, item) in instance.iter() {
+        if item.weight > instance.capacity() {
+            removed.push(id);
+        } else if item.weight == 0 && item.profit > 0 {
+            forced.push(id);
+            forced_profit += item.profit;
+        } else {
+            kept_items.push(item);
+            map.push(Some(id));
+        }
+    }
+    if kept_items.is_empty() {
+        // Instance cannot be empty; keep a null placeholder. It maps to
+        // nothing: selecting it (it is weightless and worthless, so
+        // greedy may) must not resurrect a removed original item.
+        kept_items.push(Item::new(0, 0));
+        map.push(None);
+    }
+    Ok(Preprocessed {
+        reduced: Instance::new(kept_items, instance.capacity())?,
+        forced,
+        forced_profit,
+        removed,
+        map,
+        original_len: instance.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::dp_by_weight;
+
+    #[test]
+    fn oversized_and_free_items_are_extracted() {
+        let instance =
+            Instance::from_pairs([(5, 0), (7, 100), (3, 2), (0, 0)], 4).unwrap();
+        let prep = preprocess(&instance).unwrap();
+        assert_eq!(prep.forced, vec![ItemId(0)]);
+        assert_eq!(prep.forced_profit, 5);
+        assert_eq!(prep.removed, vec![ItemId(1)]);
+        assert_eq!(prep.reduced.len(), 2); // items 2 and 3
+    }
+
+    #[test]
+    fn lifted_optimum_equals_direct_optimum() {
+        let instance = Instance::from_pairs(
+            [(5, 0), (7, 100), (3, 2), (9, 3), (4, 2), (2, 0)],
+            4,
+        )
+        .unwrap();
+        let direct = dp_by_weight(&instance).unwrap();
+        let prep = preprocess(&instance).unwrap();
+        let reduced = dp_by_weight(&prep.reduced).unwrap();
+        let lifted = prep.lift_outcome(&reduced);
+        assert_eq!(lifted.value, direct.value);
+        assert_eq!(lifted.selection.value(&instance), lifted.value);
+        assert!(lifted.selection.is_feasible(&instance));
+    }
+
+    #[test]
+    fn all_items_removed_leaves_null_placeholder() {
+        let instance = Instance::from_pairs([(7, 100), (9, 200)], 4).unwrap();
+        let prep = preprocess(&instance).unwrap();
+        assert_eq!(prep.reduced.len(), 1);
+        let reduced = dp_by_weight(&prep.reduced).unwrap();
+        let lifted = prep.lift_outcome(&reduced);
+        assert_eq!(lifted.value, 0);
+    }
+
+    #[test]
+    fn zero_profit_zero_weight_items_are_kept_not_forced() {
+        let instance = Instance::from_pairs([(0, 0), (1, 1)], 1).unwrap();
+        let prep = preprocess(&instance).unwrap();
+        assert!(prep.forced.is_empty());
+        assert_eq!(prep.reduced.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn lift_validates_size() {
+        let instance = Instance::from_pairs([(1, 1), (2, 2)], 3).unwrap();
+        let prep = preprocess(&instance).unwrap();
+        let wrong = Selection::new(99);
+        let _ = prep.lift(&wrong);
+    }
+}

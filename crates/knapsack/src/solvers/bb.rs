@@ -1,0 +1,180 @@
+//! Exact branch-and-bound solver with a fractional-relaxation bound.
+//!
+//! Items are explored in the canonical greedy order; at each node the
+//! upper bound is the value of the fractional relaxation of the remaining
+//! suffix, computed with exact integer arithmetic (rounded *up*, so the
+//! bound is always valid). Nodes are pruned when the bound cannot beat the
+//! incumbent.
+
+use crate::solvers::greedy::{efficiency_order, modified_greedy};
+use crate::{Instance, ItemId, KnapsackError, Selection, SolveOutcome};
+
+/// Maximum number of explored nodes before the solver gives up.
+pub(crate) const MAX_NODES: u64 = 50_000_000;
+
+struct Frame<'a> {
+    instance: &'a Instance,
+    order: &'a [ItemId],
+    best_value: u64,
+    best_selection: Vec<bool>,
+    current: Vec<bool>,
+    nodes: u64,
+}
+
+/// Upper bound: current value plus the fractional optimum of
+/// `order[from..]` under `remaining` capacity, rounded up to an integer.
+fn fractional_bound(
+    instance: &Instance,
+    order: &[ItemId],
+    from: usize,
+    remaining: u64,
+    current_value: u64,
+) -> u64 {
+    let mut bound = current_value as u128;
+    let mut capacity = remaining as u128;
+    for &id in &order[from..] {
+        let item = instance.item(id);
+        if item.weight as u128 <= capacity {
+            capacity -= item.weight as u128;
+            bound += item.profit as u128;
+        } else {
+            if capacity > 0 && item.weight > 0 {
+                // ceil(p · capacity / w) over-approximates the fractional take.
+                bound += (item.profit as u128 * capacity).div_ceil(item.weight as u128);
+            }
+            break;
+        }
+    }
+    u64::try_from(bound).unwrap_or(u64::MAX)
+}
+
+fn dfs(frame: &mut Frame<'_>, depth: usize, remaining: u64, value: u64) -> Result<(), KnapsackError> {
+    frame.nodes += 1;
+    if frame.nodes > MAX_NODES {
+        return Err(KnapsackError::SolverBudgetExceeded {
+            solver: "branch_and_bound",
+            size: frame.nodes as u128,
+            max: MAX_NODES as u128,
+        });
+    }
+    if value > frame.best_value {
+        frame.best_value = value;
+        frame.best_selection.copy_from_slice(&frame.current);
+    }
+    if depth == frame.order.len() {
+        return Ok(());
+    }
+    if fractional_bound(frame.instance, frame.order, depth, remaining, value) <= frame.best_value {
+        return Ok(());
+    }
+    let id = frame.order[depth];
+    let item = frame.instance.item(id);
+    // Branch "take" first: the greedy order makes it likely to be good.
+    if item.weight <= remaining {
+        frame.current[id.index()] = true;
+        dfs(frame, depth + 1, remaining - item.weight, value + item.profit)?;
+        frame.current[id.index()] = false;
+    }
+    dfs(frame, depth + 1, remaining, value)
+}
+
+/// Exact solver via depth-first branch and bound.
+///
+/// # Errors
+///
+/// Returns [`KnapsackError::SolverBudgetExceeded`] if more than the
+/// internal node budget is explored (pathological instances).
+///
+/// ```
+/// use lcakp_knapsack::{Instance, solvers::branch_and_bound};
+/// # fn main() -> Result<(), lcakp_knapsack::KnapsackError> {
+/// let instance = Instance::from_pairs([(60, 10), (100, 20), (120, 30)], 50)?;
+/// assert_eq!(branch_and_bound(&instance)?.value, 220);
+/// # Ok(())
+/// # }
+/// ```
+pub fn branch_and_bound(instance: &Instance) -> Result<SolveOutcome, KnapsackError> {
+    let order: Vec<ItemId> = efficiency_order(instance)
+        .into_iter()
+        .filter(|&id| instance.fits(id))
+        .collect();
+    // Seed the incumbent with the 1/2-approximation: tightens pruning a lot.
+    let seed = modified_greedy(instance);
+    let mut frame = Frame {
+        instance,
+        order: &order,
+        best_value: seed.value,
+        best_selection: (0..instance.len())
+            .map(|index| seed.selection.contains(ItemId(index)))
+            .collect(),
+        current: vec![false; instance.len()],
+        nodes: 0,
+    };
+    dfs(&mut frame, 0, instance.capacity(), 0)?;
+    let mut selection = Selection::new(instance.len());
+    for (index, &taken) in frame.best_selection.iter().enumerate() {
+        if taken {
+            selection.insert(ItemId(index));
+        }
+    }
+    Ok(SolveOutcome {
+        value: frame.best_value,
+        selection,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::dp_by_weight;
+
+    #[test]
+    fn classic_instance() {
+        let instance =
+            Instance::from_pairs([(60, 10), (100, 20), (120, 30)], 50).unwrap();
+        assert_eq!(branch_and_bound(&instance).unwrap().value, 220);
+    }
+
+    #[test]
+    fn agrees_with_dp() {
+        let instance = Instance::from_pairs(
+            [(7, 3), (2, 1), (9, 5), (4, 2), (6, 3), (11, 6), (5, 4)],
+            11,
+        )
+        .unwrap();
+        assert_eq!(
+            branch_and_bound(&instance).unwrap().value,
+            dp_by_weight(&instance).unwrap().value
+        );
+    }
+
+    #[test]
+    fn selection_is_feasible_and_consistent() {
+        let instance =
+            Instance::from_pairs([(3, 2), (5, 4), (6, 5), (8, 7)], 9).unwrap();
+        let outcome = branch_and_bound(&instance).unwrap();
+        assert!(outcome.selection.is_feasible(&instance));
+        assert_eq!(outcome.selection.value(&instance), outcome.value);
+    }
+
+    #[test]
+    fn zero_weight_items() {
+        let instance = Instance::from_pairs([(5, 0), (1, 1)], 0).unwrap();
+        assert_eq!(branch_and_bound(&instance).unwrap().value, 5);
+    }
+
+    #[test]
+    fn all_items_oversized() {
+        let instance = Instance::from_pairs([(5, 10), (7, 20)], 4).unwrap();
+        assert_eq!(branch_and_bound(&instance).unwrap().value, 0);
+    }
+
+    #[test]
+    fn fractional_bound_is_valid_upper_bound() {
+        let instance = Instance::from_pairs([(10, 4), (9, 4), (8, 4)], 8).unwrap();
+        let order = efficiency_order(&instance);
+        let bound = fractional_bound(&instance, &order, 0, 8, 0);
+        let opt = dp_by_weight(&instance).unwrap().value;
+        assert!(bound >= opt);
+    }
+}

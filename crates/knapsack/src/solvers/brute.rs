@@ -1,0 +1,93 @@
+//! Exhaustive solver for tiny instances — the test oracle of last resort.
+
+use crate::{Instance, ItemId, KnapsackError, Selection, SolveOutcome};
+
+/// Largest `n` the brute-force solver accepts (`2^25` subsets).
+pub(crate) const MAX_BRUTE_ITEMS: usize = 25;
+
+/// Exact solver by subset enumeration, `O(2^n · n)`.
+///
+/// # Errors
+///
+/// Returns [`KnapsackError::SolverBudgetExceeded`] when `n > 25`.
+///
+/// ```
+/// use lcakp_knapsack::{Instance, solvers::brute_force};
+/// # fn main() -> Result<(), lcakp_knapsack::KnapsackError> {
+/// let instance = Instance::from_pairs([(2, 1), (3, 2), (4, 3)], 3)?;
+/// assert_eq!(brute_force(&instance)?.value, 5);
+/// # Ok(())
+/// # }
+/// ```
+pub fn brute_force(instance: &Instance) -> Result<SolveOutcome, KnapsackError> {
+    let n = instance.len();
+    if n > MAX_BRUTE_ITEMS {
+        return Err(KnapsackError::SolverBudgetExceeded {
+            solver: "brute_force",
+            size: n as u128,
+            max: MAX_BRUTE_ITEMS as u128,
+        });
+    }
+    let mut best_value = 0u64;
+    let mut best_mask = 0u32;
+    for mask in 0u32..(1u32 << n) {
+        let mut weight = 0u64;
+        let mut value = 0u64;
+        for index in 0..n {
+            if (mask >> index) & 1 == 1 {
+                let item = instance.item(ItemId(index));
+                weight += item.weight;
+                value += item.profit;
+            }
+        }
+        if weight <= instance.capacity() && value > best_value {
+            best_value = value;
+            best_mask = mask;
+        }
+    }
+    let mut selection = Selection::new(n);
+    for index in 0..n {
+        if (best_mask >> index) & 1 == 1 {
+            selection.insert(ItemId(index));
+        }
+    }
+    Ok(SolveOutcome {
+        value: best_value,
+        selection,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::{branch_and_bound, dp_by_weight};
+
+    #[test]
+    fn agrees_with_other_exact_solvers() {
+        let instance = Instance::from_pairs(
+            [(7, 3), (2, 1), (9, 5), (4, 2), (6, 3), (11, 6)],
+            10,
+        )
+        .unwrap();
+        let brute = brute_force(&instance).unwrap().value;
+        assert_eq!(brute, dp_by_weight(&instance).unwrap().value);
+        assert_eq!(brute, branch_and_bound(&instance).unwrap().value);
+    }
+
+    #[test]
+    fn rejects_large_instances() {
+        let items = vec![crate::Item::new(1, 1); 26];
+        let instance = Instance::new(items, 5).unwrap();
+        assert!(matches!(
+            brute_force(&instance),
+            Err(KnapsackError::SolverBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_capacity_selects_zero_weight_only() {
+        let instance = Instance::from_pairs([(4, 0), (9, 3)], 0).unwrap();
+        let outcome = brute_force(&instance).unwrap();
+        assert_eq!(outcome.value, 4);
+    }
+}

@@ -1,0 +1,239 @@
+//! Exact dynamic programs for 0/1 Knapsack.
+//!
+//! Two classical formulations:
+//!
+//! * [`dp_by_weight`] — `O(n·K)` time, states indexed by capacity; the
+//!   standard pseudo-polynomial algorithm.
+//! * [`dp_by_profit`] — `O(n·P)` time, states indexed by profit, computing
+//!   the minimum weight achieving each profit; this is the DP underlying
+//!   the FPTAS ([WS11, Section 3.2]).
+//!
+//! Both reconstruct an optimal selection via a per-(item, state) take-bit
+//! matrix stored as a packed bitvec.
+
+use crate::{Instance, ItemId, KnapsackError, Selection, SolveOutcome};
+
+/// Maximum number of DP cells either dynamic program will allocate
+/// (`n · (K+1)` or `n · (P+1)`). One bit per cell → 64 MiB at the limit.
+pub(crate) const MAX_DP_CELLS: u128 = 1 << 29;
+
+struct TakeBits {
+    bits: Vec<u64>,
+    stride: usize,
+}
+
+impl TakeBits {
+    fn new(rows: usize, stride: usize) -> Self {
+        TakeBits {
+            bits: vec![0; (rows * stride).div_ceil(64)],
+            stride,
+        }
+    }
+
+    #[inline]
+    fn set(&mut self, row: usize, col: usize) {
+        let bit = row * self.stride + col;
+        self.bits[bit / 64] |= 1u64 << (bit % 64);
+    }
+
+    #[inline]
+    fn get(&self, row: usize, col: usize) -> bool {
+        let bit = row * self.stride + col;
+        (self.bits[bit / 64] >> (bit % 64)) & 1 == 1
+    }
+}
+
+/// Exact solver, `O(n·K)` time and `n·K` bits of traceback memory.
+///
+/// # Errors
+///
+/// Returns [`KnapsackError::SolverBudgetExceeded`] when `n·(K+1)` exceeds
+/// the internal cell budget.
+///
+/// ```
+/// use lcakp_knapsack::{Instance, solvers::dp_by_weight};
+/// # fn main() -> Result<(), lcakp_knapsack::KnapsackError> {
+/// let instance = Instance::from_pairs([(60, 10), (100, 20), (120, 30)], 50)?;
+/// let outcome = dp_by_weight(&instance)?;
+/// assert_eq!(outcome.value, 220);
+/// assert!(outcome.selection.is_feasible(&instance));
+/// # Ok(())
+/// # }
+/// ```
+pub fn dp_by_weight(instance: &Instance) -> Result<SolveOutcome, KnapsackError> {
+    let n = instance.len();
+    let capacity = instance.capacity();
+    let cells = n as u128 * (capacity as u128 + 1);
+    if cells > MAX_DP_CELLS {
+        return Err(KnapsackError::SolverBudgetExceeded {
+            solver: "dp_by_weight",
+            size: cells,
+            max: MAX_DP_CELLS,
+        });
+    }
+    let stride = capacity as usize + 1;
+    let mut best = vec![0u64; stride];
+    let mut take = TakeBits::new(n, stride);
+
+    for (row, (_, item)) in instance.iter().enumerate() {
+        if item.weight > capacity {
+            continue;
+        }
+        let weight = item.weight as usize;
+        // Iterate capacities downward so each item is used at most once.
+        for cap in (weight..stride).rev() {
+            let candidate = best[cap - weight] + item.profit;
+            if candidate > best[cap] {
+                best[cap] = candidate;
+                take.set(row, cap);
+            }
+        }
+    }
+
+    // Traceback.
+    let mut selection = Selection::new(n);
+    let mut cap = capacity as usize;
+    for row in (0..n).rev() {
+        if take.get(row, cap) {
+            selection.insert(ItemId(row));
+            cap -= instance.item(ItemId(row)).weight as usize;
+        }
+    }
+    let value = best[capacity as usize];
+    debug_assert_eq!(selection.value(instance), value);
+    Ok(SolveOutcome { value, selection })
+}
+
+/// Exact solver, `O(n·P)` time where `P` is the total profit: computes the
+/// minimum weight achieving each profit level, then returns the largest
+/// profit achievable within the capacity.
+///
+/// # Errors
+///
+/// Returns [`KnapsackError::SolverBudgetExceeded`] when `n·(P+1)` exceeds
+/// the internal cell budget.
+pub fn dp_by_profit(instance: &Instance) -> Result<SolveOutcome, KnapsackError> {
+    let n = instance.len();
+    let total_profit = instance.total_profit();
+    let cells = n as u128 * (total_profit as u128 + 1);
+    if cells > MAX_DP_CELLS {
+        return Err(KnapsackError::SolverBudgetExceeded {
+            solver: "dp_by_profit",
+            size: cells,
+            max: MAX_DP_CELLS,
+        });
+    }
+    let stride = total_profit as usize + 1;
+    const INF: u64 = u64::MAX;
+    let mut min_weight = vec![INF; stride];
+    min_weight[0] = 0;
+    let mut take = TakeBits::new(n, stride);
+
+    for (row, (_, item)) in instance.iter().enumerate() {
+        if item.weight > instance.capacity() {
+            continue;
+        }
+        let profit = item.profit as usize;
+        if profit == 0 && item.weight == 0 {
+            // Null items never improve any state.
+            continue;
+        }
+        for level in (profit..stride).rev() {
+            let below = min_weight[level - profit];
+            if below == INF {
+                continue;
+            }
+            let candidate = below + item.weight;
+            if candidate < min_weight[level] {
+                min_weight[level] = candidate;
+                take.set(row, level);
+            }
+        }
+    }
+
+    let best_profit = (0..stride)
+        .rev()
+        .find(|&level| min_weight[level] <= instance.capacity())
+        .unwrap_or(0);
+
+    let mut selection = Selection::new(n);
+    let mut level = best_profit;
+    for row in (0..n).rev() {
+        if level > 0 && take.get(row, level) {
+            selection.insert(ItemId(row));
+            level -= instance.item(ItemId(row)).profit as usize;
+        }
+    }
+    let value = best_profit as u64;
+    debug_assert_eq!(selection.value(instance), value);
+    debug_assert!(selection.is_feasible(instance));
+    Ok(SolveOutcome { value, selection })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_instance() {
+        let instance =
+            Instance::from_pairs([(60, 10), (100, 20), (120, 30)], 50).unwrap();
+        assert_eq!(dp_by_weight(&instance).unwrap().value, 220);
+        assert_eq!(dp_by_profit(&instance).unwrap().value, 220);
+    }
+
+    #[test]
+    fn zero_capacity() {
+        let instance = Instance::from_pairs([(5, 1), (7, 2)], 0).unwrap();
+        assert_eq!(dp_by_weight(&instance).unwrap().value, 0);
+        assert_eq!(dp_by_profit(&instance).unwrap().value, 0);
+    }
+
+    #[test]
+    fn zero_weight_items_always_taken() {
+        let instance = Instance::from_pairs([(5, 0), (7, 0), (3, 1)], 0).unwrap();
+        let outcome = dp_by_weight(&instance).unwrap();
+        assert_eq!(outcome.value, 12);
+        assert_eq!(dp_by_profit(&instance).unwrap().value, 12);
+    }
+
+    #[test]
+    fn oversized_items_ignored() {
+        let instance = Instance::from_pairs([(100, 99), (1, 1)], 5).unwrap();
+        assert_eq!(dp_by_weight(&instance).unwrap().value, 1);
+        assert_eq!(dp_by_profit(&instance).unwrap().value, 1);
+    }
+
+    #[test]
+    fn traceback_selection_matches_value() {
+        let instance =
+            Instance::from_pairs([(7, 3), (2, 1), (9, 5), (4, 2), (6, 3)], 7).unwrap();
+        for outcome in [
+            dp_by_weight(&instance).unwrap(),
+            dp_by_profit(&instance).unwrap(),
+        ] {
+            assert_eq!(outcome.selection.value(&instance), outcome.value);
+            assert!(outcome.selection.is_feasible(&instance));
+        }
+    }
+
+    #[test]
+    fn budget_guard_triggers() {
+        let items = vec![crate::Item::new(1, 1); 1024];
+        let instance = Instance::new(items, u64::MAX >> 20).unwrap();
+        assert!(matches!(
+            dp_by_weight(&instance),
+            Err(KnapsackError::SolverBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn both_dps_agree_on_small_instances() {
+        let instance =
+            Instance::from_pairs([(3, 2), (5, 4), (6, 5), (8, 7), (1, 1)], 9).unwrap();
+        assert_eq!(
+            dp_by_weight(&instance).unwrap().value,
+            dp_by_profit(&instance).unwrap().value
+        );
+    }
+}

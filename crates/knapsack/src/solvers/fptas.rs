@@ -1,0 +1,130 @@
+//! The classical FPTAS for Knapsack by profit rounding
+//! ([WS11, Section 3.2]), which the paper cites (footnote 5) as the
+//! standard alternative to the bit-complexity argument for bounding the
+//! efficiency domain.
+
+use crate::iky::Epsilon;
+use crate::solvers::dp::dp_by_profit;
+use crate::{Instance, Item, KnapsackError, SolveOutcome};
+
+/// `(1 − ε)`-approximate solver in time polynomial in `n` and `1/ε`.
+///
+/// Profits are rounded down to multiples of `μ = ε · p_max / n` (where
+/// `p_max` is the largest profit of an item that fits), the rounded
+/// instance is solved exactly by the profit-indexed DP, and the resulting
+/// *selection* is returned with its value measured on the original
+/// instance. Standard analysis gives `value ≥ (1 − ε) · OPT`.
+///
+/// # Errors
+///
+/// * [`KnapsackError::SolverBudgetExceeded`] if the rounded DP exceeds its
+///   cell budget (only for extreme `n / ε` combinations);
+/// * propagated construction errors (cannot occur for valid inputs since
+///   rounding only shrinks profits).
+///
+/// ```
+/// use lcakp_knapsack::{Instance, iky::Epsilon, solvers::fptas};
+/// # fn main() -> Result<(), lcakp_knapsack::KnapsackError> {
+/// let instance = Instance::from_pairs([(60, 10), (100, 20), (120, 30)], 50)?;
+/// let eps = Epsilon::new(1, 10)?;
+/// let outcome = fptas(&instance, eps)?;
+/// assert!(outcome.value as f64 >= 0.9 * 220.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn fptas(instance: &Instance, eps: Epsilon) -> Result<SolveOutcome, KnapsackError> {
+    let p_max = instance
+        .iter()
+        .filter(|&(id, _)| instance.fits(id))
+        .map(|(_, item)| item.profit)
+        .max()
+        .unwrap_or(0);
+    if p_max == 0 {
+        return Ok(SolveOutcome::empty(instance));
+    }
+    // μ = ε · p_max / n; rounded profit = ⌊p / μ⌋ = ⌊p · n · den / (num · p_max)⌋.
+    let n = instance.len() as u128;
+    let scale_num = n * eps.den() as u128;
+    let scale_den = eps.num() as u128 * p_max as u128;
+    let rounded: Vec<Item> = instance
+        .items()
+        .iter()
+        .map(|item| {
+            let scaled = (item.profit as u128 * scale_num) / scale_den;
+            // Rounded profits are ≤ n/ε each; they exceed MAX_UNIT only for
+            // extreme n/ε, in which case we cap (the DP budget guard will
+            // reject those runs anyway).
+            Item::new(u64::try_from(scaled).unwrap_or(u64::MAX).min(crate::MAX_UNIT), item.weight)
+        })
+        .collect();
+    let rounded_instance = Instance::new(rounded, instance.capacity())?;
+    let solved = dp_by_profit(&rounded_instance)?;
+    // Re-measure the chosen selection on the original profits.
+    let value = solved.selection.value(instance);
+    Ok(SolveOutcome {
+        value,
+        selection: solved.selection,
+    })
+}
+
+/// Convenience: runs the FPTAS and audits the outcome against the exact
+/// optimum computed by the caller.
+pub fn fptas_ratio(instance: &Instance, eps: Epsilon, optimum: u64) -> Result<f64, KnapsackError> {
+    let outcome = fptas(instance, eps)?;
+    if optimum == 0 {
+        return Ok(1.0);
+    }
+    Ok(outcome.value as f64 / optimum as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::dp_by_weight;
+
+    #[test]
+    fn achieves_one_minus_eps() {
+        let instance = Instance::from_pairs(
+            [(60, 10), (100, 20), (120, 30), (45, 15), (30, 5)],
+            50,
+        )
+        .unwrap();
+        let optimum = dp_by_weight(&instance).unwrap().value;
+        for (num, den) in [(1u64, 2u64), (1, 4), (1, 10)] {
+            let eps = Epsilon::new(num, den).unwrap();
+            let outcome = fptas(&instance, eps).unwrap();
+            assert!(outcome.selection.is_feasible(&instance));
+            let threshold = (1.0 - eps.as_f64()) * optimum as f64;
+            assert!(
+                outcome.value as f64 >= threshold,
+                "FPTAS value {} below (1-ε)·OPT = {threshold}",
+                outcome.value
+            );
+        }
+    }
+
+    #[test]
+    fn all_zero_profit() {
+        let instance = Instance::from_pairs([(0, 1), (0, 2)], 3).unwrap();
+        let eps = Epsilon::new(1, 4).unwrap();
+        assert_eq!(fptas(&instance, eps).unwrap().value, 0);
+    }
+
+    #[test]
+    fn oversized_items_do_not_drive_the_scale() {
+        // p_max must come from items that fit, otherwise rounding can
+        // flatten every feasible profit to zero.
+        let instance = Instance::from_pairs([(1000, 500), (10, 1), (9, 1)], 2).unwrap();
+        let eps = Epsilon::new(1, 2).unwrap();
+        let outcome = fptas(&instance, eps).unwrap();
+        assert!(outcome.value >= 10);
+    }
+
+    #[test]
+    fn ratio_helper() {
+        let instance = Instance::from_pairs([(10, 1)], 1).unwrap();
+        let eps = Epsilon::new(1, 2).unwrap();
+        let ratio = fptas_ratio(&instance, eps, 10).unwrap();
+        assert!(ratio >= 0.5 && ratio <= 1.0);
+    }
+}

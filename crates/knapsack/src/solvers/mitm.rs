@@ -1,0 +1,177 @@
+//! Meet-in-the-middle exact solver: `O(2^{n/2} · n)`.
+//!
+//! Splits the items into two halves, enumerates all subsets of each half,
+//! prunes the second half to its Pareto frontier (non-decreasing weight,
+//! strictly increasing value), and matches each first-half subset with the
+//! best compatible second-half subset by binary search.
+
+use crate::{Instance, ItemId, KnapsackError, Selection, SolveOutcome};
+
+/// Largest `n` the meet-in-the-middle solver accepts.
+pub(crate) const MAX_MITM_ITEMS: usize = 40;
+
+#[derive(Clone, Copy)]
+struct HalfSubset {
+    weight: u64,
+    value: u64,
+    mask: u32,
+}
+
+fn enumerate_half(instance: &Instance, offset: usize, count: usize) -> Vec<HalfSubset> {
+    let mut subsets = Vec::with_capacity(1usize << count);
+    for mask in 0u32..(1u32 << count) {
+        let mut weight = 0u64;
+        let mut value = 0u64;
+        for bit in 0..count {
+            if (mask >> bit) & 1 == 1 {
+                let item = instance.item(ItemId(offset + bit));
+                weight += item.weight;
+                value += item.profit;
+            }
+        }
+        subsets.push(HalfSubset { weight, value, mask });
+    }
+    subsets
+}
+
+/// Sorts by weight and keeps only the Pareto-optimal prefix (each kept
+/// entry strictly improves the value).
+fn pareto(mut subsets: Vec<HalfSubset>) -> Vec<HalfSubset> {
+    subsets.sort_by(|a, b| a.weight.cmp(&b.weight).then(b.value.cmp(&a.value)));
+    let mut frontier: Vec<HalfSubset> = Vec::with_capacity(subsets.len());
+    for subset in subsets {
+        match frontier.last() {
+            Some(last) if subset.value <= last.value => {}
+            _ => frontier.push(subset),
+        }
+    }
+    frontier
+}
+
+/// Exact solver by meet-in-the-middle.
+///
+/// # Errors
+///
+/// Returns [`KnapsackError::SolverBudgetExceeded`] when `n > 40`.
+///
+/// ```
+/// use lcakp_knapsack::{Instance, solvers::meet_in_the_middle};
+/// # fn main() -> Result<(), lcakp_knapsack::KnapsackError> {
+/// let instance = Instance::from_pairs([(2, 1), (3, 2), (4, 3), (5, 4)], 6)?;
+/// assert_eq!(meet_in_the_middle(&instance)?.value, 9);
+/// # Ok(())
+/// # }
+/// ```
+pub fn meet_in_the_middle(instance: &Instance) -> Result<SolveOutcome, KnapsackError> {
+    let n = instance.len();
+    if n > MAX_MITM_ITEMS {
+        return Err(KnapsackError::SolverBudgetExceeded {
+            solver: "meet_in_the_middle",
+            size: n as u128,
+            max: MAX_MITM_ITEMS as u128,
+        });
+    }
+    let first_count = n / 2;
+    let second_count = n - first_count;
+    let first = enumerate_half(instance, 0, first_count);
+    let second = pareto(enumerate_half(instance, first_count, second_count));
+
+    let mut best_value = 0u64;
+    let mut best_masks = (0u32, 0u32);
+    for subset in &first {
+        if subset.weight > instance.capacity() {
+            continue;
+        }
+        let budget = instance.capacity() - subset.weight;
+        // Largest frontier entry with weight ≤ budget.
+        let position = second.partition_point(|entry| entry.weight <= budget);
+        if position == 0 {
+            continue;
+        }
+        let partner = second[position - 1];
+        let total = subset.value + partner.value;
+        if total > best_value {
+            best_value = total;
+            best_masks = (subset.mask, partner.mask);
+        }
+    }
+
+    let mut selection = Selection::new(n);
+    for bit in 0..first_count {
+        if (best_masks.0 >> bit) & 1 == 1 {
+            selection.insert(ItemId(bit));
+        }
+    }
+    for bit in 0..second_count {
+        if (best_masks.1 >> bit) & 1 == 1 {
+            selection.insert(ItemId(first_count + bit));
+        }
+    }
+    debug_assert!(selection.is_feasible(instance));
+    Ok(SolveOutcome {
+        value: best_value,
+        selection,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solvers::{brute_force, dp_by_weight};
+
+    #[test]
+    fn agrees_with_brute_force() {
+        let instance = Instance::from_pairs(
+            [(7, 3), (2, 1), (9, 5), (4, 2), (6, 3), (11, 6), (5, 4), (8, 5)],
+            12,
+        )
+        .unwrap();
+        assert_eq!(
+            meet_in_the_middle(&instance).unwrap().value,
+            brute_force(&instance).unwrap().value
+        );
+    }
+
+    #[test]
+    fn agrees_with_dp_on_larger_instance() {
+        let pairs: Vec<(u64, u64)> = (0..30)
+            .map(|index: u64| ((index * 7919) % 97 + 1, (index * 104729) % 53 + 1))
+            .collect();
+        let instance = Instance::from_pairs(pairs, 200).unwrap();
+        assert_eq!(
+            meet_in_the_middle(&instance).unwrap().value,
+            dp_by_weight(&instance).unwrap().value
+        );
+    }
+
+    #[test]
+    fn rejects_oversized_instances() {
+        let items = vec![crate::Item::new(1, 1); 41];
+        let instance = Instance::new(items, 5).unwrap();
+        assert!(matches!(
+            meet_in_the_middle(&instance),
+            Err(KnapsackError::SolverBudgetExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn pareto_frontier_is_monotone() {
+        let subsets = vec![
+            HalfSubset { weight: 3, value: 5, mask: 1 },
+            HalfSubset { weight: 1, value: 2, mask: 2 },
+            HalfSubset { weight: 2, value: 2, mask: 3 },
+            HalfSubset { weight: 3, value: 9, mask: 4 },
+        ];
+        let frontier = pareto(subsets);
+        assert!(frontier.windows(2).all(|pair| {
+            pair[0].weight <= pair[1].weight && pair[0].value < pair[1].value
+        }));
+        assert_eq!(frontier.last().unwrap().value, 9);
+    }
+
+    #[test]
+    fn single_item_instance() {
+        let instance = Instance::from_pairs([(5, 3)], 3).unwrap();
+        assert_eq!(meet_in_the_middle(&instance).unwrap().value, 5);
+    }
+}

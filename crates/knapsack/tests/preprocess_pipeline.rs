@@ -1,0 +1,71 @@
+//! Property tests: preprocessing never changes the optimum, for every
+//! solver that accepts the instance.
+
+use lcakp_knapsack::preprocess::preprocess;
+use lcakp_knapsack::solvers::{branch_and_bound, dp_by_weight, modified_greedy};
+use lcakp_knapsack::Instance;
+use proptest::prelude::*;
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (
+        proptest::collection::vec((0u64..300, 0u64..200), 1..30),
+        0u64..250,
+    )
+        .prop_map(|(pairs, capacity)| Instance::from_pairs(pairs, capacity).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Optimum is invariant under preprocessing, and the lifted solution
+    /// is valid in the original space.
+    #[test]
+    fn preprocessing_preserves_the_optimum(instance in arb_instance()) {
+        let direct = dp_by_weight(&instance).unwrap();
+        let prep = preprocess(&instance).unwrap();
+        let reduced = dp_by_weight(&prep.reduced).unwrap();
+        let lifted = prep.lift_outcome(&reduced);
+        prop_assert_eq!(lifted.value, direct.value);
+        prop_assert!(lifted.selection.is_feasible(&instance));
+        prop_assert_eq!(lifted.selection.value(&instance), lifted.value);
+    }
+
+    /// The same holds through branch and bound.
+    #[test]
+    fn preprocessing_with_branch_and_bound(instance in arb_instance()) {
+        let direct = branch_and_bound(&instance).unwrap();
+        let prep = preprocess(&instance).unwrap();
+        let reduced = branch_and_bound(&prep.reduced).unwrap();
+        prop_assert_eq!(prep.lift_outcome(&reduced).value, direct.value);
+    }
+
+    /// Preprocessing never *hurts* a heuristic either: modified greedy on
+    /// the reduced instance plus forced items is still feasible and at
+    /// least as good as greedy's half-guarantee.
+    #[test]
+    fn preprocessing_composes_with_greedy(instance in arb_instance()) {
+        let optimum = dp_by_weight(&instance).unwrap().value;
+        let prep = preprocess(&instance).unwrap();
+        let greedy = modified_greedy(&prep.reduced);
+        let lifted = prep.lift_outcome(&greedy);
+        prop_assert!(lifted.selection.is_feasible(&instance));
+        prop_assert!(2 * lifted.value >= optimum,
+            "lifted greedy {} vs OPT {optimum}", lifted.value);
+    }
+
+    /// Bookkeeping invariants: forced + removed + kept = original
+    /// (modulo the null placeholder when everything is removed).
+    #[test]
+    fn preprocessing_partitions_items(instance in arb_instance()) {
+        let prep = preprocess(&instance).unwrap();
+        let accounted = prep.forced.len() + prep.removed.len() + prep.reduced.len();
+        prop_assert!(accounted == instance.len() || accounted == instance.len() + 1);
+        for &id in &prep.forced {
+            let item = instance.item(id);
+            prop_assert!(item.weight == 0 && item.profit > 0);
+        }
+        for &id in &prep.removed {
+            prop_assert!(instance.item(id).weight > instance.capacity());
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property-based tests of the Knapsack substrate's core invariants.
+
+use lcakp_knapsack::iky::{classify_item, exact_eps, Epsilon, ItemClass, Partition};
+use lcakp_knapsack::solvers::{
+    brute_force, cmp_efficiency_desc, dp_by_weight, efficiency_order, greedy_prefix, greedy_skip,
+    modified_greedy,
+};
+use lcakp_knapsack::{Instance, Item, ItemId, NormalizedInstance, Rat, Selection};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+fn arb_item() -> impl Strategy<Value = Item> {
+    (0u64..500, 0u64..300).prop_map(|(profit, weight)| Item::new(profit, weight))
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (proptest::collection::vec(arb_item(), 1..24), 0u64..600)
+        .prop_map(|(items, capacity)| Instance::new(items, capacity).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The canonical efficiency order is a total order: antisymmetric and
+    /// transitive on sampled triples.
+    #[test]
+    fn efficiency_comparator_is_consistent(a in arb_item(), b in arb_item(), c in arb_item()) {
+        // Antisymmetry.
+        let ab = cmp_efficiency_desc(a, b);
+        let ba = cmp_efficiency_desc(b, a);
+        prop_assert_eq!(ab, ba.reverse());
+        // Transitivity of ≤.
+        if cmp_efficiency_desc(a, b) != Ordering::Greater
+            && cmp_efficiency_desc(b, c) != Ordering::Greater
+        {
+            prop_assert_ne!(cmp_efficiency_desc(a, c), Ordering::Greater);
+        }
+    }
+
+    /// `efficiency_order` sorts consistently with the exact rational
+    /// efficiencies of the normalized instance.
+    #[test]
+    fn order_matches_exact_efficiencies(instance in arb_instance()) {
+        prop_assume!(instance.total_profit() > 0 && instance.total_weight() > 0);
+        let norm = NormalizedInstance::new(instance.clone()).unwrap();
+        let order = efficiency_order(&instance);
+        for pair in order.windows(2) {
+            let first = norm.efficiency(pair[0]);
+            let second = norm.efficiency(pair[1]);
+            prop_assert!(first >= second,
+                "order violated: {:?} then {:?}", first, second);
+        }
+    }
+
+    /// Greedy outputs are feasible, and skip-greedy dominates prefix.
+    #[test]
+    fn greedy_invariants(instance in arb_instance()) {
+        let prefix = greedy_prefix(&instance);
+        let skip = greedy_skip(&instance);
+        prop_assert!(prefix.outcome.selection.is_feasible(&instance));
+        prop_assert!(skip.selection.is_feasible(&instance));
+        prop_assert!(skip.value >= prefix.outcome.value);
+        if let Some(cutoff) = prefix.cutoff {
+            // The cut-off item genuinely did not fit after the prefix.
+            let weight = prefix.outcome.selection.weight(&instance);
+            prop_assert!(weight + instance.item(cutoff).weight > instance.capacity());
+        }
+    }
+
+    /// Modified greedy never loses more than half, verified against
+    /// brute force.
+    #[test]
+    fn modified_greedy_vs_brute(instance in arb_instance()) {
+        let optimum = brute_force(&instance).unwrap().value;
+        prop_assert!(2 * modified_greedy(&instance).value >= optimum);
+    }
+
+    /// DP's selection re-measures to its claimed value and is feasible.
+    #[test]
+    fn dp_traceback_is_sound(instance in arb_instance()) {
+        let outcome = dp_by_weight(&instance).unwrap();
+        prop_assert_eq!(outcome.selection.value(&instance), outcome.value);
+        prop_assert!(outcome.selection.is_feasible(&instance));
+    }
+
+    /// The partition is a function of the class thresholds: large ⇔
+    /// normalized profit > ε²; garbage ⇒ efficiency < ε².
+    #[test]
+    fn partition_thresholds(instance in arb_instance()) {
+        prop_assume!(instance.total_profit() > 0 && instance.total_weight() > 0);
+        let norm = NormalizedInstance::new(instance).unwrap();
+        let eps = Epsilon::new(1, 3).unwrap();
+        let eps_sq = eps.squared();
+        let partition = Partition::compute(&norm, eps);
+        for &id in partition.large() {
+            prop_assert!(norm.nprofit(id) > eps_sq);
+        }
+        for &id in partition.small() {
+            prop_assert!(norm.nprofit(id) <= eps_sq);
+        }
+        for &id in partition.garbage() {
+            let item = norm.item(id);
+            prop_assert_eq!(classify_item(&norm, eps, item), ItemClass::Garbage);
+        }
+    }
+
+    /// The exact EPS is non-increasing and buckets every small item.
+    #[test]
+    fn exact_eps_is_monotone(instance in arb_instance()) {
+        prop_assume!(instance.total_profit() > 0 && instance.total_weight() > 0);
+        let norm = NormalizedInstance::new(instance).unwrap();
+        let eps = Epsilon::new(1, 4).unwrap();
+        let partition = Partition::compute(&norm, eps);
+        let seq = exact_eps(&norm, eps, &partition);
+        let keys = seq.keys();
+        prop_assert!(keys.windows(2).all(|pair| pair[0] >= pair[1]));
+        for &id in partition.small() {
+            let bucket = seq.bucket_of_key(norm.efficiency_key(id));
+            prop_assert!(bucket <= seq.len());
+        }
+    }
+
+    /// Selection set algebra: insert/remove round-trips and counting.
+    #[test]
+    fn selection_roundtrip(indices in proptest::collection::btree_set(0usize..200, 0..50)) {
+        let mut selection = Selection::new(200);
+        for &index in &indices {
+            selection.insert(ItemId(index));
+        }
+        prop_assert_eq!(selection.count(), indices.len());
+        let ones: Vec<usize> = selection.ones().map(ItemId::index).collect();
+        let expected: Vec<usize> = indices.iter().copied().collect();
+        prop_assert_eq!(ones, expected);
+        for &index in &indices {
+            selection.remove(ItemId(index));
+        }
+        prop_assert_eq!(selection.count(), 0);
+    }
+
+    /// Rat is a total order consistent with cross multiplication.
+    #[test]
+    fn rat_order_is_exact(a in 0u128..1_000_000, b in 1u128..1_000_000,
+                          c in 0u128..1_000_000, d in 1u128..1_000_000) {
+        let left = Rat::new(a, b);
+        let right = Rat::new(c, d);
+        let expected = (a * d).cmp(&(c * b));
+        prop_assert_eq!(left.cmp(&right), expected);
+    }
+}

@@ -1,0 +1,228 @@
+//! The α-approximation variant of the reduction (Theorem 3.3).
+//!
+//! Identical to the Theorem 3.2 construction, except the special item's
+//! profit is `β` for an arbitrary `0 < β < α`: when `OR(x) = 0` the
+//! singleton `{s_n}` is the *unique* α-approximate solution, and when
+//! `OR(x) = 1` it is not α-approximate at all (`β < α·1`). The same
+//! single LCA query therefore still computes `OR(x)` — the impossibility
+//! survives *every* finite approximation ratio.
+
+use crate::SuccessRate;
+use lcakp_knapsack::{Item, ItemId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The ratio pair (α, β) with `0 < β < α ≤ 1`, as exact rationals over a
+/// common denominator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RatioPair {
+    /// Numerator of α.
+    pub alpha_num: u64,
+    /// Numerator of β (< `alpha_num`).
+    pub beta_num: u64,
+    /// Common denominator.
+    pub den: u64,
+}
+
+impl RatioPair {
+    /// Creates the pair, validating `0 < β < α ≤ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the ordering constraint is violated.
+    pub fn new(alpha_num: u64, beta_num: u64, den: u64) -> Self {
+        assert!(
+            beta_num > 0 && beta_num < alpha_num && alpha_num <= den && den > 0,
+            "need 0 < β < α ≤ 1"
+        );
+        RatioPair {
+            alpha_num,
+            beta_num,
+            den,
+        }
+    }
+
+    /// α as `f64` (reporting only).
+    pub fn alpha(&self) -> f64 {
+        self.alpha_num as f64 / self.den as f64
+    }
+
+    /// β as `f64` (reporting only).
+    pub fn beta(&self) -> f64 {
+        self.beta_num as f64 / self.den as f64
+    }
+}
+
+/// The instance `I(x)` of Theorem 3.3: bit items have profit `den`
+/// (representing 1), the special item has profit `beta_num`
+/// (representing β); all weights equal the capacity.
+#[derive(Debug)]
+pub struct ApproxReduction {
+    bits: Vec<bool>,
+    ratios: RatioPair,
+    bit_queries: AtomicU64,
+}
+
+impl ApproxReduction {
+    /// Builds `I(x)`.
+    pub fn new(bits: Vec<bool>, ratios: RatioPair) -> Self {
+        ApproxReduction {
+            bits,
+            ratios,
+            bit_queries: AtomicU64::new(0),
+        }
+    }
+
+    /// Draws from the hard input distribution (as in Theorem 3.2).
+    pub fn hard_input<R: Rng + ?Sized>(rng: &mut R, n: usize, ratios: RatioPair) -> Self {
+        let mut bits = vec![false; n - 1];
+        if rng.gen_bool(0.5) {
+            bits[rng.gen_range(0..n - 1)] = true;
+        }
+        ApproxReduction::new(bits, ratios)
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.bits.len() + 1
+    }
+
+    /// Returns `false`; instances always have the special item.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The special item's id.
+    pub fn special_id(&self) -> ItemId {
+        ItemId(self.bits.len())
+    }
+
+    /// Ground truth: the special item is in an α-approximate solution iff
+    /// `OR(x) = 0`.
+    pub fn special_in_alpha_approx(&self) -> bool {
+        !self.bits.iter().any(|&bit| bit)
+    }
+
+    /// Simulated point query (one `x`-access for bit items).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn query(&self, id: ItemId) -> Item {
+        if id == self.special_id() {
+            return Item::new(self.ratios.beta_num, 1);
+        }
+        self.bit_queries.fetch_add(1, Ordering::Relaxed);
+        let profit = if self.bits[id.index()] {
+            self.ratios.den
+        } else {
+            0
+        };
+        Item::new(profit, 1)
+    }
+
+    /// Accesses charged so far.
+    pub fn accesses(&self) -> u64 {
+        self.bit_queries.load(Ordering::Relaxed)
+    }
+}
+
+/// Measures the budgeted point-query strategy on the Theorem 3.3 family:
+/// the success ceiling is the same `1/2 + q/(2(n−1))` curve *regardless
+/// of α* — the experiment sweeps α to exhibit exactly that.
+pub fn run_approx_experiment(
+    n: usize,
+    ratios: RatioPair,
+    budget: u64,
+    trials: u64,
+    seed: u64,
+) -> SuccessRate {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut successes = 0;
+    for _ in 0..trials {
+        let instance = ApproxReduction::hard_input(&mut rng, n, ratios);
+        let mut order: Vec<usize> = (0..n - 1).collect();
+        order.shuffle(&mut rng);
+        let mut found_one = false;
+        for &position in order.iter().take(budget.min((n - 1) as u64) as usize) {
+            if instance.query(ItemId(position)).profit > 0 {
+                found_one = true;
+                break;
+            }
+        }
+        if !found_one == instance.special_in_alpha_approx() {
+            successes += 1;
+        }
+    }
+    SuccessRate {
+        successes,
+        trials,
+        budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_pair_validation() {
+        let ratios = RatioPair::new(50, 25, 100);
+        assert!((ratios.alpha() - 0.5).abs() < 1e-12);
+        assert!((ratios.beta() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < β < α")]
+    fn beta_must_be_below_alpha() {
+        let _ = RatioPair::new(25, 50, 100);
+    }
+
+    #[test]
+    fn ground_truth_matches_or() {
+        let ratios = RatioPair::new(10, 5, 100);
+        let zero = ApproxReduction::new(vec![false; 9], ratios);
+        assert!(zero.special_in_alpha_approx());
+        let mut bits = vec![false; 9];
+        bits[4] = true;
+        let one = ApproxReduction::new(bits, ratios);
+        assert!(!one.special_in_alpha_approx());
+    }
+
+    #[test]
+    fn query_semantics_and_accounting() {
+        let ratios = RatioPair::new(10, 5, 100);
+        let mut bits = vec![false; 4];
+        bits[1] = true;
+        let instance = ApproxReduction::new(bits, ratios);
+        assert_eq!(instance.query(instance.special_id()).profit, 5);
+        assert_eq!(instance.accesses(), 0);
+        assert_eq!(instance.query(ItemId(1)).profit, 100);
+        assert_eq!(instance.accesses(), 1);
+    }
+
+    #[test]
+    fn hardness_is_alpha_independent() {
+        // The success ceiling does not improve as α shrinks.
+        let n = 400;
+        let budget = (n / 10) as u64;
+        for (alpha_num, beta_num) in [(99u64, 98u64), (50, 25), (2, 1)] {
+            let ratios = RatioPair::new(alpha_num, beta_num, 100);
+            let rate = run_approx_experiment(n, ratios, budget, 1500, 7);
+            assert!(
+                rate.rate() < 2.0 / 3.0,
+                "α = {}: {rate}",
+                ratios.alpha()
+            );
+        }
+    }
+
+    #[test]
+    fn full_budget_succeeds() {
+        let ratios = RatioPair::new(50, 25, 100);
+        let rate = run_approx_experiment(100, ratios, 99, 300, 8);
+        assert_eq!(rate.rate(), 1.0);
+    }
+}

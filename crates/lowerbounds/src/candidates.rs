@@ -1,0 +1,175 @@
+//! Candidate strategies for the OR task, behind one trait — so that the
+//! experiments can pit *any* budgeted algorithm against the hard
+//! distribution and observe that none beats the `1/2 + q/(2(n−1))`
+//! ceiling the Theorem 3.2 proof implies.
+
+use crate::or_reduction::{OrReduction, ONE_PROFIT};
+use crate::SuccessRate;
+use lcakp_knapsack::ItemId;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// A (possibly randomized) strategy answering the single LCA query of
+/// the reduction: "is the special item in the solution?" — equivalently,
+/// "is `OR(x) = 0`?".
+pub trait OrStrategy {
+    /// A short display name for tables.
+    fn name(&self) -> &'static str;
+
+    /// The instance-access budget the strategy is allowed.
+    fn budget(&self) -> u64;
+
+    /// Answers "special item is in the solution" for one instance.
+    fn answer<R: Rng + ?Sized>(&self, instance: &OrReduction, rng: &mut R) -> bool;
+}
+
+/// Probes uniformly random distinct bit positions.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomProber {
+    /// Point-query budget.
+    pub budget: u64,
+}
+
+impl OrStrategy for RandomProber {
+    fn name(&self) -> &'static str {
+        "random-prober"
+    }
+
+    fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    fn answer<R: Rng + ?Sized>(&self, instance: &OrReduction, rng: &mut R) -> bool {
+        let n_bits = instance.len() - 1;
+        let mut order: Vec<usize> = (0..n_bits).collect();
+        order.shuffle(rng);
+        for &position in order.iter().take(self.budget.min(n_bits as u64) as usize) {
+            if instance.query(ItemId(position)).profit > 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Scans a fixed prefix of positions — the natural *deterministic*
+/// strategy; on the uniform needle distribution it does exactly as well
+/// as random probing, which is the Yao-principle point.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefixScanner {
+    /// Point-query budget.
+    pub budget: u64,
+}
+
+impl OrStrategy for PrefixScanner {
+    fn name(&self) -> &'static str {
+        "prefix-scanner"
+    }
+
+    fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    fn answer<R: Rng + ?Sized>(&self, instance: &OrReduction, _rng: &mut R) -> bool {
+        let n_bits = instance.len() - 1;
+        for position in 0..self.budget.min(n_bits as u64) as usize {
+            if instance.query(ItemId(position)).profit > 0 {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Uses the Section 4 access mode: weighted samples instead of point
+/// queries.
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedSamplerStrategy {
+    /// Weighted-sample budget.
+    pub budget: u64,
+}
+
+impl OrStrategy for WeightedSamplerStrategy {
+    fn name(&self) -> &'static str {
+        "weighted-sampler"
+    }
+
+    fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    fn answer<R: Rng + ?Sized>(&self, instance: &OrReduction, rng: &mut R) -> bool {
+        for _ in 0..self.budget {
+            let (_, item) = instance.sample_weighted(rng);
+            if item.profit == ONE_PROFIT {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Evaluates a strategy over the hard distribution.
+pub fn evaluate<S: OrStrategy>(strategy: &S, n: usize, trials: u64, seed: u64) -> SuccessRate {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut successes = 0;
+    for _ in 0..trials {
+        let instance = OrReduction::hard_input(&mut rng, n);
+        if strategy.answer(&instance, &mut rng) == instance.special_in_optimum() {
+            successes += 1;
+        }
+    }
+    SuccessRate {
+        successes,
+        trials,
+        budget: strategy.budget(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_random_probing_match_on_the_hard_distribution() {
+        let n = 400;
+        let trials = 3_000;
+        let random = evaluate(&RandomProber { budget: 40 }, n, trials, 1);
+        let prefix = evaluate(&PrefixScanner { budget: 40 }, n, trials, 1);
+        assert!(
+            (random.rate() - prefix.rate()).abs() < 0.05,
+            "Yao symmetry broken: {random} vs {prefix}"
+        );
+    }
+
+    #[test]
+    fn no_point_query_strategy_beats_the_ceiling() {
+        let n = 400;
+        let budget = 40u64;
+        let ceiling = 0.5 + budget as f64 / (2.0 * (n as f64 - 1.0)) + 0.04;
+        for rate in [
+            evaluate(&RandomProber { budget }, n, 3_000, 2),
+            evaluate(&PrefixScanner { budget }, n, 3_000, 2),
+        ] {
+            assert!(rate.rate() <= ceiling, "{rate} above ceiling {ceiling}");
+        }
+    }
+
+    #[test]
+    fn weighted_strategy_breaks_the_ceiling_at_constant_budget() {
+        let n = 4_096;
+        let weighted = evaluate(&WeightedSamplerStrategy { budget: 8 }, n, 2_000, 3);
+        assert!(weighted.rate() > 0.9, "{weighted}");
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(RandomProber { budget: 1 }.name(), "random-prober");
+        assert_eq!(PrefixScanner { budget: 1 }.name(), "prefix-scanner");
+        assert_eq!(
+            WeightedSamplerStrategy { budget: 1 }.name(),
+            "weighted-sampler"
+        );
+    }
+}

@@ -1,0 +1,102 @@
+//! Hard instance families and adversary harnesses realizing the paper's
+//! impossibility results (Section 3).
+//!
+//! Lower bounds cannot be "run" directly — they quantify over all
+//! algorithms. What *can* be run, and what this crate provides, is the
+//! constructions their proofs build and the sharp behavior they predict:
+//!
+//! * [`or_reduction`] — the instance family `I(x)` of Theorem 3.2
+//!   (Figure 1): `n − 1` items carrying the bits of `x` plus a special
+//!   item whose membership in the optimal solution encodes `OR(x)`.
+//!   Any query strategy with budget `q` succeeds with probability at most
+//!   `1/2 + q/(2(n−1))` on the hard input distribution — measured by
+//!   [`or_reduction::run_point_query_experiment`] — while a *single*
+//!   weighted sample pins `OR(x)` with constant advantage
+//!   ([`or_reduction::run_weighted_sampling_experiment`]), previewing how
+//!   Section 4 escapes the bound.
+//! * [`approx_reduction`] — the Theorem 3.3 variant with the special
+//!   item's profit set to `β < α`, killing every α-approximation.
+//! * [`maximal_feasible`] — the Theorem 3.4 distribution (two hidden
+//!   non-zero-weight items; `w_j ∈ {1/4, 3/4}`), together with the
+//!   forced-yes probing strategy from the proof of Lemma 3.5 and the
+//!   two-query success measurement that cannot exceed 4/5 at `q < n/11`.
+//!
+//! All experiments are deterministic functions of their parameters and a
+//! seed, and count every access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx_reduction;
+pub mod candidates;
+pub mod maximal_feasible;
+pub mod or_reduction;
+
+use std::fmt;
+
+/// A measured success rate over repeated adversarial trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuccessRate {
+    /// Trials that answered correctly / consistently.
+    pub successes: u64,
+    /// Total trials.
+    pub trials: u64,
+    /// Instance-access budget each trial was allowed.
+    pub budget: u64,
+}
+
+impl SuccessRate {
+    /// The empirical success probability.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        self.successes as f64 / self.trials as f64
+    }
+
+    /// Whether the measured rate clears the given threshold.
+    pub fn clears(&self, threshold: f64) -> bool {
+        self.rate() >= threshold
+    }
+}
+
+impl fmt::Display for SuccessRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "budget={} success={}/{} ({:.3})",
+            self.budget,
+            self.successes,
+            self.trials,
+            self.rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate_arithmetic() {
+        let rate = SuccessRate {
+            successes: 3,
+            trials: 4,
+            budget: 10,
+        };
+        assert!((rate.rate() - 0.75).abs() < 1e-12);
+        assert!(rate.clears(0.7));
+        assert!(!rate.clears(0.8));
+        assert!(rate.to_string().contains("3/4"));
+    }
+
+    #[test]
+    fn empty_trials_rate_is_one() {
+        let rate = SuccessRate {
+            successes: 0,
+            trials: 0,
+            budget: 0,
+        };
+        assert_eq!(rate.rate(), 1.0);
+    }
+}

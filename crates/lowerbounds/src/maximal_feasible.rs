@@ -1,0 +1,271 @@
+//! The hard distribution of Theorem 3.4: maximal-feasible Knapsack.
+//!
+//! Weight limit `K = 1` (integer units: `K = 4`). A uniformly random pair
+//! `(i, j)` of items carries the only non-zero weights: `w_i = 3/4`
+//! (units: 3) always, and `w_j` is `1/4` (units: 1) or `3/4` (units: 3)
+//! with probability 1/2 each; all other items weigh 0 and all profits are
+//! irrelevant.
+//!
+//! * If `w_j = 1/4`: the unique maximal solution is *all* items (3 + 1 =
+//!   4 ≤ K) — both hidden items must be answered **yes**.
+//! * If `w_j = 3/4`: the two maximal solutions each drop exactly one of
+//!   `i, j` — the answers on `i` and `j` must differ.
+//!
+//! Lemma 3.5 shows any deterministic strategy with budget `q < n/11`
+//! must answer **yes** on a heavy query it cannot disambiguate; on the
+//! two-query sequence `(s_i, s_j)` that forces an inconsistency with
+//! probability ≥ 1/5. The [`run_maximal_experiment`] harness measures the
+//! success of the best-effort strategy (probe a deterministic seeded set,
+//! fall back to **yes**) across budgets.
+
+use crate::SuccessRate;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+
+/// Weight units: the capacity (the proof's `K = 1`).
+pub const CAPACITY_UNITS: u64 = 4;
+/// Weight units of a heavy item (the proof's `3/4`).
+pub const HEAVY_UNITS: u64 = 3;
+/// Weight units of a light item (the proof's `1/4`).
+pub const LIGHT_UNITS: u64 = 1;
+
+/// One draw from the hard distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaximalInstance {
+    /// Position of the always-heavy item `i`.
+    pub i: usize,
+    /// Position of the second special item `j`.
+    pub j: usize,
+    /// Whether `w_j = 3/4` (else `1/4`).
+    pub j_heavy: bool,
+    /// Number of items.
+    pub n: usize,
+}
+
+impl MaximalInstance {
+    /// Draws `(i, j)` uniformly (distinct) and the weight coin.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Self {
+        assert!(n >= 2);
+        let i = rng.gen_range(0..n);
+        let mut j = rng.gen_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        MaximalInstance {
+            i,
+            j,
+            j_heavy: rng.gen_bool(0.5),
+            n,
+        }
+    }
+
+    /// The weight (in units) of item `k`.
+    pub fn weight(&self, k: usize) -> u64 {
+        if k == self.i {
+            HEAVY_UNITS
+        } else if k == self.j {
+            if self.j_heavy {
+                HEAVY_UNITS
+            } else {
+                LIGHT_UNITS
+            }
+        } else {
+            0
+        }
+    }
+
+    /// Whether the answer pair `(answer_i, answer_j)` for queries on
+    /// items `i` and `j` is consistent with *some* maximal feasible
+    /// solution (all other items are weight 0, hence always included).
+    pub fn pair_is_consistent(&self, answer_i: bool, answer_j: bool) -> bool {
+        if self.j_heavy {
+            // Two heavy items: exactly one can and must be included.
+            answer_i != answer_j
+        } else {
+            // 3/4 + 1/4 fits: the unique maximal solution has both.
+            answer_i && answer_j
+        }
+    }
+}
+
+/// The proof's best-effort deterministic strategy for a single query on a
+/// *heavy* item `k`: probe a fixed (seed-derived) set of `budget` other
+/// positions; if the other non-zero item is found, disambiguate
+/// (include only the smaller index when both are heavy; include
+/// everything when the other is light); otherwise answer **yes**, as
+/// Lemma 3.5 shows it must.
+pub fn heavy_query_answer(
+    instance: &MaximalInstance,
+    k: usize,
+    budget: u64,
+    probe_seed: u64,
+) -> bool {
+    debug_assert_eq!(instance.weight(k), HEAVY_UNITS);
+    // Deterministic probe set shared by all queries of this algorithm
+    // (the algorithm is deterministic given its seed; Yao's principle
+    // averages over the seed).
+    let mut order: Vec<usize> = (0..instance.n).collect();
+    let mut rng = ChaCha12Rng::seed_from_u64(probe_seed);
+    order.shuffle(&mut rng);
+    for &probe in order
+        .iter()
+        .filter(|&&probe| probe != k)
+        .take(budget.min(instance.n as u64) as usize)
+    {
+        match instance.weight(probe) {
+            0 => continue,
+            LIGHT_UNITS => return true, // other is light: everything fits.
+            _ => {
+                // Both heavy: canonical tie-break — keep the smaller id.
+                return k < probe;
+            }
+        }
+    }
+    true // forced yes (Lemma 3.5).
+}
+
+/// Answers a query on any item: weight-0 and light items are always in
+/// every maximal solution; heavy items go through
+/// [`heavy_query_answer`].
+pub fn query_answer(instance: &MaximalInstance, k: usize, budget: u64, probe_seed: u64) -> bool {
+    match instance.weight(k) {
+        w if w < HEAVY_UNITS => true,
+        _ => heavy_query_answer(instance, k, budget, probe_seed),
+    }
+}
+
+/// The success cap the proof of Theorem 3.4 implies for any
+/// deterministic strategy with budget `q`: correctness is at most
+/// `P[miss coin] + 2·P[probe finds the partner]` — i.e.
+/// `1/2 + 2·q·n/((n−1)·n)`, capped at 1. At `q = n/11` this is
+/// `1/2 + 2/11·n/(n−1) < 4/5`, the theorem's wall.
+pub fn success_cap(n: usize, budget: u64) -> f64 {
+    let n = n as f64;
+    (0.5 + 2.0 * (n / (n - 1.0)) * budget as f64 / n).min(1.0)
+}
+
+/// Runs the two-query sequence `(s_i, s_j)` of the proof over fresh draws
+/// from the hard distribution and reports how often the answers are
+/// consistent with a maximal solution. Theorem 3.4: no strategy exceeds
+/// 4/5 while `budget < n/11`.
+pub fn run_maximal_experiment(n: usize, budget: u64, trials: u64, seed: u64) -> SuccessRate {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut successes = 0;
+    for trial in 0..trials {
+        let instance = MaximalInstance::sample(&mut rng, n);
+        // Fresh algorithm randomness per trial (Yao average), but shared
+        // between the two queries of the sequence (the LCA's read-only
+        // seed).
+        let probe_seed = seed ^ trial.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let answer_i = query_answer(&instance, instance.i, budget, probe_seed);
+        let answer_j = query_answer(&instance, instance.j, budget, probe_seed);
+        if instance.pair_is_consistent(answer_i, answer_j) {
+            successes += 1;
+        }
+    }
+    SuccessRate {
+        successes,
+        trials,
+        budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_place_the_hidden_pair() {
+        let instance = MaximalInstance {
+            i: 2,
+            j: 5,
+            j_heavy: false,
+            n: 8,
+        };
+        assert_eq!(instance.weight(2), HEAVY_UNITS);
+        assert_eq!(instance.weight(5), LIGHT_UNITS);
+        assert_eq!(instance.weight(0), 0);
+    }
+
+    #[test]
+    fn consistency_semantics() {
+        let light = MaximalInstance {
+            i: 0,
+            j: 1,
+            j_heavy: false,
+            n: 4,
+        };
+        assert!(light.pair_is_consistent(true, true));
+        assert!(!light.pair_is_consistent(true, false));
+        let heavy = MaximalInstance {
+            i: 0,
+            j: 1,
+            j_heavy: true,
+            n: 4,
+        };
+        assert!(heavy.pair_is_consistent(true, false));
+        assert!(heavy.pair_is_consistent(false, true));
+        assert!(!heavy.pair_is_consistent(true, true));
+        assert!(!heavy.pair_is_consistent(false, false));
+    }
+
+    #[test]
+    fn sample_produces_distinct_positions() {
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        for _ in 0..200 {
+            let instance = MaximalInstance::sample(&mut rng, 10);
+            assert_ne!(instance.i, instance.j);
+            assert!(instance.i < 10 && instance.j < 10);
+        }
+    }
+
+    #[test]
+    fn zero_budget_success_is_about_one_half() {
+        // With no probes both heavy queries answer yes: success only in
+        // the light case (probability 1/2).
+        let rate = run_maximal_experiment(200, 0, 4000, 2);
+        assert!((rate.rate() - 0.5).abs() < 0.05, "{rate}");
+    }
+
+    #[test]
+    fn sublinear_budget_stays_below_four_fifths() {
+        let n = 550;
+        let budget = (n / 11) as u64;
+        let rate = run_maximal_experiment(n, budget, 4000, 3);
+        assert!(rate.rate() < 0.8, "{rate}");
+    }
+
+    #[test]
+    fn full_probing_succeeds() {
+        let rate = run_maximal_experiment(64, 64, 2000, 4);
+        assert!(rate.rate() > 0.98, "{rate}");
+    }
+
+    #[test]
+    fn measured_success_respects_the_theoretical_cap() {
+        for &(n, budget) in &[(220usize, 20u64), (550, 50), (550, 137)] {
+            let rate = run_maximal_experiment(n, budget, 4000, 6);
+            let cap = success_cap(n, budget);
+            assert!(
+                rate.rate() <= cap + 0.03,
+                "n={n} q={budget}: measured {} above cap {cap}",
+                rate.rate()
+            );
+        }
+    }
+
+    #[test]
+    fn cap_at_the_theorem_budget_is_below_four_fifths() {
+        for &n in &[110usize, 1100, 11_000] {
+            assert!(success_cap(n, (n / 11) as u64) < 0.8);
+        }
+    }
+
+    #[test]
+    fn success_increases_with_budget() {
+        let low = run_maximal_experiment(300, 10, 3000, 5);
+        let high = run_maximal_experiment(300, 200, 3000, 5);
+        assert!(high.rate() > low.rate(), "low {low}, high {high}");
+    }
+}

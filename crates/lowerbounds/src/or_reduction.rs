@@ -1,0 +1,319 @@
+//! The OR-reduction instance family of Theorem 3.2 (Figure 1).
+//!
+//! Given a hidden bit-string `x ∈ {0,1}^{n−1}`, the Knapsack instance
+//! `I(x)` has weight limit `K = 1` and items
+//!
+//! * `s_i = (x_i, 1)` for `i < n − 1` — in integer units, profit
+//!   `2·x_i`;
+//! * `s_{n−1} = (1/2, 1)` — in integer units, profit `1`.
+//!
+//! Every feasible solution has at most one item, so the special item is
+//! in the (unique) optimal solution iff `OR(x) = 0`. Answering *one* LCA
+//! query about the special item therefore computes `OR(x)`, whose
+//! randomized query complexity is `Ω(n)` (Lemma 3.1).
+
+use crate::SuccessRate;
+use lcakp_knapsack::{Item, ItemId};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha12Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Integer profit of a `1`-bit item (the reduction's profit "1").
+pub const ONE_PROFIT: u64 = 2;
+/// Integer profit of the special item (the reduction's "1/2").
+pub const SPECIAL_PROFIT: u64 = 1;
+
+/// The simulated instance `I(x)`: query access costs one access to `x`
+/// per non-special item, exactly as in the proof.
+#[derive(Debug)]
+pub struct OrReduction {
+    bits: Vec<bool>,
+    bit_queries: AtomicU64,
+}
+
+impl OrReduction {
+    /// Builds `I(x)` from explicit bits (`n = bits.len() + 1` items).
+    pub fn new(bits: Vec<bool>) -> Self {
+        OrReduction {
+            bits,
+            bit_queries: AtomicU64::new(0),
+        }
+    }
+
+    /// The all-zeros input (OR = 0): the special item is optimal.
+    pub fn all_zero(n: usize) -> Self {
+        OrReduction::new(vec![false; n.saturating_sub(1)])
+    }
+
+    /// A single 1 at `position` (OR = 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `position ≥ n − 1`.
+    pub fn single_one(n: usize, position: usize) -> Self {
+        let mut bits = vec![false; n - 1];
+        bits[position] = true;
+        OrReduction::new(bits)
+    }
+
+    /// Draws from the hard input distribution: all-zeros with probability
+    /// 1/2, otherwise a single 1 at a uniform position.
+    pub fn hard_input<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Self {
+        if rng.gen_bool(0.5) {
+            OrReduction::all_zero(n)
+        } else {
+            OrReduction::single_one(n, rng.gen_range(0..n - 1))
+        }
+    }
+
+    /// Number of items `n` of `I(x)`.
+    pub fn len(&self) -> usize {
+        self.bits.len() + 1
+    }
+
+    /// Returns `true` if the instance is the degenerate single-item one.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// `OR(x)`.
+    pub fn or_value(&self) -> bool {
+        self.bits.iter().any(|&bit| bit)
+    }
+
+    /// Ground truth for the single LCA query the reduction makes: the
+    /// special item is in the optimal solution iff `OR(x) = 0`.
+    pub fn special_in_optimum(&self) -> bool {
+        !self.or_value()
+    }
+
+    /// The id of the special item.
+    pub fn special_id(&self) -> ItemId {
+        ItemId(self.bits.len())
+    }
+
+    /// Simulated point query: reveals item `id`, charging one `x`-access
+    /// for non-special items (the special item is known for free, as in
+    /// the proof).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn query(&self, id: ItemId) -> Item {
+        if id == self.special_id() {
+            return Item::new(SPECIAL_PROFIT, 1);
+        }
+        self.bit_queries.fetch_add(1, Ordering::Relaxed);
+        let profit = if self.bits[id.index()] { ONE_PROFIT } else { 0 };
+        Item::new(profit, 1)
+    }
+
+    /// Simulated weighted sample: an item with probability proportional
+    /// to profit. **This is the access mode the lower bound does not
+    /// survive** — one sample has constant advantage on `OR(x)`.
+    pub fn sample_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> (ItemId, Item) {
+        self.bit_queries.fetch_add(1, Ordering::Relaxed);
+        let ones: Vec<usize> = self
+            .bits
+            .iter()
+            .enumerate()
+            .filter_map(|(index, &bit)| bit.then_some(index))
+            .collect();
+        let total = SPECIAL_PROFIT + ONE_PROFIT * ones.len() as u64;
+        let roll = rng.gen_range(0..total);
+        if roll < SPECIAL_PROFIT {
+            (self.special_id(), Item::new(SPECIAL_PROFIT, 1))
+        } else {
+            let which = ((roll - SPECIAL_PROFIT) / ONE_PROFIT) as usize;
+            (ItemId(ones[which]), Item::new(ONE_PROFIT, 1))
+        }
+    }
+
+    /// Accesses charged so far.
+    pub fn accesses(&self) -> u64 {
+        self.bit_queries.load(Ordering::Relaxed)
+    }
+
+    /// Materializes `I(x)` as a concrete [`lcakp_knapsack::Instance`] —
+    /// for cross-checking the reduction against the exact solvers (the
+    /// LCA under test must of course *not* be given this).
+    pub fn to_instance(&self) -> lcakp_knapsack::Instance {
+        let mut items: Vec<Item> = self
+            .bits
+            .iter()
+            .map(|&bit| Item::new(if bit { ONE_PROFIT } else { 0 }, 1))
+            .collect();
+        items.push(Item::new(SPECIAL_PROFIT, 1));
+        lcakp_knapsack::Instance::new(items, 1).expect("reduction instance is valid")
+    }
+}
+
+/// The natural budgeted point-query strategy: probe `budget` distinct
+/// random positions of `x`; answer "special is optimal" iff no 1 was
+/// found. No strategy does better on the hard distribution (the proof's
+/// `Ω(n)` is exactly the statement that this success curve is the
+/// ceiling).
+pub fn random_probe_answer<R: Rng + ?Sized>(
+    instance: &OrReduction,
+    budget: u64,
+    rng: &mut R,
+) -> bool {
+    let n_bits = instance.len() - 1;
+    let mut order: Vec<usize> = (0..n_bits).collect();
+    order.shuffle(rng);
+    for &position in order.iter().take(budget.min(n_bits as u64) as usize) {
+        let item = instance.query(ItemId(position));
+        if item.profit > 0 {
+            return false; // found a 1: OR = 1, special not optimal.
+        }
+    }
+    true
+}
+
+/// Measures the success probability of the budgeted point-query strategy
+/// over the hard distribution (experiment E1, point-query panel).
+pub fn run_point_query_experiment(n: usize, budget: u64, trials: u64, seed: u64) -> SuccessRate {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut successes = 0;
+    for _ in 0..trials {
+        let instance = OrReduction::hard_input(&mut rng, n);
+        let answer = random_probe_answer(&instance, budget, &mut rng);
+        if answer == instance.special_in_optimum() {
+            successes += 1;
+        }
+    }
+    SuccessRate {
+        successes,
+        trials,
+        budget,
+    }
+}
+
+/// Measures the success probability of a strategy allowed `budget`
+/// *weighted samples* instead: answer "special is optimal" iff every
+/// sample returned the special item (experiment E1, weighted panel —
+/// constant budget suffices, previewing Theorem 4.1's model).
+pub fn run_weighted_sampling_experiment(
+    n: usize,
+    budget: u64,
+    trials: u64,
+    seed: u64,
+) -> SuccessRate {
+    let mut rng = ChaCha12Rng::seed_from_u64(seed);
+    let mut successes = 0;
+    for _ in 0..trials {
+        let instance = OrReduction::hard_input(&mut rng, n);
+        let mut saw_one = false;
+        for _ in 0..budget {
+            let (_, item) = instance.sample_weighted(&mut rng);
+            if item.profit == ONE_PROFIT {
+                saw_one = true;
+                break;
+            }
+        }
+        if !saw_one == instance.special_in_optimum() {
+            successes += 1;
+        }
+    }
+    SuccessRate {
+        successes,
+        trials,
+        budget,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimum_encodes_or() {
+        assert!(OrReduction::all_zero(10).special_in_optimum());
+        assert!(!OrReduction::single_one(10, 3).special_in_optimum());
+    }
+
+    #[test]
+    fn queries_are_charged_only_for_bit_items() {
+        let instance = OrReduction::single_one(5, 2);
+        let _ = instance.query(instance.special_id());
+        assert_eq!(instance.accesses(), 0);
+        assert_eq!(instance.query(ItemId(2)), Item::new(ONE_PROFIT, 1));
+        assert_eq!(instance.query(ItemId(0)), Item::new(0, 1));
+        assert_eq!(instance.accesses(), 2);
+    }
+
+    #[test]
+    fn full_budget_probing_always_succeeds() {
+        let rate = run_point_query_experiment(64, 63, 200, 1);
+        assert_eq!(rate.rate(), 1.0);
+    }
+
+    #[test]
+    fn zero_budget_probing_is_a_coin_flip() {
+        let rate = run_point_query_experiment(256, 0, 2000, 2);
+        assert!(
+            (rate.rate() - 0.5).abs() < 0.05,
+            "expected ~1/2, got {rate}"
+        );
+    }
+
+    #[test]
+    fn sublinear_budget_stays_below_two_thirds() {
+        // q = n/10 → predicted success 1/2 + q/(2(n−1)) ≈ 0.55 < 2/3.
+        let n = 500;
+        let rate = run_point_query_experiment(n, (n / 10) as u64, 2000, 3);
+        assert!(rate.rate() < 2.0 / 3.0, "{rate}");
+    }
+
+    #[test]
+    fn linear_budget_crosses_two_thirds() {
+        let n = 300;
+        let rate = run_point_query_experiment(n, n as u64 / 2, 2000, 4);
+        assert!(rate.rate() >= 2.0 / 3.0, "{rate}");
+    }
+
+    #[test]
+    fn weighted_sampling_needs_only_constant_budget() {
+        // 6 samples: failure only when OR = 1 and every sample hit the
+        // special item — probability (1/3)^6 ≈ 0.0014.
+        let rate = run_weighted_sampling_experiment(10_000, 6, 2000, 5);
+        assert!(rate.rate() >= 0.95, "{rate}");
+    }
+
+    #[test]
+    fn reduction_agrees_with_exact_solvers() {
+        // The semantic core of Figure 1, checked against ground truth:
+        // the special item is in an optimal solution iff OR(x) = 0.
+        for instance in [
+            OrReduction::all_zero(12),
+            OrReduction::single_one(12, 0),
+            OrReduction::single_one(12, 10),
+            OrReduction::new(vec![true, false, true, false]),
+        ] {
+            let concrete = instance.to_instance();
+            let outcome = lcakp_knapsack::solvers::dp_by_weight(&concrete).unwrap();
+            // OPT value encodes OR: 2 iff some bit is set, else 1.
+            let expected = if instance.or_value() { ONE_PROFIT } else { SPECIAL_PROFIT };
+            assert_eq!(outcome.value, expected);
+            // And with OR = 0 the unique optimum is the special item.
+            if !instance.or_value() {
+                assert!(outcome.selection.contains(instance.special_id()));
+            }
+        }
+    }
+
+    #[test]
+    fn weighted_sampling_distribution_is_profit_proportional() {
+        let instance = OrReduction::single_one(100, 7);
+        let mut rng = ChaCha12Rng::seed_from_u64(9);
+        let mut special = 0u64;
+        for _ in 0..3000 {
+            if instance.sample_weighted(&mut rng).0 == instance.special_id() {
+                special += 1;
+            }
+        }
+        // Special mass = 1/3.
+        assert!((special as f64 / 3000.0 - 1.0 / 3.0).abs() < 0.05);
+    }
+}

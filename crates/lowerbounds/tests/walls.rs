@@ -1,0 +1,113 @@
+//! Integration tests: the measured success curves against the exact
+//! ceilings the proofs imply.
+
+use lcakp_lowerbounds::candidates::{
+    evaluate, OrStrategy, PrefixScanner, RandomProber, WeightedSamplerStrategy,
+};
+use lcakp_lowerbounds::maximal_feasible::{run_maximal_experiment, MaximalInstance};
+use lcakp_lowerbounds::or_reduction::{run_point_query_experiment, OrReduction};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+
+/// The exact ceiling for point-query strategies on the hard OR
+/// distribution: `1/2 + q/(2(n−1))`.
+fn ceiling(n: usize, budget: u64) -> f64 {
+    0.5 + budget as f64 / (2.0 * (n as f64 - 1.0))
+}
+
+#[test]
+fn success_curve_matches_the_ceiling_closely() {
+    let n = 600;
+    let trials = 5_000;
+    for budget in [30u64, 120, 300, 480] {
+        let measured = run_point_query_experiment(n, budget, trials, 71).rate();
+        let predicted = ceiling(n, budget).min(1.0);
+        assert!(
+            (measured - predicted).abs() < 0.03,
+            "budget {budget}: measured {measured:.3} vs ceiling {predicted:.3}"
+        );
+    }
+}
+
+#[test]
+fn no_candidate_strategy_beats_the_ceiling() {
+    let n = 500;
+    let trials = 4_000;
+    for budget in [25u64, 100] {
+        let bound = ceiling(n, budget) + 0.03;
+        let strategies: Vec<(&str, f64)> = vec![
+            (
+                "random",
+                evaluate(&RandomProber { budget }, n, trials, 72).rate(),
+            ),
+            (
+                "prefix",
+                evaluate(&PrefixScanner { budget }, n, trials, 72).rate(),
+            ),
+        ];
+        for (name, rate) in strategies {
+            assert!(rate <= bound, "{name}@{budget}: {rate} > {bound}");
+        }
+    }
+}
+
+#[test]
+fn weighted_sampling_failure_decays_geometrically() {
+    // On OR = 1 inputs the special-item mass is 1/3; k samples miss all
+    // ones with probability (1/3)^k, so overall failure ≈ (1/3)^k / 2.
+    let n = 2_000;
+    let trials = 6_000;
+    let mut previous_failure = 1.0;
+    for k in [1u64, 2, 3, 4] {
+        let rate = evaluate(&WeightedSamplerStrategy { budget: k }, n, trials, 73).rate();
+        let failure = 1.0 - rate;
+        let predicted = (1.0f64 / 3.0).powi(k as i32) / 2.0;
+        assert!(
+            (failure - predicted).abs() < 0.03,
+            "k={k}: failure {failure:.3} vs predicted {predicted:.3}"
+        );
+        assert!(failure <= previous_failure + 0.02);
+        previous_failure = failure;
+    }
+}
+
+#[test]
+fn or_reduction_queries_cost_exactly_one_bit_access() {
+    // The reduction's bookkeeping: answering any single LCA query with a
+    // budget-q strategy charges at most q accesses to x — the inequality
+    // chain at the end of the Theorem 3.2 proof.
+    let instance = OrReduction::single_one(100, 50);
+    let mut rng = ChaCha12Rng::seed_from_u64(9);
+    let strategy = RandomProber { budget: 30 };
+    let _ = strategy.answer(&instance, &mut rng);
+    assert!(instance.accesses() <= 30);
+}
+
+#[test]
+fn maximal_wall_scales_with_n() {
+    // The 4/5 wall holds at q = n/11 for increasing n; measured success
+    // should be roughly n-independent at fixed q/n.
+    let trials = 4_000;
+    let mut rates = Vec::new();
+    for &n in &[220usize, 440, 880] {
+        let rate = run_maximal_experiment(n, (n / 11) as u64, trials, 74).rate();
+        assert!(rate < 0.8, "n={n}: {rate}");
+        rates.push(rate);
+    }
+    let spread = rates
+        .iter()
+        .fold(0.0f64, |acc, &r| acc.max(r))
+        - rates.iter().fold(1.0f64, |acc, &r| acc.min(r));
+    assert!(spread < 0.06, "success at fixed q/n should be n-independent: {rates:?}");
+}
+
+#[test]
+fn maximal_instance_weights_sum_consistently() {
+    let mut rng = ChaCha12Rng::seed_from_u64(5);
+    for _ in 0..100 {
+        let instance = MaximalInstance::sample(&mut rng, 50);
+        let total: u64 = (0..50).map(|k| instance.weight(k)).sum();
+        // 3 + {1 or 3} in quarter units.
+        assert!(total == 4 || total == 6);
+    }
+}

@@ -1,0 +1,215 @@
+//! Point-query access to a Knapsack instance (Definition 2.2).
+
+use crate::stats::{AccessSnapshot, AccessStats};
+use crate::weighted::{AliasTable, WeightedSampler};
+use lcakp_knapsack::{Item, ItemId, NormalizedInstance, Norms};
+use rand::Rng;
+use std::fmt;
+
+/// Query access to a Knapsack instance, as granted to an LCA.
+///
+/// The algorithm is given, for free, the instance size `n`, the capacity
+/// `K`, and the normalization constants (the paper normalizes total profit
+/// and weight to 1, so these are public by assumption). Inspecting an
+/// *item*, however, costs one counted query.
+///
+/// Implementations must be usable through a shared reference so that many
+/// LCA instances can query the same oracle concurrently; counters use
+/// interior mutability.
+pub trait ItemOracle {
+    /// Number of items `n` (free).
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the instance has no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The weight limit `K` (free).
+    fn capacity(&self) -> u64;
+
+    /// The normalization constants (free).
+    fn norms(&self) -> Norms;
+
+    /// Reveals item `i` — **one counted query**.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `id` is out of range.
+    fn query(&self, id: ItemId) -> Item;
+
+    /// Snapshot of the access counters.
+    fn stats(&self) -> AccessSnapshot;
+}
+
+/// The standard oracle over an in-memory [`NormalizedInstance`], also
+/// providing weighted sampling (Section 4's model) through an exact
+/// integer alias table.
+///
+/// ```
+/// use lcakp_knapsack::{Instance, ItemId, NormalizedInstance};
+/// use lcakp_oracle::{InstanceOracle, ItemOracle, WeightedSampler};
+///
+/// # fn main() -> Result<(), lcakp_knapsack::KnapsackError> {
+/// let norm = NormalizedInstance::new(Instance::from_pairs([(3, 1), (1, 1)], 1)?)?;
+/// let oracle = InstanceOracle::new(&norm);
+/// let item = oracle.query(ItemId(0));
+/// assert_eq!(item.profit, 3);
+/// let mut rng = rand::thread_rng();
+/// let (_, sampled) = oracle.sample_weighted(&mut rng);
+/// assert!(sampled.profit > 0); // zero-profit items are never sampled
+/// assert_eq!(oracle.stats().point_queries, 1);
+/// assert_eq!(oracle.stats().weighted_samples, 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct InstanceOracle<'a> {
+    norm: &'a NormalizedInstance,
+    alias: AliasTable,
+    stats: AccessStats,
+}
+
+impl<'a> InstanceOracle<'a> {
+    /// Builds the oracle (and its alias table) over an instance.
+    pub fn new(norm: &'a NormalizedInstance) -> Self {
+        let profits: Vec<u64> = norm
+            .as_instance()
+            .items()
+            .iter()
+            .map(|item| item.profit)
+            .collect();
+        let alias = AliasTable::new(&profits)
+            .expect("NormalizedInstance guarantees positive total profit");
+        InstanceOracle {
+            norm,
+            alias,
+            stats: AccessStats::new(),
+        }
+    }
+
+    /// Resets the access counters (e.g. between measured LCA queries).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// The underlying normalized instance — for *auditing only*; an LCA
+    /// must not use this (it would be a free scan of the whole input).
+    pub fn audit_instance(&self) -> &NormalizedInstance {
+        self.norm
+    }
+}
+
+impl ItemOracle for InstanceOracle<'_> {
+    fn len(&self) -> usize {
+        self.norm.len()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.norm.as_instance().capacity()
+    }
+
+    fn norms(&self) -> Norms {
+        self.norm.norms()
+    }
+
+    fn query(&self, id: ItemId) -> Item {
+        self.stats.record_point_query();
+        self.norm.item(id)
+    }
+
+    fn stats(&self) -> AccessSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+impl WeightedSampler for InstanceOracle<'_> {
+    fn sample_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> (ItemId, Item) {
+        self.stats.record_weighted_sample();
+        let id = self.alias.sample(rng);
+        (id, self.norm.item(id))
+    }
+}
+
+impl fmt::Debug for InstanceOracle<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("InstanceOracle")
+            .field("n", &self.norm.len())
+            .field("stats", &self.stats.snapshot())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcakp_knapsack::Instance;
+
+    fn norm() -> NormalizedInstance {
+        NormalizedInstance::new(
+            Instance::from_pairs([(3, 1), (1, 1), (0, 2), (6, 3)], 4).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn metadata_is_free() {
+        let norm = norm();
+        let oracle = InstanceOracle::new(&norm);
+        assert_eq!(oracle.len(), 4);
+        assert_eq!(oracle.capacity(), 4);
+        assert_eq!(oracle.norms().total_profit, 10);
+        assert_eq!(oracle.stats().total(), 0);
+    }
+
+    #[test]
+    fn queries_are_counted() {
+        let norm = norm();
+        let oracle = InstanceOracle::new(&norm);
+        let item = oracle.query(ItemId(3));
+        assert_eq!(item, Item::new(6, 3));
+        assert_eq!(oracle.stats().point_queries, 1);
+        oracle.reset_stats();
+        assert_eq!(oracle.stats().point_queries, 0);
+    }
+
+    #[test]
+    fn samples_are_counted_and_profit_weighted() {
+        let norm = norm();
+        let oracle = InstanceOracle::new(&norm);
+        let mut rng = crate::Seed::from_entropy_u64(1).rng();
+        let mut counts = [0u64; 4];
+        for _ in 0..10_000 {
+            let (id, _) = oracle.sample_weighted(&mut rng);
+            counts[id.index()] += 1;
+        }
+        assert_eq!(oracle.stats().weighted_samples, 10_000);
+        // Zero-profit item never sampled; item 3 (profit 6) about twice as
+        // frequent as item 0 (profit 3).
+        assert_eq!(counts[2], 0);
+        assert!(counts[3] > counts[0]);
+        assert!(counts[0] > counts[1]);
+    }
+
+    #[test]
+    fn oracle_is_shareable_across_threads() {
+        let norm = norm();
+        let oracle = InstanceOracle::new(&norm);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for index in 0..norm.len() {
+                        let _ = oracle.query(ItemId(index));
+                    }
+                });
+            }
+        });
+        assert_eq!(oracle.stats().point_queries, 16);
+    }
+
+    #[test]
+    fn debug_shows_counters() {
+        let norm = norm();
+        let oracle = InstanceOracle::new(&norm);
+        assert!(format!("{oracle:?}").contains("stats"));
+    }
+}

@@ -1,0 +1,35 @@
+//! Access models for Local Computation Algorithms over Knapsack.
+//!
+//! The LCA model (Definition 2.2 of the paper) gives the algorithm:
+//!
+//! * a **read-only random seed** `r` shared by all independent instances
+//!   of the algorithm — modeled by [`Seed`], with domain-separated
+//!   derivation so different algorithm phases draw independent but
+//!   *reproducible* randomness;
+//! * **query access** to the instance — modeled by the [`ItemOracle`]
+//!   trait; every point query is counted, since query complexity is the
+//!   quantity all of the paper's bounds are about;
+//! * optionally (Section 4), **weighted sampling access**: draw an item
+//!   with probability proportional to its profit — modeled by
+//!   [`WeightedSampler`] and implemented exactly (integer alias method,
+//!   no floating point) by [`InstanceOracle`].
+//!
+//! The two randomness channels of the paper are kept strictly apart:
+//! [`Seed`] carries the shared randomness `r` (the reproducibility
+//! channel), while sampling entropy is supplied per invocation by the
+//! caller's RNG (the i.i.d. sample channel of Definition 2.5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod access;
+mod rejection;
+mod seed;
+mod stats;
+mod weighted;
+
+pub use access::{InstanceOracle, ItemOracle};
+pub use rejection::RejectionSamplingOracle;
+pub use seed::Seed;
+pub use stats::{AccessSnapshot, AccessStats};
+pub use weighted::{AliasTable, WeightedSampler};

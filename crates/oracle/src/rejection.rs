@@ -1,0 +1,195 @@
+//! Emulating weighted sampling with point queries — the average-case
+//! direction the paper closes with (Section 5, citing [BCPR24]).
+//!
+//! The impossibility results say point queries alone cannot power a
+//! Knapsack LCA *in the worst case*. But weighted sampling can be
+//! *simulated* by rejection: draw a uniform item, accept it with
+//! probability `pᵢ / p_cap`. When the instance is benign (no item holds
+//! an outsized share of the profit, as in natural random models), the
+//! expected number of point queries per accepted sample is
+//! `n·p_cap / P = O(p_cap / p̄)` — constant for bounded profit ratios —
+//! and `LCA-KP` runs verbatim on top. On needle-in-a-haystack instances
+//! (exactly the Theorem 3.2 family) the simulation degrades, as it must.
+//!
+//! [`RejectionSamplingOracle`] implements [`WeightedSampler`] over any
+//! [`ItemOracle`], charging every probe honestly; experiment E12
+//! measures both the benign and the adversarial regime.
+
+use crate::access::ItemOracle;
+use crate::stats::AccessSnapshot;
+use crate::weighted::WeightedSampler;
+use lcakp_knapsack::{Item, ItemId, Norms};
+use rand::Rng;
+
+/// Weighted sampling emulated by uniform point queries + rejection.
+///
+/// `p_cap` must upper-bound every profit the sampler may encounter; the
+/// acceptance test uses exact integer comparison (`roll < pᵢ` for a
+/// uniform `roll ∈ [0, p_cap)`), so accepted items are distributed
+/// exactly proportionally to profit. `max_attempts` bounds the rejection
+/// loop; on exhaustion the last probed item is returned (a biased
+/// fallback that the experiments deliberately expose on adversarial
+/// instances).
+#[derive(Debug)]
+pub struct RejectionSamplingOracle<'a, O> {
+    inner: &'a O,
+    p_cap: u64,
+    max_attempts: u32,
+}
+
+impl<'a, O: ItemOracle> RejectionSamplingOracle<'a, O> {
+    /// Wraps an oracle with a profit cap and a rejection-attempt bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_cap == 0` or `max_attempts == 0`.
+    pub fn new(inner: &'a O, p_cap: u64, max_attempts: u32) -> Self {
+        assert!(p_cap > 0, "profit cap must be positive");
+        assert!(max_attempts > 0, "need at least one attempt");
+        RejectionSamplingOracle {
+            inner,
+            p_cap,
+            max_attempts,
+        }
+    }
+
+    /// The profit cap in use.
+    pub fn p_cap(&self) -> u64 {
+        self.p_cap
+    }
+
+    /// Expected point queries per accepted sample on an instance with
+    /// total profit `P` and `n` items: `n · p_cap / P`.
+    pub fn expected_cost_per_sample(&self) -> f64 {
+        self.inner.len() as f64 * self.p_cap as f64 / self.inner.norms().total_profit as f64
+    }
+}
+
+impl<O: ItemOracle> ItemOracle for RejectionSamplingOracle<'_, O> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+
+    fn norms(&self) -> Norms {
+        self.inner.norms()
+    }
+
+    fn query(&self, id: ItemId) -> Item {
+        self.inner.query(id)
+    }
+
+    fn stats(&self) -> AccessSnapshot {
+        self.inner.stats()
+    }
+}
+
+impl<O: ItemOracle> WeightedSampler for RejectionSamplingOracle<'_, O> {
+    fn sample_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> (ItemId, Item) {
+        let mut last = (ItemId(0), self.inner.query(ItemId(0)));
+        for _ in 0..self.max_attempts {
+            let id = ItemId(rng.gen_range(0..self.inner.len()));
+            let item = self.inner.query(id);
+            last = (id, item);
+            let roll = rng.gen_range(0..self.p_cap);
+            if roll < item.profit.min(self.p_cap) {
+                return (id, item);
+            }
+        }
+        // Biased fallback — deliberately honest about the failure mode.
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::InstanceOracle;
+    use crate::Seed;
+    use lcakp_knapsack::{Instance, NormalizedInstance};
+
+    fn norm(pairs: Vec<(u64, u64)>) -> NormalizedInstance {
+        NormalizedInstance::new(Instance::from_pairs(pairs, 10).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn accepted_samples_are_profit_proportional() {
+        let norm = norm(vec![(1, 1), (2, 1), (3, 1), (4, 1)]);
+        let inner = InstanceOracle::new(&norm);
+        let sampler = RejectionSamplingOracle::new(&inner, 4, 1000);
+        let mut rng = Seed::from_entropy_u64(1).rng();
+        let mut counts = [0u64; 4];
+        let trials = 40_000;
+        for _ in 0..trials {
+            counts[sampler.sample_weighted(&mut rng).0.index()] += 1;
+        }
+        // Expected proportions 0.1, 0.2, 0.3, 0.4.
+        for (index, &count) in counts.iter().enumerate() {
+            let expected = trials as f64 * (index + 1) as f64 / 10.0;
+            assert!(
+                (count as f64 - expected).abs() < 5.0 * expected.sqrt() + 50.0,
+                "item {index}: {count} vs {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_probe_is_charged() {
+        let norm = norm(vec![(1, 1), (1, 1)]);
+        let inner = InstanceOracle::new(&norm);
+        let sampler = RejectionSamplingOracle::new(&inner, 100, 50);
+        let mut rng = Seed::from_entropy_u64(2).rng();
+        let before = sampler.stats();
+        let _ = sampler.sample_weighted(&mut rng);
+        let delta = sampler.stats().since(before);
+        assert!(
+            delta.point_queries >= 2,
+            "rejection probes must be metered: {delta}"
+        );
+    }
+
+    #[test]
+    fn expected_cost_formula() {
+        // n = 4, P = 10, cap 4 → 1.6 probes per accept.
+        let norm = norm(vec![(1, 1), (2, 1), (3, 1), (4, 1)]);
+        let inner = InstanceOracle::new(&norm);
+        let sampler = RejectionSamplingOracle::new(&inner, 4, 100);
+        assert!((sampler.expected_cost_per_sample() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn needle_instances_blow_up_the_cost() {
+        // One needle (profit 1000) among 99 unit items: the cap must be
+        // 1000, so the expected cost per accept is 100·1000/1099 ≈ 91
+        // probes — two orders above the benign case.
+        let mut pairs = vec![(1u64, 1u64); 99];
+        pairs.push((1000, 1));
+        let norm = norm(pairs);
+        let inner = InstanceOracle::new(&norm);
+        let sampler = RejectionSamplingOracle::new(&inner, 1000, 10_000);
+        assert!(sampler.expected_cost_per_sample() > 50.0);
+    }
+
+    #[test]
+    fn exhausted_attempts_fall_back() {
+        // Cap far above every profit and a single attempt: acceptance is
+        // unlikely, so the fallback path must still return an item.
+        let norm = norm(vec![(1, 1), (1, 1)]);
+        let inner = InstanceOracle::new(&norm);
+        let sampler = RejectionSamplingOracle::new(&inner, 1_000_000, 1);
+        let mut rng = Seed::from_entropy_u64(3).rng();
+        let (_, item) = sampler.sample_weighted(&mut rng);
+        assert_eq!(item.profit, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "profit cap")]
+    fn zero_cap_panics() {
+        let norm = norm(vec![(1, 1)]);
+        let inner = InstanceOracle::new(&norm);
+        let _ = RejectionSamplingOracle::new(&inner, 0, 1);
+    }
+}

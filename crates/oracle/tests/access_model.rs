@@ -1,0 +1,108 @@
+//! Integration tests of the access-model contracts: metering,
+//! profit-proportional sampling exactness, seed-stream independence, and
+//! the rejection-sampling emulation.
+
+use lcakp_knapsack::{Instance, ItemId, NormalizedInstance};
+use lcakp_oracle::{
+    AliasTable, InstanceOracle, ItemOracle, RejectionSamplingOracle, Seed, WeightedSampler,
+};
+use proptest::prelude::*;
+use rand::RngCore;
+
+fn norm(pairs: Vec<(u64, u64)>, capacity: u64) -> NormalizedInstance {
+    NormalizedInstance::new(Instance::from_pairs(pairs, capacity).unwrap()).unwrap()
+}
+
+/// Alias sampling and rejection sampling draw from the *same*
+/// distribution: compare empirical frequencies head to head.
+#[test]
+fn alias_and_rejection_agree_in_distribution() {
+    let norm = norm(vec![(5, 1), (10, 1), (25, 1), (60, 1)], 4);
+    let inner = InstanceOracle::new(&norm);
+    let rejection = RejectionSamplingOracle::new(&inner, 60, 10_000);
+    let mut rng = Seed::from_entropy_u64(1).rng();
+    let trials = 30_000;
+    let mut alias_counts = [0u64; 4];
+    let mut rejection_counts = [0u64; 4];
+    for _ in 0..trials {
+        alias_counts[inner.sample_weighted(&mut rng).0.index()] += 1;
+        rejection_counts[rejection.sample_weighted(&mut rng).0.index()] += 1;
+    }
+    for index in 0..4 {
+        let a = alias_counts[index] as f64;
+        let b = rejection_counts[index] as f64;
+        assert!(
+            (a - b).abs() < 6.0 * a.max(b).sqrt() + 60.0,
+            "item {index}: alias {a} vs rejection {b}"
+        );
+    }
+}
+
+/// Derived seed streams are pairwise distinct and individually stable.
+#[test]
+fn seed_streams_are_separated_and_stable() {
+    let root = Seed::from_entropy_u64(99);
+    let mut firsts = std::collections::HashSet::new();
+    for domain in ["a", "b", "rquantile", "rmedian/shift"] {
+        for index in 0..50u64 {
+            let mut rng = root.derive(domain, index).rng();
+            let first = rng.next_u64();
+            assert!(
+                firsts.insert(first),
+                "stream collision at ({domain}, {index})"
+            );
+            // Stability: re-deriving gives the same stream.
+            let mut again = root.derive(domain, index).rng();
+            assert_eq!(first, again.next_u64());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The alias table is exact for arbitrary profit vectors (the core
+    /// guarantee behind Section 4's access model).
+    #[test]
+    fn alias_table_exactness(profits in proptest::collection::vec(0u64..10_000, 1..80)) {
+        prop_assume!(profits.iter().sum::<u64>() > 0);
+        let table = AliasTable::new(&profits).unwrap();
+        let n = profits.len() as u128;
+        for (index, &profit) in profits.iter().enumerate() {
+            prop_assert_eq!(table.implied_mass(index), profit as u128 * n);
+        }
+    }
+
+    /// Metering is exact: `k` queries and `m` samples are counted as
+    /// exactly that.
+    #[test]
+    fn metering_is_exact(k in 0usize..40, m in 0usize..40) {
+        let norm = norm(vec![(3, 1), (4, 2), (5, 3)], 4);
+        let oracle = InstanceOracle::new(&norm);
+        let mut rng = Seed::from_entropy_u64(2).rng();
+        for index in 0..k {
+            let _ = oracle.query(ItemId(index % 3));
+        }
+        for _ in 0..m {
+            let _ = oracle.sample_weighted(&mut rng);
+        }
+        let snapshot = oracle.stats();
+        prop_assert_eq!(snapshot.point_queries, k as u64);
+        prop_assert_eq!(snapshot.weighted_samples, m as u64);
+    }
+
+    /// Norms handed out by the oracle agree with the instance's own
+    /// normalization.
+    #[test]
+    fn norms_are_faithful(pairs in proptest::collection::vec((1u64..100, 1u64..100), 1..30)) {
+        let norm = NormalizedInstance::new(
+            Instance::from_pairs(pairs, 10).unwrap()
+        ).unwrap();
+        let oracle = InstanceOracle::new(&norm);
+        prop_assert_eq!(oracle.norms().total_profit, norm.total_profit());
+        prop_assert_eq!(oracle.norms().total_weight, norm.total_weight());
+        for index in 0..norm.len() {
+            prop_assert_eq!(oracle.query(ItemId(index)), norm.item(ItemId(index)));
+        }
+    }
+}

@@ -1,0 +1,289 @@
+//! Measurement harness for reproducibility (Definition 2.5) and
+//! τ-approximation accuracy (Definition 2.6) — the engine behind
+//! experiment E7 and the statistical tests of this crate.
+
+use lcakp_oracle::Seed;
+use rand::Rng;
+use rand_chacha::ChaCha12Rng;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A finite discrete distribution with exact CDF queries — the ground
+/// truth against which τ-approximation is checked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscreteDist {
+    /// `(value, mass)` pairs, sorted by value, masses positive and
+    /// summing to ~1.
+    atoms: Vec<(u128, f64)>,
+    /// `cumulative[i] = Σ_{j ≤ i} mass_j` — sampling is a binary search.
+    cumulative: Vec<f64>,
+}
+
+impl DiscreteDist {
+    /// Builds a distribution from `(value, mass)` atoms. Masses are
+    /// normalized to sum to 1; zero-mass atoms are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no atom has positive mass.
+    pub fn new(mut atoms: Vec<(u128, f64)>) -> Self {
+        atoms.retain(|&(_, mass)| mass > 0.0);
+        assert!(!atoms.is_empty(), "distribution needs positive mass");
+        atoms.sort_by_key(|&(value, _)| value);
+        let total: f64 = atoms.iter().map(|&(_, mass)| mass).sum();
+        let mut running = 0.0;
+        let mut cumulative = Vec::with_capacity(atoms.len());
+        for atom in &mut atoms {
+            atom.1 /= total;
+            running += atom.1;
+            cumulative.push(running);
+        }
+        DiscreteDist { atoms, cumulative }
+    }
+
+    /// The uniform distribution over `0..count`.
+    pub fn uniform(count: u128) -> Self {
+        assert!(count > 0);
+        let mass = 1.0 / count as f64;
+        DiscreteDist::new((0..count).map(|value| (value, mass)).collect())
+    }
+
+    /// `Pr[X ≤ v]`, over the atoms (binary search on the support).
+    pub fn cdf_leq(&self, v: u128) -> f64 {
+        let index = self.atoms.partition_point(|&(value, _)| value <= v);
+        if index == 0 {
+            0.0
+        } else {
+            self.cumulative[index - 1]
+        }
+    }
+
+    /// `Pr[X ≥ v]`, over the atoms.
+    pub fn cdf_geq(&self, v: u128) -> f64 {
+        let index = self.atoms.partition_point(|&(value, _)| value < v);
+        if index == 0 {
+            1.0
+        } else {
+            1.0 - self.cumulative[index - 1]
+        }
+    }
+
+    /// Whether `v` is a τ-approximate `p`-quantile:
+    /// `Pr[X ≤ v] ≥ p − τ` and `Pr[X ≥ v] ≥ 1 − p − τ`
+    /// (Definition 2.6, generalized from the median).
+    pub fn is_tau_quantile(&self, v: u128, p: f64, tau: f64) -> bool {
+        self.cdf_leq(v) >= p - tau && self.cdf_geq(v) >= 1.0 - p - tau
+    }
+
+    /// Draws one value (binary search over the cumulative masses).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u128 {
+        let roll: f64 = rng.gen();
+        let index = self
+            .cumulative
+            .partition_point(|&mass| mass <= roll)
+            .min(self.atoms.len() - 1);
+        self.atoms[index].0
+    }
+
+    /// Draws `n` i.i.d. values.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<u128> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The atoms, sorted by value.
+    pub fn atoms(&self) -> &[(u128, f64)] {
+        &self.atoms
+    }
+}
+
+/// Result of a reproducibility measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReproReport {
+    /// Number of (seed, sample-pair) trials.
+    pub trials: u32,
+    /// Trials whose two runs agreed exactly.
+    pub agreements: u32,
+    /// Trials whose outputs were τ-accurate (both runs).
+    pub accurate: u32,
+    /// Observed distinct outputs and their multiplicities.
+    pub output_counts: HashMap<u128, u32>,
+}
+
+impl ReproReport {
+    /// Empirical reproducibility rate `Pr[A(s⃗₁; r) = A(s⃗₂; r)]`.
+    pub fn agreement_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        self.agreements as f64 / self.trials as f64
+    }
+
+    /// Empirical accuracy rate (fraction of runs that were τ-accurate).
+    pub fn accuracy_rate(&self) -> f64 {
+        if self.trials == 0 {
+            return 1.0;
+        }
+        self.accurate as f64 / self.trials as f64
+    }
+}
+
+impl fmt::Display for ReproReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "agreement={:.3} accuracy={:.3} distinct_outputs={} trials={}",
+            self.agreement_rate(),
+            self.accuracy_rate(),
+            self.output_counts.len(),
+            self.trials
+        )
+    }
+}
+
+/// Measures reproducibility and accuracy of a quantile-like algorithm
+/// over a known distribution.
+///
+/// For each trial `t` the harness derives a fresh shared seed, draws two
+/// independent samples of size `sample_size` from `dist`, runs
+/// `algorithm(sample, seed)` on each, and records agreement (Definition
+/// 2.5) plus τ-accuracy of both outputs at quantile `p`.
+pub fn measure_reproducibility<A>(
+    dist: &DiscreteDist,
+    sample_size: usize,
+    p: f64,
+    tau: f64,
+    trials: u32,
+    base_seed: Seed,
+    mut algorithm: A,
+) -> ReproReport
+where
+    A: FnMut(&[u128], &Seed) -> u128,
+{
+    use rand::SeedableRng;
+    let mut agreements = 0;
+    let mut accurate = 0;
+    let mut output_counts: HashMap<u128, u32> = HashMap::new();
+    for trial in 0..trials {
+        let seed = base_seed.derive("harness/trial-seed", trial as u64);
+        let mut rng_a = ChaCha12Rng::seed_from_u64(0x5eed_0000 + 2 * trial as u64);
+        let mut rng_b = ChaCha12Rng::seed_from_u64(0x5eed_0001 + 2 * trial as u64);
+        let sample_a = dist.sample_n(&mut rng_a, sample_size);
+        let sample_b = dist.sample_n(&mut rng_b, sample_size);
+        let out_a = algorithm(&sample_a, &seed);
+        let out_b = algorithm(&sample_b, &seed);
+        if out_a == out_b {
+            agreements += 1;
+        }
+        if dist.is_tau_quantile(out_a, p, tau) && dist.is_tau_quantile(out_b, p, tau) {
+            accurate += 1;
+        }
+        *output_counts.entry(out_a).or_insert(0) += 1;
+        *output_counts.entry(out_b).or_insert(0) += 1;
+    }
+    ReproReport {
+        trials,
+        agreements,
+        accurate,
+        output_counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{naive_quantile, rquantile, Domain, RQuantileConfig};
+
+    #[test]
+    fn dist_cdf_queries() {
+        let dist = DiscreteDist::new(vec![(10, 0.25), (20, 0.5), (30, 0.25)]);
+        assert!((dist.cdf_leq(10) - 0.25).abs() < 1e-12);
+        assert!((dist.cdf_leq(25) - 0.75).abs() < 1e-12);
+        assert!((dist.cdf_geq(20) - 0.75).abs() < 1e-12);
+        assert!((dist.cdf_geq(31) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dist_normalizes_masses() {
+        let dist = DiscreteDist::new(vec![(1, 2.0), (2, 2.0)]);
+        assert!((dist.cdf_leq(1) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tau_quantile_check() {
+        let dist = DiscreteDist::uniform(100);
+        assert!(dist.is_tau_quantile(50, 0.5, 0.05));
+        assert!(!dist.is_tau_quantile(90, 0.5, 0.05));
+        assert!(dist.is_tau_quantile(90, 0.9, 0.05));
+    }
+
+    #[test]
+    fn sampling_matches_distribution_roughly() {
+        let dist = DiscreteDist::new(vec![(0, 0.8), (1, 0.2)]);
+        let mut rng = Seed::from_entropy_u64(4).rng();
+        let sample = dist.sample_n(&mut rng, 10_000);
+        let zeros = sample.iter().filter(|&&v| v == 0).count();
+        assert!((7_600..8_400).contains(&zeros), "zeros = {zeros}");
+    }
+
+    #[test]
+    fn harness_separates_reproducible_from_naive() {
+        let dist = DiscreteDist::uniform(1 << 20);
+        let tau = 0.05;
+        let reproducible_report = measure_reproducibility(
+            &dist,
+            40_000,
+            0.5,
+            tau,
+            15,
+            Seed::from_entropy_u64(1),
+            |sample, seed| {
+                let config = RQuantileConfig {
+                    domain: Domain::new(20).unwrap(),
+                    p: 0.5,
+                    tau,
+                };
+                rquantile(sample, &config, seed).unwrap()
+            },
+        );
+        let naive_report = measure_reproducibility(
+            &dist,
+            40_000,
+            0.5,
+            tau,
+            15,
+            Seed::from_entropy_u64(2),
+            |sample, _| naive_quantile(sample, 0.5),
+        );
+        assert!(
+            reproducible_report.agreement_rate() > naive_report.agreement_rate(),
+            "rquantile {} vs naive {}",
+            reproducible_report,
+            naive_report
+        );
+        assert!(naive_report.agreement_rate() < 0.2);
+        assert!(reproducible_report.accuracy_rate() >= 0.9);
+    }
+
+    #[test]
+    fn report_rates_empty_is_one() {
+        let report = ReproReport {
+            trials: 0,
+            agreements: 0,
+            accurate: 0,
+            output_counts: HashMap::new(),
+        };
+        assert_eq!(report.agreement_rate(), 1.0);
+        assert_eq!(report.accuracy_rate(), 1.0);
+    }
+
+    #[test]
+    fn report_display() {
+        let report = ReproReport {
+            trials: 2,
+            agreements: 1,
+            accurate: 2,
+            output_counts: HashMap::new(),
+        };
+        assert!(report.to_string().contains("agreement=0.500"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Reproducible approximate median — the workspace's stand-in for
+//! [ILPS22, Theorem 4.2] (paper Theorem 2.7).
+//!
+//! # Algorithm (shifted-grid construction, `DESIGN.md` §3)
+//!
+//! Given a sample from a distribution `D` over `[0, 2^d)` and the shared
+//! seed `r`:
+//!
+//! 1. **Base case** (`d ≤ 8`, a constant-size domain): draw a random
+//!    threshold `θ ∈ [1/2 − τ/2, 1/2 + τ/2]` from `r` and return the
+//!    smallest domain element whose empirical CDF reaches `θ`. Two runs
+//!    disagree only if their empirical CDFs straddle `θ` at the output —
+//!    probability `O(γ/τ)` for CDF error `γ`.
+//! 2. **Recursive case**: draw a random grid offset `s ∈ [0, 2^d)` from
+//!    `r`. Estimate the *fluctuation scale* of the empirical median: split
+//!    half the sample into batches, take batch medians, and record for
+//!    each batch pair the bit-scale at which the two medians separate on
+//!    the shifted dyadic grid (`bitlen((a+s) ⊕ (b+s))`). These scales are
+//!    i.i.d. draws from a distribution over the domain `[0, d]` —
+//!    **exponentially smaller** than `[0, 2^d)` — and the grid scale `i*`
+//!    is chosen as a *recursive reproducible median* of them (plus a
+//!    safety margin). This `2^d → d` compression is what gives the
+//!    `log* |X|` recursion depth of [ILPS22].
+//! 3. **Snap**: compute the empirical median `m̂` of the other half and
+//!    output the centre of the scale-`i*` shifted grid cell containing
+//!    `m̂`. Two runs share `s` and (with probability `1 − ρ_rec`) `i*`;
+//!    their `m̂`s differ by less than one cell width by the choice of
+//!    `i*`, so they snap to the same centre.
+//! 4. **Scale descent** (accuracy guard): accept the snapped point only
+//!    if it is a θ-approximate median of the *empirical* distribution —
+//!    `#{x ≤ out}` and `#{x ≥ out}` both at least `(1/2 − θ)·n`, with a
+//!    *shared random* slack `θ ∈ [τ/4, τ/2]` — otherwise halve the cell
+//!    width and re-snap. In the limit `i = 0` the output is `m̂` itself,
+//!    so the loop terminates and the output always satisfies Definition
+//!    2.6 empirically; the random slack gives hysteresis so that two
+//!    runs rarely descend different amounts.
+//!
+//! Reproducibility and accuracy are validated empirically by the tests
+//! below and experiment E7, as promised in `DESIGN.md`.
+
+use crate::domain::Domain;
+use crate::ReproducibleError;
+use lcakp_oracle::Seed;
+use rand::Rng;
+
+/// Domain width at or below which the base case runs.
+const BASE_BITS: u32 = 8;
+/// Extra bit-scales added on top of the recursively selected scale, to
+/// absorb the factor between batch-median and full-median fluctuations.
+const SCALE_MARGIN: u32 = 3;
+/// Number of batches used for the scale statistic.
+const BATCHES: usize = 32;
+/// Accuracy used for the recursive scale-selection call.
+const SCALE_TAU: f64 = 0.25;
+
+/// Configuration of a reproducible-median call.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RMedianConfig {
+    /// The finite ordered domain the sample lives in.
+    pub domain: Domain,
+    /// Target accuracy τ ∈ (0, 1/2]: the output is a τ-approximate median
+    /// (Definition 2.6 of the paper).
+    pub tau: f64,
+}
+
+/// Computes a ρ-reproducible τ-approximate median of the distribution the
+/// sample was drawn from.
+///
+/// * `sample` — fresh i.i.d. draws (the per-run channel). Size it with
+///   [`crate::SampleBudget`].
+/// * `seed` — the shared randomness `r` (the reproducibility channel).
+///   Two runs with the same seed and independent samples return the same
+///   value with high probability.
+///
+/// # Errors
+///
+/// * [`ReproducibleError::EmptySample`] for an empty sample;
+/// * [`ReproducibleError::ValueOutOfDomain`] if a sample value exceeds the
+///   domain;
+/// * [`ReproducibleError::InvalidParameter`] if `tau ∉ (0, 1/2]`.
+///
+/// ```
+/// use lcakp_reproducible::{rmedian, Domain, RMedianConfig, Seed};
+/// # fn main() -> Result<(), lcakp_reproducible::ReproducibleError> {
+/// let config = RMedianConfig { domain: Domain::new(16)?, tau: 0.05 };
+/// let seed = Seed::from_entropy_u64(1);
+/// let sample: Vec<u128> = (0..10_000).map(|i| (i * 37) % 1000).collect();
+/// let median = rmedian(&sample, &config, &seed)?;
+/// // ~uniform over [0, 1000): any τ-approximate median is near 500.
+/// assert!((400..600).contains(&(median as i64)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn rmedian(
+    sample: &[u128],
+    config: &RMedianConfig,
+    seed: &Seed,
+) -> Result<u128, ReproducibleError> {
+    if !(config.tau > 0.0 && config.tau <= 0.5) {
+        return Err(ReproducibleError::InvalidParameter {
+            name: "tau",
+            value: config.tau,
+        });
+    }
+    config.domain.check_sample(sample)?;
+    Ok(solve(sample, config.domain.bits(), config.tau, 0.5, seed, 0))
+}
+
+/// Recursive worker. `raw` keeps the caller's (i.i.d.) order: the batch
+/// statistic needs genuinely random batches, which a sorted sample would
+/// destroy. `target` is the quantile to aim for: 1/2 at the top level,
+/// an *upper* quantile for the internal scale selection (a conservative,
+/// stable choice when the scale distribution is bimodal — larger cells
+/// only cost descent steps, which the accuracy guard bounds).
+fn solve(raw: &[u128], bits: u32, tau: f64, target: f64, seed: &Seed, depth: u64) -> u128 {
+    debug_assert!(!raw.is_empty());
+    let mut sorted = raw.to_vec();
+    sorted.sort_unstable();
+    if bits <= BASE_BITS || raw.len() < 64 {
+        return base_case(&sorted, tau, target, seed, depth);
+    }
+
+    let mask = (1u128 << bits) - 1;
+    let shift = seed.derive("rmedian/shift", depth).rng().gen::<u128>() & mask;
+
+    // Halves (by parity of arrival index, so both are i.i.d. samples):
+    // A estimates the fluctuation scale, B the median position.
+    let half_a: Vec<u128> = raw.iter().copied().step_by(2).collect();
+    let mut half_b: Vec<u128> = raw.iter().copied().skip(1).step_by(2).collect();
+    if half_b.is_empty() {
+        half_b.clone_from(&half_a);
+    }
+    half_b.sort_unstable();
+
+    // Batch medians of A → pairwise separation scales. Each batch is a
+    // strided subsequence of the raw order (an i.i.d. subsample); the
+    // separation of two independent batch medians upper-bounds the
+    // fluctuation of the (larger) half-B median, conservatively.
+    let batch_count = BATCHES.min(half_a.len()).max(2);
+    let batch_medians: Vec<u128> = (0..batch_count)
+        .map(|batch| {
+            let mut members: Vec<u128> = half_a
+                .iter()
+                .copied()
+                .skip(batch)
+                .step_by(batch_count)
+                .collect();
+            members.sort_unstable();
+            members[(members.len() - 1) / 2]
+        })
+        .collect();
+    let scales: Vec<u128> = batch_medians
+        .chunks_exact(2)
+        .map(|pair| bit_length((pair[0] + shift) ^ (pair[1] + shift)) as u128)
+        .collect();
+    let scales = if scales.is_empty() { vec![0] } else { scales };
+
+    // Recursive reproducible median over the scale domain [0, bits+1] ⊆
+    // [0, 2^7): the 2^d → d compression that yields log* depth.
+    let selected = solve(
+        &scales,
+        7,
+        SCALE_TAU,
+        0.75,
+        &seed.derive("rmedian/scale", depth),
+        depth + 1,
+    );
+    let mut scale = (u32::try_from(selected).unwrap_or(bits) + SCALE_MARGIN).min(bits);
+
+    // Empirical median of B.
+    let m_hat = half_b[(half_b.len() - 1) / 2];
+
+    // Scale descent with a shared random slack θ ∈ [τ/4, τ/2]: accept the
+    // snapped point only if it is an empirical θ-approximate median of
+    // the full sample (Definition 2.6, both sides), else halve the cell.
+    // At scale 0 the output is m̂ itself, which always qualifies — so the
+    // loop terminates and the accuracy contract holds by construction up
+    // to the empirical-CDF error.
+    let gap_fraction: f64 = seed.derive("rmedian/gap", depth).rng().gen();
+    let theta = tau * (0.25 + 0.25 * gap_fraction);
+    loop {
+        let out = snap(m_hat, shift, scale, mask);
+        if is_empirical_median(&sorted, out, theta) || scale == 0 {
+            return out;
+        }
+        scale -= 1;
+    }
+}
+
+/// Whether `v` is a θ-approximate median of the *empirical* distribution:
+/// `#{x ≤ v} ≥ (1/2 − θ)·n` and `#{x ≥ v} ≥ (1/2 − θ)·n`.
+fn is_empirical_median(sorted: &[u128], v: u128, theta: f64) -> bool {
+    let n = sorted.len() as f64;
+    let leq = sorted.partition_point(|&x| x <= v) as f64;
+    let geq = n - sorted.partition_point(|&x| x < v) as f64;
+    let floor = (0.5 - theta) * n;
+    leq >= floor && geq >= floor
+}
+
+/// Base case: random-threshold empirical quantile over a constant-size
+/// domain, centered on `target`.
+fn base_case(sorted: &[u128], tau: f64, target: f64, seed: &Seed, depth: u64) -> u128 {
+    let fraction: f64 = seed.derive("rmedian/base-theta", depth).rng().gen();
+    let theta = target + (fraction - 0.5) * tau;
+    let rank = ((theta * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Centre of the scale-`i` shifted grid cell containing `value`, clamped
+/// into the domain.
+fn snap(value: u128, shift: u128, scale: u32, mask: u128) -> u128 {
+    if scale == 0 {
+        return value;
+    }
+    let shifted = value + shift;
+    let cell = shifted >> scale;
+    let centre = (cell << scale) + (1u128 << (scale - 1));
+    centre.saturating_sub(shift).min(mask)
+}
+
+
+/// Number of bits needed to write `x` (0 for 0).
+fn bit_length(x: u128) -> u32 {
+    128 - x.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn config(bits: u32, tau: f64) -> RMedianConfig {
+        RMedianConfig {
+            domain: Domain::new(bits).unwrap(),
+            tau,
+        }
+    }
+
+    fn uniform_sample(rng: &mut ChaCha12Rng, n: usize, range: u128) -> Vec<u128> {
+        (0..n).map(|_| rng.gen_range(0..range)).collect()
+    }
+
+    #[test]
+    fn validates_inputs() {
+        let seed = Seed::from_entropy_u64(0);
+        assert!(matches!(
+            rmedian(&[], &config(8, 0.1), &seed),
+            Err(ReproducibleError::EmptySample)
+        ));
+        assert!(matches!(
+            rmedian(&[300], &config(8, 0.1), &seed),
+            Err(ReproducibleError::ValueOutOfDomain { .. })
+        ));
+        assert!(matches!(
+            rmedian(&[1], &config(8, 0.0), &seed),
+            Err(ReproducibleError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn point_mass_returns_the_point() {
+        let seed = Seed::from_entropy_u64(5);
+        let sample = vec![42u128; 5000];
+        for bits in [8, 16, 32, 64] {
+            assert_eq!(rmedian(&sample, &config(bits, 0.05), &seed).unwrap(), 42);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_sample_and_seed() {
+        let seed = Seed::from_entropy_u64(9);
+        let mut rng = ChaCha12Rng::seed_from_u64(1);
+        let sample = uniform_sample(&mut rng, 4000, 1 << 20);
+        let a = rmedian(&sample, &config(32, 0.05), &seed).unwrap();
+        let b = rmedian(&sample, &config(32, 0.05), &seed).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accuracy_on_uniform() {
+        // τ = 0.05 over U[0, 2^20): output's CDF must be in [0.45, 0.55],
+        // i.e. the value in [0.45, 0.55]·2^20 (within sampling noise).
+        for trial in 0..10u64 {
+            let seed = Seed::from_entropy_u64(trial);
+            let mut rng = ChaCha12Rng::seed_from_u64(trial + 100);
+            let sample = uniform_sample(&mut rng, 20_000, 1 << 20);
+            let out = rmedian(&sample, &config(20, 0.05), &seed).unwrap();
+            let cdf = out as f64 / (1u128 << 20) as f64;
+            assert!(
+                (0.43..=0.57).contains(&cdf),
+                "trial {trial}: cdf(out) = {cdf}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_near_heavy_atom() {
+        // 40% of mass at 1000, the rest uniform over [2^19, 2^20): the
+        // median sits in the uniform part near its 1/6 point. The output
+        // must not land "inside" the atom's shadow: its CDF must stay in
+        // [0.5 − τ, 0.5 + τ] up to sampling noise.
+        for trial in 0..5u64 {
+            let seed = Seed::from_entropy_u64(trial);
+            let mut rng = ChaCha12Rng::seed_from_u64(trial + 7);
+            let sample: Vec<u128> = (0..30_000)
+                .map(|_| {
+                    if rng.gen_bool(0.4) {
+                        1000u128
+                    } else {
+                        rng.gen_range((1u128 << 19)..(1u128 << 20))
+                    }
+                })
+                .collect();
+            let out = rmedian(&sample, &config(20, 0.05), &seed).unwrap();
+            // CDF(out) = 0.4 + 0.6·position within the uniform band.
+            let cdf = if out < (1 << 19) {
+                0.4
+            } else {
+                0.4 + 0.6 * ((out - (1 << 19)) as f64 / (1u128 << 19) as f64)
+            };
+            assert!(
+                (0.42..=0.58).contains(&cdf),
+                "trial {trial}: out = {out}, cdf = {cdf}"
+            );
+        }
+    }
+
+    #[test]
+    fn reproducibility_rate_on_fresh_samples() {
+        // Same seed, independent samples → same output, for most seeds.
+        let mut agreements = 0;
+        let trials = 40;
+        for trial in 0..trials {
+            let seed = Seed::from_entropy_u64(trial);
+            let mut rng_a = ChaCha12Rng::seed_from_u64(1_000 + trial);
+            let mut rng_b = ChaCha12Rng::seed_from_u64(2_000 + trial);
+            let sample_a = uniform_sample(&mut rng_a, 60_000, 1 << 30);
+            let sample_b = uniform_sample(&mut rng_b, 60_000, 1 << 30);
+            let out_a = rmedian(&sample_a, &config(30, 0.05), &seed).unwrap();
+            let out_b = rmedian(&sample_b, &config(30, 0.05), &seed).unwrap();
+            if out_a == out_b {
+                agreements += 1;
+            }
+        }
+        assert!(
+            agreements * 4 >= trials * 3,
+            "reproducibility too low: {agreements}/{trials}"
+        );
+    }
+
+    #[test]
+    fn base_case_is_reproducible_on_small_domains() {
+        let mut agreements = 0;
+        let trials = 50;
+        for trial in 0..trials {
+            let seed = Seed::from_entropy_u64(trial);
+            let mut rng_a = ChaCha12Rng::seed_from_u64(3_000 + trial);
+            let mut rng_b = ChaCha12Rng::seed_from_u64(4_000 + trial);
+            // A coarse domain (16 atoms): the random-threshold base case
+            // is reproducible when atoms are heavy relative to sampling
+            // noise — exactly the regime the recursion reduces to.
+            let sample_a = uniform_sample(&mut rng_a, 20_000, 16);
+            let sample_b = uniform_sample(&mut rng_b, 20_000, 16);
+            let out_a = rmedian(&sample_a, &config(4, 0.1), &seed).unwrap();
+            let out_b = rmedian(&sample_b, &config(4, 0.1), &seed).unwrap();
+            if out_a == out_b {
+                agreements += 1;
+            }
+        }
+        assert!(
+            agreements * 50 >= trials * 42,
+            "base-case reproducibility too low: {agreements}/{trials}"
+        );
+    }
+
+    #[test]
+    fn two_point_distribution_returns_an_endpoint_region() {
+        // Half the mass at 10, half at 1_000_000: any value v with
+        // P[X ≤ v] ≥ 1/2 − τ and P[X ≥ v] ≥ 1/2 − τ is valid — that is,
+        // anything in [10, 1_000_000].
+        let seed = Seed::from_entropy_u64(11);
+        let mut rng = ChaCha12Rng::seed_from_u64(42);
+        let sample: Vec<u128> = (0..10_000)
+            .map(|_| if rng.gen_bool(0.5) { 10 } else { 1_000_000 })
+            .collect();
+        let out = rmedian(&sample, &config(32, 0.1), &seed).unwrap();
+        assert!((10..=1_000_000).contains(&out), "out = {out}");
+    }
+
+    #[test]
+    fn bit_length_is_correct() {
+        assert_eq!(bit_length(0), 0);
+        assert_eq!(bit_length(1), 1);
+        assert_eq!(bit_length(7), 3);
+        assert_eq!(bit_length(8), 4);
+    }
+
+    #[test]
+    fn snap_is_identity_at_scale_zero() {
+        assert_eq!(snap(77, 12345, 0, u128::MAX), 77);
+    }
+
+    #[test]
+    fn snap_clamps_into_domain() {
+        let mask = (1u128 << 8) - 1;
+        let out = snap(255, 0, 8, mask);
+        assert!(out <= mask);
+        let out = snap(0, 200, 8, mask);
+        assert!(out <= mask);
+    }
+
+    #[test]
+    fn empirical_median_check_is_two_sided() {
+        let sorted = vec![1u128, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert!(is_empirical_median(&sorted, 5, 0.1));
+        assert!(is_empirical_median(&sorted, 6, 0.1));
+        assert!(!is_empirical_median(&sorted, 1, 0.1));
+        assert!(!is_empirical_median(&sorted, 10, 0.1));
+        // A value past every sample fails the ≥ side even though the ≤
+        // side is saturated.
+        assert!(!is_empirical_median(&sorted, 11, 0.1));
+        // Heavy atom: the point just past the atom fails.
+        let atom = vec![5u128; 8].into_iter().chain([9, 10]).collect::<Vec<_>>();
+        let mut atom = atom;
+        atom.sort_unstable();
+        assert!(is_empirical_median(&atom, 5, 0.1));
+        assert!(!is_empirical_median(&atom, 6, 0.1));
+    }
+}

@@ -1,0 +1,166 @@
+//! Integration tests: rMedian / rQuantile across a zoo of distribution
+//! shapes, checked against exact CDFs — the statistical contract of
+//! Theorems 2.7 and 4.5 in executable form.
+
+use lcakp_reproducible::harness::{measure_reproducibility, DiscreteDist};
+use lcakp_reproducible::{
+    naive_quantile, rmedian, rquantile, Domain, RMedianConfig, RQuantileConfig, Seed,
+};
+
+fn zoo() -> Vec<(&'static str, DiscreteDist)> {
+    vec![
+        ("uniform", DiscreteDist::uniform(1 << 18)),
+        (
+            "bimodal-far",
+            DiscreteDist::new(vec![(7, 0.5), (1 << 40, 0.5)]),
+        ),
+        (
+            "three-atoms",
+            DiscreteDist::new(vec![(100, 0.2), (200, 0.5), (300, 0.3)]),
+        ),
+        (
+            "heavy-atom-plus-band",
+            DiscreteDist::new(
+                std::iter::once((5u128, 0.45))
+                    .chain((0..500).map(|v| (1_000 + v, 0.0011)))
+                    .collect(),
+            ),
+        ),
+        (
+            "geometric-tail",
+            DiscreteDist::new((0..50u128).map(|k| (1u128 << k, 0.5f64.powi(k as i32 + 1))).collect()),
+        ),
+    ]
+}
+
+/// Accuracy across the zoo at three quantiles: every output must be a
+/// τ-approximate p-quantile of the *true* distribution.
+#[test]
+fn rquantile_is_accurate_across_the_zoo() {
+    let tau = 0.06;
+    for (name, dist) in zoo() {
+        for &p in &[0.25f64, 0.5, 0.75] {
+            for trial in 0..4u64 {
+                let seed = Seed::from_entropy_u64(1_000 + trial);
+                let mut rng = Seed::from_entropy_u64(2_000 + trial).rng();
+                let sample = dist.sample_n(&mut rng, 30_000);
+                let config = RQuantileConfig {
+                    domain: Domain::new(41).unwrap(),
+                    p,
+                    tau,
+                };
+                let out = rquantile(&sample, &config, &seed).unwrap();
+                assert!(
+                    dist.is_tau_quantile(out, p, tau + 0.02),
+                    "{name} p={p} trial={trial}: {out} not a τ-quantile \
+                     (cdf≤ {:.3}, cdf≥ {:.3})",
+                    dist.cdf_leq(out),
+                    dist.cdf_geq(out)
+                );
+            }
+        }
+    }
+}
+
+/// Reproducibility across the zoo: rQuantile beats the naive quantile on
+/// every shape (and by a wide margin on continuous-like ones).
+#[test]
+fn rquantile_beats_naive_on_every_shape() {
+    let tau = 0.05;
+    for (name, dist) in zoo() {
+        let rq = measure_reproducibility(
+            &dist,
+            50_000,
+            0.5,
+            tau,
+            12,
+            Seed::from_entropy_u64(7),
+            |sample, seed| {
+                let config = RQuantileConfig {
+                    domain: Domain::new(41).unwrap(),
+                    p: 0.5,
+                    tau,
+                };
+                rquantile(sample, &config, seed).unwrap()
+            },
+        );
+        let naive = measure_reproducibility(
+            &dist,
+            50_000,
+            0.5,
+            tau,
+            12,
+            Seed::from_entropy_u64(8),
+            |sample, _| naive_quantile(sample, 0.5),
+        );
+        assert!(
+            rq.agreement_rate() >= naive.agreement_rate(),
+            "{name}: rq {} < naive {}",
+            rq.agreement_rate(),
+            naive.agreement_rate()
+        );
+        assert!(
+            rq.accuracy_rate() >= 0.75,
+            "{name}: accuracy collapsed: {rq}"
+        );
+    }
+}
+
+/// Atoms are fixed points: when one value holds a majority of the mass,
+/// every run must return exactly it.
+#[test]
+fn majority_atom_is_always_returned() {
+    let dist = DiscreteDist::new(vec![(777, 0.7), (1, 0.15), (1 << 30, 0.15)]);
+    for trial in 0..10u64 {
+        let seed = Seed::from_entropy_u64(trial);
+        let mut rng = Seed::from_entropy_u64(100 + trial).rng();
+        let sample = dist.sample_n(&mut rng, 20_000);
+        let config = RMedianConfig {
+            domain: Domain::new(31).unwrap(),
+            tau: 0.05,
+        };
+        assert_eq!(rmedian(&sample, &config, &seed).unwrap(), 777);
+    }
+}
+
+/// rQuantile is monotone in p on a fixed sample (up to the τ tolerance
+/// enforced by construction: we assert weak monotonicity of outputs
+/// after sorting by p).
+#[test]
+fn quantiles_are_essentially_monotone_in_p() {
+    let dist = DiscreteDist::uniform(1 << 16);
+    let mut rng = Seed::from_entropy_u64(3).rng();
+    let sample = dist.sample_n(&mut rng, 40_000);
+    let seed = Seed::from_entropy_u64(4);
+    let quantile = |p: f64| {
+        let config = RQuantileConfig {
+            domain: Domain::new(16).unwrap(),
+            p,
+            tau: 0.04,
+        };
+        rquantile(&sample, &config, &seed).unwrap()
+    };
+    let q10 = quantile(0.1);
+    let q50 = quantile(0.5);
+    let q90 = quantile(0.9);
+    // Allow τ-level inversions in value space: compare via true CDF.
+    assert!(dist.cdf_leq(q10) < dist.cdf_leq(q50) + 0.08);
+    assert!(dist.cdf_leq(q50) < dist.cdf_leq(q90) + 0.08);
+    assert!(q90 > q10);
+}
+
+/// Samples whose values sit at the extreme ends of the domain do not
+/// overflow or wrap during snapping.
+#[test]
+fn domain_edges_are_safe() {
+    let domain = Domain::new(63).unwrap();
+    let edge = domain.max_value();
+    let sample: Vec<u128> = (0..5_000)
+        .map(|index| if index % 2 == 0 { 0 } else { edge })
+        .collect();
+    let config = RMedianConfig { domain, tau: 0.1 };
+    for trial in 0..5u64 {
+        let out = rmedian(&sample, &config, &Seed::from_entropy_u64(trial)).unwrap();
+        assert!(domain.contains(out), "out {out} escaped the domain");
+    }
+}

@@ -1,0 +1,292 @@
+//! Deterministic Knapsack instance generators.
+//!
+//! Two groups of families:
+//!
+//! * [`pisinger`] — the classic correlation structures from the Knapsack
+//!   benchmarking literature (uncorrelated, weakly/strongly/inversely
+//!   correlated, almost-strongly correlated, subset-sum). These stress
+//!   solvers and the greedy/efficiency machinery.
+//! * [`paper`] — regime-targeted families that exercise specific code
+//!   paths of the paper's `LCA-KP`: instances dominated by *large* items
+//!   (profit > ε² of total), by *small* items, mixtures with heavy
+//!   *garbage* mass, and a two-tier family that triggers the singleton
+//!   branch of `CONVERT-GREEDY` (Algorithm 3).
+//!
+//! Every instance is a deterministic function of a [`WorkloadSpec`]
+//! (family, size, capacity ratio, seed), so experiments are replayable
+//! from their printed configuration alone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod pisinger;
+
+use lcakp_knapsack::{Instance, KnapsackError, NormalizedInstance};
+use rand::SeedableRng;
+use rand_chacha::ChaCha12Rng;
+use std::fmt;
+
+/// The instance family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Family {
+    /// Profits and weights independent uniform in `[1, range]`.
+    Uncorrelated {
+        /// Upper bound for profits and weights.
+        range: u64,
+    },
+    /// Weights uniform; profit = weight ± `range/10` (clamped ≥ 1).
+    WeaklyCorrelated {
+        /// Upper bound for weights.
+        range: u64,
+    },
+    /// Profit = weight + `range/10`: the hard classic family.
+    StronglyCorrelated {
+        /// Upper bound for weights.
+        range: u64,
+    },
+    /// Profits uniform; weight = profit + `range/10`.
+    InverseStronglyCorrelated {
+        /// Upper bound for profits.
+        range: u64,
+    },
+    /// Profit = weight (subset-sum structure).
+    SubsetSum {
+        /// Upper bound for weights.
+        range: u64,
+    },
+    /// Strongly correlated with small jitter.
+    AlmostStronglyCorrelated {
+        /// Upper bound for weights.
+        range: u64,
+    },
+    /// Weights in a narrow band, profits uniform.
+    SimilarWeights {
+        /// Upper bound for profits; weights live in `[range, 1.1·range]`.
+        range: u64,
+    },
+    /// A few heavy-profit items on top of a sea of unit items —
+    /// instances with a nonempty IKY *large* class.
+    LargeDominated {
+        /// Number of heavy items.
+        heavy: usize,
+        /// Profit of each heavy item.
+        heavy_profit: u64,
+    },
+    /// Every item tiny (profit 1–4) with efficiencies spread over two
+    /// decades — instances that are all *small* class.
+    SmallDominated,
+    /// Small-dominated plus a fraction of low-profit *heavy-weight* items
+    /// (the IKY garbage class).
+    GarbageMix {
+        /// Garbage items per 100 items (0–100).
+        garbage_percent: u8,
+    },
+    /// One item worth more than everything else combined but weighing the
+    /// whole capacity — drives `CONVERT-GREEDY` into its singleton
+    /// (`B_indicator`) branch.
+    SingletonTrap,
+}
+
+impl fmt::Display for Family {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Family::Uncorrelated { range } => write!(f, "uncorrelated(R={range})"),
+            Family::WeaklyCorrelated { range } => write!(f, "weakly-correlated(R={range})"),
+            Family::StronglyCorrelated { range } => write!(f, "strongly-correlated(R={range})"),
+            Family::InverseStronglyCorrelated { range } => {
+                write!(f, "inverse-strongly-correlated(R={range})")
+            }
+            Family::SubsetSum { range } => write!(f, "subset-sum(R={range})"),
+            Family::AlmostStronglyCorrelated { range } => {
+                write!(f, "almost-strongly-correlated(R={range})")
+            }
+            Family::SimilarWeights { range } => write!(f, "similar-weights(R={range})"),
+            Family::LargeDominated { heavy, heavy_profit } => {
+                write!(f, "large-dominated(heavy={heavy}, p={heavy_profit})")
+            }
+            Family::SmallDominated => write!(f, "small-dominated"),
+            Family::GarbageMix { garbage_percent } => {
+                write!(f, "garbage-mix({garbage_percent}%)")
+            }
+            Family::SingletonTrap => write!(f, "singleton-trap"),
+        }
+    }
+}
+
+/// A fully replayable instance description.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadSpec {
+    /// The family.
+    pub family: Family,
+    /// Number of items.
+    pub n: usize,
+    /// Capacity as a fraction `num/den` of the total weight.
+    pub capacity_ratio: (u64, u64),
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A convenient default: `n` items, capacity half the total weight.
+    pub fn new(family: Family, n: usize, seed: u64) -> Self {
+        WorkloadSpec {
+            family,
+            n,
+            capacity_ratio: (1, 2),
+            seed,
+        }
+    }
+
+    /// Sets the capacity ratio.
+    pub fn with_capacity_ratio(mut self, num: u64, den: u64) -> Self {
+        self.capacity_ratio = (num, den);
+        self
+    }
+
+    /// Generates the instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KnapsackError`] from instance construction (e.g. if a
+    /// family parameter exceeds the fixed-point bounds).
+    pub fn generate(&self) -> Result<Instance, KnapsackError> {
+        let mut rng = ChaCha12Rng::seed_from_u64(self.seed ^ 0x9e37_79b9);
+        if let Family::SingletonTrap = self.family {
+            // The trap construction fixes its own capacity.
+            let (items, capacity) = paper::singleton_trap(self.n);
+            return Instance::new(items, capacity);
+        }
+        let items = match self.family {
+            Family::Uncorrelated { range } => pisinger::uncorrelated(&mut rng, self.n, range),
+            Family::WeaklyCorrelated { range } => {
+                pisinger::weakly_correlated(&mut rng, self.n, range)
+            }
+            Family::StronglyCorrelated { range } => {
+                pisinger::strongly_correlated(&mut rng, self.n, range)
+            }
+            Family::InverseStronglyCorrelated { range } => {
+                pisinger::inverse_strongly_correlated(&mut rng, self.n, range)
+            }
+            Family::SubsetSum { range } => pisinger::subset_sum(&mut rng, self.n, range),
+            Family::AlmostStronglyCorrelated { range } => {
+                pisinger::almost_strongly_correlated(&mut rng, self.n, range)
+            }
+            Family::SimilarWeights { range } => {
+                pisinger::similar_weights(&mut rng, self.n, range)
+            }
+            Family::LargeDominated { heavy, heavy_profit } => {
+                paper::large_dominated(&mut rng, self.n, heavy, heavy_profit)
+            }
+            Family::SmallDominated => paper::small_dominated(&mut rng, self.n),
+            Family::GarbageMix { garbage_percent } => {
+                paper::garbage_mix(&mut rng, self.n, garbage_percent)
+            }
+            Family::SingletonTrap => unreachable!("handled above"),
+        };
+        let total_weight: u128 = items.iter().map(|item| item.weight as u128).sum();
+        let (num, den) = self.capacity_ratio;
+        let capacity =
+            u64::try_from(total_weight * num as u128 / den.max(1) as u128).unwrap_or(u64::MAX);
+        Instance::new(items, capacity)
+    }
+
+    /// Generates and normalizes the instance.
+    ///
+    /// # Errors
+    ///
+    /// As [`WorkloadSpec::generate`], plus normalization errors for
+    /// degenerate families (cannot occur for the built-in ones).
+    pub fn generate_normalized(&self) -> Result<NormalizedInstance, KnapsackError> {
+        NormalizedInstance::new(self.generate()?)
+    }
+}
+
+impl fmt::Display for WorkloadSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} n={} K={}·W/{} seed={}",
+            self.family, self.n, self.capacity_ratio.0, self.capacity_ratio.1, self.seed
+        )
+    }
+}
+
+/// The standard evaluation suite: one spec per family at the given size —
+/// the grid every end-to-end experiment sweeps.
+pub fn standard_suite(n: usize, seed: u64) -> Vec<WorkloadSpec> {
+    vec![
+        WorkloadSpec::new(Family::Uncorrelated { range: 1000 }, n, seed),
+        WorkloadSpec::new(Family::WeaklyCorrelated { range: 1000 }, n, seed),
+        WorkloadSpec::new(Family::StronglyCorrelated { range: 1000 }, n, seed),
+        WorkloadSpec::new(Family::InverseStronglyCorrelated { range: 1000 }, n, seed),
+        WorkloadSpec::new(Family::SubsetSum { range: 1000 }, n, seed),
+        WorkloadSpec::new(Family::AlmostStronglyCorrelated { range: 1000 }, n, seed),
+        WorkloadSpec::new(Family::SimilarWeights { range: 1000 }, n, seed),
+        WorkloadSpec::new(
+            Family::LargeDominated {
+                heavy: 5,
+                heavy_profit: 10_000,
+            },
+            n,
+            seed,
+        ),
+        WorkloadSpec::new(Family::SmallDominated, n, seed),
+        WorkloadSpec::new(Family::GarbageMix { garbage_percent: 30 }, n, seed),
+        WorkloadSpec::new(Family::SingletonTrap, n, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for spec in standard_suite(200, 7) {
+            let a = spec.generate().unwrap();
+            let b = spec.generate().unwrap();
+            assert_eq!(a, b, "{spec} must be deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadSpec::new(Family::Uncorrelated { range: 1000 }, 100, 1)
+            .generate()
+            .unwrap();
+        let b = WorkloadSpec::new(Family::Uncorrelated { range: 1000 }, 100, 2)
+            .generate()
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sizes_and_capacity_ratio_respected() {
+        let spec = WorkloadSpec::new(Family::SubsetSum { range: 100 }, 500, 3)
+            .with_capacity_ratio(1, 4);
+        let instance = spec.generate().unwrap();
+        assert_eq!(instance.len(), 500);
+        let total = instance.total_weight();
+        assert!(instance.capacity() <= total / 4 + 1);
+        assert!(instance.capacity() >= total / 4 - 1);
+    }
+
+    #[test]
+    fn all_families_normalize() {
+        for spec in standard_suite(100, 11) {
+            let norm = spec.generate_normalized();
+            assert!(norm.is_ok(), "{spec} failed: {norm:?}");
+        }
+    }
+
+    #[test]
+    fn display_is_replayable_description() {
+        let spec = WorkloadSpec::new(Family::SmallDominated, 50, 9);
+        let text = spec.to_string();
+        assert!(text.contains("small-dominated"));
+        assert!(text.contains("n=50"));
+        assert!(text.contains("seed=9"));
+    }
+}

@@ -1,0 +1,165 @@
+//! Regime-targeted families exercising the IKY partition and the branches
+//! of `CONVERT-GREEDY` (Algorithm 3 of the paper).
+
+use lcakp_knapsack::Item;
+use rand::Rng;
+
+/// `heavy` items of profit `heavy_profit` (moderate weight) over a sea of
+/// unit-profit items: at reasonable ε, exactly the heavy items form the
+/// IKY *large* class `L(I)`, so coupon collection (Lemma 4.2) and the
+/// large-item path of `LCA-KP` get exercised.
+pub fn large_dominated<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    heavy: usize,
+    heavy_profit: u64,
+) -> Vec<Item> {
+    let heavy = heavy.min(n);
+    let mut items: Vec<Item> = (0..heavy)
+        .map(|_| Item::new(heavy_profit.max(1), rng.gen_range(1..=50)))
+        .collect();
+    items.extend((heavy..n).map(|_| Item::new(1, rng.gen_range(1..=10))));
+    items
+}
+
+/// Every item tiny (profit 1–4) with weights spanning two decades, so
+/// every item is *small* class and the EPS machinery carries the whole
+/// solution.
+pub fn small_dominated<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<Item> {
+    (0..n)
+        .map(|_| {
+            let profit = rng.gen_range(1..=4);
+            let weight = rng.gen_range(1..=100);
+            Item::new(profit, weight)
+        })
+        .collect()
+}
+
+/// Small-dominated plus `garbage_percent`% of items with profit 1 and
+/// enormous weight — low profit *and* low efficiency, i.e. IKY garbage.
+/// `LCA-KP` must answer **no** on these without inspecting the rest of
+/// the instance.
+pub fn garbage_mix<R: Rng + ?Sized>(rng: &mut R, n: usize, garbage_percent: u8) -> Vec<Item> {
+    let garbage_percent = garbage_percent.min(50) as usize;
+    // Calibration: an item is garbage iff p·W < ε²·w·P. With garbage
+    // fraction g, garbage weight w_g and regular items averaging profit
+    // ~22 / weight ~50, the per-item condition becomes
+    // g·w_g + 50 < ε²·w_g·(0.3 + 22(1−g)) — satisfied for w_g ≈ 2500 and
+    // g ≤ 0.5 at every ε ≥ 1/5 the experiments use.
+    (0..n)
+        .map(|index| {
+            if index % 100 < garbage_percent {
+                // Profit 1 with a huge weight → low profit *and* low
+                // normalized efficiency.
+                Item::new(1, 2_000 + rng.gen_range(0..1_000))
+            } else {
+                Item::new(rng.gen_range(5..=40), rng.gen_range(1..=100))
+            }
+        })
+        .collect()
+}
+
+/// One item worth more than all others combined, but *less efficient*
+/// than every filler and weighing the whole capacity: the greedy prefix
+/// takes all fillers, cannot add the trap, and the trap's profit beats
+/// the prefix — driving `CONVERT-GREEDY` into its singleton
+/// (`B_indicator`) branch.
+///
+/// Returns the items together with the intended capacity (the trap's
+/// weight); the capacity is part of the construction, so
+/// [`crate::WorkloadSpec`] uses it verbatim for this family.
+pub fn singleton_trap(n: usize) -> (Vec<Item>, u64) {
+    let n = n.clamp(2, 60_000);
+    let fillers = (n - 1) as u64;
+    // Fillers: profit 10, weight 1 → efficiency 10, total profit 10·f.
+    // Trap: weight 2·f (= capacity), profit 15·f → efficiency 7.5 < 10
+    // but profit above the whole prefix's 10·f.
+    let mut items: Vec<Item> = (0..fillers).map(|_| Item::new(10, 1)).collect();
+    items.push(Item::new(15 * fillers, 2 * fillers));
+    (items, 2 * fillers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lcakp_knapsack::iky::{classify_item, Epsilon, ItemClass, Partition};
+    use lcakp_knapsack::{Instance, NormalizedInstance};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(3)
+    }
+
+    fn normalized(items: Vec<Item>, capacity_half: bool) -> NormalizedInstance {
+        let total: u64 = items.iter().map(|item| item.weight).sum();
+        let capacity = if capacity_half { total / 2 } else { total };
+        NormalizedInstance::new(Instance::new(items, capacity).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn large_dominated_has_large_class() {
+        let items = large_dominated(&mut rng(), 1000, 5, 10_000);
+        let norm = normalized(items, true);
+        let eps = Epsilon::new(1, 5).unwrap();
+        let partition = Partition::compute(&norm, eps);
+        assert_eq!(partition.large().len(), 5);
+    }
+
+    #[test]
+    fn small_dominated_has_no_large_items() {
+        let items = small_dominated(&mut rng(), 1000);
+        let norm = normalized(items, true);
+        let eps = Epsilon::new(1, 5).unwrap();
+        let partition = Partition::compute(&norm, eps);
+        assert!(partition.large().is_empty());
+        assert!(!partition.small().is_empty());
+    }
+
+    #[test]
+    fn garbage_mix_produces_garbage() {
+        let items = garbage_mix(&mut rng(), 1000, 30);
+        let norm = normalized(items, true);
+        let eps = Epsilon::new(1, 5).unwrap();
+        let partition = Partition::compute(&norm, eps);
+        assert!(
+            partition.garbage().len() >= 200,
+            "expected ≥200 garbage items, got {}",
+            partition.garbage().len()
+        );
+    }
+
+    #[test]
+    fn singleton_trap_item_is_large_and_fits_exactly() {
+        let (items, capacity) = singleton_trap(100);
+        assert_eq!(items.len(), 100);
+        let trap = items[99];
+        assert_eq!(trap.weight, capacity);
+        let norm =
+            NormalizedInstance::new(Instance::new(items, capacity).unwrap()).unwrap();
+        let eps = Epsilon::new(1, 4).unwrap();
+        assert_eq!(classify_item(&norm, eps, trap), ItemClass::Large);
+        // The trap is worth more than the whole filler prefix but is less
+        // efficient than any filler.
+        assert!(trap.profit > 10 * 99);
+        assert!(trap.profit * 1 < 10 * trap.weight);
+    }
+
+    #[test]
+    fn singleton_trap_beats_greedy_prefix() {
+        let (items, capacity) = singleton_trap(50);
+        let instance = Instance::new(items, capacity).unwrap();
+        let run = lcakp_knapsack::solvers::greedy_prefix(&instance);
+        // The greedy prefix holds all fillers; the cut-off is the trap,
+        // whose profit exceeds the prefix value.
+        let cutoff = run.cutoff.expect("trap must be the cut-off item");
+        assert_eq!(cutoff.index(), 49);
+        assert!(instance.item(cutoff).profit > run.outcome.value);
+    }
+
+    #[test]
+    fn singleton_trap_minimum_size() {
+        let (items, _) = singleton_trap(0);
+        assert_eq!(items.len(), 2);
+    }
+}

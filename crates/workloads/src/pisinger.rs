@@ -1,0 +1,181 @@
+//! The classic correlated instance families from the Knapsack
+//! benchmarking literature (Pisinger's generator conventions).
+//!
+//! All generators return raw item vectors; [`crate::WorkloadSpec`] wraps
+//! them with a capacity and validates construction.
+
+use lcakp_knapsack::Item;
+use rand::Rng;
+
+/// Profits and weights independent uniform in `[1, range]`.
+pub fn uncorrelated<R: Rng + ?Sized>(rng: &mut R, n: usize, range: u64) -> Vec<Item> {
+    let range = range.max(1);
+    (0..n)
+        .map(|_| Item::new(rng.gen_range(1..=range), rng.gen_range(1..=range)))
+        .collect()
+}
+
+/// Weights uniform in `[1, range]`; profit = weight + uniform in
+/// `[−range/10, range/10]`, clamped to at least 1.
+pub fn weakly_correlated<R: Rng + ?Sized>(rng: &mut R, n: usize, range: u64) -> Vec<Item> {
+    let range = range.max(10);
+    let spread = (range / 10).max(1) as i64;
+    (0..n)
+        .map(|_| {
+            let weight = rng.gen_range(1..=range);
+            let delta = rng.gen_range(-spread..=spread);
+            let profit = (weight as i64 + delta).max(1) as u64;
+            Item::new(profit, weight)
+        })
+        .collect()
+}
+
+/// Profit = weight + range/10: all efficiencies close to 1 but profits
+/// strictly favoring light items — the classically hard family.
+pub fn strongly_correlated<R: Rng + ?Sized>(rng: &mut R, n: usize, range: u64) -> Vec<Item> {
+    let range = range.max(10);
+    let bonus = (range / 10).max(1);
+    (0..n)
+        .map(|_| {
+            let weight = rng.gen_range(1..=range);
+            Item::new(weight + bonus, weight)
+        })
+        .collect()
+}
+
+/// Profits uniform; weight = profit + range/10.
+pub fn inverse_strongly_correlated<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    range: u64,
+) -> Vec<Item> {
+    let range = range.max(10);
+    let bonus = (range / 10).max(1);
+    (0..n)
+        .map(|_| {
+            let profit = rng.gen_range(1..=range);
+            Item::new(profit, profit + bonus)
+        })
+        .collect()
+}
+
+/// Profit = weight: value and weight coincide (subset-sum structure, all
+/// efficiencies exactly 1 — maximal tie-breaking stress).
+pub fn subset_sum<R: Rng + ?Sized>(rng: &mut R, n: usize, range: u64) -> Vec<Item> {
+    let range = range.max(1);
+    (0..n)
+        .map(|_| {
+            let weight = rng.gen_range(1..=range);
+            Item::new(weight, weight)
+        })
+        .collect()
+}
+
+/// Strongly correlated with a small jitter: profit = weight + range/10 ±
+/// range/500 (Pisinger's "almost strongly correlated").
+pub fn almost_strongly_correlated<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    range: u64,
+) -> Vec<Item> {
+    let range = range.max(10);
+    let bonus = (range / 10).max(1) as i64;
+    let jitter = (range / 500).max(1) as i64;
+    (0..n)
+        .map(|_| {
+            let weight = rng.gen_range(1..=range);
+            let delta = rng.gen_range(-jitter..=jitter);
+            let profit = (weight as i64 + bonus + delta).max(1) as u64;
+            Item::new(profit, weight)
+        })
+        .collect()
+}
+
+/// All weights in a narrow band (Pisinger's "uniform similar weights"):
+/// `w ∈ [band, band + range/10]`, profits uniform — the greedy order is
+/// driven almost entirely by profit.
+pub fn similar_weights<R: Rng + ?Sized>(rng: &mut R, n: usize, range: u64) -> Vec<Item> {
+    let range = range.max(10);
+    let band = range;
+    let spread = (range / 10).max(1);
+    (0..n)
+        .map(|_| {
+            Item::new(
+                rng.gen_range(1..=range),
+                rng.gen_range(band..=band + spread),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha12Rng;
+
+    fn rng() -> ChaCha12Rng {
+        ChaCha12Rng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn uncorrelated_in_range() {
+        let items = uncorrelated(&mut rng(), 1000, 50);
+        assert!(items
+            .iter()
+            .all(|item| (1..=50).contains(&item.profit) && (1..=50).contains(&item.weight)));
+    }
+
+    #[test]
+    fn weakly_correlated_tracks_weight() {
+        let items = weakly_correlated(&mut rng(), 1000, 1000);
+        for item in items {
+            assert!(item.profit as i64 >= 1);
+            assert!((item.profit as i64 - item.weight as i64).abs() <= 100);
+        }
+    }
+
+    #[test]
+    fn strongly_correlated_has_fixed_bonus() {
+        let items = strongly_correlated(&mut rng(), 100, 1000);
+        assert!(items.iter().all(|item| item.profit == item.weight + 100));
+    }
+
+    #[test]
+    fn inverse_strongly_correlated_is_heavier_than_profitable() {
+        let items = inverse_strongly_correlated(&mut rng(), 100, 1000);
+        assert!(items.iter().all(|item| item.weight == item.profit + 100));
+    }
+
+    #[test]
+    fn subset_sum_identity() {
+        let items = subset_sum(&mut rng(), 100, 200);
+        assert!(items.iter().all(|item| item.profit == item.weight));
+    }
+
+    #[test]
+    fn almost_strongly_correlated_stays_near_the_line() {
+        let items = almost_strongly_correlated(&mut rng(), 500, 1000);
+        for item in items {
+            let target = item.weight as i64 + 100;
+            assert!((item.profit as i64 - target).abs() <= 2);
+        }
+    }
+
+    #[test]
+    fn similar_weights_band() {
+        let items = similar_weights(&mut rng(), 500, 1000);
+        for item in items {
+            assert!((1000..=1100).contains(&item.weight));
+            assert!((1..=1000).contains(&item.profit));
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_are_clamped() {
+        let items = uncorrelated(&mut rng(), 10, 0);
+        assert!(items.iter().all(|item| item.profit == 1 && item.weight == 1));
+        let items = strongly_correlated(&mut rng(), 10, 0);
+        assert!(items.iter().all(|item| item.profit == item.weight + 1));
+    }
+}

@@ -1,0 +1,66 @@
+//! Property tests over the whole generator suite: determinism, bound
+//! compliance, and normalizability — the contract every experiment
+//! relies on.
+
+use lcakp_knapsack::{MAX_UNIT};
+use lcakp_workloads::{standard_suite, Family, WorkloadSpec};
+use proptest::prelude::*;
+
+#[test]
+fn every_family_generates_within_fixed_point_bounds() {
+    for spec in standard_suite(300, 123) {
+        let instance = spec.generate().unwrap();
+        assert_eq!(instance.len(), 300, "{spec}");
+        for (_, item) in instance.iter() {
+            assert!(item.profit <= MAX_UNIT, "{spec}: profit {}", item.profit);
+            assert!(item.weight <= MAX_UNIT, "{spec}: weight {}", item.weight);
+        }
+    }
+}
+
+#[test]
+fn suite_has_distinct_families() {
+    let suite = standard_suite(50, 1);
+    let mut names: Vec<String> = suite.iter().map(|spec| spec.family.to_string()).collect();
+    names.sort();
+    names.dedup();
+    assert_eq!(names.len(), suite.len(), "duplicate family in the suite");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Generation is a pure function of the spec.
+    #[test]
+    fn generation_is_deterministic(seed in 0u64..1000, n in 2usize..200) {
+        for family in [
+            Family::Uncorrelated { range: 500 },
+            Family::StronglyCorrelated { range: 500 },
+            Family::SubsetSum { range: 500 },
+            Family::SmallDominated,
+            Family::SingletonTrap,
+        ] {
+            let spec = WorkloadSpec::new(family, n, seed);
+            prop_assert_eq!(spec.generate().unwrap(), spec.generate().unwrap());
+        }
+    }
+
+    /// Every family normalizes (positive total profit and weight) at any
+    /// size and seed — the precondition of the whole LCA pipeline.
+    #[test]
+    fn all_specs_normalize(seed in 0u64..500, n in 2usize..150) {
+        for spec in standard_suite(n, seed) {
+            prop_assert!(spec.generate_normalized().is_ok(), "{}", spec);
+        }
+    }
+
+    /// Capacity ratios are respected to within rounding.
+    #[test]
+    fn capacity_ratio_is_respected(seed in 0u64..200, num in 1u64..4, den in 4u64..8) {
+        let spec = WorkloadSpec::new(Family::Uncorrelated { range: 100 }, 100, seed)
+            .with_capacity_ratio(num, den);
+        let instance = spec.generate().unwrap();
+        let expected = instance.total_weight() as u128 * num as u128 / den as u128;
+        prop_assert_eq!(instance.capacity() as u128, expected);
+    }
+}

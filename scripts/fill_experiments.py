@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Paste experiment-binary outputs into EXPERIMENTS.md.
+
+Runs (or reads pre-captured) outputs of the e1..e12 binaries and replaces
+the `<PASTE:eN>` placeholders. Usage:
+
+    python3 scripts/fill_experiments.py [--outdir /tmp/lcakp-experiments]
+
+Expects the release binaries to exist (cargo build --release -p lcakp-bench).
+"""
+
+import argparse
+import pathlib
+import re
+import subprocess
+import sys
+
+EXPERIMENTS = [
+    "e1_or_reduction",
+    "e2_approx_reduction",
+    "e3_maximal_feasible",
+    "e4_query_complexity",
+    "e5_approximation",
+    "e6_consistency",
+    "e7_reproducible",
+    "e8_coupon",
+    "e9_itilde",
+    "e10_baselines",
+    "e11_ablation_naive",
+    "e12_average_case",
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--outdir", default="/tmp/lcakp-experiments")
+    parser.add_argument("--repo", default=".")
+    args = parser.parse_args()
+
+    repo = pathlib.Path(args.repo)
+    outdir = pathlib.Path(args.outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    doc_path = repo / "EXPERIMENTS.md"
+    text = doc_path.read_text()
+
+    for name in EXPERIMENTS:
+        tag = name.split("_")[0]
+        placeholder = f"<PASTE:{tag}>"
+        capture = outdir / f"{name}.txt"
+        if not capture.exists():
+            binary = repo / "target" / "release" / name
+            print(f"running {binary} ...", flush=True)
+            result = subprocess.run(
+                [str(binary)], capture_output=True, text=True, check=True
+            )
+            capture.write_text(result.stdout)
+        output = capture.read_text().rstrip()
+        if placeholder in text:
+            text = text.replace(placeholder, output)
+            print(f"filled {placeholder}")
+        else:
+            # Refresh an existing block if the doc was filled before:
+            # replace the fenced block that follows the experiment header.
+            print(f"placeholder {placeholder} absent; skipping", file=sys.stderr)
+
+    doc_path.write_text(text)
+    remaining = re.findall(r"<PASTE:e\d+>", text)
+    if remaining:
+        print(f"unfilled placeholders: {remaining}", file=sys.stderr)
+        return 1
+    print("EXPERIMENTS.md fully populated")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,64 @@
+//! # lca-knapsack
+//!
+//! A Rust reproduction of **“Local Computation Algorithms for Knapsack:
+//! impossibility results, and how to avoid them”** (Canonne, Li, Umboh;
+//! PODC 2025).
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`knapsack`] — the Knapsack substrate: instances, exact solvers,
+//!   classical approximation algorithms, and the IKY12 reduced-instance
+//!   machinery;
+//! * [`oracle`] — the access models of the LCA setting: point queries,
+//!   profit-proportional weighted sampling, and the shared random seed;
+//! * [`reproducible`] — reproducible median and quantiles
+//!   (Impagliazzo–Lei–Pitassi–Sorrell 2022), the consistency engine;
+//! * [`lca`] — the paper's contribution: the `LCA-KP` algorithm
+//!   (Theorem 4.1) and the LCA framework around it;
+//! * [`lowerbounds`] — the hard instance families and adversary harnesses
+//!   realizing Theorems 3.2–3.4;
+//! * [`workloads`] — deterministic instance generators used by the test
+//!   and experiment suites.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use lca_knapsack::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Build an instance and its normalized view.
+//! let instance = Instance::from_pairs((1..=200u64).map(|i| (1 + i % 13, 1 + i % 7)), 60)?;
+//! let norm = NormalizedInstance::new(instance)?;
+//!
+//! // One LCA, shared seed: every query is answered statelessly but all
+//! // answers are consistent with a single (1/2, 6ε)-approximate solution.
+//! let eps = Epsilon::new(1, 4)?;
+//! let lca = LcaKp::new(eps)?;
+//! let seed = Seed::from_entropy_u64(42);
+//! let oracle = InstanceOracle::new(&norm);
+//! let mut sampler_rng = rand::rngs::OsRng;
+//!
+//! let answer = lca.query(&oracle, &mut sampler_rng, ItemId(3), &seed)?;
+//! println!("item 3 in solution: {}", answer.include);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use lcakp_core as lca;
+pub use lcakp_knapsack as knapsack;
+pub use lcakp_lowerbounds as lowerbounds;
+pub use lcakp_oracle as oracle;
+pub use lcakp_reproducible as reproducible;
+pub use lcakp_workloads as workloads;
+
+/// One-stop imports for the common workflow.
+pub mod prelude {
+    pub use lcakp_core::{ConsistencyReport, KnapsackLca, LcaAnswer, LcaKp};
+    pub use lcakp_knapsack::iky::Epsilon;
+    pub use lcakp_knapsack::{
+        Instance, Item, ItemId, KnapsackError, NormalizedInstance, Selection,
+    };
+    pub use lcakp_oracle::{InstanceOracle, ItemOracle, Seed, WeightedSampler};
+}

@@ -1,0 +1,160 @@
+//! Cross-crate end-to-end tests: the full `LCA-KP` pipeline (Theorem 4.1)
+//! over the workload suite — feasibility, approximation, and consistency
+//! measured through the public facade API only.
+
+use lca_knapsack::lca::consistency::audit_consistency;
+use lca_knapsack::lca::solution_audit::{assemble_and_audit, audit_selection, exact_optimum};
+use lca_knapsack::prelude::*;
+use lca_knapsack::reproducible::SampleBudget;
+use lca_knapsack::workloads::{standard_suite, Family, WorkloadSpec};
+
+fn default_lca(eps: Epsilon) -> LcaKp {
+    LcaKp::new(eps)
+        .expect("lca builds")
+        .with_budget(SampleBudget::Calibrated { factor: 0.02 })
+}
+
+/// Lemma 4.7 through the public API: one rule, materialized, must fit.
+#[test]
+fn materialized_rules_are_feasible_across_the_suite() {
+    let eps = Epsilon::new(1, 4).unwrap();
+    let lca = default_lca(eps);
+    for spec in standard_suite(200, 41) {
+        let norm = spec.generate_normalized().unwrap();
+        let oracle = InstanceOracle::new(&norm);
+        for trial in 0..3u64 {
+            let mut rng = Seed::from_entropy_u64(100 + trial).rng();
+            let rule = lca
+                .build_rule(&oracle, &mut rng, &Seed::from_entropy_u64(trial))
+                .unwrap();
+            let selection = rule.materialize(&norm);
+            assert!(
+                selection.is_feasible(norm.as_instance()),
+                "{spec} trial {trial}: infeasible rule {rule}"
+            );
+        }
+    }
+}
+
+/// Theorem 4.1 value bound through per-item assembly (the honest path).
+#[test]
+fn assembled_solutions_meet_the_half_six_eps_bound() {
+    let eps = Epsilon::new(1, 3).unwrap();
+    let lca = default_lca(eps);
+    for spec in standard_suite(100, 42) {
+        let norm = spec.generate_normalized().unwrap();
+        let mut rng = Seed::from_entropy_u64(7).rng();
+        let audit =
+            assemble_and_audit(&lca, &norm, &mut rng, &Seed::from_entropy_u64(8)).unwrap();
+        assert!(audit.feasible, "{spec}: {audit}");
+        assert!(
+            audit.satisfies_theorem(eps),
+            "{spec}: value bound violated: {audit}"
+        );
+    }
+}
+
+/// Lemma 4.9 through the public API: mode agreement should be high (we
+/// assert a conservative floor well above chance; E6 reports exact
+/// rates).
+#[test]
+fn lca_kp_runs_agree_on_a_common_solution() {
+    let eps = Epsilon::new(1, 4).unwrap();
+    // Moderate budget with a relaxed ρ for a clear consistency signal at
+    // test speed; E6 sweeps the full grid.
+    let lca = LcaKp::new(eps)
+        .expect("lca builds")
+        .with_profile(lca_knapsack::lca::ReproProfile::Relaxed {
+            rho: 0.2,
+            beta: 0.05,
+        })
+        .with_budget(SampleBudget::Calibrated { factor: 0.1 });
+    let spec = WorkloadSpec::new(Family::SmallDominated, 120, 43);
+    let norm = spec.generate_normalized().unwrap();
+    let oracle = InstanceOracle::new(&norm);
+    let items: Vec<ItemId> = (0..norm.len()).step_by(12).map(ItemId).collect();
+    let report = audit_consistency(
+        &lca,
+        &oracle,
+        &items,
+        &Seed::from_entropy_u64(44),
+        8,
+        0xC0FFEE,
+    )
+    .unwrap();
+    assert!(
+        report.mean_item_agreement >= 0.8,
+        "per-item agreement collapsed: {report}"
+    );
+    assert!(
+        report.pairwise_agreement >= 0.2,
+        "no dominant solution: {report}"
+    );
+}
+
+/// The whole pipeline is a deterministic function of (instance, sampling
+/// stream, seed): replaying both streams reproduces the assembled
+/// selection exactly.
+#[test]
+fn replay_determinism_through_the_facade() {
+    let eps = Epsilon::new(1, 4).unwrap();
+    let lca = default_lca(eps);
+    let spec = WorkloadSpec::new(Family::GarbageMix { garbage_percent: 20 }, 150, 45);
+    let norm = spec.generate_normalized().unwrap();
+    let run = || {
+        let oracle = InstanceOracle::new(&norm);
+        let mut rng = Seed::from_entropy_u64(9).rng();
+        lca.assemble(&oracle, &mut rng, &Seed::from_entropy_u64(10))
+            .unwrap()
+    };
+    assert_eq!(run(), run());
+}
+
+/// Baselines bracket LCA-KP: EmptyLca is feasible-but-worthless,
+/// FullScanLca is 1/2-approximate at Ω(n) cost.
+#[test]
+fn baselines_bracket_the_algorithm() {
+    let spec = WorkloadSpec::new(Family::WeaklyCorrelated { range: 500 }, 120, 46);
+    let norm = spec.generate_normalized().unwrap();
+    let optimum = exact_optimum(&norm).unwrap();
+
+    let oracle = InstanceOracle::new(&norm);
+    let mut rng = Seed::from_entropy_u64(11).rng();
+    let seed = Seed::from_entropy_u64(12);
+
+    let empty = lca_knapsack_empty(&oracle, &mut rng, &seed);
+    let empty_audit = audit_selection(&norm, &empty, optimum);
+    assert!(empty_audit.feasible);
+    assert_eq!(empty_audit.value, 0);
+
+    oracle.reset_stats();
+    let full = lca_knapsack_fullscan(&oracle, &mut rng, &seed);
+    let full_audit = audit_selection(&norm, &full, optimum);
+    assert!(full_audit.feasible);
+    assert!(2 * full_audit.value >= optimum);
+    // n queries per item-query → n² total for assembly.
+    assert_eq!(
+        oracle.stats().point_queries,
+        (norm.len() * norm.len()) as u64
+    );
+}
+
+fn lca_knapsack_empty(
+    oracle: &InstanceOracle<'_>,
+    rng: &mut impl rand::Rng,
+    seed: &Seed,
+) -> Selection {
+    lca_knapsack::lca::EmptyLca::new()
+        .assemble(oracle, rng, seed)
+        .unwrap()
+}
+
+fn lca_knapsack_fullscan(
+    oracle: &InstanceOracle<'_>,
+    rng: &mut impl rand::Rng,
+    seed: &Seed,
+) -> Selection {
+    lca_knapsack::lca::FullScanLca::new()
+        .assemble(oracle, rng, seed)
+        .unwrap()
+}

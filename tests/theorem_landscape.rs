@@ -1,0 +1,107 @@
+//! The paper's full landscape as one integration test file: the three
+//! impossibility walls (Theorems 3.2–3.4) and the weighted-sampling
+//! escape (Theorem 4.1), measured side by side through the facade.
+
+use lca_knapsack::lowerbounds::approx_reduction::{run_approx_experiment, RatioPair};
+use lca_knapsack::lowerbounds::maximal_feasible::run_maximal_experiment;
+use lca_knapsack::lowerbounds::or_reduction::{
+    run_point_query_experiment, run_weighted_sampling_experiment, OrReduction,
+};
+use lca_knapsack::prelude::*;
+
+/// Theorem 3.2's shape: success is ~1/2 + q/(2(n−1)) — verified at three
+/// points of the curve.
+#[test]
+fn theorem_3_2_success_curve() {
+    let n = 800;
+    let trials = 3_000;
+    for (budget, expected) in [(0u64, 0.5f64), (200, 0.625), (799, 1.0)] {
+        let rate = run_point_query_experiment(n, budget, trials, 32);
+        assert!(
+            (rate.rate() - expected).abs() < 0.05,
+            "budget {budget}: got {}, expected ≈ {expected}",
+            rate.rate()
+        );
+    }
+}
+
+/// Theorem 3.3: tightening α (even to 0.02) does not weaken the wall.
+#[test]
+fn theorem_3_3_is_alpha_independent() {
+    let n = 600;
+    let budget = 60;
+    let trials = 3_000;
+    let mut rates = Vec::new();
+    for (alpha_num, beta_num) in [(99u64, 98u64), (2, 1)] {
+        let ratios = RatioPair::new(alpha_num, beta_num, 100);
+        rates.push(run_approx_experiment(n, ratios, budget, trials, 33).rate());
+    }
+    assert!(
+        (rates[0] - rates[1]).abs() < 0.05,
+        "α should not matter: {rates:?}"
+    );
+    assert!(rates.iter().all(|&rate| rate < 2.0 / 3.0));
+}
+
+/// Theorem 3.4: below n/11 probes the two-query consistency stays below
+/// 4/5; with full probing it recovers.
+#[test]
+fn theorem_3_4_four_fifths_wall() {
+    let n = 660;
+    let trials = 4_000;
+    let below = run_maximal_experiment(n, (n / 11) as u64, trials, 34);
+    assert!(below.rate() < 0.8, "wall breached: {below}");
+    let above = run_maximal_experiment(n, n as u64, trials, 34);
+    assert!(above.rate() > 0.95, "full probing failed: {above}");
+}
+
+/// The hinge of the paper: the exact task that is Ω(n) under point
+/// queries is O(1) under weighted sampling.
+#[test]
+fn weighted_sampling_dissolves_the_wall() {
+    let n = 4_096;
+    let trials = 3_000;
+    let point = run_point_query_experiment(n, 8, trials, 35);
+    let weighted = run_weighted_sampling_experiment(n, 8, trials, 35);
+    assert!(point.rate() < 0.55, "{point}");
+    assert!(weighted.rate() > 0.95, "{weighted}");
+}
+
+/// The reduction instance itself is faithful: optimal membership of the
+/// special item encodes OR(x) exactly (Figure 1).
+#[test]
+fn figure_1_reduction_is_exact() {
+    for n in [2usize, 3, 17, 64] {
+        assert!(OrReduction::all_zero(n).special_in_optimum());
+        for position in 0..n - 1 {
+            assert!(!OrReduction::single_one(n, position).special_in_optimum());
+        }
+    }
+}
+
+/// And Theorem 4.1 lives on the right side of the wall: a real LCA query
+/// over a million-item instance touches a vanishing fraction of it.
+#[test]
+fn theorem_4_1_is_sublinear_in_practice() {
+    use lca_knapsack::reproducible::SampleBudget;
+    use lca_knapsack::workloads::{Family, WorkloadSpec};
+
+    let n = 1_000_000;
+    let spec = WorkloadSpec::new(Family::SmallDominated, n, 36);
+    let norm = spec.generate_normalized().unwrap();
+    let oracle = InstanceOracle::new(&norm);
+    let eps = Epsilon::new(1, 4).unwrap();
+    let lca = LcaKp::new(eps)
+        .expect("lca builds")
+        .with_budget(SampleBudget::Calibrated { factor: 0.01 });
+    let mut rng = Seed::from_entropy_u64(1).rng();
+    let answer = lca
+        .query(&oracle, &mut rng, ItemId(7), &Seed::from_entropy_u64(2))
+        .unwrap();
+    let _ = answer.include;
+    let accesses = oracle.stats().total();
+    assert!(
+        accesses < (n / 10) as u64,
+        "query cost {accesses} is not sublinear in n = {n}"
+    );
+}
