@@ -12,12 +12,20 @@ fn bench_exact_solvers(c: &mut Criterion) {
     for &n in &[16usize, 24, 32] {
         let spec = WorkloadSpec::new(Family::WeaklyCorrelated { range: 200 }, n, 42);
         let instance = spec.generate().expect("workload generates");
-        group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &instance, |b, inst| {
-            b.iter(|| solvers::branch_and_bound(black_box(inst)).expect("bb runs"));
-        });
-        group.bench_with_input(BenchmarkId::new("meet_in_the_middle", n), &instance, |b, inst| {
-            b.iter(|| solvers::meet_in_the_middle(black_box(inst)).expect("mitm runs"));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("branch_and_bound", n),
+            &instance,
+            |b, inst| {
+                b.iter(|| solvers::branch_and_bound(black_box(inst)).expect("bb runs"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("meet_in_the_middle", n),
+            &instance,
+            |b, inst| {
+                b.iter(|| solvers::meet_in_the_middle(black_box(inst)).expect("mitm runs"));
+            },
+        );
         group.bench_with_input(BenchmarkId::new("dp_by_weight", n), &instance, |b, inst| {
             b.iter(|| solvers::dp_by_weight(black_box(inst)).expect("dp runs"));
         });
@@ -31,9 +39,13 @@ fn bench_scalable_solvers(c: &mut Criterion) {
     for &n in &[1_000usize, 10_000, 100_000] {
         let spec = WorkloadSpec::new(Family::WeaklyCorrelated { range: 1000 }, n, 42);
         let instance = spec.generate().expect("workload generates");
-        group.bench_with_input(BenchmarkId::new("modified_greedy", n), &instance, |b, inst| {
-            b.iter(|| solvers::modified_greedy(black_box(inst)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("modified_greedy", n),
+            &instance,
+            |b, inst| {
+                b.iter(|| solvers::modified_greedy(black_box(inst)));
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("fractional_optimum", n),
             &instance,

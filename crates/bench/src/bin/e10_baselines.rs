@@ -33,7 +33,9 @@ fn main() {
         };
         let dp = solvers::dp_by_weight(&instance).expect("dp runs").value;
         let bb = solvers::branch_and_bound(&instance).expect("bb runs").value;
-        let mitm = solvers::meet_in_the_middle(&instance).expect("mitm runs").value;
+        let mitm = solvers::meet_in_the_middle(&instance)
+            .expect("mitm runs")
+            .value;
         let brute = solvers::brute_force(&instance).expect("brute runs").value;
         assert_eq!(dp, bb);
         assert_eq!(dp, mitm);

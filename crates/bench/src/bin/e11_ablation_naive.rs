@@ -38,7 +38,13 @@ fn main() {
     ]);
     for spec in [
         WorkloadSpec::new(Family::SmallDominated, n, 0x11),
-        WorkloadSpec::new(Family::GarbageMix { garbage_percent: 25 }, n, 0x11),
+        WorkloadSpec::new(
+            Family::GarbageMix {
+                garbage_percent: 25,
+            },
+            n,
+            0x11,
+        ),
         WorkloadSpec::new(Family::WeaklyCorrelated { range: 1000 }, n, 0x11),
     ] {
         let norm = spec.generate_normalized().expect("workload generates");
@@ -52,7 +58,10 @@ fn main() {
             let mut rules: Vec<SolutionRule> = Vec::with_capacity(runs);
             for run in 0..runs {
                 let mut rng = Seed::from_entropy_u64(0xFACE + run as u64).rng();
-                rules.push(lca.build_rule(&oracle, &mut rng, &seed).expect("rule builds"));
+                rules.push(
+                    lca.build_rule(&oracle, &mut rng, &seed)
+                        .expect("rule builds"),
+                );
             }
             let mut counts: HashMap<String, usize> = HashMap::new();
             let mut cutoffs: HashMap<Option<u64>, usize> = HashMap::new();

@@ -1,0 +1,211 @@
+//! E13 — fault tolerance: `LCA-KP` under an unreliable oracle.
+//!
+//! The paper's model assumes every access succeeds; this experiment
+//! measures what the implementation *does* when accesses fail. A
+//! [`FaultyOracle`] injects seed-replayable transient faults at a swept
+//! rate while the retry-plus-degradation ladder
+//! ([`LcaKp::query_with_audit`]) absorbs them; a [`BudgetedOracle`]
+//! enforces hard access caps. Reported per cell: approximation ratio of
+//! the assembled solution, pairwise answer consistency across
+//! independent runs, and how often queries degraded to the trivial
+//! always-no rule.
+//!
+//! Degraded answers are interpreted exactly as the ladder defines them:
+//! the query abandons the sampled rule and answers "no", consistent with
+//! the feasible solution ∅ — so assembled solutions stay feasible at
+//! every fault rate and only *lose value* as degradation spreads.
+
+use lcakp_bench::{banner, Table};
+use lcakp_core::solution_audit::{
+    assemble_audited, audit_selection, exact_optimum, DegradationStats,
+};
+use lcakp_core::{LcaKp, RetryPolicy};
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::{ItemId, NormalizedInstance, Selection};
+use lcakp_oracle::{BudgetedOracle, FaultPlan, FaultyOracle, InstanceOracle, ItemOracle, Seed};
+use lcakp_reproducible::SampleBudget;
+use lcakp_workloads::{Family, WorkloadSpec};
+
+const N: usize = 120;
+const RUNS: usize = 2;
+
+fn answers(selection: &Selection, n: usize) -> Vec<bool> {
+    (0..n)
+        .map(|index| selection.contains(ItemId(index)))
+        .collect()
+}
+
+fn pairwise_agreement(runs: &[Vec<bool>]) -> f64 {
+    if runs.len() < 2 || runs[0].is_empty() {
+        return 1.0;
+    }
+    let mut pairs = 0u64;
+    let mut agree = 0u64;
+    for a in 0..runs.len() {
+        for b in (a + 1)..runs.len() {
+            for (&x, &y) in runs[a].iter().zip(&runs[b]) {
+                pairs += 1;
+                if x == y {
+                    agree += 1;
+                }
+            }
+        }
+    }
+    agree as f64 / pairs as f64
+}
+
+fn faulty_run(
+    lca: &LcaKp,
+    norm: &NormalizedInstance,
+    plan: FaultPlan,
+    fault_seed: u64,
+    sampler_seed: u64,
+    seed: &Seed,
+) -> (Selection, DegradationStats) {
+    let inner = InstanceOracle::new(norm);
+    let oracle = FaultyOracle::new(&inner, plan, Seed::from_entropy_u64(fault_seed));
+    let mut rng = Seed::from_entropy_u64(sampler_seed).rng();
+    assemble_audited(lca, &oracle, &mut rng, seed).expect("assembly has no hard errors")
+}
+
+fn main() {
+    banner(
+        "E13",
+        "LCA-KP degrades gracefully under oracle faults and hard budgets",
+        "fault layer over Definition 2.2; degradation to the trivial rule",
+    );
+
+    let spec = WorkloadSpec::new(Family::SmallDominated, N, 0xE13);
+    let norm = spec.generate_normalized().expect("workload generates");
+    let optimum = exact_optimum(&norm).expect("optimum solves");
+    let shared_seed = Seed::from_entropy_u64(0x13E13);
+
+    // ---- Sanity: an inert fault plan is bit-identical to no wrapper. ----
+    let eps = Epsilon::new(1, 6).expect("valid eps");
+    let lca = LcaKp::new(eps)
+        .expect("lca builds")
+        .with_budget(SampleBudget::Calibrated { factor: 0.002 });
+    let bare_oracle = InstanceOracle::new(&norm);
+    let (bare, _) = assemble_audited(
+        &lca,
+        &bare_oracle,
+        &mut Seed::from_entropy_u64(1).rng(),
+        &shared_seed,
+    )
+    .expect("bare run");
+    let bare_accesses = bare_oracle.stats().total();
+    let wrapped_inner = InstanceOracle::new(&norm);
+    let wrapped_oracle = FaultyOracle::new(&wrapped_inner, FaultPlan::none(), shared_seed);
+    let (wrapped, _) = assemble_audited(
+        &lca,
+        &wrapped_oracle,
+        &mut Seed::from_entropy_u64(1).rng(),
+        &shared_seed,
+    )
+    .expect("wrapped run");
+    println!(
+        "fault rate 0 bit-identity: answers={} accesses={} ({} = {})\n",
+        answers(&bare, N) == answers(&wrapped, N),
+        bare_accesses == wrapped_inner.stats().total(),
+        bare_accesses,
+        wrapped_inner.stats().total(),
+    );
+
+    // ---- Sweep: transient fault rate × ε. ----
+    let mut table = Table::new([
+        "eps",
+        "fault rate",
+        "ratio",
+        "feasible",
+        "degraded",
+        "retries",
+        "consistency",
+    ]);
+    // ε ≤ 1/6 so the small-item machinery is active (at ε ≥ 1/4 the
+    // algorithm correctly keeps only large items and SmallDominated
+    // yields value 0 even fault-free); budget factors shrink with ε as
+    // in E5. Five retries make the per-access failure probability
+    // rate⁶ — negligible through rate 0.1 over ~10⁵ accesses per query,
+    // but visibly insufficient at 0.15–0.2, which is the ladder.
+    for &(num, den, factor) in &[(1u64, 6u64, 0.002f64), (1, 8, 0.001)] {
+        let eps = Epsilon::new(num, den).expect("valid eps");
+        let lca = LcaKp::new(eps)
+            .expect("lca builds")
+            .with_budget(SampleBudget::Calibrated { factor })
+            .with_retry_policy(RetryPolicy { max_retries: 5 });
+        for &rate in &[0.0f64, 0.05, 0.1, 0.15, 0.2] {
+            let plan = FaultPlan::transient(rate);
+            let mut run_answers = Vec::with_capacity(RUNS);
+            let mut last_stats = DegradationStats::default();
+            let mut last_ratio = 0.0;
+            let mut feasible = true;
+            for run in 0..RUNS {
+                let (selection, stats) = faulty_run(
+                    &lca,
+                    &norm,
+                    plan,
+                    0xFA_0000 + run as u64,
+                    0x5A_0000 + run as u64,
+                    &shared_seed,
+                );
+                let audit = audit_selection(&norm, &selection, optimum);
+                feasible &= audit.feasible;
+                last_ratio = audit.ratio;
+                run_answers.push(answers(&selection, N));
+                last_stats = stats;
+            }
+            table.row([
+                format!("{num}/{den}"),
+                format!("{rate:.2}"),
+                format!("{last_ratio:.3}"),
+                feasible.to_string(),
+                format!("{:.3}", last_stats.degradation_frequency()),
+                last_stats.retries_used.to_string(),
+                format!("{:.3}", pairwise_agreement(&run_answers)),
+            ]);
+        }
+    }
+    table.print();
+
+    // ---- Hard budgets: shrink the global access cap. ----
+    println!();
+    let eps = Epsilon::new(1, 8).expect("valid eps");
+    let lca = LcaKp::new(eps)
+        .expect("lca builds")
+        .with_budget(SampleBudget::Calibrated { factor: 0.001 });
+    let mut table = Table::new([
+        "access cap",
+        "ratio",
+        "feasible",
+        "degraded",
+        "budget consumed",
+    ]);
+    for &cap in &[10_000u64, 100_000, 1_000_000, 10_000_000, u64::MAX] {
+        let inner = InstanceOracle::new(&norm);
+        let oracle = BudgetedOracle::new(&inner, cap);
+        let mut rng = Seed::from_entropy_u64(9).rng();
+        let (selection, stats) =
+            assemble_audited(&lca, &oracle, &mut rng, &shared_seed).expect("budgeted run");
+        let audit = audit_selection(&norm, &selection, optimum);
+        table.row([
+            if cap == u64::MAX {
+                "unlimited".to_string()
+            } else {
+                cap.to_string()
+            },
+            format!("{:.3}", audit.ratio),
+            audit.feasible.to_string(),
+            format!("{:.3}", stats.degradation_frequency()),
+            stats.budget_consumed.to_string(),
+        ]);
+    }
+    table.print();
+
+    println!(
+        "\nExpected shape: at fault rate 0 the wrapped run is bit-identical to the bare\n\
+         one; bounded retries hold the ratio near fault-free levels through 0.1, with\n\
+         degradation (to the always-no rule, hence feasibility at every rate) growing\n\
+         with the rate; under hard caps the ratio falls as queries past the cap degrade,\n\
+         and consumed budget never exceeds the cap."
+    );
+}

@@ -46,14 +46,14 @@ fn main() {
                 .expect("lca builds")
                 .with_budget(lcakp_reproducible::SampleBudget::Calibrated { factor });
             let mut rng = Seed::from_entropy_u64(0x5E5).rng();
-            let audit =
-                match assemble_and_audit(&lca, &norm, &mut rng, &Seed::from_entropy_u64(7)) {
-                    Ok(audit) => audit,
-                    Err(err) => {
-                        eprintln!("skipping {spec} at ε={num}/{den}: {err}");
-                        continue;
-                    }
-                };
+            let audit = match assemble_and_audit(&lca, &norm, &mut rng, &Seed::from_entropy_u64(7))
+            {
+                Ok(audit) => audit,
+                Err(err) => {
+                    eprintln!("skipping {spec} at ε={num}/{den}: {err}");
+                    continue;
+                }
+            };
             table.row([
                 spec.family.to_string(),
                 format!("{num}/{den}"),

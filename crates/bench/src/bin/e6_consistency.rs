@@ -41,7 +41,13 @@ fn main() {
             n,
             0xE6,
         ),
-        WorkloadSpec::new(Family::GarbageMix { garbage_percent: 25 }, n, 0xE6),
+        WorkloadSpec::new(
+            Family::GarbageMix {
+                garbage_percent: 25,
+            },
+            n,
+            0xE6,
+        ),
         WorkloadSpec::new(Family::StronglyCorrelated { range: 1000 }, n, 0xE6),
     ] {
         let norm = spec.generate_normalized().expect("workload generates");

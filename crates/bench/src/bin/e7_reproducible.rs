@@ -27,7 +27,11 @@ fn zoo() -> Vec<(&'static str, DiscreteDist)> {
         ),
         (
             "geometric-ish",
-            DiscreteDist::new((0..40u128).map(|k| (1u128 << k, 0.5f64.powi(k as i32 + 1))).collect()),
+            DiscreteDist::new(
+                (0..40u128)
+                    .map(|k| (1u128 << k, 0.5f64.powi(k as i32 + 1)))
+                    .collect(),
+            ),
         ),
     ]
 }

@@ -3,7 +3,9 @@
 
 use lcakp_bench::{banner, Table};
 use lcakp_core::iky_value::iky_value_estimate;
-use lcakp_knapsack::iky::{exact_eps, tilde_optimum, verify_eps, Epsilon, Partition, TildeInstance, MU_SHIFT};
+use lcakp_knapsack::iky::{
+    exact_eps, tilde_optimum, verify_eps, Epsilon, Partition, TildeInstance, MU_SHIFT,
+};
 use lcakp_knapsack::solvers;
 use lcakp_oracle::{InstanceOracle, Seed};
 use lcakp_workloads::standard_suite;
@@ -79,8 +81,7 @@ fn main() {
         let eps = Epsilon::new(1, 4).expect("valid eps");
         let oracle = InstanceOracle::new(&norm);
         let mut rng = Seed::from_entropy_u64(0x99).rng();
-        let estimate =
-            iky_value_estimate(&oracle, &mut rng, eps, 60_000).expect("estimate runs");
+        let estimate = iky_value_estimate(&oracle, &mut rng, eps, 60_000).expect("estimate runs");
         let err = (estimate.value - normalized_opt).abs();
         table.row([
             spec.family.to_string(),

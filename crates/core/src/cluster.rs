@@ -86,8 +86,10 @@ impl ClusterRun {
                 .or_default()
                 .push(routed.answer.include);
         }
-        let duplicated: Vec<&Vec<bool>> =
-            by_item.values().filter(|answers| answers.len() > 1).collect();
+        let duplicated: Vec<&Vec<bool>> = by_item
+            .values()
+            .filter(|answers| answers.len() > 1)
+            .collect();
         if duplicated.is_empty() {
             return 1.0;
         }
@@ -145,13 +147,13 @@ where
                 )
                 .rng();
                 for item in work_rx.iter() {
-                    let result = lca
-                        .query(oracle, &mut rng, item, seed)
-                        .map(|answer| RoutedAnswer {
-                            item,
-                            answer,
-                            worker,
-                        });
+                    let result =
+                        lca.query(oracle, &mut rng, item, seed)
+                            .map(|answer| RoutedAnswer {
+                                item,
+                                answer,
+                                worker,
+                            });
                     if done_tx.send(result).is_err() {
                         break;
                     }
@@ -209,8 +211,7 @@ mod tests {
         let lca = FullScanLca::new();
         let seed = Seed::from_entropy_u64(2);
         let queries: Vec<ItemId> = (0..60).map(ItemId).collect();
-        let run = serve_queries(&lca, &oracle, &seed, &queries, ClusterConfig::default())
-            .unwrap();
+        let run = serve_queries(&lca, &oracle, &seed, &queries, ClusterConfig::default()).unwrap();
         assert_eq!(run.answers.len(), 60);
 
         let mut rng = Seed::from_entropy_u64(3).rng();
@@ -229,8 +230,7 @@ mod tests {
         let seed = Seed::from_entropy_u64(5);
         // Every item queried three times, interleaved.
         let queries: Vec<ItemId> = (0..90).map(|index| ItemId(index % 30)).collect();
-        let run = serve_queries(&lca, &oracle, &seed, &queries, ClusterConfig::default())
-            .unwrap();
+        let run = serve_queries(&lca, &oracle, &seed, &queries, ClusterConfig::default()).unwrap();
         assert_eq!(run.duplicate_agreement(), 1.0, "{run}");
     }
 

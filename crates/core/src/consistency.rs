@@ -119,8 +119,8 @@ where
 {
     let mut vectors = Vec::with_capacity(runs);
     for run in 0..runs {
-        let mut rng = Seed::from_entropy_u64(entropy_root ^ (run as u64).wrapping_mul(0x9e37))
-            .rng();
+        let mut rng =
+            Seed::from_entropy_u64(entropy_root ^ (run as u64).wrapping_mul(0x9e37)).rng();
         let mut answers = Vec::with_capacity(items.len());
         for &item in items {
             answers.push(lca.query(oracle, &mut rng, item, seed)?.include);

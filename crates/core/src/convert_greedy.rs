@@ -113,8 +113,7 @@ pub fn convert_greedy(tilde: &TildeInstance, seq: &EpsSequence) -> ConvertGreedy
                 .keys()
                 .iter()
                 .take_while(|&&key| {
-                    key as u128 * last.weight_mu as u128
-                        > (last.profit_mu as u128) << 32
+                    key as u128 * last.weight_mu as u128 > (last.profit_mu as u128) << 32
                 })
                 .count();
             if k >= 3 {
@@ -157,8 +156,7 @@ mod tests {
         capacity: u64,
         eps: Epsilon,
     ) -> (NormalizedInstance, TildeInstance, EpsSequence) {
-        let norm =
-            NormalizedInstance::new(Instance::from_pairs(pairs, capacity).unwrap()).unwrap();
+        let norm = NormalizedInstance::new(Instance::from_pairs(pairs, capacity).unwrap()).unwrap();
         let partition = Partition::compute(&norm, eps);
         let seq = exact_eps(&norm, eps, &partition);
         let tilde = TildeInstance::build_from_instance(&norm, eps, partition.large(), &seq);
@@ -224,10 +222,7 @@ mod tests {
         let out = convert_greedy(&tilde, &seq);
         assert!(!out.singleton);
         assert!(out.large_selected.is_empty());
-        assert!(
-            out.e_small.is_some(),
-            "expected a small cut-off from {out}"
-        );
+        assert!(out.e_small.is_some(), "expected a small cut-off from {out}");
     }
 
     #[test]

@@ -1,4 +1,5 @@
 use lcakp_knapsack::KnapsackError;
+use lcakp_oracle::OracleError;
 use lcakp_reproducible::ReproducibleError;
 use std::error::Error;
 use std::fmt;
@@ -26,6 +27,10 @@ pub enum LcaError {
         /// Instance size.
         len: usize,
     },
+    /// An oracle access failed (after any configured retries). Queries
+    /// that degrade gracefully never surface this; it escapes only from
+    /// the non-degrading paths such as [`crate::LcaKp::build_rule`].
+    Oracle(OracleError),
 }
 
 impl fmt::Display for LcaError {
@@ -40,6 +45,7 @@ impl fmt::Display for LcaError {
             LcaError::ItemOutOfRange { index, len } => {
                 write!(f, "queried item {index} outside instance of {len} items")
             }
+            LcaError::Oracle(err) => write!(f, "oracle access failed: {err}"),
         }
     }
 }
@@ -49,8 +55,15 @@ impl Error for LcaError {
         match self {
             LcaError::Knapsack(err) => Some(err),
             LcaError::Reproducible(err) => Some(err),
+            LcaError::Oracle(err) => Some(err),
             LcaError::SampleBudgetTooLarge { .. } | LcaError::ItemOutOfRange { .. } => None,
         }
+    }
+}
+
+impl From<OracleError> for LcaError {
+    fn from(err: OracleError) -> Self {
+        LcaError::Oracle(err)
     }
 }
 

@@ -10,7 +10,7 @@
 //! quantiles suffice here.
 
 use crate::LcaError;
-use lcakp_knapsack::iky::{tilde_optimum, Epsilon, EpsSequence, TildeInstance, MU_SHIFT};
+use lcakp_knapsack::iky::{tilde_optimum, EpsSequence, Epsilon, TildeInstance, MU_SHIFT};
 use lcakp_knapsack::{Item, ItemId};
 use lcakp_oracle::{ItemOracle, WeightedSampler};
 use lcakp_reproducible::naive_quantile;
@@ -175,10 +175,8 @@ mod tests {
     #[test]
     fn value_is_never_negative() {
         let eps = Epsilon::new(1, 2).unwrap();
-        let norm = NormalizedInstance::new(
-            Instance::from_pairs([(1, 10), (1, 10)], 0).unwrap(),
-        )
-        .unwrap();
+        let norm =
+            NormalizedInstance::new(Instance::from_pairs([(1, 10), (1, 10)], 0).unwrap()).unwrap();
         let oracle = InstanceOracle::new(&norm);
         let mut rng = Seed::from_entropy_u64(5).rng();
         let estimate = iky_value_estimate(&oracle, &mut rng, eps, 1_000).unwrap();

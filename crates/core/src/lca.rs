@@ -33,6 +33,9 @@ pub enum DecisionReason {
     TrivialEmpty,
     /// A full-scan baseline answered from a complete solve.
     FullScan,
+    /// Oracle access failed persistently; the algorithm degraded to the
+    /// trivial always-no rule (consistent with the feasible solution ∅).
+    DegradedFallback,
 }
 
 impl fmt::Display for DecisionReason {
@@ -46,6 +49,7 @@ impl fmt::Display for DecisionReason {
             DecisionReason::Oversized => "oversized",
             DecisionReason::TrivialEmpty => "trivial-empty",
             DecisionReason::FullScan => "full-scan",
+            DecisionReason::DegradedFallback => "degraded-fallback",
         };
         write!(f, "{text}")
     }
@@ -110,12 +114,7 @@ pub trait KnapsackLca {
     /// # Errors
     ///
     /// Propagates the first query error.
-    fn assemble<O, R>(
-        &self,
-        oracle: &O,
-        rng: &mut R,
-        seed: &Seed,
-    ) -> Result<Selection, LcaError>
+    fn assemble<O, R>(&self, oracle: &O, rng: &mut R, seed: &Seed) -> Result<Selection, LcaError>
     where
         O: ItemOracle + WeightedSampler,
         R: Rng + ?Sized,
@@ -256,10 +255,8 @@ mod tests {
         // Total profit 82: item 0 (p=60) is large at ε = 1/2 (ε² = 1/4,
         // threshold 20.5); item 1 is efficient and small; item 2 fits but
         // is inefficient.
-        NormalizedInstance::new(
-            Instance::from_pairs([(60, 10), (20, 2), (2, 12)], 12).unwrap(),
-        )
-        .unwrap()
+        NormalizedInstance::new(Instance::from_pairs([(60, 10), (20, 2), (2, 12)], 12).unwrap())
+            .unwrap()
     }
 
     fn eps() -> Epsilon {

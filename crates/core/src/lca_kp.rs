@@ -2,8 +2,10 @@
 
 use crate::convert_greedy::convert_greedy;
 use crate::lca::{KnapsackLca, LcaAnswer, SolutionRule};
+use crate::solution_audit::{DegradationReason, QueryAudit};
+use crate::trivial::degraded_answer;
 use crate::LcaError;
-use lcakp_knapsack::iky::{Epsilon, EpsSequence, TildeInstance};
+use lcakp_knapsack::iky::{EpsSequence, Epsilon, TildeInstance};
 use lcakp_knapsack::{Item, ItemId};
 use lcakp_oracle::{ItemOracle, Seed, WeightedSampler};
 use lcakp_reproducible::{
@@ -45,6 +47,31 @@ pub enum ReproProfile {
     },
 }
 
+/// How `LCA-KP` reacts to transient oracle faults: each failing access
+/// is retried up to `max_retries` times (immediately — the fault model
+/// is per-access, so there is nothing to back off from, and determinism
+/// matters more than pacing). Non-transient failures are never retried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries allowed per individual oracle access.
+    pub max_retries: u32,
+}
+
+impl RetryPolicy {
+    /// No retries: the first transient fault already degrades the query.
+    pub fn none() -> Self {
+        RetryPolicy { max_retries: 0 }
+    }
+}
+
+impl Default for RetryPolicy {
+    /// Three retries per access — enough that a per-access fault rate of
+    /// 10% leaves a per-access failure probability of 10⁻⁴.
+    fn default() -> Self {
+        RetryPolicy { max_retries: 3 }
+    }
+}
+
 /// The paper's `LCA-KP` (Algorithm 2): a stateless LCA answering
 /// according to a feasible `(1/2, 6ε)`-approximate Knapsack solution,
 /// given weighted sampling access.
@@ -76,6 +103,7 @@ pub struct LcaKp {
     engine: QuantileEngine,
     profile: ReproProfile,
     max_samples_per_query: u64,
+    retry: RetryPolicy,
 }
 
 impl LcaKp {
@@ -97,6 +125,7 @@ impl LcaKp {
                 beta: 0.05,
             },
             max_samples_per_query: 20_000_000,
+            retry: RetryPolicy::default(),
         })
     }
 
@@ -112,6 +141,7 @@ impl LcaKp {
             engine: QuantileEngine::Reproducible,
             profile: ReproProfile::Paper,
             max_samples_per_query: 20_000_000,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -137,6 +167,17 @@ impl LcaKp {
     pub fn with_max_samples_per_query(mut self, cap: u64) -> Self {
         self.max_samples_per_query = cap;
         self
+    }
+
+    /// Overrides the transient-fault retry policy.
+    pub fn with_retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The retry policy in effect.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
     }
 
     /// The configured ε.
@@ -195,6 +236,71 @@ impl LcaKp {
         O: ItemOracle + WeightedSampler,
         R: Rng + ?Sized,
     {
+        let mut retries = 0u64;
+        self.build_rule_counted(oracle, rng, seed, &mut retries)
+    }
+
+    /// One weighted sample with bounded retry of transient faults; every
+    /// exhausted retry budget surfaces as [`LcaError::Oracle`].
+    fn sample_with_retry<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        retries: &mut u64,
+    ) -> Result<(ItemId, Item), LcaError>
+    where
+        O: WeightedSampler,
+        R: Rng + ?Sized,
+    {
+        let mut attempts = 0u32;
+        loop {
+            match oracle.try_sample_weighted(rng) {
+                Ok(sample) => return Ok(sample),
+                Err(error) if error.is_retryable() && attempts < self.retry.max_retries => {
+                    attempts += 1;
+                    *retries += 1;
+                }
+                Err(error) => return Err(LcaError::Oracle(error)),
+            }
+        }
+    }
+
+    /// One point query with bounded retry of transient faults.
+    fn query_with_retry<O>(
+        &self,
+        oracle: &O,
+        id: ItemId,
+        retries: &mut u64,
+    ) -> Result<Item, LcaError>
+    where
+        O: ItemOracle,
+    {
+        let mut attempts = 0u32;
+        loop {
+            match oracle.try_query(id) {
+                Ok(item) => return Ok(item),
+                Err(error) if error.is_retryable() && attempts < self.retry.max_retries => {
+                    attempts += 1;
+                    *retries += 1;
+                }
+                Err(error) => return Err(LcaError::Oracle(error)),
+            }
+        }
+    }
+
+    /// [`build_rule`](Self::build_rule) with the retry counter threaded
+    /// through, so audited queries can report retries spent.
+    fn build_rule_counted<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        seed: &Seed,
+        retries: &mut u64,
+    ) -> Result<SolutionRule, LcaError>
+    where
+        O: ItemOracle + WeightedSampler,
+        R: Rng + ?Sized,
+    {
         let norms = oracle.norms();
         let eps_sq = self.eps.squared();
         let total_profit = norms.total_profit as u128;
@@ -209,7 +315,7 @@ impl LcaKp {
         }
         let mut large: Vec<(ItemId, Item)> = Vec::new();
         for _ in 0..m {
-            let (id, item) = oracle.sample_weighted(rng);
+            let (id, item) = self.sample_with_retry(oracle, rng, retries)?;
             if norms.nprofit_of(item.profit) > eps_sq {
                 large.push((id, item));
             }
@@ -222,7 +328,13 @@ impl LcaKp {
         // outside the large items. 1 − p(L(Ĩ)) ≥ ε ⇔ (P − S)·den ≥ num·P.
         let residual = total_profit - large_profit;
         let seq = if residual * self.eps.den() as u128 >= self.eps.num() as u128 * total_profit {
-            self.estimate_eps(oracle, rng, seed, residual as f64 / total_profit as f64)?
+            self.estimate_eps(
+                oracle,
+                rng,
+                seed,
+                residual as f64 / total_profit as f64,
+                retries,
+            )?
         } else {
             EpsSequence::empty()
         };
@@ -249,6 +361,7 @@ impl LcaKp {
         rng: &mut R,
         seed: &Seed,
         residual_fraction: f64,
+        retries: &mut u64,
     ) -> Result<EpsSequence, LcaError>
     where
         O: ItemOracle + WeightedSampler,
@@ -275,7 +388,7 @@ impl LcaKp {
         let eps_sq = self.eps.squared();
         let mut efficiencies: Vec<u128> = Vec::with_capacity(a as usize);
         for _ in 0..a {
-            let (id, item) = oracle.sample_weighted(rng);
+            let (id, item) = self.sample_with_retry(oracle, rng, retries)?;
             if norms.nprofit_of(item.profit) <= eps_sq {
                 efficiencies.push(norms.tie_broken_efficiency_key(id, item) as u128);
             }
@@ -306,7 +419,9 @@ impl LcaKp {
                 }
                 QuantileEngine::Naive => naive_quantile(&efficiencies, p),
             };
-            let key = u64::try_from(value).unwrap_or(u64::MAX).min(previous);
+            // Saturating u128 → u64 without unwrap: quantiles above the
+            // key domain clamp to the maximum key.
+            let key = (value.min(u128::from(u64::MAX)) as u64).min(previous);
             keys.push(key);
             previous = key;
         }
@@ -325,6 +440,82 @@ impl LcaKp {
     }
 }
 
+impl LcaKp {
+    /// [`KnapsackLca::query`] with the degradation ladder's audit trail.
+    ///
+    /// The ladder, in order:
+    ///
+    /// 1. every oracle access retries transient faults up to the
+    ///    [`RetryPolicy`];
+    /// 2. a persistent failure (retries exhausted, detected corruption,
+    ///    or an exhausted access budget) abandons the sampled rule and
+    ///    answers from the trivial always-no rule of
+    ///    [`EmptyLca`](crate::EmptyLca) — feasible and trivially
+    ///    consistent — tagged
+    ///    [`DegradedFallback`](crate::DecisionReason::DegradedFallback)
+    ///    with the [`DegradationReason`] recorded in the audit.
+    ///
+    /// Non-oracle errors (out-of-range ids, impossible sample budgets)
+    /// stay hard errors: they are configuration bugs, not faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LcaError::ItemOutOfRange`] /
+    /// [`LcaError::SampleBudgetTooLarge`] as [`KnapsackLca::query`] does;
+    /// oracle faults degrade instead of erroring.
+    pub fn query_with_audit<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        item: ItemId,
+        seed: &Seed,
+    ) -> Result<(LcaAnswer, QueryAudit), LcaError>
+    where
+        O: ItemOracle + WeightedSampler,
+        R: Rng + ?Sized,
+    {
+        if item.index() >= oracle.len() {
+            return Err(LcaError::ItemOutOfRange {
+                index: item.index(),
+                len: oracle.len(),
+            });
+        }
+        let before = oracle.stats();
+        let mut retries = 0u64;
+        let outcome = self
+            .build_rule_counted(oracle, rng, seed, &mut retries)
+            .and_then(|rule| {
+                let queried = self.query_with_retry(oracle, item, &mut retries)?;
+                Ok(rule.decide(oracle.norms(), item, queried))
+            });
+        let budget_consumed = oracle.stats().since(before).total();
+        match outcome {
+            Ok(answer) => Ok((
+                answer,
+                QueryAudit {
+                    degraded: None,
+                    retries_used: retries,
+                    budget_consumed,
+                },
+            )),
+            Err(LcaError::Oracle(error)) => match DegradationReason::from_oracle(error) {
+                Some(reason) => Ok((
+                    degraded_answer(),
+                    QueryAudit {
+                        degraded: Some(reason),
+                        retries_used: retries,
+                        budget_consumed,
+                    },
+                )),
+                // Not a fault (e.g. out-of-range id from the oracle):
+                // surface it.
+                None => Err(LcaError::Oracle(error)),
+            },
+            Err(other) => Err(other),
+        }
+    }
+}
+
 impl KnapsackLca for LcaKp {
     fn query<O, R>(
         &self,
@@ -337,15 +528,8 @@ impl KnapsackLca for LcaKp {
         O: ItemOracle + WeightedSampler,
         R: Rng + ?Sized,
     {
-        if item.index() >= oracle.len() {
-            return Err(LcaError::ItemOutOfRange {
-                index: item.index(),
-                len: oracle.len(),
-            });
-        }
-        let rule = self.build_rule(oracle, rng, seed)?;
-        let queried = oracle.query(item);
-        Ok(rule.decide(oracle.norms(), item, queried))
+        self.query_with_audit(oracle, rng, item, seed)
+            .map(|(answer, _)| answer)
     }
 }
 
@@ -391,17 +575,14 @@ mod tests {
         // All-small instance: the EPS-estimation path (the expensive one)
         // must run, and the theoretical budget at ε = 1/10 is astronomic.
         let norm = NormalizedInstance::new(
-            Instance::from_pairs(std::iter::repeat((1u64, 1u64)).take(200), 50).unwrap(),
+            Instance::from_pairs(std::iter::repeat_n((1u64, 1u64), 200), 50).unwrap(),
         )
         .unwrap();
         let oracle = InstanceOracle::new(&norm);
         let mut rng = Seed::from_entropy_u64(0).rng();
         let seed = Seed::from_entropy_u64(1);
         let result = lca.query(&oracle, &mut rng, ItemId(0), &seed);
-        assert!(matches!(
-            result,
-            Err(LcaError::SampleBudgetTooLarge { .. })
-        ));
+        assert!(matches!(result, Err(LcaError::SampleBudgetTooLarge { .. })));
     }
 
     #[test]
@@ -465,7 +646,13 @@ mod tests {
                 150,
                 2,
             ),
-            WorkloadSpec::new(Family::GarbageMix { garbage_percent: 20 }, 150, 3),
+            WorkloadSpec::new(
+                Family::GarbageMix {
+                    garbage_percent: 20,
+                },
+                150,
+                3,
+            ),
         ] {
             let norm = spec.generate_normalized().unwrap();
             let oracle = InstanceOracle::new(&norm);
@@ -486,13 +673,18 @@ mod tests {
     fn garbage_items_are_rejected() {
         let eps = Epsilon::new(1, 5).unwrap();
         let lca = quick_lca(eps);
-        let spec = WorkloadSpec::new(Family::GarbageMix { garbage_percent: 30 }, 400, 9);
+        let spec = WorkloadSpec::new(
+            Family::GarbageMix {
+                garbage_percent: 30,
+            },
+            400,
+            9,
+        );
         let norm = spec.generate_normalized().unwrap();
         let oracle = InstanceOracle::new(&norm);
         let seed = Seed::from_entropy_u64(41);
         let mut rng = Seed::from_entropy_u64(42).rng();
-        let partition =
-            lcakp_knapsack::iky::Partition::compute(&norm, eps);
+        let partition = lcakp_knapsack::iky::Partition::compute(&norm, eps);
         assert!(!partition.garbage().is_empty());
         for &id in partition.garbage().iter().take(5) {
             let answer = lca.query(&oracle, &mut rng, id, &seed).unwrap();
@@ -504,10 +696,8 @@ mod tests {
     fn out_of_range_query_errors() {
         let eps = Epsilon::new(1, 3).unwrap();
         let lca = quick_lca(eps);
-        let norm = NormalizedInstance::new(
-            Instance::from_pairs([(5, 1), (3, 1)], 1).unwrap(),
-        )
-        .unwrap();
+        let norm =
+            NormalizedInstance::new(Instance::from_pairs([(5, 1), (3, 1)], 1).unwrap()).unwrap();
         let oracle = InstanceOracle::new(&norm);
         let mut rng = Seed::from_entropy_u64(1).rng();
         assert!(lca
@@ -519,5 +709,109 @@ mod tests {
     fn display_mentions_engine() {
         let lca = quick_lca(Epsilon::new(1, 4).unwrap());
         assert!(lca.to_string().contains("Reproducible"));
+    }
+
+    #[test]
+    fn query_degrades_to_trivial_rule_under_budget_exhaustion() {
+        use crate::lca::DecisionReason;
+        use crate::solution_audit::DegradationReason;
+        use lcakp_oracle::BudgetedOracle;
+
+        let eps = Epsilon::new(1, 3).unwrap();
+        let lca = quick_lca(eps);
+        let spec = WorkloadSpec::new(Family::SmallDominated, 200, 4);
+        let norm = spec.generate_normalized().unwrap();
+        let inner = InstanceOracle::new(&norm);
+        // A cap of 10 is far below the coupon-sampling budget, so the
+        // rule construction must hit the wall and degrade.
+        let oracle = BudgetedOracle::new(&inner, 10);
+        let seed = Seed::from_entropy_u64(51);
+        let mut rng = Seed::from_entropy_u64(52).rng();
+        let (answer, audit) = lca
+            .query_with_audit(&oracle, &mut rng, ItemId(0), &seed)
+            .unwrap();
+        assert!(!answer.include, "degraded answer must be the trivial no");
+        assert_eq!(answer.reason, DecisionReason::DegradedFallback);
+        assert_eq!(
+            audit.degraded,
+            Some(DegradationReason::BudgetExhausted { cap: 10 })
+        );
+        assert_eq!(audit.budget_consumed, 10, "exactly the cap was spent");
+
+        // The infallible trait path degrades identically instead of
+        // panicking or erroring.
+        let answer = lca.query(&oracle, &mut rng, ItemId(0), &seed).unwrap();
+        assert_eq!(answer.reason, DecisionReason::DegradedFallback);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_answers_match_fault_free() {
+        use lcakp_oracle::{FaultPlan, FaultyOracle};
+
+        let eps = Epsilon::new(1, 3).unwrap();
+        let lca = quick_lca(eps).with_retry_policy(RetryPolicy { max_retries: 8 });
+        let spec = WorkloadSpec::new(Family::SmallDominated, 200, 4);
+        let norm = spec.generate_normalized().unwrap();
+        let seed = Seed::from_entropy_u64(61);
+
+        let clean = InstanceOracle::new(&norm);
+        let (clean_answer, clean_audit) = lca
+            .query_with_audit(
+                &clean,
+                &mut Seed::from_entropy_u64(62).rng(),
+                ItemId(5),
+                &seed,
+            )
+            .unwrap();
+
+        // Retrying a transient fault repeats the access without touching
+        // the caller's RNG stream, so the answer is unchanged.
+        let inner = InstanceOracle::new(&norm);
+        let faulty = FaultyOracle::new(
+            &inner,
+            FaultPlan::transient(0.05),
+            Seed::from_entropy_u64(63),
+        );
+        let (answer, audit) = lca
+            .query_with_audit(
+                &faulty,
+                &mut Seed::from_entropy_u64(62).rng(),
+                ItemId(5),
+                &seed,
+            )
+            .unwrap();
+        assert_eq!(
+            audit.degraded, None,
+            "5% transients with 8 retries never persist"
+        );
+        assert!(audit.retries_used > 0, "faults must actually have fired");
+        assert_eq!(answer, clean_answer);
+        assert_eq!(clean_audit.retries_used, 0);
+    }
+
+    #[test]
+    fn retry_policy_none_degrades_on_first_transient() {
+        use crate::lca::DecisionReason;
+        use crate::solution_audit::DegradationReason;
+        use lcakp_oracle::{FaultPlan, FaultyOracle};
+
+        let eps = Epsilon::new(1, 3).unwrap();
+        let lca = quick_lca(eps).with_retry_policy(RetryPolicy::none());
+        let spec = WorkloadSpec::new(Family::SmallDominated, 200, 4);
+        let norm = spec.generate_normalized().unwrap();
+        let inner = InstanceOracle::new(&norm);
+        let faulty = FaultyOracle::new(
+            &inner,
+            FaultPlan::transient(0.5),
+            Seed::from_entropy_u64(71),
+        );
+        let seed = Seed::from_entropy_u64(72);
+        let mut rng = Seed::from_entropy_u64(73).rng();
+        let (answer, audit) = lca
+            .query_with_audit(&faulty, &mut rng, ItemId(0), &seed)
+            .unwrap();
+        assert_eq!(answer.reason, DecisionReason::DegradedFallback);
+        assert_eq!(audit.degraded, Some(DegradationReason::RetriesExhausted));
+        assert_eq!(audit.retries_used, 0);
     }
 }

@@ -1,14 +1,167 @@
 //! Approximation auditing: assemble an LCA's answers into a full
 //! solution and measure it against the exact optimum — the machinery
-//! behind experiment E5 (Theorem 4.1's `(1/2, 6ε)` guarantee).
+//! behind experiment E5 (Theorem 4.1's `(1/2, 6ε)` guarantee) — plus the
+//! per-query audit trail of the fault-degradation ladder (experiment
+//! E13).
 
 use crate::lca::KnapsackLca;
+use crate::lca_kp::LcaKp;
 use crate::LcaError;
 use lcakp_knapsack::iky::Epsilon;
-use lcakp_knapsack::{solvers, NormalizedInstance, Selection};
-use lcakp_oracle::{InstanceOracle, Seed};
+use lcakp_knapsack::{solvers, ItemId, NormalizedInstance, Selection};
+use lcakp_oracle::{InstanceOracle, ItemOracle, OracleError, Seed, WeightedSampler};
 use rand::Rng;
 use std::fmt;
+
+/// Why a query abandoned the sampled rule and fell back to the trivial
+/// always-no answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DegradationReason {
+    /// Transient oracle failures persisted past the retry policy.
+    RetriesExhausted,
+    /// The oracle reported detected corruption; re-reading the same
+    /// damaged cell cannot help.
+    CorruptionDetected,
+    /// The oracle's hard access budget ran out mid-query.
+    BudgetExhausted {
+        /// The cap that was hit.
+        cap: u64,
+    },
+}
+
+impl DegradationReason {
+    /// Classifies an oracle failure; `None` for failures that must stay
+    /// hard errors (an out-of-range id is a caller bug, not a fault).
+    pub fn from_oracle(error: OracleError) -> Option<Self> {
+        match error {
+            OracleError::Transient { .. } => Some(DegradationReason::RetriesExhausted),
+            OracleError::Corrupted { .. } => Some(DegradationReason::CorruptionDetected),
+            OracleError::BudgetExhausted { cap } => {
+                Some(DegradationReason::BudgetExhausted { cap })
+            }
+            OracleError::OutOfRange { .. } => None,
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DegradationReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradationReason::RetriesExhausted => write!(f, "retries-exhausted"),
+            DegradationReason::CorruptionDetected => write!(f, "corruption-detected"),
+            DegradationReason::BudgetExhausted { cap } => {
+                write!(f, "budget-exhausted(cap={cap})")
+            }
+        }
+    }
+}
+
+/// Per-query audit record produced by [`LcaKp::query_with_audit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueryAudit {
+    /// `Some(reason)` iff the query degraded to the trivial fallback.
+    pub degraded: Option<DegradationReason>,
+    /// Transient-fault retries spent during the query.
+    pub retries_used: u64,
+    /// Counted oracle accesses (queries + samples) the query consumed.
+    pub budget_consumed: u64,
+}
+
+/// Aggregate of [`QueryAudit`]s over an assembled run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DegradationStats {
+    /// Queries issued.
+    pub queries: u64,
+    /// Queries that fell back to the trivial rule.
+    pub degraded_queries: u64,
+    /// Degradations caused by exhausted retries.
+    pub retries_exhausted: u64,
+    /// Degradations caused by detected corruption.
+    pub corruption_detected: u64,
+    /// Degradations caused by an exhausted access budget.
+    pub budget_exhausted: u64,
+    /// Total transient-fault retries spent.
+    pub retries_used: u64,
+    /// Total counted oracle accesses consumed.
+    pub budget_consumed: u64,
+}
+
+impl DegradationStats {
+    /// Folds one per-query audit into the aggregate.
+    pub fn absorb(&mut self, audit: &QueryAudit) {
+        self.queries += 1;
+        self.retries_used += audit.retries_used;
+        self.budget_consumed += audit.budget_consumed;
+        if let Some(reason) = audit.degraded {
+            self.degraded_queries += 1;
+            match reason {
+                DegradationReason::RetriesExhausted => self.retries_exhausted += 1,
+                DegradationReason::CorruptionDetected => self.corruption_detected += 1,
+                DegradationReason::BudgetExhausted { .. } => self.budget_exhausted += 1,
+            }
+        }
+    }
+
+    /// Fraction of queries that degraded (0.0 for an empty run).
+    pub fn degradation_frequency(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.degraded_queries as f64 / self.queries as f64
+        }
+    }
+}
+
+impl fmt::Display for DegradationStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} degraded (retry={} corrupt={} budget={}), {} retries, {} accesses",
+            self.degraded_queries,
+            self.queries,
+            self.retries_exhausted,
+            self.corruption_detected,
+            self.budget_exhausted,
+            self.retries_used,
+            self.budget_consumed
+        )
+    }
+}
+
+/// Assembles a solution by independent audited per-item queries against
+/// an arbitrary (possibly fault-injecting or budgeted) oracle, keeping
+/// the degradation trail.
+///
+/// Degraded queries contribute the trivial "no" answer — the selection
+/// stays feasible whatever the fault pattern, it just loses value.
+///
+/// # Errors
+///
+/// Propagates hard errors (invalid ids, impossible sample budgets);
+/// oracle faults degrade instead of erroring.
+pub fn assemble_audited<O, R>(
+    lca: &LcaKp,
+    oracle: &O,
+    rng: &mut R,
+    seed: &Seed,
+) -> Result<(Selection, DegradationStats), LcaError>
+where
+    O: ItemOracle + WeightedSampler,
+    R: Rng + ?Sized,
+{
+    let mut stats = DegradationStats::default();
+    let mut selection = Selection::new(oracle.len());
+    for index in 0..oracle.len() {
+        let (answer, audit) = lca.query_with_audit(oracle, rng, ItemId(index), seed)?;
+        stats.absorb(&audit);
+        if answer.include {
+            selection.insert(ItemId(index));
+        }
+    }
+    Ok((selection, stats))
+}
 
 /// An assembled solution measured against the exact optimum.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -115,10 +268,8 @@ mod tests {
     use lcakp_knapsack::Instance;
 
     fn fixture() -> NormalizedInstance {
-        NormalizedInstance::new(
-            Instance::from_pairs([(10, 5), (7, 3), (2, 2), (1, 1)], 6).unwrap(),
-        )
-        .unwrap()
+        NormalizedInstance::new(Instance::from_pairs([(10, 5), (7, 3), (2, 2), (1, 1)], 6).unwrap())
+            .unwrap()
     }
 
     #[test]
@@ -173,10 +324,8 @@ mod tests {
 
     #[test]
     fn zero_optimum_ratio_is_one() {
-        let norm = NormalizedInstance::new(
-            Instance::from_pairs([(1, 10), (1, 10)], 5).unwrap(),
-        )
-        .unwrap();
+        let norm =
+            NormalizedInstance::new(Instance::from_pairs([(1, 10), (1, 10)], 5).unwrap()).unwrap();
         let selection = Selection::new(2);
         let audit = audit_selection(&norm, &selection, 0);
         assert_eq!(audit.ratio, 1.0);

@@ -16,6 +16,17 @@ use lcakp_knapsack::{Instance, ItemId};
 use lcakp_oracle::{ItemOracle, Seed, WeightedSampler};
 use rand::Rng;
 
+/// The answer the fault-degradation ladder falls back to: the same
+/// always-no rule as [`EmptyLca`] (consistent with the feasible solution
+/// ∅), tagged [`DecisionReason::DegradedFallback`] so audits can tell
+/// degraded answers from deliberate baseline use.
+pub fn degraded_answer() -> LcaAnswer {
+    LcaAnswer {
+        include: false,
+        reason: DecisionReason::DegradedFallback,
+    }
+}
+
 /// Always answers **no** — consistent with the empty solution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct EmptyLca;
@@ -83,8 +94,9 @@ impl KnapsackLca for FullScanLca {
             });
         }
         // Pay n point queries to reconstruct the instance.
-        let items: Vec<lcakp_knapsack::Item> =
-            (0..oracle.len()).map(|index| oracle.query(ItemId(index))).collect();
+        let items: Vec<lcakp_knapsack::Item> = (0..oracle.len())
+            .map(|index| oracle.query(ItemId(index)))
+            .collect();
         let instance = Instance::new(items, oracle.capacity())?;
         let outcome = modified_greedy(&instance);
         Ok(LcaAnswer {
@@ -101,10 +113,8 @@ mod tests {
     use lcakp_oracle::InstanceOracle;
 
     fn oracle_fixture() -> NormalizedInstance {
-        NormalizedInstance::new(
-            Instance::from_pairs([(10, 5), (7, 3), (2, 2)], 5).unwrap(),
-        )
-        .unwrap()
+        NormalizedInstance::new(Instance::from_pairs([(10, 5), (7, 3), (2, 2)], 5).unwrap())
+            .unwrap()
     }
 
     #[test]

@@ -123,15 +123,15 @@ proptest! {
 /// efficiency (infinite efficiency passes any cut-off).
 #[test]
 fn zero_weight_items_pass_any_cutoff() {
-    let instance = Instance::new(
-        vec![Item::new(1, 0), Item::new(50, 5), Item::new(3, 6)],
-        5,
-    )
-    .unwrap();
+    let instance =
+        Instance::new(vec![Item::new(1, 0), Item::new(50, 5), Item::new(3, 6)], 5).unwrap();
     let norm = NormalizedInstance::new(instance).unwrap();
     let eps = Epsilon::new(1, 3).unwrap();
     let mut rule = SolutionRule::empty(eps, 5);
     rule.e_small = Some(u64::MAX);
     let answer = rule.decide(norm.norms(), lcakp_knapsack::ItemId(0), Item::new(1, 0));
-    assert!(answer.include, "infinite efficiency must clear any threshold");
+    assert!(
+        answer.include,
+        "infinite efficiency must clear any threshold"
+    );
 }

@@ -62,7 +62,10 @@ impl EpsSequence {
     ///
     /// Panics if `k == 0` or `k > t`.
     pub fn threshold(&self, k: usize) -> u64 {
-        assert!(k >= 1 && k <= self.keys.len(), "threshold index out of range");
+        assert!(
+            k >= 1 && k <= self.keys.len(),
+            "threshold index out of range"
+        );
         self.keys[k - 1]
     }
 
@@ -111,11 +114,7 @@ impl std::fmt::Display for EpsSequence {
 /// This is the reference EPS used to validate the Ĩ-construction
 /// (Lemma 4.4, experiment E9); the LCA estimates an EPS by sampling
 /// instead.
-pub fn exact_eps(
-    norm: &NormalizedInstance,
-    eps: Epsilon,
-    partition: &Partition,
-) -> EpsSequence {
+pub fn exact_eps(norm: &NormalizedInstance, eps: Epsilon, partition: &Partition) -> EpsSequence {
     let mut small: Vec<(ItemId, u64)> = partition
         .small()
         .iter()
@@ -134,7 +133,7 @@ pub fn exact_eps(
         let next_key = small.get(position + 1).map(|&(_, next)| next);
         // Mass ≥ ε ⇔ bucket_profit / P ≥ num/den ⇔ bucket_profit·den ≥ num·P.
         let full = bucket_profit * eps_den >= eps_num * total_profit;
-        let clean_break = next_key.map_or(false, |next| next < key);
+        let clean_break = next_key.is_some_and(|next| next < key);
         if full && clean_break {
             keys.push(key);
             bucket_profit = 0;

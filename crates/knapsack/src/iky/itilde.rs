@@ -64,9 +64,7 @@ impl TildeItem {
     /// caller using construction order, which is itself deterministic.
     pub fn cmp_greedy(&self, other: &TildeItem) -> Ordering {
         let eff = match (self.weight_mu, other.weight_mu) {
-            (0, 0) => (self.profit_mu > 0)
-                .cmp(&(other.profit_mu > 0))
-                .reverse(),
+            (0, 0) => (self.profit_mu > 0).cmp(&(other.profit_mu > 0)).reverse(),
             (0, _) => {
                 if self.profit_mu > 0 {
                     Ordering::Less
@@ -182,8 +180,7 @@ impl TildeInstance {
         large_ids: &[ItemId],
         seq: &EpsSequence,
     ) -> Self {
-        let large: Vec<(ItemId, Item)> =
-            large_ids.iter().map(|&id| (id, norm.item(id))).collect();
+        let large: Vec<(ItemId, Item)> = large_ids.iter().map(|&id| (id, norm.item(id))).collect();
         TildeInstance::build(
             norm.norms(),
             norm.as_instance().capacity(),

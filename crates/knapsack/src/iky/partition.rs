@@ -112,20 +112,14 @@ impl Partition {
 
     /// Total raw profit of the large items.
     pub fn large_profit(&self, norm: &NormalizedInstance) -> u64 {
-        self.large
-            .iter()
-            .map(|&id| norm.item(id).profit)
-            .sum()
+        self.large.iter().map(|&id| norm.item(id).profit).sum()
     }
 
     /// Total raw profit of the garbage items — bounded by ε² of the total,
     /// plus the (total-weight / capacity) slack, per the argument in
     /// Lemma 4.6.
     pub fn garbage_profit(&self, norm: &NormalizedInstance) -> u64 {
-        self.garbage
-            .iter()
-            .map(|&id| norm.item(id).profit)
-            .sum()
+        self.garbage.iter().map(|&id| norm.item(id).profit).sum()
     }
 }
 
@@ -144,8 +138,7 @@ mod tests {
         let norm = norm(&[(50, 1), (1, 1), (1, 100), (30, 5), (2, 3)], 10);
         let eps = Epsilon::new(1, 4).unwrap();
         let partition = Partition::compute(&norm, eps);
-        let total =
-            partition.large().len() + partition.small().len() + partition.garbage().len();
+        let total = partition.large().len() + partition.small().len() + partition.garbage().len();
         assert_eq!(total, norm.len());
         let mut all: Vec<ItemId> = partition
             .large()
@@ -165,10 +158,7 @@ mod tests {
         let norm = norm(&[(1, 1), (15, 15)], 16);
         let eps = Epsilon::new(1, 4).unwrap();
         // p̂ = 1/16 = ε² is NOT > ε² → not large; efficiency (1/16)/(1/16) = 1 ≥ ε² → small.
-        assert_eq!(
-            classify_item(&norm, eps, Item::new(1, 1)),
-            ItemClass::Small
-        );
+        assert_eq!(classify_item(&norm, eps, Item::new(1, 1)), ItemClass::Small);
         assert_eq!(
             classify_item(&norm, eps, Item::new(15, 15)),
             ItemClass::Large

@@ -405,7 +405,10 @@ impl NormalizedInstance {
     /// Normalized profit `p̂ᵢ = pᵢ / P`, exact.
     #[inline]
     pub fn nprofit(&self, id: ItemId) -> Rat {
-        Rat::new(self.inner.item(id).profit as u128, self.total_profit as u128)
+        Rat::new(
+            self.inner.item(id).profit as u128,
+            self.total_profit as u128,
+        )
     }
 
     /// Normalized profit of an arbitrary raw profit value.
@@ -417,7 +420,10 @@ impl NormalizedInstance {
     /// Normalized weight `ŵᵢ = wᵢ / W`, exact.
     #[inline]
     pub fn nweight(&self, id: ItemId) -> Rat {
-        Rat::new(self.inner.item(id).weight as u128, self.total_weight as u128)
+        Rat::new(
+            self.inner.item(id).weight as u128,
+            self.total_weight as u128,
+        )
     }
 
     /// Normalized capacity `K̂ = K / W`, exact.
@@ -564,7 +570,7 @@ mod tests {
     fn efficiency_key_is_monotone() {
         let norm = simple();
         let mut ids: Vec<ItemId> = (0..norm.len()).map(ItemId).collect();
-        ids.sort_by(|&a, &b| norm.efficiency(a).cmp(&norm.efficiency(b)));
+        ids.sort_by_key(|&a| norm.efficiency(a));
         let keys: Vec<u64> = ids.iter().map(|&id| norm.efficiency_key(id)).collect();
         let mut sorted = keys.clone();
         sorted.sort_unstable();

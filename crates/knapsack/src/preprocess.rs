@@ -44,7 +44,11 @@ impl Preprocessed {
     ///
     /// Panics if `selection` does not match the reduced instance's size.
     pub fn lift(&self, selection: &Selection) -> Selection {
-        assert_eq!(selection.len(), self.reduced.len(), "selection size mismatch");
+        assert_eq!(
+            selection.len(),
+            self.reduced.len(),
+            "selection size mismatch"
+        );
         let mut lifted = Selection::new(self.original_len);
         for id in selection.ones() {
             if let Some(original) = self.map[id.index()] {
@@ -113,8 +117,7 @@ mod tests {
 
     #[test]
     fn oversized_and_free_items_are_extracted() {
-        let instance =
-            Instance::from_pairs([(5, 0), (7, 100), (3, 2), (0, 0)], 4).unwrap();
+        let instance = Instance::from_pairs([(5, 0), (7, 100), (3, 2), (0, 0)], 4).unwrap();
         let prep = preprocess(&instance).unwrap();
         assert_eq!(prep.forced, vec![ItemId(0)]);
         assert_eq!(prep.forced_profit, 5);
@@ -124,11 +127,8 @@ mod tests {
 
     #[test]
     fn lifted_optimum_equals_direct_optimum() {
-        let instance = Instance::from_pairs(
-            [(5, 0), (7, 100), (3, 2), (9, 3), (4, 2), (2, 0)],
-            4,
-        )
-        .unwrap();
+        let instance =
+            Instance::from_pairs([(5, 0), (7, 100), (3, 2), (9, 3), (4, 2), (2, 0)], 4).unwrap();
         let direct = dp_by_weight(&instance).unwrap();
         let prep = preprocess(&instance).unwrap();
         let reduced = dp_by_weight(&prep.reduced).unwrap();

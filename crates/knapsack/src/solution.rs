@@ -95,23 +95,29 @@ impl Selection {
 
     /// Number of selected items.
     pub fn count(&self) -> usize {
-        self.bits.iter().map(|word| word.count_ones() as usize).sum()
+        self.bits
+            .iter()
+            .map(|word| word.count_ones() as usize)
+            .sum()
     }
 
     /// Iterator over selected ids in increasing order.
     pub fn ones(&self) -> impl Iterator<Item = ItemId> + '_ {
-        self.bits.iter().enumerate().flat_map(|(word_index, &word)| {
-            let mut remaining = word;
-            std::iter::from_fn(move || {
-                if remaining == 0 {
-                    None
-                } else {
-                    let bit = remaining.trailing_zeros() as usize;
-                    remaining &= remaining - 1;
-                    Some(ItemId(word_index * 64 + bit))
-                }
+        self.bits
+            .iter()
+            .enumerate()
+            .flat_map(|(word_index, &word)| {
+                let mut remaining = word;
+                std::iter::from_fn(move || {
+                    if remaining == 0 {
+                        None
+                    } else {
+                        let bit = remaining.trailing_zeros() as usize;
+                        remaining &= remaining - 1;
+                        Some(ItemId(word_index * 64 + bit))
+                    }
+                })
             })
-        })
     }
 
     /// Total profit of the selected items in `instance`.
@@ -120,7 +126,11 @@ impl Selection {
     ///
     /// Panics if the selection's length differs from the instance's.
     pub fn value(&self, instance: &Instance) -> u64 {
-        assert_eq!(self.len, instance.len(), "selection/instance length mismatch");
+        assert_eq!(
+            self.len,
+            instance.len(),
+            "selection/instance length mismatch"
+        );
         self.ones().map(|id| instance.item(id).profit).sum()
     }
 
@@ -130,7 +140,11 @@ impl Selection {
     ///
     /// Panics if the selection's length differs from the instance's.
     pub fn weight(&self, instance: &Instance) -> u64 {
-        assert_eq!(self.len, instance.len(), "selection/instance length mismatch");
+        assert_eq!(
+            self.len,
+            instance.len(),
+            "selection/instance length mismatch"
+        );
         self.ones().map(|id| instance.item(id).weight).sum()
     }
 

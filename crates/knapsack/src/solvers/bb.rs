@@ -48,7 +48,12 @@ fn fractional_bound(
     u64::try_from(bound).unwrap_or(u64::MAX)
 }
 
-fn dfs(frame: &mut Frame<'_>, depth: usize, remaining: u64, value: u64) -> Result<(), KnapsackError> {
+fn dfs(
+    frame: &mut Frame<'_>,
+    depth: usize,
+    remaining: u64,
+    value: u64,
+) -> Result<(), KnapsackError> {
     frame.nodes += 1;
     if frame.nodes > MAX_NODES {
         return Err(KnapsackError::SolverBudgetExceeded {
@@ -72,7 +77,12 @@ fn dfs(frame: &mut Frame<'_>, depth: usize, remaining: u64, value: u64) -> Resul
     // Branch "take" first: the greedy order makes it likely to be good.
     if item.weight <= remaining {
         frame.current[id.index()] = true;
-        dfs(frame, depth + 1, remaining - item.weight, value + item.profit)?;
+        dfs(
+            frame,
+            depth + 1,
+            remaining - item.weight,
+            value + item.profit,
+        )?;
         frame.current[id.index()] = false;
     }
     dfs(frame, depth + 1, remaining, value)
@@ -130,8 +140,7 @@ mod tests {
 
     #[test]
     fn classic_instance() {
-        let instance =
-            Instance::from_pairs([(60, 10), (100, 20), (120, 30)], 50).unwrap();
+        let instance = Instance::from_pairs([(60, 10), (100, 20), (120, 30)], 50).unwrap();
         assert_eq!(branch_and_bound(&instance).unwrap().value, 220);
     }
 
@@ -150,8 +159,7 @@ mod tests {
 
     #[test]
     fn selection_is_feasible_and_consistent() {
-        let instance =
-            Instance::from_pairs([(3, 2), (5, 4), (6, 5), (8, 7)], 9).unwrap();
+        let instance = Instance::from_pairs([(3, 2), (5, 4), (6, 5), (8, 7)], 9).unwrap();
         let outcome = branch_and_bound(&instance).unwrap();
         assert!(outcome.selection.is_feasible(&instance));
         assert_eq!(outcome.selection.value(&instance), outcome.value);

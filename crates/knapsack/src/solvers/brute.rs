@@ -64,11 +64,8 @@ mod tests {
 
     #[test]
     fn agrees_with_other_exact_solvers() {
-        let instance = Instance::from_pairs(
-            [(7, 3), (2, 1), (9, 5), (4, 2), (6, 3), (11, 6)],
-            10,
-        )
-        .unwrap();
+        let instance =
+            Instance::from_pairs([(7, 3), (2, 1), (9, 5), (4, 2), (6, 3), (11, 6)], 10).unwrap();
         let brute = brute_force(&instance).unwrap().value;
         assert_eq!(brute, dp_by_weight(&instance).unwrap().value);
         assert_eq!(brute, branch_and_bound(&instance).unwrap().value);

@@ -176,8 +176,7 @@ mod tests {
 
     #[test]
     fn classic_instance() {
-        let instance =
-            Instance::from_pairs([(60, 10), (100, 20), (120, 30)], 50).unwrap();
+        let instance = Instance::from_pairs([(60, 10), (100, 20), (120, 30)], 50).unwrap();
         assert_eq!(dp_by_weight(&instance).unwrap().value, 220);
         assert_eq!(dp_by_profit(&instance).unwrap().value, 220);
     }
@@ -206,8 +205,7 @@ mod tests {
 
     #[test]
     fn traceback_selection_matches_value() {
-        let instance =
-            Instance::from_pairs([(7, 3), (2, 1), (9, 5), (4, 2), (6, 3)], 7).unwrap();
+        let instance = Instance::from_pairs([(7, 3), (2, 1), (9, 5), (4, 2), (6, 3)], 7).unwrap();
         for outcome in [
             dp_by_weight(&instance).unwrap(),
             dp_by_profit(&instance).unwrap(),
@@ -229,8 +227,7 @@ mod tests {
 
     #[test]
     fn both_dps_agree_on_small_instances() {
-        let instance =
-            Instance::from_pairs([(3, 2), (5, 4), (6, 5), (8, 7), (1, 1)], 9).unwrap();
+        let instance = Instance::from_pairs([(3, 2), (5, 4), (6, 5), (8, 7), (1, 1)], 9).unwrap();
         assert_eq!(
             dp_by_weight(&instance).unwrap().value,
             dp_by_profit(&instance).unwrap().value

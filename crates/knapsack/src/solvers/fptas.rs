@@ -54,7 +54,12 @@ pub fn fptas(instance: &Instance, eps: Epsilon) -> Result<SolveOutcome, Knapsack
             // Rounded profits are ≤ n/ε each; they exceed MAX_UNIT only for
             // extreme n/ε, in which case we cap (the DP budget guard will
             // reject those runs anyway).
-            Item::new(u64::try_from(scaled).unwrap_or(u64::MAX).min(crate::MAX_UNIT), item.weight)
+            Item::new(
+                u64::try_from(scaled)
+                    .unwrap_or(u64::MAX)
+                    .min(crate::MAX_UNIT),
+                item.weight,
+            )
         })
         .collect();
     let rounded_instance = Instance::new(rounded, instance.capacity())?;
@@ -84,11 +89,8 @@ mod tests {
 
     #[test]
     fn achieves_one_minus_eps() {
-        let instance = Instance::from_pairs(
-            [(60, 10), (100, 20), (120, 30), (45, 15), (30, 5)],
-            50,
-        )
-        .unwrap();
+        let instance =
+            Instance::from_pairs([(60, 10), (100, 20), (120, 30), (45, 15), (30, 5)], 50).unwrap();
         let optimum = dp_by_weight(&instance).unwrap().value;
         for (num, den) in [(1u64, 2u64), (1, 4), (1, 10)] {
             let eps = Epsilon::new(num, den).unwrap();
@@ -125,6 +127,6 @@ mod tests {
         let instance = Instance::from_pairs([(10, 1)], 1).unwrap();
         let eps = Epsilon::new(1, 2).unwrap();
         let ratio = fptas_ratio(&instance, eps, 10).unwrap();
-        assert!(ratio >= 0.5 && ratio <= 1.0);
+        assert!((0.5..=1.0).contains(&ratio));
     }
 }

@@ -68,11 +68,7 @@ mod tests {
 
     #[test]
     fn upper_bounds_integral_optimum() {
-        let instance = Instance::from_pairs(
-            [(7, 3), (2, 1), (9, 5), (4, 2), (6, 3)],
-            7,
-        )
-        .unwrap();
+        let instance = Instance::from_pairs([(7, 3), (2, 1), (9, 5), (4, 2), (6, 3)], 7).unwrap();
         let optimum = dp_by_weight(&instance).unwrap().value;
         assert!(fractional_optimum(&instance) >= Rat::from_int(optimum as u128));
         assert!(fractional_upper_bound(&instance) >= optimum);

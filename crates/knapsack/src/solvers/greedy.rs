@@ -181,21 +181,16 @@ mod tests {
 
     #[test]
     fn canonical_order_handles_zero_weights() {
-        let instance =
-            Instance::from_pairs([(0, 0), (5, 0), (10, 2), (1, 10)], 10).unwrap();
+        let instance = Instance::from_pairs([(0, 0), (5, 0), (10, 2), (1, 10)], 10).unwrap();
         let order = efficiency_order(&instance);
         // Infinite efficiency first, then 5, then 0.1, then the null item.
-        assert_eq!(
-            order,
-            vec![ItemId(1), ItemId(2), ItemId(3), ItemId(0)]
-        );
+        assert_eq!(order, vec![ItemId(1), ItemId(2), ItemId(3), ItemId(0)]);
     }
 
     #[test]
     fn order_tie_breaks_by_profit_then_weight_then_id() {
         // Items 0 and 1 have efficiency 2 but different profits.
-        let instance =
-            Instance::from_pairs([(2, 1), (4, 2), (4, 2)], 10).unwrap();
+        let instance = Instance::from_pairs([(2, 1), (4, 2), (4, 2)], 10).unwrap();
         let order = efficiency_order(&instance);
         assert_eq!(order, vec![ItemId(1), ItemId(2), ItemId(0)]);
     }

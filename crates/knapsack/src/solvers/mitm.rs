@@ -29,7 +29,11 @@ fn enumerate_half(instance: &Instance, offset: usize, count: usize) -> Vec<HalfS
                 value += item.profit;
             }
         }
-        subsets.push(HalfSubset { weight, value, mask });
+        subsets.push(HalfSubset {
+            weight,
+            value,
+            mask,
+        });
     }
     subsets
 }
@@ -122,7 +126,16 @@ mod tests {
     #[test]
     fn agrees_with_brute_force() {
         let instance = Instance::from_pairs(
-            [(7, 3), (2, 1), (9, 5), (4, 2), (6, 3), (11, 6), (5, 4), (8, 5)],
+            [
+                (7, 3),
+                (2, 1),
+                (9, 5),
+                (4, 2),
+                (6, 3),
+                (11, 6),
+                (5, 4),
+                (8, 5),
+            ],
             12,
         )
         .unwrap();
@@ -157,15 +170,31 @@ mod tests {
     #[test]
     fn pareto_frontier_is_monotone() {
         let subsets = vec![
-            HalfSubset { weight: 3, value: 5, mask: 1 },
-            HalfSubset { weight: 1, value: 2, mask: 2 },
-            HalfSubset { weight: 2, value: 2, mask: 3 },
-            HalfSubset { weight: 3, value: 9, mask: 4 },
+            HalfSubset {
+                weight: 3,
+                value: 5,
+                mask: 1,
+            },
+            HalfSubset {
+                weight: 1,
+                value: 2,
+                mask: 2,
+            },
+            HalfSubset {
+                weight: 2,
+                value: 2,
+                mask: 3,
+            },
+            HalfSubset {
+                weight: 3,
+                value: 9,
+                mask: 4,
+            },
         ];
         let frontier = pareto(subsets);
-        assert!(frontier.windows(2).all(|pair| {
-            pair[0].weight <= pair[1].weight && pair[0].value < pair[1].value
-        }));
+        assert!(frontier
+            .windows(2)
+            .all(|pair| { pair[0].weight <= pair[1].weight && pair[0].value < pair[1].value }));
         assert_eq!(frontier.last().unwrap().value, 9);
     }
 

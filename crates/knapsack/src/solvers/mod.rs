@@ -22,8 +22,8 @@
 mod bb;
 mod brute;
 mod dp;
-pub mod fractional;
 mod fptas;
+pub mod fractional;
 mod greedy;
 mod mitm;
 
@@ -32,7 +32,6 @@ pub use brute::brute_force;
 pub use dp::{dp_by_profit, dp_by_weight};
 pub use fptas::{fptas, fptas_ratio};
 pub use greedy::{
-    cmp_efficiency_desc, efficiency_order, greedy_prefix, greedy_skip, modified_greedy,
-    GreedyRun,
+    cmp_efficiency_desc, efficiency_order, greedy_prefix, greedy_skip, modified_greedy, GreedyRun,
 };
 pub use mitm::meet_in_the_middle;

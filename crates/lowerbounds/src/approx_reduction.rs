@@ -152,7 +152,7 @@ pub fn run_approx_experiment(
                 break;
             }
         }
-        if !found_one == instance.special_in_alpha_approx() {
+        if found_one != instance.special_in_alpha_approx() {
             successes += 1;
         }
     }
@@ -211,11 +211,7 @@ mod tests {
         for (alpha_num, beta_num) in [(99u64, 98u64), (50, 25), (2, 1)] {
             let ratios = RatioPair::new(alpha_num, beta_num, 100);
             let rate = run_approx_experiment(n, ratios, budget, 1500, 7);
-            assert!(
-                rate.rate() < 2.0 / 3.0,
-                "α = {}: {rate}",
-                ratios.alpha()
-            );
+            assert!(rate.rate() < 2.0 / 3.0, "α = {}: {rate}", ratios.alpha());
         }
     }
 

@@ -212,7 +212,7 @@ pub fn run_weighted_sampling_experiment(
                 break;
             }
         }
-        if !saw_one == instance.special_in_optimum() {
+        if saw_one != instance.special_in_optimum() {
             successes += 1;
         }
     }
@@ -294,7 +294,11 @@ mod tests {
             let concrete = instance.to_instance();
             let outcome = lcakp_knapsack::solvers::dp_by_weight(&concrete).unwrap();
             // OPT value encodes OR: 2 iff some bit is set, else 1.
-            let expected = if instance.or_value() { ONE_PROFIT } else { SPECIAL_PROFIT };
+            let expected = if instance.or_value() {
+                ONE_PROFIT
+            } else {
+                SPECIAL_PROFIT
+            };
             assert_eq!(outcome.value, expected);
             // And with OR = 0 the unique optimum is the special item.
             if !instance.or_value() {

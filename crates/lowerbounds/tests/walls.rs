@@ -94,11 +94,12 @@ fn maximal_wall_scales_with_n() {
         assert!(rate < 0.8, "n={n}: {rate}");
         rates.push(rate);
     }
-    let spread = rates
-        .iter()
-        .fold(0.0f64, |acc, &r| acc.max(r))
+    let spread = rates.iter().fold(0.0f64, |acc, &r| acc.max(r))
         - rates.iter().fold(1.0f64, |acc, &r| acc.min(r));
-    assert!(spread < 0.06, "success at fixed q/n should be n-independent: {rates:?}");
+    assert!(
+        spread < 0.06,
+        "success at fixed q/n should be n-independent: {rates:?}"
+    );
 }
 
 #[test]

@@ -1,5 +1,6 @@
 //! Point-query access to a Knapsack instance (Definition 2.2).
 
+use crate::error::OracleError;
 use crate::stats::{AccessSnapshot, AccessStats};
 use crate::weighted::{AliasTable, WeightedSampler};
 use lcakp_knapsack::{Item, ItemId, NormalizedInstance, Norms};
@@ -31,12 +32,30 @@ pub trait ItemOracle {
     /// The normalization constants (free).
     fn norms(&self) -> Norms;
 
-    /// Reveals item `i` — **one counted query**.
+    /// Reveals item `i` — **one counted query** — or reports why the
+    /// access failed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OracleError::OutOfRange`] for an invalid id; decorated
+    /// oracles (fault injection, budget enforcement) may return any other
+    /// [`OracleError`] variant.
+    fn try_query(&self, id: ItemId) -> Result<Item, OracleError>;
+
+    /// Infallible convenience wrapper around [`try_query`](Self::try_query)
+    /// for call sites that assume the seed model's perfect oracle.
     ///
     /// # Panics
     ///
-    /// Implementations may panic if `id` is out of range.
-    fn query(&self, id: ItemId) -> Item;
+    /// Panics if the underlying access fails — i.e. on an out-of-range id,
+    /// or when the oracle is decorated with fault injection or a budget.
+    /// Fault-aware callers use `try_query` instead.
+    fn query(&self, id: ItemId) -> Item {
+        match self.try_query(id) {
+            Ok(item) => item,
+            Err(error) => panic!("oracle query failed: {error}"),
+        }
+    }
 
     /// Snapshot of the access counters.
     fn stats(&self) -> AccessSnapshot;
@@ -78,8 +97,8 @@ impl<'a> InstanceOracle<'a> {
             .iter()
             .map(|item| item.profit)
             .collect();
-        let alias = AliasTable::new(&profits)
-            .expect("NormalizedInstance guarantees positive total profit");
+        let alias =
+            AliasTable::new(&profits).expect("NormalizedInstance guarantees positive total profit");
         InstanceOracle {
             norm,
             alias,
@@ -112,9 +131,15 @@ impl ItemOracle for InstanceOracle<'_> {
         self.norm.norms()
     }
 
-    fn query(&self, id: ItemId) -> Item {
+    fn try_query(&self, id: ItemId) -> Result<Item, OracleError> {
+        if id.index() >= self.norm.len() {
+            return Err(OracleError::OutOfRange {
+                id,
+                len: self.norm.len(),
+            });
+        }
         self.stats.record_point_query();
-        self.norm.item(id)
+        Ok(self.norm.item(id))
     }
 
     fn stats(&self) -> AccessSnapshot {
@@ -123,10 +148,13 @@ impl ItemOracle for InstanceOracle<'_> {
 }
 
 impl WeightedSampler for InstanceOracle<'_> {
-    fn sample_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> (ItemId, Item) {
+    fn try_sample_weighted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<(ItemId, Item), OracleError> {
         self.stats.record_weighted_sample();
         let id = self.alias.sample(rng);
-        (id, self.norm.item(id))
+        Ok((id, self.norm.item(id)))
     }
 }
 
@@ -145,10 +173,8 @@ mod tests {
     use lcakp_knapsack::Instance;
 
     fn norm() -> NormalizedInstance {
-        NormalizedInstance::new(
-            Instance::from_pairs([(3, 1), (1, 1), (0, 2), (6, 3)], 4).unwrap(),
-        )
-        .unwrap()
+        NormalizedInstance::new(Instance::from_pairs([(3, 1), (1, 1), (0, 2), (6, 3)], 4).unwrap())
+            .unwrap()
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Hard enforcement of access budgets.
+//!
+//! [`AccessStats`](crate::AccessStats) *counts* accesses; every query
+//! bound in the paper is stated as a cap the algorithm must respect, so
+//! experiments also need an oracle that *refuses* the access past the
+//! cap. [`BudgetedOracle`] charges one unit per counted access (point
+//! query or weighted sample — metadata stays free, as in Definition 2.2)
+//! and fails with [`OracleError::BudgetExhausted`] from the first access
+//! past the cap onward.
+
+use crate::access::ItemOracle;
+use crate::error::OracleError;
+use crate::stats::AccessSnapshot;
+use crate::weighted::WeightedSampler;
+use lcakp_knapsack::{Item, ItemId, Norms};
+use rand::Rng;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Decorator enforcing a hard cap on counted accesses.
+///
+/// The cap spans point queries *and* weighted samples combined, matching
+/// how the paper accounts query complexity. Exactly `cap` accesses
+/// succeed; access `cap + 1` (and every one after) returns
+/// [`OracleError::BudgetExhausted`] without touching the inner oracle.
+pub struct BudgetedOracle<'a, O> {
+    inner: &'a O,
+    cap: u64,
+    used: AtomicU64,
+}
+
+impl<'a, O> BudgetedOracle<'a, O> {
+    /// Wraps `inner` with a combined query+sample cap.
+    pub fn new(inner: &'a O, cap: u64) -> Self {
+        BudgetedOracle {
+            inner,
+            cap,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured cap.
+    pub fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Accesses charged so far (successful ones only).
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+
+    /// Accesses still available under the cap.
+    pub fn remaining(&self) -> u64 {
+        self.cap - self.used()
+    }
+
+    /// Charges one access, failing once the cap is reached.
+    fn charge(&self) -> Result<(), OracleError> {
+        self.used
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |used| {
+                (used < self.cap).then(|| used + 1)
+            })
+            .map(|_| ())
+            .map_err(|_| OracleError::BudgetExhausted { cap: self.cap })
+    }
+}
+
+impl<O: ItemOracle> ItemOracle for BudgetedOracle<'_, O> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+
+    fn norms(&self) -> Norms {
+        self.inner.norms()
+    }
+
+    fn try_query(&self, id: ItemId) -> Result<Item, OracleError> {
+        self.charge()?;
+        self.inner.try_query(id)
+    }
+
+    fn stats(&self) -> AccessSnapshot {
+        self.inner.stats()
+    }
+}
+
+impl<O: WeightedSampler> WeightedSampler for BudgetedOracle<'_, O> {
+    fn try_sample_weighted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<(ItemId, Item), OracleError> {
+        self.charge()?;
+        self.inner.try_sample_weighted(rng)
+    }
+}
+
+impl<O> fmt::Debug for BudgetedOracle<'_, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BudgetedOracle")
+            .field("cap", &self.cap)
+            .field("used", &self.used())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::InstanceOracle;
+    use crate::Seed;
+    use lcakp_knapsack::{Instance, NormalizedInstance};
+
+    fn norm() -> NormalizedInstance {
+        NormalizedInstance::new(Instance::from_pairs([(3, 1), (1, 1), (6, 3)], 4).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn errors_at_exactly_cap_plus_one() {
+        let norm = norm();
+        let inner = InstanceOracle::new(&norm);
+        let budgeted = BudgetedOracle::new(&inner, 5);
+        for access in 0..5 {
+            assert!(
+                budgeted.try_query(ItemId(access % 3)).is_ok(),
+                "access {access} is within the cap"
+            );
+        }
+        assert_eq!(
+            budgeted.try_query(ItemId(0)),
+            Err(OracleError::BudgetExhausted { cap: 5 }),
+            "access cap+1 must fail"
+        );
+        // The failure is persistent and the inner oracle was not touched.
+        assert_eq!(
+            budgeted.try_query(ItemId(0)),
+            Err(OracleError::BudgetExhausted { cap: 5 })
+        );
+        assert_eq!(inner.stats().point_queries, 5);
+        assert_eq!(budgeted.used(), 5);
+        assert_eq!(budgeted.remaining(), 0);
+    }
+
+    #[test]
+    fn samples_share_the_same_budget() {
+        let norm = norm();
+        let inner = InstanceOracle::new(&norm);
+        let budgeted = BudgetedOracle::new(&inner, 3);
+        let mut rng = Seed::from_entropy_u64(1).rng();
+        assert!(budgeted.try_query(ItemId(0)).is_ok());
+        assert!(budgeted.try_sample_weighted(&mut rng).is_ok());
+        assert!(budgeted.try_sample_weighted(&mut rng).is_ok());
+        assert_eq!(
+            budgeted.try_sample_weighted(&mut rng),
+            Err(OracleError::BudgetExhausted { cap: 3 })
+        );
+        assert_eq!(inner.stats().total(), 3);
+    }
+
+    #[test]
+    fn metadata_is_free() {
+        let norm = norm();
+        let inner = InstanceOracle::new(&norm);
+        let budgeted = BudgetedOracle::new(&inner, 1);
+        for _ in 0..100 {
+            let _ = budgeted.len();
+            let _ = budgeted.capacity();
+            let _ = budgeted.norms();
+            let _ = budgeted.stats();
+        }
+        assert_eq!(budgeted.used(), 0);
+    }
+
+    #[test]
+    fn zero_cap_rejects_everything() {
+        let norm = norm();
+        let inner = InstanceOracle::new(&norm);
+        let budgeted = BudgetedOracle::new(&inner, 0);
+        assert_eq!(
+            budgeted.try_query(ItemId(0)),
+            Err(OracleError::BudgetExhausted { cap: 0 })
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Typed failures for fallible oracle access.
+
+use lcakp_knapsack::ItemId;
+use std::fmt;
+
+/// Why an oracle access failed.
+///
+/// The seed model (Definition 2.2) assumes a perfect oracle; this type is
+/// the vocabulary of the fault-injection layer that relaxes it. The
+/// variants are ordered by how an LCA should react:
+///
+/// * [`OutOfRange`](OracleError::OutOfRange) — caller bug or adversarial
+///   id; never retried.
+/// * [`Transient`](OracleError::Transient) — the access failed but an
+///   immediate retry may succeed (lossy RPC, timeout); retry up to a
+///   bounded policy.
+/// * [`Corrupted`](OracleError::Corrupted) — the oracle *detected* that
+///   the stored item is damaged (checksum-style failure); retrying reads
+///   the same damaged cell, so degrade instead.
+/// * [`BudgetExhausted`](OracleError::BudgetExhausted) — a hard query cap
+///   was hit; no further access will ever succeed, degrade immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum OracleError {
+    /// The requested item id does not exist.
+    OutOfRange {
+        /// The offending id.
+        id: ItemId,
+        /// Number of items in the instance.
+        len: usize,
+    },
+    /// The access failed transiently; a retry may succeed.
+    Transient {
+        /// The oracle-side access index at which the fault fired
+        /// (stable across replays of the same fault plan).
+        access: u64,
+    },
+    /// The oracle detected corruption in the requested item.
+    Corrupted {
+        /// The item whose stored value failed validation.
+        id: ItemId,
+    },
+    /// A hard access cap was exhausted.
+    BudgetExhausted {
+        /// The configured cap on counted accesses.
+        cap: u64,
+    },
+}
+
+impl OracleError {
+    /// Whether a bounded retry of the same access can possibly succeed.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, OracleError::Transient { .. })
+    }
+
+    /// Whether the failure is persistent for the rest of the run (every
+    /// further access of the same kind will also fail).
+    pub fn is_persistent(&self) -> bool {
+        matches!(self, OracleError::BudgetExhausted { .. })
+    }
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::OutOfRange { id, len } => {
+                write!(f, "item id {} out of range for {len} items", id.index())
+            }
+            OracleError::Transient { access } => {
+                write!(f, "transient oracle failure at access {access}")
+            }
+            OracleError::Corrupted { id } => {
+                write!(f, "item {} failed oracle-side validation", id.index())
+            }
+            OracleError::BudgetExhausted { cap } => {
+                write!(f, "oracle access budget of {cap} exhausted")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability_classification() {
+        assert!(OracleError::Transient { access: 3 }.is_retryable());
+        assert!(!OracleError::Transient { access: 3 }.is_persistent());
+        assert!(!OracleError::OutOfRange {
+            id: ItemId(9),
+            len: 4
+        }
+        .is_retryable());
+        assert!(!OracleError::Corrupted { id: ItemId(0) }.is_retryable());
+        assert!(OracleError::BudgetExhausted { cap: 10 }.is_persistent());
+        assert!(!OracleError::BudgetExhausted { cap: 10 }.is_retryable());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = OracleError::OutOfRange {
+            id: ItemId(9),
+            len: 4,
+        }
+        .to_string();
+        assert!(text.contains('9') && text.contains('4'));
+        assert!(OracleError::BudgetExhausted { cap: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

@@ -18,17 +18,30 @@
 //! [`Seed`] carries the shared randomness `r` (the reproducibility
 //! channel), while sampling entropy is supplied per invocation by the
 //! caller's RNG (the i.i.d. sample channel of Definition 2.5).
+//!
+//! On top of the idealized model sits a **fault layer**: every access is
+//! fallible ([`ItemOracle::try_query`], with typed [`OracleError`]s),
+//! [`FaultyOracle`] injects seed-replayable transient failures,
+//! bounded corruption, and sampler bias per a [`FaultPlan`], and
+//! [`BudgetedOracle`] hard-enforces the query caps that [`AccessStats`]
+//! only counts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod access;
+mod budget;
+mod error;
+mod fault;
 mod rejection;
 mod seed;
 mod stats;
 mod weighted;
 
 pub use access::{InstanceOracle, ItemOracle};
+pub use budget::BudgetedOracle;
+pub use error::OracleError;
+pub use fault::{FaultPlan, FaultReport, FaultyOracle};
 pub use rejection::RejectionSamplingOracle;
 pub use seed::Seed;
 pub use stats::{AccessSnapshot, AccessStats};

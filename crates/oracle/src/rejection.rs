@@ -16,6 +16,7 @@
 //! measures both the benign and the adversarial regime.
 
 use crate::access::ItemOracle;
+use crate::error::OracleError;
 use crate::stats::AccessSnapshot;
 use crate::weighted::WeightedSampler;
 use lcakp_knapsack::{Item, ItemId, Norms};
@@ -78,8 +79,8 @@ impl<O: ItemOracle> ItemOracle for RejectionSamplingOracle<'_, O> {
         self.inner.norms()
     }
 
-    fn query(&self, id: ItemId) -> Item {
-        self.inner.query(id)
+    fn try_query(&self, id: ItemId) -> Result<Item, OracleError> {
+        self.inner.try_query(id)
     }
 
     fn stats(&self) -> AccessSnapshot {
@@ -88,19 +89,22 @@ impl<O: ItemOracle> ItemOracle for RejectionSamplingOracle<'_, O> {
 }
 
 impl<O: ItemOracle> WeightedSampler for RejectionSamplingOracle<'_, O> {
-    fn sample_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> (ItemId, Item) {
-        let mut last = (ItemId(0), self.inner.query(ItemId(0)));
+    fn try_sample_weighted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<(ItemId, Item), OracleError> {
+        let mut last = (ItemId(0), self.inner.try_query(ItemId(0))?);
         for _ in 0..self.max_attempts {
             let id = ItemId(rng.gen_range(0..self.inner.len()));
-            let item = self.inner.query(id);
+            let item = self.inner.try_query(id)?;
             last = (id, item);
             let roll = rng.gen_range(0..self.p_cap);
             if roll < item.profit.min(self.p_cap) {
-                return (id, item);
+                return Ok((id, item));
             }
         }
         // Biased fallback — deliberately honest about the failure mode.
-        last
+        Ok(last)
     }
 }
 

@@ -91,10 +91,11 @@ impl Seed {
         // Absorb the domain bytes, then the index, lane by lane.
         for (position, &byte) in domain.as_bytes().iter().enumerate() {
             let lane = position % 4;
-            lanes[lane] = splitmix64(lanes[lane] ^ (byte as u64).wrapping_shl(position as u32 % 56));
+            lanes[lane] =
+                splitmix64(lanes[lane] ^ (byte as u64).wrapping_shl(position as u32 % 56));
         }
-        for lane in 0..4 {
-            lanes[lane] = splitmix64(lanes[lane] ^ index ^ ((lane as u64) << 62));
+        for (lane_index, lane) in lanes.iter_mut().enumerate() {
+            *lane = splitmix64(*lane ^ index ^ ((lane_index as u64) << 62));
         }
         // One full diffusion round across lanes.
         for round in 0..4 {

@@ -6,6 +6,7 @@
 //! thresholds, so the distribution is exact (no floating-point bias):
 //! construction is `O(n)`, each sample is `O(1)` plus two RNG draws.
 
+use crate::error::OracleError;
 use lcakp_knapsack::{ItemId, KnapsackError};
 use rand::Rng;
 
@@ -13,12 +14,38 @@ use rand::Rng;
 /// proportional to its profit. Each call is a counted access.
 pub trait WeightedSampler {
     /// Draws one item id (and its contents) with probability proportional
-    /// to profit — **one counted sample**.
+    /// to profit — **one counted sample** — or reports why the access
+    /// failed.
     ///
     /// Sampling entropy comes from the *caller's* RNG: in the paper's
     /// reproducibility framework (Definition 2.5) samples are the fresh
-    /// i.i.d. channel, distinct from the shared seed.
-    fn sample_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> (ItemId, lcakp_knapsack::Item);
+    /// i.i.d. channel, distinct from the shared seed. Implementations
+    /// must not consume caller entropy on a failed draw beyond what the
+    /// fault-free draw would have consumed.
+    ///
+    /// # Errors
+    ///
+    /// The in-memory sampler is infallible; decorated oracles (fault
+    /// injection, budget enforcement) return [`OracleError`] variants.
+    fn try_sample_weighted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<(ItemId, lcakp_knapsack::Item), OracleError>;
+
+    /// Infallible convenience wrapper around
+    /// [`try_sample_weighted`](Self::try_sample_weighted) for call sites
+    /// that assume the seed model's perfect sampler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the underlying access fails (possible only through
+    /// fault-injecting or budget-enforcing decorators).
+    fn sample_weighted<R: Rng + ?Sized>(&self, rng: &mut R) -> (ItemId, lcakp_knapsack::Item) {
+        match self.try_sample_weighted(rng) {
+            Ok(sample) => sample,
+            Err(error) => panic!("oracle weighted sample failed: {error}"),
+        }
+    }
 }
 
 /// An exact integer alias table over a profit vector.
@@ -57,9 +84,8 @@ impl AliasTable {
         if total_wide == 0 {
             return Err(KnapsackError::ZeroTotalProfit);
         }
-        let total = u64::try_from(total_wide).map_err(|_| KnapsackError::UnitTooLarge {
-            index: usize::MAX,
-        })?;
+        let total = u64::try_from(total_wide)
+            .map_err(|_| KnapsackError::UnitTooLarge { index: usize::MAX })?;
         let n = profits.len() as u128;
         // scaled[i] = p_i · n; bucket capacity is `total` each.
         let mut scaled: Vec<u128> = profits.iter().map(|&p| p as u128 * n).collect();

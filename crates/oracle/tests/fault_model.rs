@@ -1,0 +1,107 @@
+//! Property tests of the fault-injection layer: the fault sequence is a
+//! pure function of the seed and plan (replayability), and an inert plan
+//! is bit-for-bit transparent — including the metering.
+
+use lcakp_knapsack::{Instance, ItemId, NormalizedInstance};
+use lcakp_oracle::{
+    BudgetedOracle, FaultPlan, FaultyOracle, InstanceOracle, ItemOracle, Seed, WeightedSampler,
+};
+use proptest::prelude::*;
+
+fn norm(pairs: Vec<(u64, u64)>, capacity: u64) -> NormalizedInstance {
+    NormalizedInstance::new(Instance::from_pairs(pairs, capacity).unwrap()).unwrap()
+}
+
+/// Drives an oracle through a fixed interleaving of point queries and
+/// weighted samples and records every outcome, faults included.
+fn drive<O>(oracle: &O, rng_seed: u64, accesses: usize) -> Vec<String>
+where
+    O: ItemOracle + WeightedSampler,
+{
+    let mut rng = Seed::from_entropy_u64(rng_seed).rng();
+    let n = oracle.len();
+    let mut outcomes = Vec::with_capacity(accesses);
+    for k in 0..accesses {
+        if k % 3 == 0 {
+            outcomes.push(format!("{:?}", oracle.try_sample_weighted(&mut rng)));
+        } else {
+            outcomes.push(format!("{:?}", oracle.try_query(ItemId(k % n))));
+        }
+    }
+    outcomes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Same seed + same plan ⇒ the *identical* fault sequence: every
+    /// access returns the same `Ok`/`Err` with the same payloads, and
+    /// the fault report matches. This is the replayability contract that
+    /// lets E13 be rerun bit-for-bit.
+    #[test]
+    fn fault_sequence_is_seed_deterministic(
+        transient_pct in 0u32..50,
+        corruption_pct in 0u32..30,
+        skew in 0u64..50,
+        lane in 0u64..1_000,
+        rng_seed in 0u64..1_000,
+    ) {
+        let norm = norm(vec![(5, 1), (10, 2), (25, 1), (60, 3), (7, 2)], 6);
+        let corruption = f64::from(corruption_pct) / 100.0;
+        let plan = FaultPlan {
+            transient_rate: f64::from(transient_pct) / 100.0,
+            corruption_rate: corruption,
+            max_profit_skew: skew,
+            max_weight_skew: skew / 2,
+            sampler_bias: corruption / 2.0,
+            signal_corruption: skew % 2 == 0,
+        };
+        let seed = Seed::from_entropy_u64(lane);
+        let inner_a = InstanceOracle::new(&norm);
+        let faulty_a = FaultyOracle::new(&inner_a, plan, seed);
+        let inner_b = InstanceOracle::new(&norm);
+        let faulty_b = FaultyOracle::new(&inner_b, plan, seed);
+        prop_assert_eq!(
+            drive(&faulty_a, rng_seed, 120),
+            drive(&faulty_b, rng_seed, 120)
+        );
+        prop_assert_eq!(faulty_a.fault_report(), faulty_b.fault_report());
+    }
+
+    /// A fault rate of zero is bit-identity: wrapped and bare oracles
+    /// return the same values in the same order *and* meter the same
+    /// query counts (acceptance criterion of the fault layer).
+    #[test]
+    fn inert_plan_is_bit_identical_including_metering(
+        pairs in proptest::collection::vec((1u64..100, 1u64..20), 2..20),
+        lane in 0u64..1_000,
+        rng_seed in 0u64..1_000,
+    ) {
+        let norm = norm(pairs, 10);
+        let bare = InstanceOracle::new(&norm);
+        let inner = InstanceOracle::new(&norm);
+        let wrapped = FaultyOracle::new(&inner, FaultPlan::none(), Seed::from_entropy_u64(lane));
+        prop_assert_eq!(drive(&bare, rng_seed, 90), drive(&wrapped, rng_seed, 90));
+        prop_assert_eq!(bare.stats().point_queries, inner.stats().point_queries);
+        prop_assert_eq!(bare.stats().weighted_samples, inner.stats().weighted_samples);
+        prop_assert_eq!(wrapped.fault_report().total_faults(), 0);
+    }
+
+    /// A budget of `cap` admits exactly `cap` counted accesses: access
+    /// `cap + 1` fails with `BudgetExhausted` whatever the interleaving.
+    #[test]
+    fn budget_admits_exactly_cap_accesses(
+        cap in 0u64..60,
+        rng_seed in 0u64..1_000,
+    ) {
+        let norm = norm(vec![(5, 1), (10, 2), (25, 1)], 4);
+        let inner = InstanceOracle::new(&norm);
+        let budgeted = BudgetedOracle::new(&inner, cap);
+        let outcomes = drive(&budgeted, rng_seed, cap as usize + 20);
+        let successes = outcomes.iter().filter(|o| o.starts_with("Ok")).count();
+        prop_assert_eq!(successes as u64, cap);
+        for late in &outcomes[cap as usize..] {
+            prop_assert!(late.contains("BudgetExhausted"), "got {late}");
+        }
+    }
+}

@@ -26,7 +26,10 @@
 /// assert_eq!(naive_quantile(&sample, 1.0), 50);
 /// ```
 pub fn naive_quantile(sample: &[u128], p: f64) -> u128 {
-    assert!(!sample.is_empty(), "naive_quantile requires a nonempty sample");
+    assert!(
+        !sample.is_empty(),
+        "naive_quantile requires a nonempty sample"
+    );
     let mut sorted = sample.to_vec();
     sorted.sort_unstable();
     let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());

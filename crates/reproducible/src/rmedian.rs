@@ -103,7 +103,14 @@ pub fn rmedian(
         });
     }
     config.domain.check_sample(sample)?;
-    Ok(solve(sample, config.domain.bits(), config.tau, 0.5, seed, 0))
+    Ok(solve(
+        sample,
+        config.domain.bits(),
+        config.tau,
+        0.5,
+        seed,
+        0,
+    ))
 }
 
 /// Recursive worker. `raw` keeps the caller's (i.i.d.) order: the batch
@@ -217,7 +224,6 @@ fn snap(value: u128, shift: u128, scale: u32, mask: u128) -> u128 {
     let centre = (cell << scale) + (1u128 << (scale - 1));
     centre.saturating_sub(shift).min(mask)
 }
-
 
 /// Number of bits needed to write `x` (0 for 0).
 fn bit_length(x: u128) -> u32 {
@@ -421,7 +427,10 @@ mod tests {
         // side is saturated.
         assert!(!is_empirical_median(&sorted, 11, 0.1));
         // Heavy atom: the point just past the atom fails.
-        let atom = vec![5u128; 8].into_iter().chain([9, 10]).collect::<Vec<_>>();
+        let atom = vec![5u128; 8]
+            .into_iter()
+            .chain([9, 10])
+            .collect::<Vec<_>>();
         let mut atom = atom;
         atom.sort_unstable();
         assert!(is_empirical_median(&atom, 5, 0.1));

@@ -83,8 +83,8 @@ pub fn rquantile(
     let high_code = extended.max_value();
     let mut padded: Vec<u128> = Vec::with_capacity(2 * n);
     padded.extend(sample.iter().map(|&value| value + 1));
-    padded.extend(std::iter::repeat(low_code).take(lows));
-    padded.extend(std::iter::repeat(high_code).take(highs));
+    padded.extend(std::iter::repeat_n(low_code, lows));
+    padded.extend(std::iter::repeat_n(high_code, highs));
     // Permute with *shared* randomness: rmedian's internal index-based
     // splits (halves, batches) assume exchangeable order, which a
     // deterministic values-then-padding layout would break; a fixed
@@ -188,10 +188,12 @@ mod tests {
             let seed = Seed::from_entropy_u64(trial);
             let mut rng_a = ChaCha12Rng::seed_from_u64(5_000 + trial);
             let mut rng_b = ChaCha12Rng::seed_from_u64(6_000 + trial);
-            let sample_a: Vec<u128> =
-                (0..60_000).map(|_| rng_a.gen_range(0..(1u128 << 24))).collect();
-            let sample_b: Vec<u128> =
-                (0..60_000).map(|_| rng_b.gen_range(0..(1u128 << 24))).collect();
+            let sample_a: Vec<u128> = (0..60_000)
+                .map(|_| rng_a.gen_range(0..(1u128 << 24)))
+                .collect();
+            let sample_b: Vec<u128> = (0..60_000)
+                .map(|_| rng_b.gen_range(0..(1u128 << 24)))
+                .collect();
             let out_a = rquantile(&sample_a, &config(24, 0.75, 0.05), &seed).unwrap();
             let out_b = rquantile(&sample_b, &config(24, 0.75, 0.05), &seed).unwrap();
             if out_a == out_b {

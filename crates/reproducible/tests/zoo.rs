@@ -28,7 +28,11 @@ fn zoo() -> Vec<(&'static str, DiscreteDist)> {
         ),
         (
             "geometric-tail",
-            DiscreteDist::new((0..50u128).map(|k| (1u128 << k, 0.5f64.powi(k as i32 + 1))).collect()),
+            DiscreteDist::new(
+                (0..50u128)
+                    .map(|k| (1u128 << k, 0.5f64.powi(k as i32 + 1)))
+                    .collect(),
+            ),
         ),
     ]
 }

@@ -103,7 +103,10 @@ impl fmt::Display for Family {
                 write!(f, "almost-strongly-correlated(R={range})")
             }
             Family::SimilarWeights { range } => write!(f, "similar-weights(R={range})"),
-            Family::LargeDominated { heavy, heavy_profit } => {
+            Family::LargeDominated {
+                heavy,
+                heavy_profit,
+            } => {
                 write!(f, "large-dominated(heavy={heavy}, p={heavy_profit})")
             }
             Family::SmallDominated => write!(f, "small-dominated"),
@@ -173,12 +176,11 @@ impl WorkloadSpec {
             Family::AlmostStronglyCorrelated { range } => {
                 pisinger::almost_strongly_correlated(&mut rng, self.n, range)
             }
-            Family::SimilarWeights { range } => {
-                pisinger::similar_weights(&mut rng, self.n, range)
-            }
-            Family::LargeDominated { heavy, heavy_profit } => {
-                paper::large_dominated(&mut rng, self.n, heavy, heavy_profit)
-            }
+            Family::SimilarWeights { range } => pisinger::similar_weights(&mut rng, self.n, range),
+            Family::LargeDominated {
+                heavy,
+                heavy_profit,
+            } => paper::large_dominated(&mut rng, self.n, heavy, heavy_profit),
             Family::SmallDominated => paper::small_dominated(&mut rng, self.n),
             Family::GarbageMix { garbage_percent } => {
                 paper::garbage_mix(&mut rng, self.n, garbage_percent)
@@ -233,7 +235,13 @@ pub fn standard_suite(n: usize, seed: u64) -> Vec<WorkloadSpec> {
             seed,
         ),
         WorkloadSpec::new(Family::SmallDominated, n, seed),
-        WorkloadSpec::new(Family::GarbageMix { garbage_percent: 30 }, n, seed),
+        WorkloadSpec::new(
+            Family::GarbageMix {
+                garbage_percent: 30,
+            },
+            n,
+            seed,
+        ),
         WorkloadSpec::new(Family::SingletonTrap, n, seed),
     ]
 }
@@ -264,8 +272,8 @@ mod tests {
 
     #[test]
     fn sizes_and_capacity_ratio_respected() {
-        let spec = WorkloadSpec::new(Family::SubsetSum { range: 100 }, 500, 3)
-            .with_capacity_ratio(1, 4);
+        let spec =
+            WorkloadSpec::new(Family::SubsetSum { range: 100 }, 500, 3).with_capacity_ratio(1, 4);
         let instance = spec.generate().unwrap();
         assert_eq!(instance.len(), 500);
         let total = instance.total_weight();

@@ -51,7 +51,7 @@ pub fn garbage_mix<R: Rng + ?Sized>(rng: &mut R, n: usize, garbage_percent: u8) 
             if index % 100 < garbage_percent {
                 // Profit 1 with a huge weight → low profit *and* low
                 // normalized efficiency.
-                Item::new(1, 2_000 + rng.gen_range(0..1_000))
+                Item::new(1, 2_000 + rng.gen_range(0u64..1_000))
             } else {
                 Item::new(rng.gen_range(5..=40), rng.gen_range(1..=100))
             }
@@ -135,14 +135,13 @@ mod tests {
         assert_eq!(items.len(), 100);
         let trap = items[99];
         assert_eq!(trap.weight, capacity);
-        let norm =
-            NormalizedInstance::new(Instance::new(items, capacity).unwrap()).unwrap();
+        let norm = NormalizedInstance::new(Instance::new(items, capacity).unwrap()).unwrap();
         let eps = Epsilon::new(1, 4).unwrap();
         assert_eq!(classify_item(&norm, eps, trap), ItemClass::Large);
         // The trap is worth more than the whole filler prefix but is less
         // efficient than any filler.
         assert!(trap.profit > 10 * 99);
-        assert!(trap.profit * 1 < 10 * trap.weight);
+        assert!(trap.profit < 10 * trap.weight);
     }
 
     #[test]

@@ -73,11 +73,7 @@ pub fn subset_sum<R: Rng + ?Sized>(rng: &mut R, n: usize, range: u64) -> Vec<Ite
 
 /// Strongly correlated with a small jitter: profit = weight + range/10 ±
 /// range/500 (Pisinger's "almost strongly correlated").
-pub fn almost_strongly_correlated<R: Rng + ?Sized>(
-    rng: &mut R,
-    n: usize,
-    range: u64,
-) -> Vec<Item> {
+pub fn almost_strongly_correlated<R: Rng + ?Sized>(rng: &mut R, n: usize, range: u64) -> Vec<Item> {
     let range = range.max(10);
     let bonus = (range / 10).max(1) as i64;
     let jitter = (range / 500).max(1) as i64;
@@ -174,7 +170,9 @@ mod tests {
     #[test]
     fn degenerate_ranges_are_clamped() {
         let items = uncorrelated(&mut rng(), 10, 0);
-        assert!(items.iter().all(|item| item.profit == 1 && item.weight == 1));
+        assert!(items
+            .iter()
+            .all(|item| item.profit == 1 && item.weight == 1));
         let items = strongly_correlated(&mut rng(), 10, 0);
         assert!(items.iter().all(|item| item.profit == item.weight + 1));
     }

@@ -2,7 +2,7 @@
 //! compliance, and normalizability — the contract every experiment
 //! relies on.
 
-use lcakp_knapsack::{MAX_UNIT};
+use lcakp_knapsack::MAX_UNIT;
 use lcakp_workloads::{standard_suite, Family, WorkloadSpec};
 use proptest::prelude::*;
 

@@ -22,15 +22,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // ε = 1/6: small enough that the small-item cut-off machinery is
         // active (at ε ≥ 1/4 the paper's Algorithm 3 cannot emit one and
         // small-only instances legitimately get the empty solution).
-        for (num, den) in [(1u64, 6u64)] {
+        {
+            let (num, den) = (1u64, 6u64);
             let eps = Epsilon::new(num, den)?;
-            let lca = LcaKp::new(eps)?
-                .with_budget(lca_knapsack::reproducible::SampleBudget::Calibrated {
-                    factor: 0.005,
-                });
+            let lca = LcaKp::new(eps)?.with_budget(
+                lca_knapsack::reproducible::SampleBudget::Calibrated { factor: 0.005 },
+            );
             let mut rng = Seed::from_entropy_u64(555).rng();
-            let audit =
-                assemble_and_audit(&lca, &norm, &mut rng, &Seed::from_entropy_u64(666))?;
+            let audit = assemble_and_audit(&lca, &norm, &mut rng, &Seed::from_entropy_u64(666))?;
             println!(
                 "{:<42} {:>6} {:>8} {:>8} {:>7.3} {:>9} {:>6}",
                 spec.family.to_string(),
@@ -39,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 audit.value,
                 audit.ratio,
                 audit.feasible,
-                if audit.satisfies_theorem(eps) { "✓" } else { "✗" },
+                if audit.satisfies_theorem(eps) {
+                    "✓"
+                } else {
+                    "✗"
+                },
             );
         }
     }

@@ -77,8 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Phase 2: workers answer the SAME slice; Definition 2.3 says they
     // should agree. Measure it.
     let probe: Vec<ItemId> = (0..n).step_by(5).map(ItemId).collect();
-    let report =
-        audit_consistency_parallel(&lca, &oracle, &probe, &shared_seed, workers, 777)?;
+    let report = audit_consistency_parallel(&lca, &oracle, &probe, &shared_seed, workers, 777)?;
     println!("overlap agreement across workers: {report}");
     println!(
         "target (Lemma 4.9): mode agreement ≥ 1 − ε = {:.2}",

@@ -38,7 +38,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  item {index:>3}: {answer}");
     }
     let per_query = oracle.stats().total() / 6;
-    println!("accesses per query: ~{per_query} (instance has {} items)", norm.len());
+    println!(
+        "accesses per query: ~{per_query} (instance has {} items)",
+        norm.len()
+    );
 
     // 4. Assemble the full solution by querying every item, then audit it
     //    against the exact optimum.

@@ -17,7 +17,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples = 40_000;
     let trials = 20;
 
-    println!("Distribution: uniform over 2^20 values; p = {p}, τ = {tau}, {samples} samples/run.\n");
+    println!(
+        "Distribution: uniform over 2^20 values; p = {p}, τ = {tau}, {samples} samples/run.\n"
+    );
 
     let reproducible = measure_reproducibility(
         &dist,

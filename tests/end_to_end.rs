@@ -44,8 +44,7 @@ fn assembled_solutions_meet_the_half_six_eps_bound() {
     for spec in standard_suite(100, 42) {
         let norm = spec.generate_normalized().unwrap();
         let mut rng = Seed::from_entropy_u64(7).rng();
-        let audit =
-            assemble_and_audit(&lca, &norm, &mut rng, &Seed::from_entropy_u64(8)).unwrap();
+        let audit = assemble_and_audit(&lca, &norm, &mut rng, &Seed::from_entropy_u64(8)).unwrap();
         assert!(audit.feasible, "{spec}: {audit}");
         assert!(
             audit.satisfies_theorem(eps),
@@ -99,7 +98,13 @@ fn lca_kp_runs_agree_on_a_common_solution() {
 fn replay_determinism_through_the_facade() {
     let eps = Epsilon::new(1, 4).unwrap();
     let lca = default_lca(eps);
-    let spec = WorkloadSpec::new(Family::GarbageMix { garbage_percent: 20 }, 150, 45);
+    let spec = WorkloadSpec::new(
+        Family::GarbageMix {
+            garbage_percent: 20,
+        },
+        150,
+        45,
+    );
     let norm = spec.generate_normalized().unwrap();
     let run = || {
         let oracle = InstanceOracle::new(&norm);

@@ -4,8 +4,8 @@
 
 use lca_knapsack::lca::cluster::{serve_queries, ClusterConfig};
 use lca_knapsack::lca::solution_audit::{audit_selection, exact_optimum};
-use lca_knapsack::prelude::*;
 use lca_knapsack::oracle::RejectionSamplingOracle;
+use lca_knapsack::prelude::*;
 use lca_knapsack::reproducible::SampleBudget;
 use lca_knapsack::workloads::{Family, WorkloadSpec};
 

@@ -58,20 +58,13 @@ fn query_order_obliviousness() {
     let norm = norm(2);
     let oracle = InstanceOracle::new(&norm);
     let seed = Seed::from_entropy_u64(6);
-    assert!(check_order_obliviousness(
-        &lca_knapsack::lca::FullScanLca::new(),
-        &oracle,
-        &seed,
-        7
-    )
-    .unwrap());
-    assert!(check_order_obliviousness(
-        &lca_knapsack::lca::EmptyLca::new(),
-        &oracle,
-        &seed,
-        7
-    )
-    .unwrap());
+    assert!(
+        check_order_obliviousness(&lca_knapsack::lca::FullScanLca::new(), &oracle, &seed, 7)
+            .unwrap()
+    );
+    assert!(
+        check_order_obliviousness(&lca_knapsack::lca::EmptyLca::new(), &oracle, &seed, 7).unwrap()
+    );
     let eps = Epsilon::new(1, 2).unwrap();
     assert!(
         check_order_obliviousness(&strong_lca(eps), &oracle, &seed, 7).unwrap(),
@@ -117,13 +110,18 @@ fn seed_is_the_consistency_channel() {
     };
     // Same seed, different sampling entropy: rules should usually agree —
     // check that at least 6 of 8 entropy streams give the modal rule.
-    let rules: Vec<_> = (0..8).map(|entropy| rule_with(42, 1000 + entropy)).collect();
+    let rules: Vec<_> = (0..8)
+        .map(|entropy| rule_with(42, 1000 + entropy))
+        .collect();
     let modal = rules
         .iter()
         .map(|rule| rules.iter().filter(|other| *other == rule).count())
         .max()
         .unwrap();
-    assert!(modal >= 6, "same-seed rules fragmented: modal count {modal}/8");
+    assert!(
+        modal >= 6,
+        "same-seed rules fragmented: modal count {modal}/8"
+    );
 }
 
 /// Oracles are access-metered: an LCA query must touch the instance only
@@ -143,5 +141,8 @@ fn all_access_is_metered() {
         .unwrap();
     let delta = oracle.stats().since(before);
     assert!(delta.weighted_samples > 0, "LCA-KP must sample");
-    assert_eq!(delta.point_queries, 1, "exactly one point query per item query");
+    assert_eq!(
+        delta.point_queries, 1,
+        "exactly one point query per item query"
+    );
 }

@@ -1,0 +1,246 @@
+//! In-tree stand-in for the `crossbeam` crate: the `channel` module's
+//! multi-producer multi-consumer channels, built on `std` mutexes and
+//! condvars. Implements the blocking `send`/`recv`/`iter` disconnect
+//! semantics the workspace's cluster simulation relies on.
+
+#![forbid(unsafe_code)]
+
+/// Multi-producer multi-consumer FIFO channels.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::error::Error;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        capacity: Option<usize>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; cloneable (consumers race for messages).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl<T: fmt::Debug> Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    impl Error for RecvError {}
+
+    fn new_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                capacity,
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender { chan: chan.clone() }, Receiver { chan })
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        new_channel(None)
+    }
+
+    /// Creates a bounded channel with the given capacity; `send` blocks
+    /// while the queue is full.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        new_channel(Some(capacity.max(1)))
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, blocking while the channel is full. Fails if
+        /// every receiver has been dropped.
+        pub fn send(&self, message: T) -> Result<(), SendError<T>> {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(message));
+                }
+                let full = state
+                    .capacity
+                    .is_some_and(|capacity| state.queue.len() >= capacity);
+                if !full {
+                    state.queue.push_back(message);
+                    self.chan.not_empty.notify_one();
+                    return Ok(());
+                }
+                state = self.chan.not_full.wait(state).expect("channel poisoned");
+            }
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel poisoned").senders += 1;
+            Sender {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                // Wake blocked receivers so they observe the disconnect.
+                self.chan.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking while the channel is empty. Fails
+        /// once the channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            loop {
+                if let Some(message) = state.queue.pop_front() {
+                    self.chan.not_full.notify_one();
+                    return Ok(message);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.chan.not_empty.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// A blocking iterator over received messages; ends when the
+        /// channel is empty and disconnected.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().expect("channel poisoned").receivers += 1;
+            Receiver {
+                chan: self.chan.clone(),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            state.receivers -= 1;
+            if state.receivers == 0 {
+                // Wake blocked senders so they observe the disconnect.
+                self.chan.not_full.notify_all();
+            }
+        }
+    }
+
+    /// Blocking iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn roundtrip_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+        }
+
+        #[test]
+        fn iter_ends_after_senders_drop() {
+            let (tx, rx) = unbounded();
+            tx.send(10).unwrap();
+            drop(tx);
+            let collected: Vec<i32> = rx.iter().collect();
+            assert_eq!(collected, vec![10]);
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(5), Err(SendError(5)));
+        }
+
+        #[test]
+        fn bounded_channel_applies_backpressure() {
+            let (tx, rx) = bounded(2);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let producer = std::thread::spawn(move || {
+                tx.send(3).unwrap(); // blocks until a slot frees up
+                drop(tx);
+            });
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+            producer.join().unwrap();
+        }
+
+        #[test]
+        fn multiple_consumers_partition_the_stream() {
+            let (tx, rx) = bounded(4);
+            let rx2 = rx.clone();
+            let consumer_a = std::thread::spawn(move || rx.iter().count());
+            let consumer_b = std::thread::spawn(move || rx2.iter().count());
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let total = consumer_a.join().unwrap() + consumer_b.join().unwrap();
+            assert_eq!(total, 100);
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRunner;
+use rand::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Unlike real proptest there is no shrinking: `new_value` draws one
+/// value from the runner's deterministic RNG.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+
+    /// Keeps only values satisfying `predicate`; a case that cannot find
+    /// a satisfying value after a bounded number of redraws is rejected.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        predicate: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            source: self,
+            whence,
+            predicate,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.source.new_value(runner))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    source: S,
+    whence: &'static str,
+    predicate: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, runner: &mut TestRunner) -> S::Value {
+        for _ in 0..1000 {
+            let value = self.source.new_value(runner);
+            if (self.predicate)(&value) {
+                return value;
+            }
+        }
+        panic!("prop_filter exhausted redraws: {}", self.whence);
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _runner: &mut TestRunner) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng_mut().gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, runner: &mut TestRunner) -> $t {
+                runner.rng_mut().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.new_value(runner),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRunner;
+
+    #[test]
+    fn ranges_and_maps_generate_in_bounds() {
+        let mut runner = TestRunner::deterministic("strategy-test", 0);
+        let strategy = (1u64..10, 0i64..=5).prop_map(|(a, b)| a as i64 + b);
+        for _ in 0..1000 {
+            let value = strategy.new_value(&mut runner);
+            assert!((1..=14).contains(&value));
+        }
+    }
+
+    #[test]
+    fn just_yields_the_value() {
+        let mut runner = TestRunner::deterministic("just-test", 0);
+        assert_eq!(Just(42u8).new_value(&mut runner), 42);
+    }
+
+    #[test]
+    fn vec_strategy_respects_size() {
+        let mut runner = TestRunner::deterministic("vec-test", 0);
+        let strategy = crate::collection::vec(0u32..10, 2..5);
+        for _ in 0..200 {
+            let value = strategy.new_value(&mut runner);
+            assert!((2..5).contains(&value.len()));
+            assert!(value.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn btree_set_strategy_generates_sets() {
+        let mut runner = TestRunner::deterministic("set-test", 0);
+        let strategy = crate::collection::btree_set(0usize..100, 0..20);
+        let value = strategy.new_value(&mut runner);
+        assert!(value.len() < 20);
+    }
+
+    #[test]
+    fn filter_redraws() {
+        let mut runner = TestRunner::deterministic("filter-test", 0);
+        let strategy = (0u32..100).prop_filter("even", |value| value % 2 == 0);
+        for _ in 0..100 {
+            assert_eq!(strategy.new_value(&mut runner) % 2, 0);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Deterministic case runner backing the `proptest!` macro.
+
+use rand_chacha::ChaCha12Rng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of one generated case other than plain success.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case failed an assertion; the test panics with this message.
+    Fail(String),
+    /// The case was rejected by `prop_assume!` and is redrawn without
+    /// counting toward the configured case total.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// Builds a rejection.
+    pub fn reject(message: impl Into<String>) -> Self {
+        TestCaseError::Reject(message.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(msg) => write!(f, "test case failed: {msg}"),
+            TestCaseError::Reject(msg) => write!(f, "test case rejected: {msg}"),
+        }
+    }
+}
+
+/// Per-test state handed to strategies; wraps the deterministic RNG.
+#[derive(Debug)]
+pub struct TestRunner {
+    rng: ChaCha12Rng,
+}
+
+impl TestRunner {
+    /// Runner seeded from a test name and case index, so every case is
+    /// replayable across runs and platforms.
+    pub fn deterministic(name: &str, case: u64) -> Self {
+        use rand::SeedableRng;
+        TestRunner {
+            rng: ChaCha12Rng::seed_from_u64(fnv1a(name) ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        }
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng_mut(&mut self) -> &mut ChaCha12Rng {
+        &mut self.rng
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in s.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Drives one property test: draws cases until `config.cases` are
+/// accepted, redrawing rejected ones up to a bounded global limit, and
+/// panics with the generated inputs on the first failure.
+pub fn run_cases<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRunner) -> (String, Result<(), TestCaseError>),
+{
+    let max_rejects = u64::from(config.cases) * 16 + 1024;
+    let mut accepted: u32 = 0;
+    let mut rejected: u64 = 0;
+    let mut draw: u64 = 0;
+    while accepted < config.cases {
+        let mut runner = TestRunner::deterministic(name, draw);
+        draw += 1;
+        let (inputs, result) = case(&mut runner);
+        match result {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > max_rejects {
+                    panic!(
+                        "proptest `{name}`: too many rejected cases ({rejected}) \
+                         before reaching {} accepted",
+                        config.cases
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{name}` failed at case {} (draw {}):\n  inputs: {}\n  {}",
+                    accepted,
+                    draw - 1,
+                    inputs,
+                    msg
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_configured_number_of_cases() {
+        let mut count = 0u32;
+        run_cases(ProptestConfig::with_cases(17), "count-test", |_runner| {
+            count += 1;
+            (String::new(), Ok(()))
+        });
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn rejects_are_redrawn_without_counting() {
+        let mut accepted = 0u32;
+        let mut seen = 0u32;
+        run_cases(ProptestConfig::with_cases(5), "reject-test", |_runner| {
+            seen += 1;
+            if seen.is_multiple_of(2) {
+                (String::new(), Err(TestCaseError::reject("odd")))
+            } else {
+                accepted += 1;
+                (String::new(), Ok(()))
+            }
+        });
+        assert_eq!(accepted, 5);
+        assert!(seen > 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failure_panics_with_inputs() {
+        run_cases(ProptestConfig::with_cases(10), "fail-test", |_runner| {
+            ("x = 3".to_string(), Err(TestCaseError::fail("boom")))
+        });
+    }
+
+    #[test]
+    fn deterministic_runner_is_replayable() {
+        use rand::RngCore;
+        let mut a = TestRunner::deterministic("same", 7);
+        let mut b = TestRunner::deterministic("same", 7);
+        let mut c = TestRunner::deterministic("other", 7);
+        assert_eq!(a.rng_mut().next_u64(), b.rng_mut().next_u64());
+        let _ = c.rng_mut().next_u64();
+    }
+}

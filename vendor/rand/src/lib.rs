@@ -1,0 +1,516 @@
+//! In-tree, dependency-free stand-in for the `rand` crate (0.8 API).
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the external `rand` crate can never be downloaded. This crate
+//! reimplements exactly the API surface the workspace uses — [`RngCore`],
+//! [`SeedableRng`], the [`Rng`] extension trait (`gen`, `gen_range`,
+//! `gen_bool`, `fill`), [`seq::SliceRandom`] and [`thread_rng`] — with
+//! unbiased integer sampling (rejection method) and 53-bit float
+//! generation, matching the statistical contracts the test suite relies
+//! on. Stream *values* are not required to match upstream `rand`: the
+//! workspace pins reproducibility to its own `Seed` type, which only
+//! requires determinism within this implementation.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: raw 32/64-bit output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Helper: fill a byte slice from 64-bit draws.
+pub(crate) fn fill_bytes_via_next<R: RngCore + ?Sized>(rng: &mut R, dest: &mut [u8]) {
+    let mut chunks = dest.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    let tail = chunks.into_remainder();
+    if !tail.is_empty() {
+        let word = rng.next_u64().to_le_bytes();
+        tail.copy_from_slice(&word[..tail.len()]);
+    }
+}
+
+/// `splitmix64` — used to expand a `u64` into a full seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Seed material (a fixed-size byte array in every implementation).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Constructs the generator from seed bytes.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into full seed material deterministically.
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut s = state;
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let word = splitmix64(&mut s).to_le_bytes();
+            let len = chunk.len();
+            chunk.copy_from_slice(&word[..len]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Uniform draw from `[0, span)` for `span > 0`, by rejection (unbiased).
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    // 2^64 mod span; accept draws below 2^64 - rem so every residue is
+    // equally likely.
+    let rem = (u64::MAX % span + 1) % span;
+    let limit = u64::MAX - rem;
+    loop {
+        let draw = rng.next_u64();
+        if rem == 0 || draw <= limit {
+            return draw % span;
+        }
+    }
+}
+
+/// Uniform draw from `[0, span)` for 128-bit spans, by rejection.
+fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        return uniform_u64_below(rng, span as u64) as u128;
+    }
+    let rem = (u128::MAX % span + 1) % span;
+    let limit = u128::MAX - rem;
+    loop {
+        let draw = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if rem == 0 || draw <= limit {
+            return draw % span;
+        }
+    }
+}
+
+/// A range that `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range. Panics if it is empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_range_64 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                let offset = uniform_u64_below(rng, span);
+                (self.start as u64).wrapping_add(offset) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let offset = uniform_u64_below(rng, span + 1);
+                (start as u64).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_64!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_int_range_128 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                let offset = uniform_u128_below(rng, span);
+                (self.start as u128).wrapping_add(offset) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u128).wrapping_sub(start as u128);
+                if span == u128::MAX {
+                    return (((rng.next_u64() as u128) << 64) | rng.next_u64() as u128) as $t;
+                }
+                let offset = uniform_u128_below(rng, span + 1);
+                (start as u128).wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range_128!(u128, i128);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let unit = distributions::unit_f64(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "gen_range: empty range");
+        let unit = distributions::unit_f64(rng);
+        start + unit * (end - start)
+    }
+}
+
+/// Value distributions for [`Rng::gen`].
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Draws one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The "natural" distribution: uniform over all values for integers,
+    /// uniform in `[0, 1)` for floats.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct Standard;
+
+    /// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    macro_rules! impl_standard_int {
+        ($($t:ty => $method:ident),*) => {$(
+            impl Distribution<$t> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                    rng.$method() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_standard_int!(
+        u8 => next_u32, u16 => next_u32, u32 => next_u32,
+        i8 => next_u32, i16 => next_u32, i32 => next_u32,
+        u64 => next_u64, i64 => next_u64, usize => next_u64, isize => next_u64
+    );
+
+    impl Distribution<u128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+            ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+        }
+    }
+
+    impl Distribution<i128> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> i128 {
+            Distribution::<u128>::sample(self, rng) as i128
+        }
+    }
+
+    impl Distribution<f64> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            unit_f64(rng)
+        }
+    }
+
+    impl Distribution<f32> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+        }
+    }
+
+    impl Distribution<bool> for Standard {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+}
+
+/// Types whose buffers an RNG can fill in place (for [`Rng::fill`]).
+pub trait Fill {
+    /// Fills `self` with random data.
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl Fill for [u8] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+impl<const N: usize> Fill for [u8; N] {
+    fn fill_from<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        rng.fill_bytes(self);
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution of `T`.
+    fn gen<T>(&mut self) -> T
+    where
+        distributions::Standard: distributions::Distribution<T>,
+    {
+        use distributions::Distribution;
+        distributions::Standard.sample(self)
+    }
+
+    /// Draws a uniform value from `range`. Panics on empty ranges.
+    fn gen_range<T, B>(&mut self, range: B) -> T
+    where
+        B: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`. Panics unless `0 ≤ p ≤ 1`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dest` with random data.
+    fn fill<T: Fill + ?Sized>(&mut self, dest: &mut T) {
+        dest.fill_from(self);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Sequence-related random operations.
+pub mod seq {
+    use super::Rng;
+
+    /// Extension methods on slices: shuffling and random choice.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns a uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get(rng.gen_range(0..self.len()))
+            }
+        }
+    }
+}
+
+/// Process-global generators.
+pub mod rngs {
+    use super::{fill_bytes_via_next, RngCore};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::{SystemTime, UNIX_EPOCH};
+
+    static THREAD_RNG_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    /// A cheap per-call generator seeded from the clock and a counter —
+    /// for convenience entropy only (doc examples, ad-hoc sampling), not
+    /// reproducibility. The workspace's reproducible channel is `Seed`.
+    #[derive(Debug, Clone)]
+    pub struct ThreadRng {
+        state: u64,
+    }
+
+    impl ThreadRng {
+        pub(crate) fn new() -> Self {
+            let nanos = SystemTime::now()
+                .duration_since(UNIX_EPOCH)
+                .map(|d| d.as_nanos() as u64)
+                .unwrap_or(0x5eed);
+            let salt = THREAD_RNG_COUNTER.fetch_add(1, Ordering::Relaxed);
+            ThreadRng {
+                state: nanos ^ salt.rotate_left(32) ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+    }
+
+    impl RngCore for ThreadRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            // splitmix64 stream.
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            fill_bytes_via_next(self, dest);
+        }
+    }
+
+    /// Stand-in for `rand::rngs::OsRng`: a fresh clock-seeded stream per
+    /// call site, matching the real type's unit-struct ergonomics. This
+    /// build has no OS entropy hookup; use it for convenience only.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct OsRng;
+
+    impl RngCore for OsRng {
+        fn next_u32(&mut self) -> u32 {
+            ThreadRng::new().next_u32()
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            ThreadRng::new().next_u64()
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            ThreadRng::new().fill_bytes(dest);
+        }
+    }
+}
+
+/// Returns a convenience generator seeded from the clock.
+pub fn thread_rng() -> rngs::ThreadRng {
+    rngs::ThreadRng::new()
+}
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::seq::SliceRandom;
+    pub use crate::{thread_rng, Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Counter(u64);
+
+    impl RngCore for Counter {
+        fn next_u32(&mut self) -> u32 {
+            self.next_u64() as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            fill_bytes_via_next(self, dest);
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let x = rng.gen_range(0u128..(1u128 << 90));
+            assert!(x < 1u128 << 90);
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_ranges_uniformly() {
+        let mut rng = Counter(1);
+        let mut counts = [0u64; 4];
+        for _ in 0..40_000 {
+            counts[rng.gen_range(0usize..4)] += 1;
+        }
+        for &count in &counts {
+            assert!((count as i64 - 10_000).abs() < 800, "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut rng = Counter(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = Counter(5);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn fill_fills_all_bytes() {
+        let mut rng = Counter(9);
+        let mut bytes = [0u8; 32];
+        rng.fill(&mut bytes);
+        assert!(bytes.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        use seq::SliceRandom;
+        let mut rng = Counter(11);
+        let mut data: Vec<u32> = (0..100).collect();
+        data.shuffle(&mut rng);
+        let mut sorted = data.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn thread_rng_runs() {
+        let mut rng = thread_rng();
+        let _ = rng.next_u64();
+    }
+}

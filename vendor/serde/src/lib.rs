@@ -1,0 +1,17 @@
+//! In-tree stand-in for `serde`.
+//!
+//! Offline builds cannot fetch the real serde; this crate provides the
+//! `Serialize`/`Deserialize` names (trait and derive-macro namespaces)
+//! so type annotations keep compiling. The derives are inert — no
+//! serialization backend exists in this workspace.
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

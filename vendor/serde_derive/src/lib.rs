@@ -1,0 +1,22 @@
+//! In-tree stand-in for `serde_derive`.
+//!
+//! The workspace annotates data types with `#[derive(Serialize,
+//! Deserialize)]` for downstream consumers, but nothing in-tree consumes
+//! the generated impls (there is no serializer backend available
+//! offline). These derives are therefore *inert*: they accept the same
+//! syntax and emit no code, which keeps the annotations compiling until
+//! a real serde is available.
+
+use proc_macro::TokenStream;
+
+/// Inert stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Inert stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
