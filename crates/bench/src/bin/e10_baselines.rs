@@ -2,11 +2,11 @@
 //! 1/2-approximation; FPTAS achieves 1 − ε; an LCA query costs far less
 //! than a full solve at scale.
 
-use lcakp_bench::{banner, Table};
+use lcakp_bench::{banner, experiment_root, Table};
 use lcakp_core::{KnapsackLca, LcaKp};
 use lcakp_knapsack::iky::Epsilon;
 use lcakp_knapsack::{solvers, ItemId};
-use lcakp_oracle::{InstanceOracle, Seed};
+use lcakp_oracle::InstanceOracle;
 use lcakp_workloads::{standard_suite, Family, WorkloadSpec};
 use std::time::Instant;
 
@@ -84,9 +84,15 @@ fn main() {
             let eps = Epsilon::new(1, 4).expect("valid eps");
             let lca = LcaKp::new(eps).expect("lca builds");
             let oracle = InstanceOracle::new(&norm);
-            let mut rng = Seed::from_entropy_u64(1).rng();
+            let root = experiment_root("e10");
+            let mut rng = root.derive("sampling", n as u64).rng();
             let start = Instant::now();
-            let _ = lca.query(&oracle, &mut rng, ItemId(n / 2), &Seed::from_entropy_u64(2));
+            let _ = lca.query(
+                &oracle,
+                &mut rng,
+                ItemId(n / 2),
+                &root.derive("shared-seed", 0),
+            );
             start.elapsed()
         };
         table.row([

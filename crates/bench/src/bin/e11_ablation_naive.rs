@@ -11,13 +11,13 @@
 //! flutter is visible; on tiny instances every efficiency atom is
 //! over-sampled and even the naive engine accidentally agrees.
 
-use lcakp_bench::{banner, Table};
+use lcakp_bench::{banner, experiment_root, Table};
 use lcakp_core::{LcaKp, QuantileEngine, SolutionRule};
 use lcakp_knapsack::iky::Epsilon;
-use lcakp_oracle::{InstanceOracle, Seed};
+use lcakp_oracle::InstanceOracle;
 use lcakp_reproducible::SampleBudget;
 use lcakp_workloads::{Family, WorkloadSpec};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn main() {
     banner(
@@ -54,17 +54,17 @@ fn main() {
                 .expect("lca builds")
                 .with_engine(engine)
                 .with_budget(SampleBudget::Calibrated { factor: 0.01 });
-            let seed = Seed::from_entropy_u64(0x111);
+            let seed = experiment_root("e11").derive("shared-seed", 0);
             let mut rules: Vec<SolutionRule> = Vec::with_capacity(runs);
             for run in 0..runs {
-                let mut rng = Seed::from_entropy_u64(0xFACE + run as u64).rng();
+                let mut rng = experiment_root("e11").derive("sampling", run as u64).rng();
                 rules.push(
                     lca.build_rule(&oracle, &mut rng, &seed)
                         .expect("rule builds"),
                 );
             }
-            let mut counts: HashMap<String, usize> = HashMap::new();
-            let mut cutoffs: HashMap<Option<u64>, usize> = HashMap::new();
+            let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+            let mut cutoffs: BTreeMap<Option<u64>, usize> = BTreeMap::new();
             for rule in &rules {
                 *counts.entry(format!("{rule:?}")).or_insert(0) += 1;
                 *cutoffs.entry(rule.e_small).or_insert(0) += 1;

@@ -5,11 +5,11 @@
 //! random instances, and degrading exactly on the needle-in-a-haystack
 //! structure behind Theorem 3.2.
 
-use lcakp_bench::{banner, Table};
+use lcakp_bench::{banner, experiment_root, Table};
 use lcakp_core::solution_audit::{audit_selection, exact_optimum};
 use lcakp_core::LcaKp;
 use lcakp_knapsack::iky::Epsilon;
-use lcakp_oracle::{InstanceOracle, ItemOracle, RejectionSamplingOracle, Seed};
+use lcakp_oracle::{InstanceOracle, ItemOracle, RejectionSamplingOracle};
 use lcakp_reproducible::SampleBudget;
 use lcakp_workloads::{Family, WorkloadSpec};
 
@@ -68,8 +68,9 @@ fn main() {
             .expect("lca builds")
             .with_budget(SampleBudget::Calibrated { factor: 0.002 })
             .with_max_samples_per_query(50_000_000);
-        let mut rng = Seed::from_entropy_u64(0x121).rng();
-        let seed = Seed::from_entropy_u64(0x122);
+        let root = experiment_root("e12");
+        let mut rng = root.derive("sampling", n as u64).rng();
+        let seed = root.derive("shared-seed", 0);
         // One rule build (the per-query work), materialized via
         // MAPPING-GREEDY for the quality audit — full per-item assembly
         // through a 250× rejection overhead would be pointless burn.

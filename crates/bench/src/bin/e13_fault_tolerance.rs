@@ -15,7 +15,7 @@
 //! the feasible solution ∅ — so assembled solutions stay feasible at
 //! every fault rate and only *lose value* as degradation spreads.
 
-use lcakp_bench::{banner, Table};
+use lcakp_bench::{banner, experiment_root, Table};
 use lcakp_core::solution_audit::{
     assemble_audited, audit_selection, exact_optimum, DegradationStats,
 };
@@ -58,13 +58,13 @@ fn faulty_run(
     lca: &LcaKp,
     norm: &NormalizedInstance,
     plan: FaultPlan,
-    fault_seed: u64,
-    sampler_seed: u64,
+    fault_seed: Seed,
+    sampler_seed: Seed,
     seed: &Seed,
 ) -> (Selection, DegradationStats) {
     let inner = InstanceOracle::new(norm);
-    let oracle = FaultyOracle::new(&inner, plan, Seed::from_entropy_u64(fault_seed));
-    let mut rng = Seed::from_entropy_u64(sampler_seed).rng();
+    let oracle = FaultyOracle::new(&inner, plan, fault_seed);
+    let mut rng = sampler_seed.rng();
     assemble_audited(lca, &oracle, &mut rng, seed).expect("assembly has no hard errors")
 }
 
@@ -78,7 +78,8 @@ fn main() {
     let spec = WorkloadSpec::new(Family::SmallDominated, N, 0xE13);
     let norm = spec.generate_normalized().expect("workload generates");
     let optimum = exact_optimum(&norm).expect("optimum solves");
-    let shared_seed = Seed::from_entropy_u64(0x13E13);
+    let root = experiment_root("e13");
+    let shared_seed = root.derive("shared-seed", 0);
 
     // ---- Sanity: an inert fault plan is bit-identical to no wrapper. ----
     let eps = Epsilon::new(1, 6).expect("valid eps");
@@ -89,7 +90,7 @@ fn main() {
     let (bare, _) = assemble_audited(
         &lca,
         &bare_oracle,
-        &mut Seed::from_entropy_u64(1).rng(),
+        &mut root.derive("sampling-inert", 0).rng(),
         &shared_seed,
     )
     .expect("bare run");
@@ -99,7 +100,7 @@ fn main() {
     let (wrapped, _) = assemble_audited(
         &lca,
         &wrapped_oracle,
-        &mut Seed::from_entropy_u64(1).rng(),
+        &mut root.derive("sampling-inert", 0).rng(),
         &shared_seed,
     )
     .expect("wrapped run");
@@ -144,8 +145,8 @@ fn main() {
                     &lca,
                     &norm,
                     plan,
-                    0xFA_0000 + run as u64,
-                    0x5A_0000 + run as u64,
+                    root.derive("fault-plan", run as u64),
+                    root.derive("sampling-faulty", run as u64),
                     &shared_seed,
                 );
                 let audit = audit_selection(&norm, &selection, optimum);
@@ -183,7 +184,7 @@ fn main() {
     for &cap in &[10_000u64, 100_000, 1_000_000, 10_000_000, u64::MAX] {
         let inner = InstanceOracle::new(&norm);
         let oracle = BudgetedOracle::new(&inner, cap);
-        let mut rng = Seed::from_entropy_u64(9).rng();
+        let mut rng = root.derive("sampling-budget", cap).rng();
         let (selection, stats) =
             assemble_audited(&lca, &oracle, &mut rng, &shared_seed).expect("budgeted run");
         let audit = audit_selection(&norm, &selection, optimum);

@@ -1,11 +1,10 @@
 //! E5 — Theorem 4.1 / Lemmas 4.7–4.8: the assembled solution is feasible
 //! and `(1/2, 6ε)`-approximate.
 
-use lcakp_bench::{banner, Table};
+use lcakp_bench::{banner, experiment_root, Table};
 use lcakp_core::solution_audit::assemble_and_audit;
 use lcakp_core::LcaKp;
 use lcakp_knapsack::iky::Epsilon;
-use lcakp_oracle::Seed;
 use lcakp_workloads::standard_suite;
 
 fn main() {
@@ -45,15 +44,16 @@ fn main() {
             let lca = LcaKp::new(eps)
                 .expect("lca builds")
                 .with_budget(lcakp_reproducible::SampleBudget::Calibrated { factor });
-            let mut rng = Seed::from_entropy_u64(0x5E5).rng();
-            let audit = match assemble_and_audit(&lca, &norm, &mut rng, &Seed::from_entropy_u64(7))
-            {
-                Ok(audit) => audit,
-                Err(err) => {
-                    eprintln!("skipping {spec} at ε={num}/{den}: {err}");
-                    continue;
-                }
-            };
+            let root = experiment_root("e5");
+            let mut rng = root.derive("sampling", den).rng();
+            let audit =
+                match assemble_and_audit(&lca, &norm, &mut rng, &root.derive("shared-seed", 0)) {
+                    Ok(audit) => audit,
+                    Err(err) => {
+                        eprintln!("skipping {spec} at ε={num}/{den}: {err}");
+                        continue;
+                    }
+                };
             table.row([
                 spec.family.to_string(),
                 format!("{num}/{den}"),

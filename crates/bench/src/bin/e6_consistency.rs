@@ -1,12 +1,12 @@
 //! E6 — Lemma 4.9: independent runs of `LCA-KP` (fresh sampling, shared
 //! seed) answer consistently with probability ≥ 1 − ε.
 
-use lcakp_bench::{banner, Table};
+use lcakp_bench::{banner, experiment_root, Table};
 use lcakp_core::consistency::{audit_consistency, audit_consistency_parallel};
 use lcakp_core::LcaKp;
 use lcakp_knapsack::iky::Epsilon;
 use lcakp_knapsack::ItemId;
-use lcakp_oracle::{InstanceOracle, Seed};
+use lcakp_oracle::InstanceOracle;
 use lcakp_reproducible::SampleBudget;
 use lcakp_workloads::{Family, WorkloadSpec};
 
@@ -61,7 +61,7 @@ fn main() {
                 &lca,
                 &oracle,
                 &items,
-                &Seed::from_entropy_u64(0x6E6),
+                &experiment_root("e6").derive("shared-seed", 0),
                 runs,
                 0xABCD,
             )
@@ -92,7 +92,7 @@ fn main() {
         &lca,
         &oracle,
         &items,
-        &Seed::from_entropy_u64(0x6E63),
+        &experiment_root("e6").derive("shared-seed-parallel", 0),
         8,
         0xBEEF,
     )

@@ -2,11 +2,10 @@
 //! ρ-reproducible and τ-accurate; its sample complexity carries the
 //! `log* |X|` tower.
 
-use lcakp_bench::{banner, Table};
+use lcakp_bench::{banner, experiment_root, Table};
 use lcakp_reproducible::harness::{measure_reproducibility, DiscreteDist};
 use lcakp_reproducible::{
-    log_star_of_bits, naive_quantile, rquantile, Domain, RQuantileConfig, ReproParams,
-    SampleBudget, Seed,
+    log_star_of_bits, naive_quantile, rquantile, Domain, RQuantileConfig, ReproParams, SampleBudget,
 };
 
 fn zoo() -> Vec<(&'static str, DiscreteDist)> {
@@ -62,7 +61,7 @@ fn main() {
                     p,
                     tau,
                     trials,
-                    Seed::from_entropy_u64(0xE7),
+                    experiment_root("e7").derive("rquantile", samples as u64),
                     |sample, seed| {
                         let config = RQuantileConfig {
                             domain: Domain::new(41).expect("domain fits"),
@@ -78,7 +77,7 @@ fn main() {
                     p,
                     tau,
                     trials,
-                    Seed::from_entropy_u64(0x7E7),
+                    experiment_root("e7").derive("naive", samples as u64),
                     |sample, _| naive_quantile(sample, p),
                 );
                 table.row([

@@ -1,9 +1,9 @@
 //! E8 — Lemma 4.2: `⌈6δ⁻¹(log δ⁻¹ + 1)⌉` weighted samples collect every
 //! item of profit mass ≥ δ with probability ≥ 5/6.
 
-use lcakp_bench::{banner, Table};
+use lcakp_bench::{banner, experiment_root, Table};
 use lcakp_knapsack::{Instance, NormalizedInstance};
-use lcakp_oracle::{InstanceOracle, Seed, WeightedSampler};
+use lcakp_oracle::{InstanceOracle, OracleError, WeightedSampler};
 use std::collections::HashSet;
 
 /// Instance with `heavy` items of normalized mass ≈ δ each plus filler.
@@ -21,7 +21,7 @@ fn heavy_instance(heavy: usize, delta_inverse: u64) -> NormalizedInstance {
         .expect("normalizes")
 }
 
-fn main() {
+fn main() -> Result<(), OracleError> {
     banner(
         "E8",
         "coupon collection: the Lemma 4.2 sample count finds every δ-heavy item w.p. ≥ 5/6",
@@ -52,11 +52,13 @@ fn main() {
             );
         }
         let mut successes = 0u64;
-        let mut rng = Seed::from_entropy_u64(0xE8).rng();
+        let mut rng = experiment_root("e8")
+            .derive("sampling", delta_inverse)
+            .rng();
         for _ in 0..trials {
             let mut seen: HashSet<usize> = HashSet::new();
             for _ in 0..m {
-                let (id, _) = oracle.sample_weighted(&mut rng);
+                let (id, _) = oracle.try_sample_weighted(&mut rng)?;
                 if id.index() < heavy {
                     seen.insert(id.index());
                 }
@@ -79,4 +81,5 @@ fn main() {
         "\nExpected shape: every row clears the 5/6 success floor of Lemma 4.2 (the\n\
          bound is loose; measured rates are typically ≥ 0.95)."
     );
+    Ok(())
 }

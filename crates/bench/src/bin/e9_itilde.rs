@@ -1,13 +1,13 @@
 //! E9 — Definition 4.3 / Lemma 4.4: the EPS construction balances bucket
 //! masses, and `OPT(Ĩ) − ε` is a `(1, 6ε)`-approximation of `OPT(I)`.
 
-use lcakp_bench::{banner, Table};
+use lcakp_bench::{banner, experiment_root, Table};
 use lcakp_core::iky_value::iky_value_estimate;
 use lcakp_knapsack::iky::{
     exact_eps, tilde_optimum, verify_eps, Epsilon, Partition, TildeInstance, MU_SHIFT,
 };
 use lcakp_knapsack::solvers;
-use lcakp_oracle::{InstanceOracle, Seed};
+use lcakp_oracle::InstanceOracle;
 use lcakp_workloads::standard_suite;
 
 fn main() {
@@ -80,7 +80,7 @@ fn main() {
         let normalized_opt = optimum as f64 / norm.total_profit() as f64;
         let eps = Epsilon::new(1, 4).expect("valid eps");
         let oracle = InstanceOracle::new(&norm);
-        let mut rng = Seed::from_entropy_u64(0x99).rng();
+        let mut rng = experiment_root("e9").derive("sampling", 0).rng();
         let estimate = iky_value_estimate(&oracle, &mut rng, eps, 60_000).expect("estimate runs");
         let err = (estimate.value - normalized_opt).abs();
         table.row([

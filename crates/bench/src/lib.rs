@@ -82,6 +82,17 @@ pub fn banner(id: &str, claim: &str, anchor: &str) {
     println!("   paper anchor: {anchor}\n");
 }
 
+/// Root seed for experiment `name` (`"e8"`, `"e13"`, …), derived by
+/// domain separation from the single workspace-wide experiment root.
+///
+/// Every stream an experiment needs is a further [`Seed::derive`] off
+/// this root — no binary hand-picks raw seed integers (lint rule D005),
+/// so every table in `EXPERIMENTS.md` is replayable from one constant.
+pub fn experiment_root(name: &str) -> lcakp_oracle::Seed {
+    // lcakp-lint: allow(D005) reason="the single workspace experiment root constant"
+    lcakp_oracle::Seed::from_entropy_u64(0x1ca_4b2e_2025).derive(name, 0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +112,11 @@ mod tests {
     fn arity_mismatch_panics() {
         let mut table = Table::new(["a"]);
         table.row(["1", "2"]);
+    }
+
+    #[test]
+    fn experiment_roots_are_separated_and_stable() {
+        assert_eq!(experiment_root("e8"), experiment_root("e8"));
+        assert_ne!(experiment_root("e8"), experiment_root("e13"));
     }
 }

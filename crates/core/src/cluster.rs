@@ -78,8 +78,8 @@ impl ClusterRun {
     /// For items that were queried more than once (possibly by different
     /// workers): the fraction of items whose answers all agree.
     pub fn duplicate_agreement(&self) -> f64 {
-        use std::collections::HashMap;
-        let mut by_item: HashMap<ItemId, Vec<bool>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut by_item: BTreeMap<ItemId, Vec<bool>> = BTreeMap::new();
         for routed in &self.answers {
             by_item
                 .entry(routed.item)

@@ -12,7 +12,7 @@ use crate::lca::KnapsackLca;
 use crate::LcaError;
 use lcakp_knapsack::{ItemId, Selection};
 use lcakp_oracle::{ItemOracle, Seed, WeightedSampler};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// Result of a consistency audit.
@@ -66,7 +66,7 @@ fn summarize(vectors: Vec<Vec<bool>>, queries: usize) -> ConsistencyReport {
             }
         }
     }
-    let mut counts: HashMap<&Vec<bool>, usize> = HashMap::new();
+    let mut counts: BTreeMap<&Vec<bool>, usize> = BTreeMap::new();
     for vector in &vectors {
         *counts.entry(vector).or_insert(0) += 1;
     }

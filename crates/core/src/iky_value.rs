@@ -55,7 +55,7 @@ where
     // Step 1: collect the large items (Lemma 4.2).
     let mut large: Vec<(ItemId, Item)> = Vec::new();
     for _ in 0..half {
-        let (id, item) = oracle.sample_weighted(rng);
+        let (id, item) = oracle.try_sample_weighted(rng)?;
         if norms.nprofit_of(item.profit) > eps_sq {
             large.push((id, item));
         }
@@ -75,7 +75,7 @@ where
         let t = (1.0 / q).floor() as usize;
         let mut efficiencies: Vec<u128> = Vec::new();
         for _ in 0..half {
-            let (id, item) = oracle.sample_weighted(rng);
+            let (id, item) = oracle.try_sample_weighted(rng)?;
             if norms.nprofit_of(item.profit) <= eps_sq {
                 efficiencies.push(norms.tie_broken_efficiency_key(id, item) as u128);
             }

@@ -93,10 +93,11 @@ impl KnapsackLca for FullScanLca {
                 len: oracle.len(),
             });
         }
-        // Pay n point queries to reconstruct the instance.
+        // Pay n point queries to reconstruct the instance; any oracle
+        // fault surfaces as a typed error instead of a panic.
         let items: Vec<lcakp_knapsack::Item> = (0..oracle.len())
-            .map(|index| oracle.query(ItemId(index)))
-            .collect();
+            .map(|index| oracle.try_query(ItemId(index)))
+            .collect::<Result<_, _>>()?;
         let instance = Instance::new(items, oracle.capacity())?;
         let outcome = modified_greedy(&instance);
         Ok(LcaAnswer {

@@ -102,7 +102,9 @@ impl Rat {
     /// Lossy conversion to `f64`, for reporting only (never used in
     /// consistency-critical comparisons).
     #[inline]
+    // lcakp-lint: allow(D004) reason="lossy reporting conversion, documented as such"
     pub fn to_f64(self) -> f64 {
+        // lcakp-lint: allow(D004) reason="lossy reporting conversion, documented as such"
         self.num as f64 / self.den as f64
     }
 
@@ -273,7 +275,9 @@ impl Epsilon {
 
     /// Lossy conversion for reporting.
     #[inline]
+    // lcakp-lint: allow(D004) reason="lossy reporting conversion, documented as such"
     pub fn as_f64(self) -> f64 {
+        // lcakp-lint: allow(D004) reason="lossy reporting conversion, documented as such"
         self.num as f64 / self.den as f64
     }
 

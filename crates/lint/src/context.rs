@@ -1,0 +1,316 @@
+//! Per-file lint context: tokens plus the two resolution passes the
+//! rules need — *which lines are test code* and *what a bare identifier
+//! refers to* (use-path resolution).
+
+use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// A fully prepared source file, ready for rule checks.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Path as reported in diagnostics (workspace-relative when walked).
+    pub path: PathBuf,
+    /// Short crate name (`core`, `oracle`, `bench`, `root`, `examples`).
+    pub crate_name: String,
+    /// Raw source lines (for the allow mechanism and rendering).
+    pub lines: Vec<String>,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// `test_lines[line - 1]` is true when the line sits inside a
+    /// `#[cfg(test)]` / `#[test]` item.
+    pub test_lines: Vec<bool>,
+    /// Use-path resolution: local name → full imported path
+    /// (`HashMap` → `std::collections::HashMap`).
+    pub uses: BTreeMap<String, String>,
+}
+
+impl FileCtx {
+    /// Builds the context from already-read source text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`LexError`] if the source fails to tokenize.
+    pub fn from_source(
+        path: impl Into<PathBuf>,
+        crate_name: impl Into<String>,
+        src: &str,
+    ) -> Result<Self, LexError> {
+        let tokens = tokenize(src)?;
+        let lines: Vec<String> = src.lines().map(str::to_string).collect();
+        let test_lines = mark_test_lines(&tokens, lines.len());
+        let uses = resolve_uses(&tokens);
+        Ok(FileCtx {
+            path: path.into(),
+            crate_name: crate_name.into(),
+            lines,
+            tokens,
+            test_lines,
+            uses,
+        })
+    }
+
+    /// True when the 1-based `line` lies in test code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The full path a bare identifier resolves to via this file's `use`
+    /// declarations, if any.
+    pub fn resolve(&self, name: &str) -> Option<&str> {
+        self.uses.get(name).map(String::as_str)
+    }
+
+    /// Token at `index`, if in range.
+    pub fn tok(&self, index: usize) -> Option<&Token> {
+        self.tokens.get(index)
+    }
+
+    /// True when token `index` is punctuation with exactly this text.
+    pub fn is_punct(&self, index: usize, text: &str) -> bool {
+        matches!(self.tok(index), Some(t) if t.kind == TokenKind::Punct && t.text == text)
+    }
+
+    /// True when token `index` is an identifier with exactly this text.
+    pub fn is_ident(&self, index: usize, text: &str) -> bool {
+        matches!(self.tok(index), Some(t) if t.kind == TokenKind::Ident && t.text == text)
+    }
+}
+
+/// Infers the short crate name from a workspace-relative path:
+/// `crates/<name>/…` → `<name>`, `examples/…` → `examples`, everything
+/// else (root `src/`, `tests/`) → `root`.
+pub fn crate_name_for(path: &Path) -> String {
+    let mut components = path.components().map(|c| c.as_os_str().to_string_lossy());
+    while let Some(part) = components.next() {
+        if part == "crates" {
+            if let Some(name) = components.next() {
+                return name.into_owned();
+            }
+        }
+        if part == "examples" {
+            return "examples".to_string();
+        }
+    }
+    "root".to_string()
+}
+
+/// Marks every line covered by an item carrying a `test`-bearing
+/// attribute (`#[test]`, `#[cfg(test)]`, `#[cfg(any(test, …))]`): from
+/// the attribute line through the item's closing brace.
+fn mark_test_lines(tokens: &[Token], line_count: usize) -> Vec<bool> {
+    let mut test = vec![false; line_count];
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && matches!(tokens.get(i + 1), Some(t) if t.text == "[") {
+            // Collect the attribute tokens up to the matching `]`.
+            let mut j = i + 2;
+            let mut bracket_depth = 1usize;
+            let mut mentions_test = false;
+            while j < tokens.len() && bracket_depth > 0 {
+                match tokens[j].text.as_str() {
+                    "[" => bracket_depth += 1,
+                    "]" => bracket_depth -= 1,
+                    "test" if tokens[j].kind == TokenKind::Ident => mentions_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if mentions_test {
+                let start_line = tokens[i].line;
+                // Scan forward to the item body; a `;` first means an
+                // item without a body (e.g. `#[cfg(test)] use …;`).
+                let mut k = j;
+                let mut end_line = tokens[i].line;
+                while k < tokens.len() {
+                    if tokens[k].text == ";" {
+                        end_line = tokens[k].line;
+                        break;
+                    }
+                    if tokens[k].text == "{" {
+                        let mut brace_depth = 1usize;
+                        k += 1;
+                        while k < tokens.len() && brace_depth > 0 {
+                            match tokens[k].text.as_str() {
+                                "{" => brace_depth += 1,
+                                "}" => brace_depth -= 1,
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        end_line = tokens[k.saturating_sub(1).min(tokens.len() - 1)].line;
+                        break;
+                    }
+                    k += 1;
+                }
+                for line in start_line..=end_line {
+                    if let Some(slot) = test.get_mut(line as usize - 1) {
+                        *slot = true;
+                    }
+                }
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+    test
+}
+
+/// Extracts `use` declarations into a name → full-path map, handling
+/// nested groups (`use a::{b, c::{d, e as f}};`), aliases and globs
+/// (globs map `*` entries under a `<glob>` pseudo-name and are otherwise
+/// ignored — the rules fall back to conservative bare-name matching).
+fn resolve_uses(tokens: &[Token]) -> BTreeMap<String, String> {
+    let mut map = BTreeMap::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_use = tokens[i].kind == TokenKind::Ident && tokens[i].text == "use";
+        let at_statement = i == 0
+            || matches!(
+                tokens[i - 1].text.as_str(),
+                ";" | "{" | "}" | ")" | "]" | "pub"
+            );
+        if is_use && at_statement {
+            let end = tokens[i..]
+                .iter()
+                .position(|t| t.text == ";")
+                .map(|offset| i + offset)
+                .unwrap_or(tokens.len());
+            collect_use_tree(&tokens[i + 1..end], String::new(), &mut map);
+            i = end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    map
+}
+
+fn collect_use_tree(tokens: &[Token], prefix: String, map: &mut BTreeMap<String, String>) {
+    // Split the (sub)tree at top-level commas.
+    let mut depth = 0usize;
+    let mut start = 0usize;
+    let mut parts: Vec<&[Token]> = Vec::new();
+    for (index, token) in tokens.iter().enumerate() {
+        match token.text.as_str() {
+            "{" => depth += 1,
+            "}" => depth = depth.saturating_sub(1),
+            "," if depth == 0 => {
+                parts.push(&tokens[start..index]);
+                start = index + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&tokens[start..]);
+
+    for part in parts {
+        if part.is_empty() {
+            continue;
+        }
+        // Walk `seg :: seg :: …` until a group, glob, alias or the end.
+        let mut path = prefix.clone();
+        let mut last_segment = String::new();
+        let mut i = 0usize;
+        while i < part.len() {
+            let token = &part[i];
+            match token.kind {
+                TokenKind::Ident if token.text == "as" => {
+                    if let Some(alias) = part.get(i + 1) {
+                        map.insert(alias.text.clone(), path.clone());
+                    }
+                    last_segment.clear();
+                    i += 2;
+                    continue;
+                }
+                TokenKind::Ident => {
+                    if !path.is_empty() {
+                        path.push_str("::");
+                    }
+                    path.push_str(&token.text);
+                    last_segment = token.text.clone();
+                }
+                TokenKind::Punct if token.text == "{" => {
+                    // Find the matching close within `part`.
+                    let mut depth = 1usize;
+                    let mut j = i + 1;
+                    while j < part.len() && depth > 0 {
+                        match part[j].text.as_str() {
+                            "{" => depth += 1,
+                            "}" => depth -= 1,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    collect_use_tree(&part[i + 1..j.saturating_sub(1)], path.clone(), map);
+                    last_segment.clear();
+                    i = j;
+                    continue;
+                }
+                TokenKind::Punct if token.text == "*" => {
+                    map.insert(format!("<glob:{path}>"), path.clone());
+                    last_segment.clear();
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        if !last_segment.is_empty() {
+            map.insert(last_segment, path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    #[test]
+    fn crate_names() {
+        assert_eq!(crate_name_for(Path::new("crates/core/src/lca.rs")), "core");
+        assert_eq!(
+            crate_name_for(Path::new("examples/quickstart.rs")),
+            "examples"
+        );
+        assert_eq!(crate_name_for(Path::new("src/lib.rs")), "root");
+    }
+
+    #[test]
+    fn use_resolution_handles_groups_and_aliases() {
+        let ctx = FileCtx::from_source(
+            "x.rs",
+            "core",
+            "use std::collections::{HashMap, BTreeMap as Tree};\nuse rand::thread_rng;\n",
+        )
+        .unwrap();
+        assert_eq!(ctx.resolve("HashMap"), Some("std::collections::HashMap"));
+        assert_eq!(ctx.resolve("Tree"), Some("std::collections::BTreeMap"));
+        assert_eq!(ctx.resolve("thread_rng"), Some("rand::thread_rng"));
+        assert_eq!(ctx.resolve("BTreeMap"), None);
+    }
+
+    #[test]
+    fn cfg_test_blocks_are_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn tail() {}\n";
+        let ctx = FileCtx::from_source("x.rs", "core", src).unwrap();
+        assert!(!ctx.is_test_line(1));
+        assert!(ctx.is_test_line(2));
+        assert!(ctx.is_test_line(3));
+        assert!(ctx.is_test_line(4));
+        assert!(ctx.is_test_line(5));
+        assert!(!ctx.is_test_line(6));
+    }
+
+    #[test]
+    fn test_attribute_marks_single_fn() {
+        let src = "#[test]\nfn t() {\n    body();\n}\nfn live() {}\n";
+        let ctx = FileCtx::from_source("x.rs", "core", src).unwrap();
+        assert!(ctx.is_test_line(1));
+        assert!(ctx.is_test_line(3));
+        assert!(!ctx.is_test_line(5));
+    }
+}

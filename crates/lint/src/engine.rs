@@ -1,0 +1,348 @@
+//! Walks files, runs rules, applies the allow mechanism and renders
+//! diagnostics as text or JSON.
+
+use crate::context::{crate_name_for, FileCtx};
+use crate::rules::{all_rules, Finding};
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A finding anchored to its file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path.
+    pub path: PathBuf,
+    /// The underlying rule finding.
+    pub finding: Finding,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.path.display(),
+            self.finding.line,
+            self.finding.col,
+            self.finding.rule,
+            self.finding.message
+        )
+    }
+}
+
+/// Engine-level failure: unreadable or unlexable input.
+#[derive(Debug)]
+pub struct EngineError {
+    /// The file that failed.
+    pub path: PathBuf,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.path.display(), self.message)
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// The result of an in-source allow lookup.
+enum AllowState {
+    /// No allow comment applies.
+    None,
+    /// A well-formed `allow(rule) reason="…"` covers the finding.
+    Suppressed,
+    /// An allow names the rule but gives no (or an empty) reason — the
+    /// finding stands, annotated.
+    MissingReason,
+}
+
+/// Parses `// lcakp-lint: allow(D001, D002) reason="…"` from one line,
+/// answering for `rule`.
+fn allow_on_line(line: &str, rule: &str) -> AllowState {
+    let Some(comment_at) = line.find("//") else {
+        return AllowState::None;
+    };
+    let comment = &line[comment_at..];
+    let Some(tag_at) = comment.find("lcakp-lint:") else {
+        return AllowState::None;
+    };
+    let rest = comment[tag_at + "lcakp-lint:".len()..].trim_start();
+    let Some(list) = rest
+        .strip_prefix("allow(")
+        .and_then(|inner| inner.split_once(')'))
+    else {
+        return AllowState::None;
+    };
+    let (ids, tail) = list;
+    let names_rule = ids.split(',').any(|id| id.trim() == rule);
+    if !names_rule {
+        return AllowState::None;
+    }
+    let reason = tail
+        .split_once("reason=\"")
+        .and_then(|(_, rest)| rest.split_once('"'))
+        .map(|(reason, _)| reason.trim());
+    match reason {
+        Some(text) if !text.is_empty() => AllowState::Suppressed,
+        _ => AllowState::MissingReason,
+    }
+}
+
+/// Runs every applicable rule over one prepared file and applies test-
+/// line filtering plus the allow mechanism.
+pub fn lint_ctx(ctx: &FileCtx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for rule in all_rules() {
+        if !(rule.applies)(&ctx.crate_name) {
+            continue;
+        }
+        for mut finding in (rule.check)(ctx) {
+            if ctx.is_test_line(finding.line) {
+                continue;
+            }
+            // Allow comment on the preceding line, or trailing on the
+            // finding's own line.
+            let own = ctx
+                .lines
+                .get(finding.line as usize - 1)
+                .map(String::as_str)
+                .unwrap_or("");
+            let preceding = (finding.line >= 2)
+                .then(|| ctx.lines.get(finding.line as usize - 2))
+                .flatten()
+                .map(String::as_str)
+                .unwrap_or("");
+            let state = match allow_on_line(preceding, finding.rule) {
+                AllowState::None => allow_on_line(own, finding.rule),
+                state => state,
+            };
+            match state {
+                AllowState::Suppressed => continue,
+                AllowState::MissingReason => {
+                    finding
+                        .message
+                        .push_str(" (allow ignored: missing or empty reason=\"…\")");
+                }
+                AllowState::None => {}
+            }
+            findings.push(finding);
+        }
+    }
+    // One diagnostic per (rule, line): an import and three uses on one
+    // line should read as one problem.
+    findings.sort_by_key(|f| (f.line, f.rule, f.col));
+    findings.dedup_by_key(|f| (f.rule, f.line));
+    findings
+}
+
+/// Lints one file from disk, attributing it to `crate_name`.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] when the file cannot be read or tokenized.
+pub fn lint_file(path: &Path, crate_name: &str) -> Result<Vec<Diagnostic>, EngineError> {
+    let src = fs::read_to_string(path).map_err(|error| EngineError {
+        path: path.to_path_buf(),
+        message: error.to_string(),
+    })?;
+    let ctx = FileCtx::from_source(path, crate_name, &src).map_err(|error| EngineError {
+        path: path.to_path_buf(),
+        message: error.to_string(),
+    })?;
+    Ok(lint_ctx(&ctx)
+        .into_iter()
+        .map(|finding| Diagnostic {
+            path: path.to_path_buf(),
+            finding,
+        })
+        .collect())
+}
+
+/// Directories never descended into during a workspace walk.
+///
+/// `tests`, `benches` and `fixtures` hold test code, which every rule
+/// exempts wholesale (D005 says "outside tests"; the others guard
+/// production paths) — and the lint's own trigger fixtures live there.
+const SKIPPED_DIRS: &[&str] = &[
+    "target", "vendor", ".git", "tests", "benches", "fixtures", "scripts",
+];
+
+/// Collects every production `.rs` file under `root`, sorted.
+pub fn walk_production_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    collect(root, &mut files, true);
+    files.sort();
+    files
+}
+
+/// Collects every `.rs` file under `root` including test and vendored
+/// code — the lexer smoke-test surface.
+pub fn walk_all_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    collect(root, &mut files, false);
+    files.sort();
+    files
+}
+
+fn collect(dir: &Path, files: &mut Vec<PathBuf>, skip_test_dirs: bool) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            let always_skipped = matches!(name.as_ref(), "target" | ".git");
+            let test_dir = SKIPPED_DIRS.contains(&name.as_ref());
+            if always_skipped || (skip_test_dirs && test_dir) {
+                continue;
+            }
+            collect(&path, files, skip_test_dirs);
+        } else if path.extension().is_some_and(|ext| ext == "rs") {
+            files.push(path);
+        }
+    }
+}
+
+/// Lints the whole workspace rooted at `root`.
+///
+/// # Errors
+///
+/// Returns the first [`EngineError`] (unreadable / unlexable file).
+pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, EngineError> {
+    let mut diagnostics = Vec::new();
+    for path in walk_production_sources(root) {
+        let relative = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+        let crate_name = crate_name_for(&relative);
+        let src = fs::read_to_string(&path).map_err(|error| EngineError {
+            path: relative.clone(),
+            message: error.to_string(),
+        })?;
+        let ctx =
+            FileCtx::from_source(&relative, crate_name, &src).map_err(|error| EngineError {
+                path: relative.clone(),
+                message: error.to_string(),
+            })?;
+        diagnostics.extend(lint_ctx(&ctx).into_iter().map(|finding| Diagnostic {
+            path: relative.clone(),
+            finding,
+        }));
+    }
+    Ok(diagnostics)
+}
+
+fn json_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len() + 2);
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders diagnostics as a stable machine-readable JSON document.
+pub fn render_json(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (index, diagnostic) in diagnostics.iter().enumerate() {
+        if index > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"column\": {}, \"message\": \"{}\"}}",
+            diagnostic.finding.rule,
+            json_escape(&diagnostic.path.display().to_string()),
+            diagnostic.finding.line,
+            diagnostic.finding.col,
+            json_escape(&diagnostic.finding.message),
+        ));
+    }
+    if diagnostics.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str(&format!("  \"count\": {}\n}}\n", diagnostics.len()));
+    out
+}
+
+/// Renders diagnostics as `path:line:col: [rule] message` lines.
+pub fn render_text(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for diagnostic in diagnostics {
+        out.push_str(&diagnostic.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_src(crate_name: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::from_source("mem.rs", crate_name, src).unwrap();
+        lint_ctx(&ctx)
+    }
+
+    #[test]
+    fn allow_on_preceding_line_suppresses() {
+        let src = "// lcakp-lint: allow(D002) reason=\"demo\"\nfn f() { let r = thread_rng(); }\n";
+        assert!(lint_src("core", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_allow_suppresses() {
+        let src = "fn f() { let r = thread_rng(); } // lcakp-lint: allow(D002) reason=\"demo\"\n";
+        assert!(lint_src("core", src).is_empty());
+    }
+
+    #[test]
+    fn allow_without_reason_is_ignored_and_annotated() {
+        let src = "// lcakp-lint: allow(D002)\nfn f() { let r = thread_rng(); }\n";
+        let findings = lint_src("core", src);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("allow ignored"));
+    }
+
+    #[test]
+    fn allow_for_other_rule_does_not_suppress() {
+        let src =
+            "// lcakp-lint: allow(D001) reason=\"wrong rule\"\nfn f() { let r = thread_rng(); }\n";
+        assert_eq!(lint_src("core", src).len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn f() { let r = thread_rng(); }\n}\n";
+        assert!(lint_src("core", src).is_empty());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let diagnostics = vec![Diagnostic {
+            path: PathBuf::from("a.rs"),
+            finding: Finding {
+                rule: "D002",
+                line: 3,
+                col: 7,
+                message: "say \"no\"".to_string(),
+            },
+        }];
+        let json = render_json(&diagnostics);
+        assert!(json.contains("\"rule\": \"D002\""));
+        assert!(json.contains("\"line\": 3"));
+        assert!(json.contains("say \\\"no\\\""));
+        assert!(json.contains("\"count\": 1"));
+        assert!(render_json(&[]).contains("\"count\": 0"));
+    }
+}

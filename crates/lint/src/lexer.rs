@@ -1,0 +1,575 @@
+//! A minimal, dependency-free Rust lexer.
+//!
+//! The lint rules only need a *raw token stream* — identifiers, literals,
+//! punctuation — with line/column positions; no parse tree. The lexer
+//! therefore handles exactly the lexical grammar that matters for not
+//! mis-reading source text: line and (nested) block comments, cooked and
+//! raw strings, byte strings, char literals vs. lifetimes, and numeric
+//! literals with underscores, prefixes, suffixes and exponents.
+//! Everything else is a one-character punctuation token (`::` is fused,
+//! because path matching is the one multi-character pattern the rules
+//! use constantly).
+
+use std::fmt;
+
+/// The coarse classification the rules match on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `use`, `fn`, …).
+    Ident,
+    /// Lifetime (`'a`) — kept distinct so `'a` never looks like a char.
+    Lifetime,
+    /// Integer literal (`42`, `0xFACE`, `1_000u64`).
+    Int,
+    /// Float literal (`1.0`, `2e-3`, `1f64`).
+    Float,
+    /// String literal of any flavour (`"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Punctuation: a single character, except the fused `::`.
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact source text of the token.
+    pub text: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+/// Lexing failure — the only unrecoverable states are unterminated
+/// delimited tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// A `"…"` or `r#"…"#` string never closed.
+    UnterminatedString {
+        /// Line the string opened on.
+        line: u32,
+    },
+    /// A `/* … */` comment never closed.
+    UnterminatedComment {
+        /// Line the comment opened on.
+        line: u32,
+    },
+    /// A `'…'` char literal never closed.
+    UnterminatedChar {
+        /// Line the char literal opened on.
+        line: u32,
+    },
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnterminatedString { line } => {
+                write!(f, "unterminated string literal starting on line {line}")
+            }
+            LexError::UnterminatedComment { line } => {
+                write!(f, "unterminated block comment starting on line {line}")
+            }
+            LexError::UnterminatedChar { line } => {
+                write!(f, "unterminated char literal starting on line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+struct Cursor<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    src: std::marker::PhantomData<&'a str>,
+}
+
+impl Cursor<'_> {
+    fn new(src: &str) -> Self {
+        Cursor {
+            chars: src.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            src: std::marker::PhantomData,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `src`, skipping whitespace and comments.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated strings, block comments or
+/// char literals; every other byte sequence lexes (unknown symbols
+/// become one-character [`TokenKind::Punct`] tokens).
+pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut cur = Cursor::new(src);
+    let mut tokens = Vec::new();
+
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+
+        // Whitespace.
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(next) = cur.peek(0) {
+                if next == '\n' {
+                    break;
+                }
+                cur.bump();
+            }
+            continue;
+        }
+        if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1usize;
+            loop {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => return Err(LexError::UnterminatedComment { line }),
+                }
+            }
+            continue;
+        }
+
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br#"…"#, b'…'.
+        if c == 'r' || c == 'b' {
+            let mut ahead = 1;
+            if c == 'b' && cur.peek(1) == Some('r') {
+                ahead = 2;
+            }
+            let mut hashes = 0usize;
+            while cur.peek(ahead + hashes) == Some('#') {
+                hashes += 1;
+            }
+            let raw = c == 'r' || (c == 'b' && cur.peek(1) == Some('r'));
+            if raw && cur.peek(ahead + hashes) == Some('"') {
+                let mut text = String::new();
+                for _ in 0..(ahead + hashes + 1) {
+                    text.push(cur.bump().expect("peeked"));
+                }
+                loop {
+                    match cur.bump() {
+                        Some('"') => {
+                            text.push('"');
+                            let mut closing = 0usize;
+                            while closing < hashes && cur.peek(0) == Some('#') {
+                                text.push(cur.bump().expect("peeked"));
+                                closing += 1;
+                            }
+                            if closing == hashes {
+                                break;
+                            }
+                        }
+                        Some(other) => text.push(other),
+                        None => return Err(LexError::UnterminatedString { line }),
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if c == 'b' && cur.peek(1) == Some('"') {
+                cur.bump(); // b
+                let text = lex_cooked_string(&mut cur, line)?;
+                tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: format!("b{text}"),
+                    line,
+                    col,
+                });
+                continue;
+            }
+            if c == 'b' && cur.peek(1) == Some('\'') {
+                cur.bump(); // b
+                let text = lex_char(&mut cur, line)?;
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: format!("b{text}"),
+                    line,
+                    col,
+                });
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+
+        // Cooked string.
+        if c == '"' {
+            let text = lex_cooked_string(&mut cur, line)?;
+            tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Char literal vs. lifetime.
+        if c == '\'' {
+            let next = cur.peek(1);
+            let is_char = match next {
+                Some('\\') => true,
+                Some(n) if is_ident_start(n) => cur.peek(2) == Some('\''),
+                Some(_) => true, // 'x' for non-ident chars like '+' or '0'
+                None => return Err(LexError::UnterminatedChar { line }),
+            };
+            if is_char {
+                let text = lex_char(&mut cur, line)?;
+                tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                let mut text = String::new();
+                text.push(cur.bump().expect("peeked")); // '
+                while let Some(n) = cur.peek(0) {
+                    if is_ident_continue(n) {
+                        text.push(cur.bump().expect("peeked"));
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            continue;
+        }
+
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let mut kind = TokenKind::Int;
+            text.push(cur.bump().expect("peeked"));
+            let radix_prefix =
+                text == "0" && matches!(cur.peek(0), Some('x') | Some('o') | Some('b') | Some('X'));
+            if radix_prefix {
+                text.push(cur.bump().expect("peeked"));
+                while let Some(n) = cur.peek(0) {
+                    if n.is_ascii_alphanumeric() || n == '_' {
+                        text.push(cur.bump().expect("peeked"));
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                while let Some(n) = cur.peek(0) {
+                    if n.is_ascii_digit() || n == '_' {
+                        text.push(cur.bump().expect("peeked"));
+                    } else {
+                        break;
+                    }
+                }
+                // Fractional part: `1.0` is a float, `1..` a range, and
+                // `1.max(2)` a method call on an integer.
+                if cur.peek(0) == Some('.') {
+                    let after = cur.peek(1);
+                    let fractional = match after {
+                        Some('.') => false,
+                        Some(n) if is_ident_start(n) => false,
+                        _ => true,
+                    };
+                    if fractional {
+                        kind = TokenKind::Float;
+                        text.push(cur.bump().expect("peeked"));
+                        while let Some(n) = cur.peek(0) {
+                            if n.is_ascii_digit() || n == '_' {
+                                text.push(cur.bump().expect("peeked"));
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Exponent.
+                if matches!(cur.peek(0), Some('e') | Some('E')) {
+                    let sign = matches!(cur.peek(1), Some('+') | Some('-'));
+                    let digit_at = if sign { 2 } else { 1 };
+                    if matches!(cur.peek(digit_at), Some(d) if d.is_ascii_digit()) {
+                        kind = TokenKind::Float;
+                        text.push(cur.bump().expect("peeked"));
+                        if sign {
+                            text.push(cur.bump().expect("peeked"));
+                        }
+                        while let Some(n) = cur.peek(0) {
+                            if n.is_ascii_digit() || n == '_' {
+                                text.push(cur.bump().expect("peeked"));
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Suffix (u64, f32, usize, …).
+                if matches!(cur.peek(0), Some(n) if is_ident_start(n)) {
+                    let mut suffix = String::new();
+                    while let Some(n) = cur.peek(0) {
+                        if is_ident_continue(n) {
+                            suffix.push(cur.bump().expect("peeked"));
+                        } else {
+                            break;
+                        }
+                    }
+                    if suffix.starts_with('f') {
+                        kind = TokenKind::Float;
+                    }
+                    text.push_str(&suffix);
+                }
+            }
+            tokens.push(Token {
+                kind,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(n) = cur.peek(0) {
+                if is_ident_continue(n) {
+                    text.push(cur.bump().expect("peeked"));
+                } else {
+                    break;
+                }
+            }
+            tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            continue;
+        }
+
+        // Fused `::`, everything else one character.
+        if c == ':' && cur.peek(1) == Some(':') {
+            cur.bump();
+            cur.bump();
+            tokens.push(Token {
+                kind: TokenKind::Punct,
+                text: "::".to_string(),
+                line,
+                col,
+            });
+            continue;
+        }
+        cur.bump();
+        tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+    }
+
+    Ok(tokens)
+}
+
+fn lex_cooked_string(cur: &mut Cursor<'_>, line: u32) -> Result<String, LexError> {
+    let mut text = String::new();
+    text.push(cur.bump().expect("peeked")); // opening quote
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                text.push('\\');
+                if let Some(escaped) = cur.bump() {
+                    text.push(escaped);
+                } else {
+                    return Err(LexError::UnterminatedString { line });
+                }
+            }
+            Some('"') => {
+                text.push('"');
+                return Ok(text);
+            }
+            Some(other) => text.push(other),
+            None => return Err(LexError::UnterminatedString { line }),
+        }
+    }
+}
+
+fn lex_char(cur: &mut Cursor<'_>, line: u32) -> Result<String, LexError> {
+    let mut text = String::new();
+    text.push(cur.bump().expect("peeked")); // opening '
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                text.push('\\');
+                if let Some(escaped) = cur.bump() {
+                    text.push(escaped);
+                } else {
+                    return Err(LexError::UnterminatedChar { line });
+                }
+            }
+            Some('\'') => {
+                text.push('\'');
+                return Ok(text);
+            }
+            Some(other) => text.push(other),
+            None => return Err(LexError::UnterminatedChar { line }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // x\n/* b /* nested */ */ c"),
+            vec![
+                (TokenKind::Ident, "a".into()),
+                (TokenKind::Ident, "c".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_raw_strings() {
+        let toks = kinds(r####"let s = r#"raw "inner" HashMap"# ; "esc \" q""####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("inner")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("esc")));
+        // Identifiers inside strings never surface as Ident tokens.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "HashMap"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let n = '\\n'; }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let toks = kinds("0xFACE 1_000u64 1.5 2e-3 1f64 0..n 3.max(4)");
+        let ints: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Int)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        let floats: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Float)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(ints, vec!["0xFACE", "1_000u64", "0", "3", "4"]);
+        assert_eq!(floats, vec!["1.5", "2e-3", "1f64"]);
+    }
+
+    #[test]
+    fn double_colon_is_fused() {
+        let toks = kinds("std::env::args");
+        assert_eq!(
+            toks.iter().filter(|(_, t)| t == "::").count(),
+            2,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = tokenize("a\n  b").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(matches!(
+            tokenize("\"oops"),
+            Err(LexError::UnterminatedString { line: 1 })
+        ));
+    }
+}

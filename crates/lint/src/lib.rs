@@ -1,0 +1,37 @@
+//! `lcakp-lint` — the workspace invariant checker.
+//!
+//! Every guarantee this reproduction makes — `1 − ε` consistency
+//! (Theorem 4.1), replayable fault plans, reproducible quantiles — rests
+//! on invariants `rustc` cannot see: all randomness must derive from the
+//! domain-separated shared [`Seed`](https://docs.rs), iteration order in
+//! seeded paths must be deterministic, and every oracle access in the
+//! LCA hot path must go through the metered, fallible `try_*` API. This
+//! crate enforces those invariants as token-level lints with stable rule
+//! ids (`D001`–`D005`), `file:line:col` diagnostics, JSON output and an
+//! in-source allow mechanism:
+//!
+//! ```text
+//! // lcakp-lint: allow(D005) reason="the single experiment root seed"
+//! ```
+//!
+//! See `docs/lints.md` for the rule catalogue and the paper-level
+//! invariant each rule protects. The crate is dependency-free by design
+//! (its own minimal Rust lexer, no `syn`): it must never be broken by
+//! the crates it checks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod context;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use context::{crate_name_for, FileCtx};
+pub use engine::{
+    lint_ctx, lint_file, lint_workspace, render_json, render_text, walk_all_sources,
+    walk_production_sources, Diagnostic, EngineError,
+};
+pub use lexer::{tokenize, LexError, Token, TokenKind};
+pub use rules::{all_rules, rule_by_id, Finding, RuleDef};

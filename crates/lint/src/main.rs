@@ -1,0 +1,137 @@
+//! CLI entry point: `lcakp-lint check [--format json] [paths…]` and
+//! `lcakp-lint --list-rules`.
+
+use lcakp_lint::{
+    all_rules, crate_name_for, lint_file, lint_workspace, render_json, render_text, Diagnostic,
+};
+use std::path::PathBuf;
+
+const USAGE: &str = "\
+lcakp-lint — workspace invariant checker (determinism, seeded randomness, metered oracle access)
+
+USAGE:
+    lcakp-lint check [--format text|json] [paths…]   lint the workspace (or just the given files)
+    lcakp-lint --list-rules                          print rule ids and one-line summaries
+
+Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+Suppress a reviewed finding with, on the preceding line:
+    // lcakp-lint: allow(D00X) reason=\"why this is sound\"
+";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    // lcakp-lint: allow(D002) reason="CLI argument parsing is the tool's job"
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--list-rules") | Some("list-rules") => {
+            for rule in all_rules() {
+                println!("{}  {:<34} {}", rule.id, rule.name, rule.summary);
+            }
+            0
+        }
+        Some("check") => check(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            if args.is_empty() {
+                2
+            } else {
+                0
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn check(args: &[String]) -> i32 {
+    let mut format = "text".to_string();
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--format" => match iter.next().map(String::as_str) {
+                Some(value @ ("text" | "json")) => format = value.to_string(),
+                other => {
+                    eprintln!("--format expects `text` or `json`, got {other:?}");
+                    return 2;
+                }
+            },
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`\n\n{USAGE}");
+                return 2;
+            }
+            path => paths.push(PathBuf::from(path)),
+        }
+    }
+
+    let result = if paths.is_empty() {
+        workspace_root()
+            .and_then(|root| lint_workspace(&root).map_err(|error| format!("lint failed: {error}")))
+    } else {
+        let mut diagnostics: Vec<Diagnostic> = Vec::new();
+        let mut error = None;
+        for path in &paths {
+            let crate_name = crate_name_for(path);
+            match lint_file(path, &crate_name) {
+                Ok(found) => diagnostics.extend(found),
+                Err(e) => {
+                    error = Some(format!("lint failed: {e}"));
+                    break;
+                }
+            }
+        }
+        match error {
+            Some(message) => Err(message),
+            None => Ok(diagnostics),
+        }
+    };
+
+    let diagnostics = match result {
+        Ok(diagnostics) => diagnostics,
+        Err(message) => {
+            eprintln!("{message}");
+            return 2;
+        }
+    };
+
+    match format.as_str() {
+        "json" => print!("{}", render_json(&diagnostics)),
+        _ => {
+            print!("{}", render_text(&diagnostics));
+            if diagnostics.is_empty() {
+                eprintln!("lcakp-lint: clean ({} rules)", all_rules().len());
+            } else {
+                eprintln!("lcakp-lint: {} finding(s)", diagnostics.len());
+            }
+        }
+    }
+    if diagnostics.is_empty() {
+        0
+    } else {
+        1
+    }
+}
+
+/// Ascends from the current directory to the workspace root (the first
+/// ancestor whose `Cargo.toml` declares `[workspace]`).
+fn workspace_root() -> Result<PathBuf, String> {
+    // lcakp-lint: allow(D002) reason="resolving the workspace root needs the process cwd"
+    let mut dir = std::env::current_dir().map_err(|e| format!("cannot read cwd: {e}"))?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            let text = std::fs::read_to_string(&manifest).unwrap_or_default();
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err("no workspace root found above the current directory".to_string());
+        }
+    }
+}

@@ -1,0 +1,482 @@
+//! The domain lint rules.
+//!
+//! Each rule protects one invariant the paper's guarantees rest on and
+//! the compiler cannot see. Rules are token-pattern checks over a
+//! [`FileCtx`]; they are deliberately conservative (flag when unsure) —
+//! the in-source allow mechanism exists precisely so that a reviewed
+//! false positive is silenced *with a written reason*.
+
+use crate::context::FileCtx;
+use crate::lexer::TokenKind;
+
+/// A single diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Stable rule id (`D001` … `D005`).
+    pub rule: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// A rule definition: id, metadata, crate scope and the check itself.
+pub struct RuleDef {
+    /// Stable id, `D###`.
+    pub id: &'static str,
+    /// Short kebab-case name.
+    pub name: &'static str,
+    /// One-line summary (also printed by `--list-rules`).
+    pub summary: &'static str,
+    /// Returns true when the rule applies to a crate (by short name).
+    pub applies: fn(&str) -> bool,
+    /// The token-level check.
+    pub check: fn(&FileCtx) -> Vec<Finding>,
+}
+
+impl std::fmt::Debug for RuleDef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuleDef")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .finish()
+    }
+}
+
+/// Crates whose execution must be a pure function of the shared seed.
+pub const SEEDED_CRATES: &[&str] = &["core", "reproducible", "oracle", "lowerbounds"];
+
+/// Crates where exact rational arithmetic (`knapsack::rat`) is the law.
+pub const EXACT_CRATES: &[&str] = &["knapsack"];
+
+/// Crates whose experiment binaries may measure wall-clock time.
+pub const TIMING_CRATES: &[&str] = &["bench", "workloads"];
+
+/// All shipped rules, in id order.
+pub fn all_rules() -> &'static [RuleDef] {
+    &[
+        RuleDef {
+            id: "D001",
+            name: "hash-collections-in-seeded-crate",
+            summary: "HashMap/HashSet in a seeded crate: iteration order is nondeterministic; use BTreeMap/BTreeSet",
+            applies: |krate| SEEDED_CRATES.contains(&krate),
+            check: check_d001,
+        },
+        RuleDef {
+            id: "D002",
+            name: "ambient-nondeterminism",
+            summary: "ambient entropy (thread_rng, rand::random, SystemTime/Instant::now, std::env) outside bench/workloads timing code",
+            applies: |_| true,
+            check: check_d002,
+        },
+        RuleDef {
+            id: "D003",
+            name: "panicking-oracle-access",
+            summary: "panicking oracle access (.query/.sample_weighted or unwrap/expect on try_* results); use the fallible try_* API",
+            applies: |krate| krate == "core" || krate == "bench",
+            check: check_d003,
+        },
+        RuleDef {
+            id: "D004",
+            name: "float-in-exact-crate",
+            summary: "f64/f32 in a correctness-critical crate; use knapsack::rat exact rationals (allow for reporting code)",
+            applies: |krate| EXACT_CRATES.contains(&krate),
+            check: check_d004,
+        },
+        RuleDef {
+            id: "D005",
+            name: "literal-seed-construction",
+            summary: "Seed built from an integer literal outside tests; derive it from a root via Seed::derive domain separation",
+            applies: |_| true,
+            check: check_d005,
+        },
+    ]
+}
+
+/// Looks up a rule definition by id.
+pub fn rule_by_id(id: &str) -> Option<&'static RuleDef> {
+    all_rules().iter().find(|rule| rule.id == id)
+}
+
+fn finding(rule: &'static str, ctx: &FileCtx, index: usize, message: String) -> Finding {
+    let token = &ctx.tokens[index];
+    Finding {
+        rule,
+        line: token.line,
+        col: token.col,
+        message,
+    }
+}
+
+/// True when the identifier at `index` is part of a path ending in a
+/// std-collections hash container, either written out
+/// (`std::collections::HashMap`) or imported.
+fn is_std_hash_container(ctx: &FileCtx, index: usize, name: &str) -> bool {
+    // Path-qualified: preceding `collections ::` or `hash_map ::` etc.
+    if index >= 2 && ctx.is_punct(index - 1, "::") {
+        if let Some(prev) = ctx.tok(index - 2) {
+            return matches!(prev.text.as_str(), "collections" | "hash_map" | "hash_set");
+        }
+    }
+    // Imported: resolve through the use map.
+    if let Some(path) = ctx.resolve(name) {
+        return path.starts_with("std::collections") || path.starts_with("hashbrown");
+    }
+    // Unresolved bare name: conservative — a bare `HashMap` in a seeded
+    // crate is almost certainly std's (a local type of that name would
+    // be an equally bad idea).
+    true
+}
+
+fn check_d001(ctx: &FileCtx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (index, token) in ctx.tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = token.text.as_str();
+        if name != "HashMap" && name != "HashSet" {
+            continue;
+        }
+        if !is_std_hash_container(ctx, index, name) {
+            continue;
+        }
+        findings.push(finding(
+            "D001",
+            ctx,
+            index,
+            format!(
+                "`{name}` in seeded crate `{}`: iteration order is nondeterministic and breaks \
+                 seed-reproducibility; use `BTree{}` or allow with a reason",
+                ctx.crate_name,
+                &name[4..],
+            ),
+        ));
+    }
+    findings
+}
+
+fn check_d002(ctx: &FileCtx) -> Vec<Finding> {
+    let timing_ok = TIMING_CRATES.contains(&ctx.crate_name.as_str());
+    let mut findings = Vec::new();
+    for (index, token) in ctx.tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        match token.text.as_str() {
+            // `thread_rng` is distinctive enough to flag bare.
+            "thread_rng" => findings.push(finding(
+                "D002",
+                ctx,
+                index,
+                "`thread_rng()` draws ambient OS entropy; all randomness must flow from the \
+                 shared `Seed` (domain-separated via `Seed::derive`)"
+                    .to_string(),
+            )),
+            // `rand::random` written as a path, or imported.
+            "random" => {
+                let path_qualified =
+                    index >= 2 && ctx.is_punct(index - 1, "::") && ctx.is_ident(index - 2, "rand");
+                let imported = ctx.resolve("random").is_some_and(|p| p.starts_with("rand"));
+                if path_qualified || imported {
+                    findings.push(finding(
+                        "D002",
+                        ctx,
+                        index,
+                        "`rand::random()` draws ambient OS entropy; derive randomness from the \
+                         shared `Seed` instead"
+                            .to_string(),
+                    ));
+                }
+            }
+            "SystemTime" | "Instant" => {
+                if timing_ok {
+                    continue;
+                }
+                let calls_now = ctx.is_punct(index + 1, "::") && ctx.is_ident(index + 2, "now");
+                if calls_now {
+                    findings.push(finding(
+                        "D002",
+                        ctx,
+                        index,
+                        format!(
+                            "`{}::now()` is ambient nondeterminism; wall-clock time is only \
+                             allowed in bench/workloads timing code",
+                            token.text
+                        ),
+                    ));
+                }
+            }
+            "env" => {
+                let std_env =
+                    index >= 2 && ctx.is_punct(index - 1, "::") && ctx.is_ident(index - 2, "std");
+                let imported = ctx.resolve("env").is_some_and(|p| p == "std::env");
+                // Flag uses (`env::var`, `std::env::args`), not the
+                // import line itself — the import alone does nothing.
+                let used_as_module = ctx.is_punct(index + 1, "::");
+                if (std_env || imported) && used_as_module {
+                    findings.push(finding(
+                        "D002",
+                        ctx,
+                        index,
+                        "`std::env` reads ambient process state; seeded code must not depend on \
+                         the environment"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+/// Index just past a balanced `( … )` starting at `open` (which must be
+/// the opening parenthesis), or `None` if unbalanced.
+fn skip_balanced_parens(ctx: &FileCtx, open: usize) -> Option<usize> {
+    if !ctx.is_punct(open, "(") {
+        return None;
+    }
+    let mut depth = 0usize;
+    for index in open..ctx.tokens.len() {
+        match ctx.tokens[index].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(index + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn check_d003(ctx: &FileCtx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (index, token) in ctx.tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        match token.text.as_str() {
+            // `<oracle-ish>.query(` / `<oracle-ish>.sample_weighted(` —
+            // the infallible panicking wrappers.
+            "query" | "sample_weighted" => {
+                let is_method_call =
+                    index >= 2 && ctx.is_punct(index - 1, ".") && ctx.is_punct(index + 1, "(");
+                if !is_method_call {
+                    continue;
+                }
+                let receiver_is_oracle = matches!(
+                    ctx.tok(index - 2),
+                    Some(prev) if prev.kind == TokenKind::Ident
+                        && prev.text.to_ascii_lowercase().contains("oracle")
+                );
+                if receiver_is_oracle {
+                    findings.push(finding(
+                        "D003",
+                        ctx,
+                        index,
+                        format!(
+                            "panicking oracle access `.{}()`; use `try_{}` and handle the typed \
+                             `OracleError` (metered, fallible access is the LCA contract)",
+                            token.text, token.text
+                        ),
+                    ));
+                }
+            }
+            // `try_query(…).unwrap()` / `.expect()` — defeats the point.
+            "try_query" | "try_sample_weighted" => {
+                let Some(open) = ctx
+                    .is_punct(index + 1, "(")
+                    .then_some(index + 1)
+                    .or_else(|| {
+                        // Turbofish: try_sample_weighted::<R>(…)
+                        (ctx.is_punct(index + 1, "::") && ctx.is_punct(index + 2, "<"))
+                            .then(|| (index + 3..ctx.tokens.len()).find(|&j| ctx.is_punct(j, "(")))
+                            .flatten()
+                    })
+                else {
+                    continue;
+                };
+                let Some(after) = skip_balanced_parens(ctx, open) else {
+                    continue;
+                };
+                if ctx.is_punct(after, ".")
+                    && (ctx.is_ident(after + 1, "unwrap") || ctx.is_ident(after + 1, "expect"))
+                {
+                    findings.push(finding(
+                        "D003",
+                        ctx,
+                        index,
+                        format!(
+                            "`{}(…).{}()` panics on oracle failure; propagate or degrade via the \
+                             typed `OracleError` instead",
+                            token.text,
+                            ctx.tokens[after + 1].text
+                        ),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
+fn check_d004(ctx: &FileCtx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (index, token) in ctx.tokens.iter().enumerate() {
+        let is_float_type =
+            token.kind == TokenKind::Ident && (token.text == "f64" || token.text == "f32");
+        let is_float_literal = token.kind == TokenKind::Float;
+        if !is_float_type && !is_float_literal {
+            continue;
+        }
+        findings.push(finding(
+            "D004",
+            ctx,
+            index,
+            format!(
+                "floating point (`{}`) in correctness-critical crate `{}`; use exact rationals \
+                 (`knapsack::rat`) — floats are allowed only in reporting code, with an allow",
+                token.text, ctx.crate_name
+            ),
+        ));
+    }
+    findings
+}
+
+fn check_d005(ctx: &FileCtx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (index, token) in ctx.tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident || token.text != "Seed" {
+            continue;
+        }
+        if !ctx.is_punct(index + 1, "::") {
+            continue;
+        }
+        let Some(ctor) = ctx.tok(index + 2) else {
+            continue;
+        };
+        let literal_at = match ctor.text.as_str() {
+            // Seed::from_entropy_u64(<int literal>)
+            "from_entropy_u64" if ctx.is_punct(index + 3, "(") => index + 4,
+            // Seed::new([<literal bytes>…])
+            "new" if ctx.is_punct(index + 3, "(") && ctx.is_punct(index + 4, "[") => index + 5,
+            _ => continue,
+        };
+        let first_arg_is_literal =
+            matches!(ctx.tok(literal_at), Some(t) if t.kind == TokenKind::Int);
+        if first_arg_is_literal {
+            findings.push(finding(
+                "D005",
+                ctx,
+                index,
+                format!(
+                    "`Seed::{}` built from an integer literal; non-test seeds must flow from a \
+                     single root via `Seed::derive(domain, index)` so fault plans and experiments \
+                     stay replayable",
+                    ctor.text
+                ),
+            ));
+        }
+    }
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rule_id: &str, crate_name: &str, src: &str) -> Vec<Finding> {
+        let ctx = FileCtx::from_source("mem.rs", crate_name, src).unwrap();
+        let rule = rule_by_id(rule_id).unwrap();
+        (rule.check)(&ctx)
+    }
+
+    #[test]
+    fn d001_flags_imported_hashmap() {
+        let hits = run(
+            "D001",
+            "core",
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }\n",
+        );
+        assert_eq!(hits.len(), 3); // import + type + constructor
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn d001_ignores_locally_shadowed_name() {
+        let hits = run(
+            "D001",
+            "core",
+            "use crate::fake::HashMap;\nfn f() { let _ = HashMap; }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn d002_flags_thread_rng_and_instant() {
+        let hits = run(
+            "D002",
+            "core",
+            "fn f() { let r = rand::thread_rng(); let t = std::time::Instant::now(); }\n",
+        );
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn d002_timing_exempt_in_bench() {
+        let hits = run("D002", "bench", "fn f() { let t = Instant::now(); }\n");
+        assert!(hits.is_empty());
+        let hits = run("D002", "bench", "fn f() { let r = thread_rng(); }\n");
+        assert_eq!(hits.len(), 1, "entropy is never timing");
+    }
+
+    #[test]
+    fn d003_flags_oracle_receiver_only() {
+        let src =
+            "fn f() { let a = oracle.query(id); let b = lca.query(oracle, rng, id, seed); }\n";
+        let hits = run("D003", "core", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].col, 25);
+    }
+
+    #[test]
+    fn d003_flags_unwrap_on_try_results() {
+        let hits = run(
+            "D003",
+            "core",
+            "fn f() { let item = oracle.try_query(id).unwrap(); }\n",
+        );
+        assert_eq!(hits.len(), 1);
+        let clean = run(
+            "D003",
+            "core",
+            "fn f() -> Result<(), OracleError> { let item = oracle.try_query(id)?; Ok(()) }\n",
+        );
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn d004_flags_types_and_literals() {
+        let hits = run(
+            "D004",
+            "knapsack",
+            "fn f(x: u64) -> f64 { x as f64 * 0.5 }\n",
+        );
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn d005_flags_literal_seeds_only() {
+        let src = "fn f(trial: u64) {\n    let a = Seed::from_entropy_u64(7);\n    let b = Seed::from_entropy_u64(trial);\n    let c = root.derive(\"phase\", 0);\n}\n";
+        let hits = run("D005", "bench", src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 2);
+    }
+}

@@ -1,0 +1,8 @@
+//! D001 allow fixture: every hash-container use carries a reasoned allow.
+// lcakp-lint: allow(D001) reason="point lookups only, never iterated"
+use std::collections::HashMap;
+
+// lcakp-lint: allow(D001) reason="point lookups only, never iterated"
+pub fn lookup(map: &HashMap<u64, u64>, key: u64) -> Option<u64> {
+    map.get(&key).copied()
+}

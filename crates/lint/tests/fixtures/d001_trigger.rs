@@ -1,0 +1,10 @@
+//! D001 trigger: hash collections in a seeded crate.
+use std::collections::HashMap;
+
+pub fn profile(keys: &[u64]) -> usize {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &key in keys {
+        *counts.entry(key).or_insert(0) += 1;
+    }
+    counts.len()
+}

@@ -1,0 +1,5 @@
+//! D002 allow fixture: a reasoned wall-clock exception in a seeded crate.
+pub fn log_timestamp() -> std::time::Instant {
+    // lcakp-lint: allow(D002) reason="operator-facing log timestamp, not algorithm state"
+    std::time::Instant::now()
+}

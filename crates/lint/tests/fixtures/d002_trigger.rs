@@ -1,0 +1,7 @@
+//! D002 trigger: ambient nondeterminism in seeded code.
+pub fn entropy_leak() -> u64 {
+    let mut rng = rand::thread_rng();
+    let started = std::time::Instant::now();
+    let _ = started;
+    rng.gen()
+}

@@ -1,0 +1,5 @@
+//! D003 allow fixture: a reviewed panicking access.
+pub fn peek(oracle: &impl ItemOracle) -> Item {
+    // lcakp-lint: allow(D003) reason="demo helper; a fault here should abort loudly"
+    oracle.query(ItemId(0))
+}

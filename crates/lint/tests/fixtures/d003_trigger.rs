@@ -1,0 +1,6 @@
+//! D003 trigger: panicking oracle access in core.
+pub fn reconstruct(oracle: &impl ItemOracle) -> (Item, Item) {
+    let first = oracle.query(ItemId(0));
+    let second = oracle.try_query(ItemId(1)).unwrap();
+    (first, second)
+}

@@ -1,0 +1,6 @@
+//! D004 allow fixture: lossy reporting conversions, each with a reason.
+// lcakp-lint: allow(D004) reason="lossy reporting conversion, documented as such"
+pub fn to_f64(num: u128, den: u128) -> f64 {
+    // lcakp-lint: allow(D004) reason="lossy reporting conversion, documented as such"
+    num as f64 / den as f64
+}

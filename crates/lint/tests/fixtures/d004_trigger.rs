@@ -1,0 +1,4 @@
+//! D004 trigger: floating point in the exact crate.
+pub fn ratio(value: u64, optimum: u64) -> f64 {
+    value as f64 / optimum.max(1) as f64
+}

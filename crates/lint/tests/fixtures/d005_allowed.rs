@@ -1,0 +1,5 @@
+//! D005 allow fixture: the one blessed root constant.
+pub fn demo_root() -> Seed {
+    // lcakp-lint: allow(D005) reason="the single blessed root constant for this demo"
+    Seed::from_entropy_u64(0x0123_4567)
+}

@@ -1,0 +1,4 @@
+//! D005 trigger: a hand-picked literal seed.
+pub fn bespoke_seed() -> Seed {
+    Seed::from_entropy_u64(0xDEAD_BEEF)
+}

@@ -1,0 +1,205 @@
+//! Golden fixture tests.
+//!
+//! Every rule has a *trigger* fixture (must produce exactly the expected
+//! diagnostics) and an *allowed* twin (same construct, silenced by an
+//! in-source `lcakp-lint: allow(…) reason="…"` comment — must be clean).
+//! Fixtures live under `tests/fixtures/`, which the production walk
+//! skips, so they never pollute a workspace `check` run.
+//!
+//! The fixtures are linted via [`FileCtx::from_source`] with an explicit
+//! crate name: path-based attribution would file them under `lint`,
+//! where the crate-scoped rules (D001, D003, D004) do not apply.
+
+use lcakp_lint::{lint_ctx, FileCtx};
+
+/// Lints `src` as if it were a production file of `crate_name`, rendering
+/// each diagnostic in the CLI's `name:line:col: [rule] message` shape.
+fn diags(crate_name: &str, name: &str, src: &str) -> Vec<String> {
+    let ctx = FileCtx::from_source(name, crate_name, src).unwrap();
+    lint_ctx(&ctx)
+        .into_iter()
+        .map(|f| format!("{name}:{}:{}: [{}] {}", f.line, f.col, f.rule, f.message))
+        .collect()
+}
+
+#[test]
+fn d001_trigger_snapshot() {
+    let got = diags(
+        "core",
+        "d001_trigger.rs",
+        include_str!("fixtures/d001_trigger.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            "d001_trigger.rs:2:23: [D001] `HashMap` in seeded crate `core`: iteration order is \
+             nondeterministic and breaks seed-reproducibility; use `BTreeMap` or allow with a \
+             reason",
+            "d001_trigger.rs:5:21: [D001] `HashMap` in seeded crate `core`: iteration order is \
+             nondeterministic and breaks seed-reproducibility; use `BTreeMap` or allow with a \
+             reason",
+        ]
+    );
+}
+
+#[test]
+fn d001_allow_is_silent() {
+    let got = diags(
+        "core",
+        "d001_allowed.rs",
+        include_str!("fixtures/d001_allowed.rs"),
+    );
+    assert_eq!(got, Vec::<String>::new());
+}
+
+#[test]
+fn d002_trigger_snapshot() {
+    let got = diags(
+        "core",
+        "d002_trigger.rs",
+        include_str!("fixtures/d002_trigger.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            "d002_trigger.rs:3:25: [D002] `thread_rng()` draws ambient OS entropy; all \
+             randomness must flow from the shared `Seed` (domain-separated via `Seed::derive`)",
+            "d002_trigger.rs:4:30: [D002] `Instant::now()` is ambient nondeterminism; \
+             wall-clock time is only allowed in bench/workloads timing code",
+        ]
+    );
+}
+
+#[test]
+fn d002_allow_is_silent() {
+    let got = diags(
+        "core",
+        "d002_allowed.rs",
+        include_str!("fixtures/d002_allowed.rs"),
+    );
+    assert_eq!(got, Vec::<String>::new());
+}
+
+#[test]
+fn d003_trigger_snapshot() {
+    let got = diags(
+        "core",
+        "d003_trigger.rs",
+        include_str!("fixtures/d003_trigger.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            "d003_trigger.rs:3:24: [D003] panicking oracle access `.query()`; use `try_query` \
+             and handle the typed `OracleError` (metered, fallible access is the LCA contract)",
+            "d003_trigger.rs:4:25: [D003] `try_query(…).unwrap()` panics on oracle failure; \
+             propagate or degrade via the typed `OracleError` instead",
+        ]
+    );
+}
+
+#[test]
+fn d003_allow_is_silent() {
+    let got = diags(
+        "core",
+        "d003_allowed.rs",
+        include_str!("fixtures/d003_allowed.rs"),
+    );
+    assert_eq!(got, Vec::<String>::new());
+}
+
+#[test]
+fn d004_trigger_snapshot() {
+    let got = diags(
+        "knapsack",
+        "d004_trigger.rs",
+        include_str!("fixtures/d004_trigger.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            "d004_trigger.rs:2:43: [D004] floating point (`f64`) in correctness-critical crate \
+             `knapsack`; use exact rationals (`knapsack::rat`) — floats are allowed only in \
+             reporting code, with an allow",
+            "d004_trigger.rs:3:14: [D004] floating point (`f64`) in correctness-critical crate \
+             `knapsack`; use exact rationals (`knapsack::rat`) — floats are allowed only in \
+             reporting code, with an allow",
+        ]
+    );
+}
+
+#[test]
+fn d004_allow_is_silent() {
+    let got = diags(
+        "knapsack",
+        "d004_allowed.rs",
+        include_str!("fixtures/d004_allowed.rs"),
+    );
+    assert_eq!(got, Vec::<String>::new());
+}
+
+#[test]
+fn d005_trigger_snapshot() {
+    let got = diags(
+        "bench",
+        "d005_trigger.rs",
+        include_str!("fixtures/d005_trigger.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            "d005_trigger.rs:3:5: [D005] `Seed::from_entropy_u64` built from an integer \
+             literal; non-test seeds must flow from a single root via `Seed::derive(domain, \
+             index)` so fault plans and experiments stay replayable",
+        ]
+    );
+}
+
+#[test]
+fn d005_allow_is_silent() {
+    let got = diags(
+        "bench",
+        "d005_allowed.rs",
+        include_str!("fixtures/d005_allowed.rs"),
+    );
+    assert_eq!(got, Vec::<String>::new());
+}
+
+/// The acceptance scenario from the issue: seeding a `thread_rng()` call
+/// into a `crates/core` file must produce a D002 at the exact location.
+#[test]
+fn injected_thread_rng_in_core_is_caught() {
+    let src = "//! Innocent module.\n\npub fn sneaky() -> u64 {\n    let mut rng = rand::thread_rng();\n    rng.gen()\n}\n";
+    let got = diags("core", "crates/core/src/sneaky.rs", src);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(
+        got[0].starts_with("crates/core/src/sneaky.rs:4:25: [D002]"),
+        "{got:?}"
+    );
+}
+
+/// An allow without a nonempty reason does not suppress; the finding is
+/// annotated so the author knows why the allow was ignored.
+#[test]
+fn allow_without_reason_is_ignored_and_annotated() {
+    let src = "// lcakp-lint: allow(D005)\nfn f() { let s = Seed::from_entropy_u64(3); }\n";
+    let got = diags("bench", "m.rs", src);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(
+        got[0].ends_with("(allow ignored: missing or empty reason=\"…\")"),
+        "{got:?}"
+    );
+}
+
+/// Crate scoping: the same hash-map fixture is silent outside the seeded
+/// crates, and the float fixture is silent outside `knapsack`.
+#[test]
+fn crate_scoping_gates_d001_and_d004() {
+    let d001 = include_str!("fixtures/d001_trigger.rs");
+    assert_eq!(
+        diags("bench", "d001_trigger.rs", d001),
+        Vec::<String>::new()
+    );
+    let d004 = include_str!("fixtures/d004_trigger.rs");
+    assert_eq!(diags("core", "d004_trigger.rs", d004), Vec::<String>::new());
+}

@@ -1,0 +1,101 @@
+//! Workspace-level integration tests: the lexer must tokenize every
+//! `.rs` file in the tree (including vendored and test code), and the
+//! production tree must be lint-clean — the same bar the CI `lint` job
+//! enforces via `cargo run -p lcakp-lint -- check`.
+
+use std::path::{Path, PathBuf};
+
+use lcakp_lint::{lint_workspace, render_json, tokenize, walk_all_sources};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint → crates → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("lint crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// The lexer smoke test: every source file in the repository — vendored
+/// crates, test code, fixtures, everything — must tokenize without error.
+/// This is the broadest input corpus available offline and catches lexer
+/// regressions (raw strings, nested comments, odd numeric literals) long
+/// before they would misparse a production file.
+#[test]
+fn lexer_tokenizes_every_source_file() {
+    let root = workspace_root();
+    let files = walk_all_sources(&root);
+    assert!(
+        files.len() > 100,
+        "walk looks broken: only {} files found under {}",
+        files.len(),
+        root.display()
+    );
+    let mut tokens_total = 0usize;
+    for path in &files {
+        let src = std::fs::read_to_string(path)
+            .unwrap_or_else(|error| panic!("{}: unreadable: {error}", path.display()));
+        let tokens = tokenize(&src)
+            .unwrap_or_else(|error| panic!("{}: failed to lex: {error:?}", path.display()));
+        tokens_total += tokens.len();
+    }
+    assert!(tokens_total > 10_000, "suspiciously few tokens lexed");
+}
+
+/// The production tree stays lint-clean. A regression here means someone
+/// reintroduced ambient entropy, a hash collection in a seeded crate, a
+/// panicking oracle call, floats in the exact crate, or a literal seed.
+#[test]
+fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let diagnostics = lint_workspace(&root).expect("workspace lints");
+    assert!(
+        diagnostics.is_empty(),
+        "workspace has lint findings:\n{}",
+        lcakp_lint::render_text(&diagnostics)
+    );
+}
+
+/// `docs/lints.md` documents every shipped rule: each id and kebab-case
+/// name printed by `--list-rules` must appear there.
+#[test]
+fn docs_cover_every_rule() {
+    let docs = std::fs::read_to_string(workspace_root().join("docs/lints.md"))
+        .expect("docs/lints.md exists");
+    for rule in lcakp_lint::all_rules() {
+        assert!(
+            docs.contains(rule.id),
+            "docs/lints.md does not mention rule {}",
+            rule.id
+        );
+        assert!(
+            docs.contains(rule.name),
+            "docs/lints.md does not mention rule name {}",
+            rule.name
+        );
+    }
+}
+
+/// JSON output is stable and well-formed for the empty and nonempty cases.
+#[test]
+fn json_rendering_shape() {
+    let empty = render_json(&[]);
+    assert_eq!(empty, "{\n  \"findings\": [],\n  \"count\": 0\n}\n");
+
+    let diagnostic = lcakp_lint::Diagnostic {
+        path: PathBuf::from("crates/core/src/x.rs"),
+        finding: lcakp_lint::Finding {
+            rule: "D002",
+            line: 4,
+            col: 25,
+            message: "a \"quoted\" message".to_string(),
+        },
+    };
+    let rendered = render_json(std::slice::from_ref(&diagnostic));
+    assert_eq!(
+        rendered,
+        "{\n  \"findings\": [\n    {\"rule\": \"D002\", \"path\": \"crates/core/src/x.rs\", \
+         \"line\": 4, \"column\": 25, \"message\": \"a \\\"quoted\\\" message\"}\n  ],\n  \
+         \"count\": 1\n}\n"
+    );
+}

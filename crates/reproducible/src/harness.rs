@@ -5,7 +5,7 @@
 use lcakp_oracle::Seed;
 use rand::Rng;
 use rand_chacha::ChaCha12Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 /// A finite discrete distribution with exact CDF queries — the ground
@@ -106,7 +106,7 @@ pub struct ReproReport {
     /// Trials whose outputs were τ-accurate (both runs).
     pub accurate: u32,
     /// Observed distinct outputs and their multiplicities.
-    pub output_counts: HashMap<u128, u32>,
+    pub output_counts: BTreeMap<u128, u32>,
 }
 
 impl ReproReport {
@@ -162,7 +162,7 @@ where
     use rand::SeedableRng;
     let mut agreements = 0;
     let mut accurate = 0;
-    let mut output_counts: HashMap<u128, u32> = HashMap::new();
+    let mut output_counts: BTreeMap<u128, u32> = BTreeMap::new();
     for trial in 0..trials {
         let seed = base_seed.derive("harness/trial-seed", trial as u64);
         let mut rng_a = ChaCha12Rng::seed_from_u64(0x5eed_0000 + 2 * trial as u64);
@@ -270,7 +270,7 @@ mod tests {
             trials: 0,
             agreements: 0,
             accurate: 0,
-            output_counts: HashMap::new(),
+            output_counts: BTreeMap::new(),
         };
         assert_eq!(report.agreement_rate(), 1.0);
         assert_eq!(report.accuracy_rate(), 1.0);
@@ -282,7 +282,7 @@ mod tests {
             trials: 2,
             agreements: 1,
             accurate: 2,
-            output_counts: HashMap::new(),
+            output_counts: BTreeMap::new(),
         };
         assert!(report.to_string().contains("agreement=0.500"));
     }
