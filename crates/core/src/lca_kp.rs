@@ -218,6 +218,28 @@ impl LcaKp {
         (base * repeats).ceil() as u64
     }
 
+    /// Upper bound on the counted oracle accesses one query can consume:
+    /// coupon samples, plus the worst-case EPS-estimation samples (the
+    /// residual fraction is at least ε whenever estimation runs at all),
+    /// plus the final point query — all multiplied by `1 + max_retries`
+    /// since every transient retry re-charges the access on decorated
+    /// oracles.
+    ///
+    /// A serving layer compares this against a budget's `remaining()` to
+    /// load-shed *before* dispatching a query that could only die
+    /// mid-flight.
+    pub fn worst_case_accesses(&self) -> u64 {
+        let params = self.repro_params();
+        let n_rq = self.budget.rquantile_samples(&params);
+        let eps = self.eps.as_f64();
+        let estimation = ((1.5 * n_rq as f64) / eps).ceil() as u64;
+        let per_attempt = self
+            .coupon_samples()
+            .saturating_add(estimation)
+            .saturating_add(1);
+        per_attempt.saturating_mul(1 + u64::from(self.retry.max_retries))
+    }
+
     /// Builds the per-query [`SolutionRule`] (Algorithm 2 lines 1–19).
     /// Exposed so that experiments can inspect the rule itself; `query`
     /// is `build_rule` + [`SolutionRule::decide`].
@@ -734,7 +756,7 @@ mod tests {
         assert_eq!(answer.reason, DecisionReason::DegradedFallback);
         assert_eq!(
             audit.degraded,
-            Some(DegradationReason::BudgetExhausted { cap: 10 })
+            Some(DegradationReason::BudgetExhausted { spent: 10, cap: 10 })
         );
         assert_eq!(audit.budget_consumed, 10, "exactly the cap was spent");
 

@@ -25,9 +25,14 @@ pub enum DegradationReason {
     CorruptionDetected,
     /// The oracle's hard access budget ran out mid-query.
     BudgetExhausted {
+        /// Accesses spent when the refusal fired.
+        spent: u64,
         /// The cap that was hit.
         cap: u64,
     },
+    /// The query's deadline passed on the serving layer's virtual clock
+    /// before the rule construction finished.
+    DeadlineExceeded,
 }
 
 impl DegradationReason {
@@ -37,12 +42,21 @@ impl DegradationReason {
         match error {
             OracleError::Transient { .. } => Some(DegradationReason::RetriesExhausted),
             OracleError::Corrupted { .. } => Some(DegradationReason::CorruptionDetected),
-            OracleError::BudgetExhausted { cap } => {
-                Some(DegradationReason::BudgetExhausted { cap })
+            OracleError::BudgetExhausted { spent, cap } => {
+                Some(DegradationReason::BudgetExhausted { spent, cap })
             }
+            OracleError::DeadlineExceeded { .. } => Some(DegradationReason::DeadlineExceeded),
             OracleError::OutOfRange { .. } => None,
             _ => None,
         }
+    }
+
+    /// Whether the serving layer may hope a later re-attempt of the whole
+    /// query succeeds: true only for exhausted transient retries. Budget
+    /// and deadline exhaustion are final for the query, and corruption
+    /// re-reads the same damaged cell.
+    pub fn is_reattemptable(&self) -> bool {
+        matches!(self, DegradationReason::RetriesExhausted)
     }
 }
 
@@ -51,9 +65,51 @@ impl fmt::Display for DegradationReason {
         match self {
             DegradationReason::RetriesExhausted => write!(f, "retries-exhausted"),
             DegradationReason::CorruptionDetected => write!(f, "corruption-detected"),
-            DegradationReason::BudgetExhausted { cap } => {
-                write!(f, "budget-exhausted(cap={cap})")
+            DegradationReason::BudgetExhausted { spent, cap } => {
+                write!(f, "budget-exhausted(spent={spent}, cap={cap})")
             }
+            DegradationReason::DeadlineExceeded => write!(f, "deadline-exceeded"),
+        }
+    }
+}
+
+/// Which rung of the graceful-degradation ladder produced a response.
+///
+/// The ladder, from best to worst: the full `LCA-KP` sampled rule, a
+/// cached rule reused across queries (one point query per answer, no
+/// re-sampling — the "cached quantile" fast path), and the trivial
+/// always-no rule (zero oracle accesses, consistent with ∅). A serving
+/// layer records the tier on every response so availability numbers can
+/// be decomposed by answer quality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum ResponseTier {
+    /// The full per-query `LCA-KP` rule construction (Theorem 4.1's
+    /// `(1/2, 6ε)` guarantee applies).
+    Full,
+    /// A cached [`SolutionRule`](crate::SolutionRule) decided the answer
+    /// with a single point query — still a feasible `(1/2, 6ε)` rule,
+    /// but built from the cache stream rather than this query's own.
+    CachedRule,
+    /// The trivial always-no rule: feasible, consistent with ∅, no
+    /// guarantee beyond that.
+    Trivial,
+}
+
+impl ResponseTier {
+    /// Whether the tier still carries the Theorem 4.1 approximation
+    /// guarantee for the solution its answers are consistent with.
+    pub fn has_theorem_guarantee(&self) -> bool {
+        matches!(self, ResponseTier::Full | ResponseTier::CachedRule)
+    }
+}
+
+impl fmt::Display for ResponseTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResponseTier::Full => write!(f, "full"),
+            ResponseTier::CachedRule => write!(f, "cached-rule"),
+            ResponseTier::Trivial => write!(f, "trivial"),
         }
     }
 }
@@ -82,6 +138,8 @@ pub struct DegradationStats {
     pub corruption_detected: u64,
     /// Degradations caused by an exhausted access budget.
     pub budget_exhausted: u64,
+    /// Degradations caused by a missed deadline.
+    pub deadline_exceeded: u64,
     /// Total transient-fault retries spent.
     pub retries_used: u64,
     /// Total counted oracle accesses consumed.
@@ -100,6 +158,7 @@ impl DegradationStats {
                 DegradationReason::RetriesExhausted => self.retries_exhausted += 1,
                 DegradationReason::CorruptionDetected => self.corruption_detected += 1,
                 DegradationReason::BudgetExhausted { .. } => self.budget_exhausted += 1,
+                DegradationReason::DeadlineExceeded => self.deadline_exceeded += 1,
             }
         }
     }
@@ -118,12 +177,13 @@ impl fmt::Display for DegradationStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}/{} degraded (retry={} corrupt={} budget={}), {} retries, {} accesses",
+            "{}/{} degraded (retry={} corrupt={} budget={} deadline={}), {} retries, {} accesses",
             self.degraded_queries,
             self.queries,
             self.retries_exhausted,
             self.corruption_detected,
             self.budget_exhausted,
+            self.deadline_exceeded,
             self.retries_used,
             self.budget_consumed
         )

@@ -12,7 +12,7 @@ use crate::lexer::TokenKind;
 /// A single diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Stable rule id (`D001` … `D005`).
+    /// Stable rule id (`D001` … `D006`).
     pub rule: &'static str,
     /// 1-based line.
     pub line: u32,
@@ -46,7 +46,7 @@ impl std::fmt::Debug for RuleDef {
 }
 
 /// Crates whose execution must be a pure function of the shared seed.
-pub const SEEDED_CRATES: &[&str] = &["core", "reproducible", "oracle", "lowerbounds"];
+pub const SEEDED_CRATES: &[&str] = &["core", "reproducible", "oracle", "lowerbounds", "service"];
 
 /// Crates where exact rational arithmetic (`knapsack::rat`) is the law.
 pub const EXACT_CRATES: &[&str] = &["knapsack"];
@@ -91,6 +91,13 @@ pub fn all_rules() -> &'static [RuleDef] {
             summary: "Seed built from an integer literal outside tests; derive it from a root via Seed::derive domain separation",
             applies: |_| true,
             check: check_d005,
+        },
+        RuleDef {
+            id: "D006",
+            name: "wall-clock-in-service",
+            summary: "std::time (Instant/SystemTime/Duration) or thread::sleep in the serving runtime; service time is virtual ticks on a VirtualClock",
+            applies: |krate| krate == "service",
+            check: check_d006,
         },
     ]
 }
@@ -388,6 +395,66 @@ fn check_d005(ctx: &FileCtx) -> Vec<Finding> {
     findings
 }
 
+/// True when the identifier at `index` names a std/core wall-clock
+/// type, either path-qualified (`std::time::Instant`, `time::Duration`)
+/// or imported; unresolved bare names are flagged conservatively, like
+/// [`is_std_hash_container`].
+fn is_std_time_type(ctx: &FileCtx, index: usize, name: &str) -> bool {
+    if index >= 2 && ctx.is_punct(index - 1, "::") {
+        if let Some(prev) = ctx.tok(index - 2) {
+            return prev.text == "time";
+        }
+    }
+    if let Some(path) = ctx.resolve(name) {
+        return path.starts_with("std::time") || path.starts_with("core::time");
+    }
+    true
+}
+
+fn check_d006(ctx: &FileCtx) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for (index, token) in ctx.tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        match token.text.as_str() {
+            "Instant" | "SystemTime" | "Duration" if is_std_time_type(ctx, index, &token.text) => {
+                findings.push(finding(
+                    "D006",
+                    ctx,
+                    index,
+                    format!(
+                        "`{}` is wall-clock time inside the serving runtime; service \
+                         deadlines, cool-downs and waits are virtual ticks on a \
+                         `VirtualClock` (see docs/robustness.md)",
+                        token.text
+                    ),
+                ));
+            }
+            "sleep" => {
+                let path_qualified = index >= 2
+                    && ctx.is_punct(index - 1, "::")
+                    && ctx.is_ident(index - 2, "thread");
+                let imported = ctx
+                    .resolve("sleep")
+                    .is_some_and(|path| path.starts_with("std::thread"));
+                if path_qualified || imported {
+                    findings.push(finding(
+                        "D006",
+                        ctx,
+                        index,
+                        "`thread::sleep` blocks on wall time; model waits as virtual ticks \
+                         instead (`BackoffPolicy` delays advance the worker's `VirtualClock`)"
+                            .to_string(),
+                    ));
+                }
+            }
+            _ => {}
+        }
+    }
+    findings
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -470,6 +537,23 @@ mod tests {
             "fn f(x: u64) -> f64 { x as f64 * 0.5 }\n",
         );
         assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn d006_flags_std_time_and_sleep_in_service() {
+        let src = "use std::time::Duration;\nfn f(pause: Duration) { std::thread::sleep(pause); let t = std::time::Instant::now(); }\n";
+        let hits = run("D006", "service", src);
+        assert_eq!(hits.len(), 4); // import + param + sleep + Instant
+    }
+
+    #[test]
+    fn d006_ignores_shadowed_duration() {
+        let hits = run(
+            "D006",
+            "service",
+            "use crate::ticks::Duration;\nfn f(pause: Duration) { let _ = pause; }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
     }
 
     #[test]

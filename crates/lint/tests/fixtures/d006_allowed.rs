@@ -1,0 +1,5 @@
+//! D006 allow fixture: a reasoned wall-clock exception in service code.
+pub fn shutdown_grace() {
+    // lcakp-lint: allow(D006) reason="process-exit grace period, outside the virtual-time model"
+    std::thread::sleep(std::time::Duration::from_millis(1));
+}

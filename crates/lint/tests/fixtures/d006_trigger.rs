@@ -1,0 +1,6 @@
+//! D006 trigger: wall-clock primitives in the serving runtime.
+use std::time::Duration;
+
+pub fn nap(pause: Duration) {
+    std::thread::sleep(pause);
+}

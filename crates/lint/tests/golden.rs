@@ -203,3 +203,43 @@ fn crate_scoping_gates_d001_and_d004() {
     let d004 = include_str!("fixtures/d004_trigger.rs");
     assert_eq!(diags("core", "d004_trigger.rs", d004), Vec::<String>::new());
 }
+
+#[test]
+fn d006_trigger_snapshot() {
+    let got = diags(
+        "service",
+        "d006_trigger.rs",
+        include_str!("fixtures/d006_trigger.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            "d006_trigger.rs:2:16: [D006] `Duration` is wall-clock time inside the serving \
+             runtime; service deadlines, cool-downs and waits are virtual ticks on a \
+             `VirtualClock` (see docs/robustness.md)",
+            "d006_trigger.rs:4:19: [D006] `Duration` is wall-clock time inside the serving \
+             runtime; service deadlines, cool-downs and waits are virtual ticks on a \
+             `VirtualClock` (see docs/robustness.md)",
+            "d006_trigger.rs:5:18: [D006] `thread::sleep` blocks on wall time; model waits as \
+             virtual ticks instead (`BackoffPolicy` delays advance the worker's `VirtualClock`)",
+        ]
+    );
+}
+
+#[test]
+fn d006_allow_is_silent() {
+    let got = diags(
+        "service",
+        "d006_allowed.rs",
+        include_str!("fixtures/d006_allowed.rs"),
+    );
+    assert_eq!(got, Vec::<String>::new());
+}
+
+/// Crate scoping: wall-clock types outside `crates/service` are D002's
+/// business (only `::now()` calls), not D006's.
+#[test]
+fn d006_is_scoped_to_the_service_crate() {
+    let src = include_str!("fixtures/d006_trigger.rs");
+    assert_eq!(diags("core", "d006_trigger.rs", src), Vec::<String>::new());
+}

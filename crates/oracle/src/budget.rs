@@ -54,6 +54,17 @@ impl<'a, O> BudgetedOracle<'a, O> {
         self.cap - self.used()
     }
 
+    /// The typed exhaustion error at the current spend level — also what
+    /// a serving layer reports when it sheds a query *before* dispatch
+    /// because [`remaining`](Self::remaining) cannot cover the query's
+    /// worst-case cost.
+    pub fn exhaustion(&self) -> OracleError {
+        OracleError::BudgetExhausted {
+            spent: self.used(),
+            cap: self.cap,
+        }
+    }
+
     /// Charges one access, failing once the cap is reached.
     fn charge(&self) -> Result<(), OracleError> {
         self.used
@@ -61,7 +72,10 @@ impl<'a, O> BudgetedOracle<'a, O> {
                 (used < self.cap).then(|| used + 1)
             })
             .map(|_| ())
-            .map_err(|_| OracleError::BudgetExhausted { cap: self.cap })
+            .map_err(|spent| OracleError::BudgetExhausted {
+                spent,
+                cap: self.cap,
+            })
     }
 }
 
@@ -131,13 +145,13 @@ mod tests {
         }
         assert_eq!(
             budgeted.try_query(ItemId(0)),
-            Err(OracleError::BudgetExhausted { cap: 5 }),
+            Err(OracleError::BudgetExhausted { spent: 5, cap: 5 }),
             "access cap+1 must fail"
         );
         // The failure is persistent and the inner oracle was not touched.
         assert_eq!(
             budgeted.try_query(ItemId(0)),
-            Err(OracleError::BudgetExhausted { cap: 5 })
+            Err(OracleError::BudgetExhausted { spent: 5, cap: 5 })
         );
         assert_eq!(inner.stats().point_queries, 5);
         assert_eq!(budgeted.used(), 5);
@@ -155,7 +169,7 @@ mod tests {
         assert!(budgeted.try_sample_weighted(&mut rng).is_ok());
         assert_eq!(
             budgeted.try_sample_weighted(&mut rng),
-            Err(OracleError::BudgetExhausted { cap: 3 })
+            Err(OracleError::BudgetExhausted { spent: 3, cap: 3 })
         );
         assert_eq!(inner.stats().total(), 3);
     }
@@ -181,7 +195,7 @@ mod tests {
         let budgeted = BudgetedOracle::new(&inner, 0);
         assert_eq!(
             budgeted.try_query(ItemId(0)),
-            Err(OracleError::BudgetExhausted { cap: 0 })
+            Err(OracleError::BudgetExhausted { spent: 0, cap: 0 })
         );
     }
 }

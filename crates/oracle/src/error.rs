@@ -42,8 +42,22 @@ pub enum OracleError {
     },
     /// A hard access cap was exhausted.
     BudgetExhausted {
+        /// Accesses charged before the refusal (always `cap` when the
+        /// cap was genuinely reached; kept separate so pre-dispatch
+        /// load-shedding can report a partially spent budget).
+        spent: u64,
         /// The configured cap on counted accesses.
         cap: u64,
+    },
+    /// The access was refused because the issuing query's deadline had
+    /// already passed on the serving layer's [virtual clock]. Persistent
+    /// for the rest of the query: time does not run backwards.
+    ///
+    /// [virtual clock]: https://docs.rs/lcakp-service
+    DeadlineExceeded {
+        /// The oracle-side access index at which the deadline check
+        /// fired.
+        access: u64,
     },
 }
 
@@ -56,7 +70,10 @@ impl OracleError {
     /// Whether the failure is persistent for the rest of the run (every
     /// further access of the same kind will also fail).
     pub fn is_persistent(&self) -> bool {
-        matches!(self, OracleError::BudgetExhausted { .. })
+        matches!(
+            self,
+            OracleError::BudgetExhausted { .. } | OracleError::DeadlineExceeded { .. }
+        )
     }
 }
 
@@ -72,8 +89,14 @@ impl fmt::Display for OracleError {
             OracleError::Corrupted { id } => {
                 write!(f, "item {} failed oracle-side validation", id.index())
             }
-            OracleError::BudgetExhausted { cap } => {
-                write!(f, "oracle access budget of {cap} exhausted")
+            OracleError::BudgetExhausted { spent, cap } => {
+                write!(
+                    f,
+                    "oracle access budget exhausted ({spent} spent of cap {cap})"
+                )
+            }
+            OracleError::DeadlineExceeded { access } => {
+                write!(f, "query deadline exceeded at access {access}")
             }
         }
     }
@@ -95,8 +118,10 @@ mod tests {
         }
         .is_retryable());
         assert!(!OracleError::Corrupted { id: ItemId(0) }.is_retryable());
-        assert!(OracleError::BudgetExhausted { cap: 10 }.is_persistent());
-        assert!(!OracleError::BudgetExhausted { cap: 10 }.is_retryable());
+        assert!(OracleError::BudgetExhausted { spent: 10, cap: 10 }.is_persistent());
+        assert!(!OracleError::BudgetExhausted { spent: 10, cap: 10 }.is_retryable());
+        assert!(OracleError::DeadlineExceeded { access: 4 }.is_persistent());
+        assert!(!OracleError::DeadlineExceeded { access: 4 }.is_retryable());
     }
 
     #[test]
@@ -107,8 +132,10 @@ mod tests {
         }
         .to_string();
         assert!(text.contains('9') && text.contains('4'));
-        assert!(OracleError::BudgetExhausted { cap: 7 }
+        let text = OracleError::BudgetExhausted { spent: 5, cap: 7 }.to_string();
+        assert!(text.contains('5') && text.contains('7'));
+        assert!(OracleError::DeadlineExceeded { access: 3 }
             .to_string()
-            .contains('7'));
+            .contains('3'));
     }
 }

@@ -1,0 +1,73 @@
+//! Admission control: why a query was refused instead of answered.
+//!
+//! The runtime sheds load in two deterministic places:
+//!
+//! * **at enqueue** — each worker owns a bounded queue; a batch position
+//!   that does not fit is rejected with [`ShedReason::QueueFull`] before
+//!   any oracle access happens;
+//! * **at dispatch** — a worker whose remaining access budget
+//!   ([`BudgetedOracle::remaining`](lcakp_oracle::BudgetedOracle::remaining))
+//!   cannot cover the query's worst case
+//!   ([`LcaKp::worst_case_accesses`](lcakp_core::LcaKp::worst_case_accesses))
+//!   rejects with [`ShedReason::BudgetInsufficient`] rather than letting
+//!   the query die mid-flight.
+//!
+//! A shed query gets an explicit rejection response — never a silent
+//! drop — so callers can retry elsewhere, and availability accounting
+//! counts it against the SLO.
+
+use std::fmt;
+
+/// Why the runtime refused to serve a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ShedReason {
+    /// The owning worker's bounded admission queue was full.
+    QueueFull {
+        /// The queue bound that was hit.
+        depth: usize,
+    },
+    /// The worker's remaining access budget cannot cover the query's
+    /// worst-case cost, so dispatching could only exhaust mid-flight.
+    BudgetInsufficient {
+        /// Worst-case accesses the query could consume.
+        needed: u64,
+        /// Accesses the worker still has.
+        remaining: u64,
+    },
+}
+
+impl fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShedReason::QueueFull { depth } => write!(f, "queue-full(depth={depth})"),
+            ShedReason::BudgetInsufficient { needed, remaining } => {
+                write!(
+                    f,
+                    "budget-insufficient(needed={needed}, remaining={remaining})"
+                )
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(
+            ShedReason::QueueFull { depth: 8 }.to_string(),
+            "queue-full(depth=8)"
+        );
+        assert_eq!(
+            ShedReason::BudgetInsufficient {
+                needed: 100,
+                remaining: 7
+            }
+            .to_string(),
+            "budget-insufficient(needed=100, remaining=7)"
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Exponential backoff with seed-derived jitter, in virtual ticks.
+//!
+//! When a full `LCA-KP` attempt degrades on a *reattemptable* fault
+//! (exhausted transient retries), the worker waits before re-running the
+//! whole query. The wait grows exponentially per attempt and carries a
+//! jitter drawn from the run's [`Seed`] — never from an ambient RNG — so
+//! the complete retry timeline of a batch is a pure function of
+//! `(root seed, query index)` and replays byte-identically.
+
+use lcakp_oracle::Seed;
+use rand::Rng;
+
+/// Seed domain for backoff jitter.
+const JITTER_DOMAIN: &str = "service/backoff";
+
+/// Query-level retry pacing for the serving runtime.
+///
+/// Attempt `k` (0-based) that fails waits
+/// `delay(k) ∈ [cap/2, cap]` ticks, where
+/// `cap = min(base_ticks · multiplier^k, max_delay_ticks)` and the
+/// position inside the half-open band is seed-derived jitter
+/// (the classic "equal jitter" scheme, made deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay cap for the first retry wait.
+    pub base_ticks: u64,
+    /// Exponential growth factor per attempt.
+    pub multiplier: u32,
+    /// Upper bound any single wait saturates at.
+    pub max_delay_ticks: u64,
+    /// Total full-rule attempts per query (first try included); `1`
+    /// disables query-level retry entirely.
+    pub max_attempts: u32,
+}
+
+impl Default for BackoffPolicy {
+    /// Three attempts, waits capped at 64 ticks: `8 → 16` plus jitter.
+    fn default() -> Self {
+        BackoffPolicy {
+            base_ticks: 8,
+            multiplier: 2,
+            max_delay_ticks: 64,
+            max_attempts: 3,
+        }
+    }
+}
+
+impl BackoffPolicy {
+    /// A single attempt and no waiting.
+    pub fn no_retry() -> Self {
+        BackoffPolicy {
+            max_attempts: 1,
+            ..BackoffPolicy::default()
+        }
+    }
+
+    /// The exponential cap for the wait after failed attempt `attempt`
+    /// (0-based), before jitter.
+    fn cap(&self, attempt: u32) -> u64 {
+        let factor = u64::from(self.multiplier).saturating_pow(attempt);
+        self.base_ticks
+            .saturating_mul(factor)
+            .min(self.max_delay_ticks)
+    }
+
+    /// The wait, in ticks, after failed attempt `attempt` (0-based) of
+    /// the query at batch position `query`. Deterministic in
+    /// `(root, query, attempt)`.
+    pub fn delay_ticks(&self, root: &Seed, query: u64, attempt: u32) -> u64 {
+        let cap = self.cap(attempt);
+        let floor = cap / 2;
+        let span = cap - floor;
+        if span == 0 {
+            return cap;
+        }
+        let mut rng = root
+            .derive(JITTER_DOMAIN, query)
+            .derive("attempt", u64::from(attempt))
+            .rng();
+        floor + rng.gen_range(0..=span)
+    }
+
+    /// The full wait schedule a query would traverse if every attempt
+    /// failed: one entry per retry, `max_attempts - 1` entries total.
+    pub fn schedule(&self, root: &Seed, query: u64) -> Vec<u64> {
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|attempt| self.delay_ticks(root, query, attempt))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_sit_in_the_equal_jitter_band() {
+        let policy = BackoffPolicy::default();
+        let root = Seed::from_entropy_u64(1);
+        for attempt in 0..4 {
+            let cap = policy.cap(attempt);
+            for query in 0..50u64 {
+                let delay = policy.delay_ticks(&root, query, attempt);
+                assert!(
+                    delay >= cap / 2 && delay <= cap,
+                    "attempt {attempt} query {query}: delay {delay} outside [{}, {cap}]",
+                    cap / 2
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn caps_saturate_at_the_maximum() {
+        let policy = BackoffPolicy {
+            base_ticks: 8,
+            multiplier: 2,
+            max_delay_ticks: 20,
+            max_attempts: 8,
+        };
+        assert_eq!(policy.cap(0), 8);
+        assert_eq!(policy.cap(1), 16);
+        assert_eq!(policy.cap(2), 20);
+        assert_eq!(policy.cap(30), 20);
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_query_dependent() {
+        let policy = BackoffPolicy {
+            max_attempts: 5,
+            ..BackoffPolicy::default()
+        };
+        let root = Seed::from_entropy_u64(2);
+        let a = policy.schedule(&root, 7);
+        let b = policy.schedule(&root, 7);
+        assert_eq!(a, b, "same (root, query) must replay the same waits");
+        assert_eq!(a.len(), 4);
+        let differs = (0..200u64).any(|q| policy.schedule(&root, q) != a);
+        assert!(differs, "jitter should vary across queries");
+    }
+
+    #[test]
+    fn single_attempt_policy_has_empty_schedule() {
+        let policy = BackoffPolicy::no_retry();
+        assert!(policy.schedule(&Seed::from_entropy_u64(3), 0).is_empty());
+    }
+}

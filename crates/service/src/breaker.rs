@@ -1,0 +1,339 @@
+//! A three-state circuit breaker over the full `LCA-KP` query path.
+//!
+//! The expensive rung of the degradation ladder is the full per-query
+//! rule construction (thousands of oracle accesses). When the oracle is
+//! persistently failing, burning that budget per query only to degrade
+//! anyway makes every response slower — so the worker trips a breaker:
+//!
+//! * **Closed** — full queries allowed; `failure_threshold` consecutive
+//!   query-level failures trip the breaker.
+//! * **Open** — full queries short-circuit straight to the cached-rule
+//!   tier; after `cooldown_ticks` on the worker's [`VirtualClock`]
+//!   (crate::VirtualClock) the breaker moves to Half-Open.
+//! * **Half-Open** — exactly `half_open_probes` full queries are
+//!   admitted as probes; if all succeed the breaker closes, the first
+//!   probe failure re-opens it.
+//!
+//! Every transition is recorded as a typed [`BreakerEvent`], and the
+//! legal edges are exactly `Closed→Open`, `Open→HalfOpen`,
+//! `HalfOpen→Closed`, `HalfOpen→Open` — a property-tested invariant.
+
+use std::fmt;
+
+/// The breaker's position in its state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Full queries flow normally.
+    Closed,
+    /// Full queries short-circuit to the fallback tiers.
+    Open,
+    /// A bounded number of probe queries test whether the fault cleared.
+    HalfOpen,
+}
+
+impl fmt::Display for BreakerState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BreakerState::Closed => write!(f, "closed"),
+            BreakerState::Open => write!(f, "open"),
+            BreakerState::HalfOpen => write!(f, "half-open"),
+        }
+    }
+}
+
+/// Why a transition fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransitionCause {
+    /// Consecutive query failures reached the threshold (Closed→Open).
+    FailureThreshold,
+    /// The cool-down elapsed on the virtual clock (Open→HalfOpen).
+    CooldownElapsed,
+    /// Every probe of the Half-Open episode succeeded (HalfOpen→Closed).
+    ProbesSucceeded,
+    /// A probe failed (HalfOpen→Open).
+    ProbeFailed,
+}
+
+impl fmt::Display for TransitionCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransitionCause::FailureThreshold => write!(f, "failure-threshold"),
+            TransitionCause::CooldownElapsed => write!(f, "cooldown-elapsed"),
+            TransitionCause::ProbesSucceeded => write!(f, "probes-succeeded"),
+            TransitionCause::ProbeFailed => write!(f, "probe-failed"),
+        }
+    }
+}
+
+/// One recorded state transition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerEvent {
+    /// Virtual-clock tick at which the transition fired.
+    pub at_tick: u64,
+    /// State before.
+    pub from: BreakerState,
+    /// State after.
+    pub to: BreakerState,
+    /// Why.
+    pub cause: TransitionCause,
+}
+
+impl fmt::Display for BreakerEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={} {}→{} ({})",
+            self.at_tick, self.from, self.to, self.cause
+        )
+    }
+}
+
+/// Breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive query-level failures that trip Closed→Open.
+    pub failure_threshold: u32,
+    /// Virtual ticks an Open breaker waits before probing.
+    pub cooldown_ticks: u64,
+    /// Probe queries admitted per Half-Open episode.
+    pub half_open_probes: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            cooldown_ticks: 512,
+            half_open_probes: 2,
+        }
+    }
+}
+
+/// The state machine. One instance per worker; all methods take the
+/// current virtual tick explicitly so the breaker itself holds no clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: u64,
+    probes_issued: u32,
+    probes_succeeded: u32,
+    events: Vec<BreakerEvent>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `failure_threshold` or `half_open_probes` is zero —
+    /// both would make the state machine degenerate.
+    pub fn new(config: BreakerConfig) -> Self {
+        assert!(
+            config.failure_threshold >= 1,
+            "failure_threshold must be at least 1"
+        );
+        assert!(
+            config.half_open_probes >= 1,
+            "half_open_probes must be at least 1"
+        );
+        CircuitBreaker {
+            config,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            probes_issued: 0,
+            probes_succeeded: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> BreakerConfig {
+        self.config
+    }
+
+    /// The current state *after* applying any due cool-down transition
+    /// at tick `now`.
+    pub fn state(&mut self, now: u64) -> BreakerState {
+        self.tick(now);
+        self.state
+    }
+
+    /// The state without touching the clock (no cool-down evaluation).
+    pub fn raw_state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Every transition so far, in order.
+    pub fn events(&self) -> &[BreakerEvent] {
+        &self.events
+    }
+
+    /// Applies the Open→HalfOpen cool-down transition if it is due.
+    pub fn tick(&mut self, now: u64) {
+        if self.state == BreakerState::Open
+            && now >= self.opened_at.saturating_add(self.config.cooldown_ticks)
+        {
+            self.transition(
+                now,
+                BreakerState::HalfOpen,
+                TransitionCause::CooldownElapsed,
+            );
+            self.probes_issued = 0;
+            self.probes_succeeded = 0;
+        }
+    }
+
+    /// Whether a full query may be dispatched at tick `now`. In
+    /// Half-Open this *issues a probe slot*: at most
+    /// `half_open_probes` calls return `true` per episode.
+    pub fn allow_full(&mut self, now: u64) -> bool {
+        self.tick(now);
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => false,
+            BreakerState::HalfOpen => {
+                if self.probes_issued < self.config.half_open_probes {
+                    self.probes_issued += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Records a successful full query at tick `now`.
+    pub fn on_success(&mut self, now: u64) {
+        self.tick(now);
+        match self.state {
+            BreakerState::Closed => self.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                self.probes_succeeded += 1;
+                if self.probes_succeeded >= self.config.half_open_probes {
+                    self.transition(now, BreakerState::Closed, TransitionCause::ProbesSucceeded);
+                    self.consecutive_failures = 0;
+                }
+            }
+            // No full query can have been admitted while Open; a stray
+            // report is ignored rather than inventing an illegal edge.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Records a failed full query at tick `now`.
+    pub fn on_failure(&mut self, now: u64) {
+        self.tick(now);
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.transition(now, BreakerState::Open, TransitionCause::FailureThreshold);
+                    self.opened_at = now;
+                    self.consecutive_failures = 0;
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.transition(now, BreakerState::Open, TransitionCause::ProbeFailed);
+                self.opened_at = now;
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn transition(&mut self, at_tick: u64, to: BreakerState, cause: TransitionCause) {
+        self.events.push(BreakerEvent {
+            at_tick,
+            from: self.state,
+            to,
+            cause,
+        });
+        self.state = to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ticks: 10,
+            half_open_probes: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_threshold_consecutive_failures() {
+        let mut breaker = CircuitBreaker::new(config());
+        breaker.on_failure(1);
+        assert_eq!(breaker.raw_state(), BreakerState::Closed);
+        breaker.on_success(2); // resets the streak
+        breaker.on_failure(3);
+        breaker.on_failure(4);
+        assert_eq!(breaker.raw_state(), BreakerState::Open);
+        assert!(!breaker.allow_full(5));
+        assert_eq!(
+            breaker.events(),
+            &[BreakerEvent {
+                at_tick: 4,
+                from: BreakerState::Closed,
+                to: BreakerState::Open,
+                cause: TransitionCause::FailureThreshold,
+            }]
+        );
+    }
+
+    #[test]
+    fn cooldown_admits_exactly_the_probe_quota() {
+        let mut breaker = CircuitBreaker::new(config());
+        breaker.on_failure(0);
+        breaker.on_failure(0);
+        assert!(!breaker.allow_full(5), "still cooling down");
+        assert!(breaker.allow_full(10), "probe 1");
+        assert_eq!(breaker.raw_state(), BreakerState::HalfOpen);
+        assert!(breaker.allow_full(11), "probe 2");
+        assert!(!breaker.allow_full(12), "quota spent");
+    }
+
+    #[test]
+    fn all_probes_succeeding_closes() {
+        let mut breaker = CircuitBreaker::new(config());
+        breaker.on_failure(0);
+        breaker.on_failure(0);
+        assert!(breaker.allow_full(10));
+        breaker.on_success(11);
+        assert_eq!(breaker.raw_state(), BreakerState::HalfOpen);
+        assert!(breaker.allow_full(12));
+        breaker.on_success(13);
+        assert_eq!(breaker.raw_state(), BreakerState::Closed);
+        assert_eq!(
+            breaker.events().last().unwrap().cause,
+            TransitionCause::ProbesSucceeded
+        );
+    }
+
+    #[test]
+    fn probe_failure_reopens_and_restarts_cooldown() {
+        let mut breaker = CircuitBreaker::new(config());
+        breaker.on_failure(0);
+        breaker.on_failure(0);
+        assert!(breaker.allow_full(10));
+        breaker.on_failure(12);
+        assert_eq!(breaker.raw_state(), BreakerState::Open);
+        assert!(!breaker.allow_full(13), "cooldown restarted from t=12");
+        assert!(breaker.allow_full(22), "new probe episode");
+    }
+
+    #[test]
+    #[should_panic(expected = "half_open_probes")]
+    fn zero_probes_is_rejected() {
+        let _ = CircuitBreaker::new(BreakerConfig {
+            half_open_probes: 0,
+            ..config()
+        });
+    }
+}

@@ -1,0 +1,96 @@
+//! Virtual time for the serving runtime.
+//!
+//! Everything temporal in this crate — deadlines, backoff delays,
+//! breaker cool-downs, latency spikes — is expressed in abstract
+//! **ticks** on a [`VirtualClock`], never in wall-clock time. Two runs
+//! with the same configuration therefore observe the *identical*
+//! timeline regardless of machine load or thread scheduling, which is
+//! what makes the chaos harness (experiment E14) byte-reproducible.
+//! Wall-clock timing belongs exclusively to the bench crate; lint rule
+//! `D006` enforces that no `std::time` type enters this crate.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotone tick counter the runtime reads and advances explicitly.
+///
+/// Implementations must be monotone: `advance` never moves the clock
+/// backwards, and `now` reflects every prior `advance` by the same
+/// thread (the serving runtime only shares a clock within one worker,
+/// so no cross-thread ordering is required beyond atomicity).
+pub trait VirtualClock {
+    /// The current tick.
+    fn now(&self) -> u64;
+
+    /// Moves the clock forward by `ticks`.
+    fn advance(&self, ticks: u64);
+}
+
+/// The standard [`VirtualClock`]: an atomic tick counter starting at 0.
+#[derive(Debug, Default)]
+pub struct TickClock {
+    ticks: AtomicU64,
+}
+
+impl TickClock {
+    /// A clock at tick 0.
+    pub fn new() -> Self {
+        TickClock::default()
+    }
+
+    /// A clock already advanced to `start`.
+    pub fn at(start: u64) -> Self {
+        TickClock {
+            ticks: AtomicU64::new(start),
+        }
+    }
+}
+
+impl VirtualClock for TickClock {
+    fn now(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    fn advance(&self, ticks: u64) {
+        self.ticks.fetch_add(ticks, Ordering::Relaxed);
+    }
+}
+
+impl<C: VirtualClock + ?Sized> VirtualClock for &C {
+    fn now(&self) -> u64 {
+        (**self).now()
+    }
+
+    fn advance(&self, ticks: u64) {
+        (**self).advance(ticks);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_starts_at_zero_and_advances() {
+        let clock = TickClock::new();
+        assert_eq!(clock.now(), 0);
+        clock.advance(5);
+        clock.advance(0);
+        clock.advance(7);
+        assert_eq!(clock.now(), 12);
+    }
+
+    #[test]
+    fn clock_can_start_late() {
+        let clock = TickClock::at(100);
+        clock.advance(1);
+        assert_eq!(clock.now(), 101);
+    }
+
+    #[test]
+    fn reference_delegates() {
+        let clock = TickClock::new();
+        let by_ref: &dyn VirtualClock = &&clock;
+        by_ref.advance(3);
+        assert_eq!(clock.now(), 3);
+    }
+}

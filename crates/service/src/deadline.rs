@@ -1,0 +1,250 @@
+//! Per-query deadlines on the virtual clock.
+//!
+//! [`DeadlineOracle`] wraps any oracle and (a) advances the worker's
+//! [`VirtualClock`] by the access's modelled latency, (b) refuses the
+//! access with [`OracleError::DeadlineExceeded`] once the clock passes
+//! the query's deadline tick. Because `LCA-KP` already maps that error
+//! through its degradation ladder, a blown deadline surfaces as
+//! [`DegradationReason::DeadlineExceeded`]
+//! (lcakp_core::DegradationReason) rather than a hang — the runtime's
+//! answer latency is bounded by construction.
+//!
+//! Latency is a deterministic [`CostModel`]: a base cost per access plus
+//! tick-windowed spikes, which is how the chaos harness injects "slow
+//! oracle" incidents without any wall-clock dependence.
+
+use crate::clock::VirtualClock;
+use lcakp_knapsack::{Item, ItemId, Norms};
+use lcakp_oracle::{AccessSnapshot, ItemOracle, OracleError, WeightedSampler};
+use rand::Rng;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A latency surge over a half-open tick interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyWindow {
+    /// First tick (inclusive) the surge applies to.
+    pub start_tick: u64,
+    /// First tick (exclusive) past the surge.
+    pub end_tick: u64,
+    /// Extra ticks every access started inside the window costs.
+    pub extra_cost: u64,
+}
+
+impl LatencyWindow {
+    /// Whether `tick` falls inside the window.
+    pub fn contains(&self, tick: u64) -> bool {
+        self.start_tick <= tick && tick < self.end_tick
+    }
+}
+
+/// Deterministic access-latency model in virtual ticks.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CostModel {
+    /// Ticks every counted access costs.
+    pub cost_per_access: u64,
+    /// Additive latency spikes by tick window.
+    pub spikes: Vec<LatencyWindow>,
+}
+
+impl CostModel {
+    /// A flat model: every access costs `cost_per_access` ticks.
+    pub fn flat(cost_per_access: u64) -> Self {
+        CostModel {
+            cost_per_access,
+            spikes: Vec::new(),
+        }
+    }
+
+    /// Adds a latency spike window.
+    pub fn with_spike(mut self, spike: LatencyWindow) -> Self {
+        self.spikes.push(spike);
+        self
+    }
+
+    /// The cost of an access *started* at `tick`.
+    pub fn cost_at(&self, tick: u64) -> u64 {
+        let extra: u64 = self
+            .spikes
+            .iter()
+            .filter(|spike| spike.contains(tick))
+            .map(|spike| spike.extra_cost)
+            .sum();
+        self.cost_per_access.saturating_add(extra)
+    }
+}
+
+/// Decorator enforcing a deadline tick and charging modelled latency.
+///
+/// Each counted access first checks the clock against the deadline —
+/// refusing with [`OracleError::DeadlineExceeded`] if it already passed
+/// — then advances the clock by [`CostModel::cost_at`] and delegates.
+/// Metadata stays free and un-clocked, mirroring
+/// [`BudgetedOracle`](lcakp_oracle::BudgetedOracle).
+pub struct DeadlineOracle<'a, O, C> {
+    inner: &'a O,
+    clock: &'a C,
+    deadline_tick: u64,
+    cost: &'a CostModel,
+    accesses: AtomicU64,
+}
+
+impl<'a, O, C> DeadlineOracle<'a, O, C> {
+    /// Wraps `inner` with a deadline at absolute tick `deadline_tick`.
+    pub fn new(inner: &'a O, clock: &'a C, deadline_tick: u64, cost: &'a CostModel) -> Self {
+        DeadlineOracle {
+            inner,
+            clock,
+            deadline_tick,
+            cost,
+            accesses: AtomicU64::new(0),
+        }
+    }
+
+    /// Counted accesses attempted through this wrapper (refused ones
+    /// included).
+    pub fn accesses(&self) -> u64 {
+        self.accesses.load(Ordering::Relaxed)
+    }
+}
+
+impl<'a, O, C: VirtualClock> DeadlineOracle<'a, O, C> {
+    fn charge(&self) -> Result<(), OracleError> {
+        let access = self.accesses.fetch_add(1, Ordering::Relaxed);
+        let now = self.clock.now();
+        if now >= self.deadline_tick {
+            return Err(OracleError::DeadlineExceeded { access });
+        }
+        self.clock.advance(self.cost.cost_at(now));
+        Ok(())
+    }
+}
+
+impl<O: ItemOracle, C: VirtualClock> ItemOracle for DeadlineOracle<'_, O, C> {
+    fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    fn capacity(&self) -> u64 {
+        self.inner.capacity()
+    }
+
+    fn norms(&self) -> Norms {
+        self.inner.norms()
+    }
+
+    fn try_query(&self, id: ItemId) -> Result<Item, OracleError> {
+        self.charge()?;
+        self.inner.try_query(id)
+    }
+
+    fn stats(&self) -> AccessSnapshot {
+        self.inner.stats()
+    }
+}
+
+impl<O: WeightedSampler, C: VirtualClock> WeightedSampler for DeadlineOracle<'_, O, C> {
+    fn try_sample_weighted<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<(ItemId, Item), OracleError> {
+        self.charge()?;
+        self.inner.try_sample_weighted(rng)
+    }
+}
+
+impl<O, C> fmt::Debug for DeadlineOracle<'_, O, C> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DeadlineOracle")
+            .field("deadline_tick", &self.deadline_tick)
+            .field("accesses", &self.accesses())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::TickClock;
+    use lcakp_knapsack::{Instance, NormalizedInstance};
+    use lcakp_oracle::{InstanceOracle, Seed};
+
+    fn norm() -> NormalizedInstance {
+        NormalizedInstance::new(Instance::from_pairs([(3, 1), (1, 1), (6, 3)], 4).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn accesses_advance_the_clock_and_stop_at_the_deadline() {
+        let norm = norm();
+        let inner = InstanceOracle::new(&norm);
+        let clock = TickClock::new();
+        let cost = CostModel::flat(2);
+        let guarded = DeadlineOracle::new(&inner, &clock, 5, &cost);
+        assert!(guarded.try_query(ItemId(0)).is_ok()); // t: 0 → 2
+        assert!(guarded.try_query(ItemId(1)).is_ok()); // t: 2 → 4
+        assert!(guarded.try_query(ItemId(2)).is_ok()); // t: 4 → 6
+        assert_eq!(
+            guarded.try_query(ItemId(0)),
+            Err(OracleError::DeadlineExceeded { access: 3 }),
+            "t = 6 ≥ deadline 5 must refuse"
+        );
+        assert_eq!(clock.now(), 6);
+        assert_eq!(guarded.accesses(), 4);
+        assert_eq!(
+            inner.stats().point_queries,
+            3,
+            "refused access never reached the oracle"
+        );
+    }
+
+    #[test]
+    fn samples_are_clocked_too() {
+        let norm = norm();
+        let inner = InstanceOracle::new(&norm);
+        let clock = TickClock::new();
+        let cost = CostModel::flat(1);
+        let guarded = DeadlineOracle::new(&inner, &clock, 2, &cost);
+        let mut rng = Seed::from_entropy_u64(5).rng();
+        assert!(guarded.try_sample_weighted(&mut rng).is_ok());
+        assert!(guarded.try_sample_weighted(&mut rng).is_ok());
+        assert!(matches!(
+            guarded.try_sample_weighted(&mut rng),
+            Err(OracleError::DeadlineExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn latency_spikes_apply_inside_their_window_only() {
+        let cost = CostModel::flat(1)
+            .with_spike(LatencyWindow {
+                start_tick: 10,
+                end_tick: 20,
+                extra_cost: 5,
+            })
+            .with_spike(LatencyWindow {
+                start_tick: 15,
+                end_tick: 20,
+                extra_cost: 2,
+            });
+        assert_eq!(cost.cost_at(9), 1);
+        assert_eq!(cost.cost_at(10), 6);
+        assert_eq!(cost.cost_at(15), 8, "overlapping spikes stack");
+        assert_eq!(cost.cost_at(20), 1);
+    }
+
+    #[test]
+    fn metadata_is_free_and_unclocked() {
+        let norm = norm();
+        let inner = InstanceOracle::new(&norm);
+        let clock = TickClock::new();
+        let cost = CostModel::flat(3);
+        let guarded = DeadlineOracle::new(&inner, &clock, 100, &cost);
+        for _ in 0..10 {
+            let _ = guarded.len();
+            let _ = guarded.norms();
+            let _ = guarded.capacity();
+        }
+        assert_eq!(clock.now(), 0);
+        assert_eq!(guarded.accesses(), 0);
+    }
+}

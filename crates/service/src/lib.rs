@@ -1,0 +1,53 @@
+//! Resilient concurrent query serving for `LCA-KP` — the workspace's
+//! answer to "what does Algorithm 2 look like as a production service?"
+//!
+//! The paper's LCA is stateless per query, which makes it trivially
+//! shardable: this crate serves batches of point queries over a worker
+//! pool while staying **deterministic** (same inputs ⇒ byte-identical
+//! responses, regardless of thread scheduling) and **fault-tolerant**
+//! (every response is explicit — answered at a recorded
+//! degradation-ladder tier, or rejected with a typed load-shed reason).
+//!
+//! The resilience toolkit, one module each:
+//!
+//! * [`clock`] — virtual time: all deadlines, cool-downs, and backoff
+//!   waits are ticks on a [`VirtualClock`]; wall-clock time never enters
+//!   (lint rule `D006`).
+//! * [`deadline`] — per-query deadlines via an oracle decorator that
+//!   charges modelled access latency and refuses past-deadline accesses.
+//! * [`backoff`] — query-level retry with exponential, seed-jittered
+//!   waits.
+//! * [`breaker`] — a per-worker three-state circuit breaker gating the
+//!   expensive full-rule path.
+//! * [`admission`] — bounded queues and budget-aware pre-dispatch
+//!   shedding.
+//! * [`service`] — [`serve_batch`], the runtime itself.
+//! * [`chaos`] — the deterministic chaos harness of experiment E14.
+//!
+//! See `docs/robustness.md` for the design rationale and the E14
+//! acceptance criteria.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod admission;
+pub mod backoff;
+pub mod breaker;
+pub mod chaos;
+pub mod clock;
+pub mod deadline;
+pub mod service;
+
+pub use admission::ShedReason;
+pub use backoff::BackoffPolicy;
+pub use breaker::{BreakerConfig, BreakerEvent, BreakerState, CircuitBreaker, TransitionCause};
+pub use chaos::{
+    run_scenario, run_smoke, seed_to_u64, ChaosPlan, ChaosRun, ChaosScenario, SmokeParts,
+};
+pub use clock::{TickClock, VirtualClock};
+pub use deadline::{CostModel, DeadlineOracle, LatencyWindow};
+pub use service::{
+    serve_batch, Answered, BatchReport, Disposition, FallbackTrigger, FaultSchedule, QueryOutcome,
+    ServiceConfig, WorkerTrace,
+};

@@ -1,0 +1,179 @@
+//! Property tests for the circuit-breaker state machine and the
+//! backoff schedule (the E14 satellite invariants):
+//!
+//! * the breaker never takes an illegal edge, its event log chains
+//!   correctly, and Half-Open admits at most the probe quota;
+//! * the backoff schedule is a pure function of `(root, query)` and
+//!   every wait sits in the equal-jitter band.
+
+use lcakp_oracle::Seed;
+use lcakp_service::{BackoffPolicy, BreakerConfig, BreakerState, CircuitBreaker, TransitionCause};
+use proptest::prelude::*;
+
+/// Replays an op sequence against a breaker, checking admission rules
+/// on the fly; returns the breaker for post-hoc event-log checks.
+fn drive(config: BreakerConfig, ops: &[(u8, u64)]) -> Result<CircuitBreaker, TestCaseError> {
+    let mut breaker = CircuitBreaker::new(config);
+    let mut now = 0u64;
+    let mut episode_admitted = 0u32;
+    // Any breaker call may apply a due Open→HalfOpen cool-down
+    // transition, starting a fresh probe episode; the model must reset
+    // its admission counter whenever one appears.
+    let new_episode = |breaker: &CircuitBreaker, seen: usize, counter: &mut u32| {
+        if breaker.events()[seen..]
+            .iter()
+            .any(|event| event.to == BreakerState::HalfOpen)
+        {
+            *counter = 0;
+        }
+    };
+    for &(op, amount) in ops {
+        let events_before = breaker.events().len();
+        match op % 4 {
+            0 => {
+                breaker.on_success(now);
+                new_episode(&breaker, events_before, &mut episode_admitted);
+            }
+            1 => {
+                breaker.on_failure(now);
+                new_episode(&breaker, events_before, &mut episode_admitted);
+            }
+            2 => {
+                // The state after any due cool-down transition governs
+                // what allow_full may do.
+                let state = breaker.state(now);
+                new_episode(&breaker, events_before, &mut episode_admitted);
+                let admitted = breaker.allow_full(now);
+                match state {
+                    BreakerState::Closed => prop_assert!(admitted, "closed must admit"),
+                    BreakerState::Open => prop_assert!(!admitted, "open must refuse"),
+                    BreakerState::HalfOpen => {
+                        if admitted {
+                            episode_admitted += 1;
+                        }
+                        prop_assert!(
+                            episode_admitted <= config.half_open_probes,
+                            "half-open admitted {episode_admitted} > quota {}",
+                            config.half_open_probes
+                        );
+                    }
+                }
+            }
+            _ => now += amount % 64,
+        }
+    }
+    Ok(breaker)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn breaker_never_takes_an_illegal_edge(
+        threshold in 1u32..5,
+        cooldown in 0u64..50,
+        probes in 1u32..4,
+        ops in proptest::collection::vec((0u8..4, 0u64..64), 0..200),
+    ) {
+        let config = BreakerConfig {
+            failure_threshold: threshold,
+            cooldown_ticks: cooldown,
+            half_open_probes: probes,
+        };
+        let breaker = drive(config, &ops)?;
+        let mut previous_state = BreakerState::Closed;
+        let mut previous_tick = 0u64;
+        for event in breaker.events() {
+            prop_assert_eq!(event.from, previous_state, "events must chain");
+            let expected_cause = match (event.from, event.to) {
+                (BreakerState::Closed, BreakerState::Open) => TransitionCause::FailureThreshold,
+                (BreakerState::Open, BreakerState::HalfOpen) => TransitionCause::CooldownElapsed,
+                (BreakerState::HalfOpen, BreakerState::Closed) => TransitionCause::ProbesSucceeded,
+                (BreakerState::HalfOpen, BreakerState::Open) => TransitionCause::ProbeFailed,
+                (from, to) => {
+                    return Err(TestCaseError::fail(format!(
+                        "illegal edge {from}→{to} at tick {}",
+                        event.at_tick
+                    )))
+                }
+            };
+            prop_assert_eq!(event.cause, expected_cause);
+            prop_assert!(
+                event.at_tick >= previous_tick,
+                "event ticks must be monotone"
+            );
+            previous_state = event.to;
+            previous_tick = event.at_tick;
+        }
+        prop_assert_eq!(previous_state, breaker.raw_state());
+    }
+
+    #[test]
+    fn half_open_admissions_never_exceed_the_quota(
+        probes in 1u32..4,
+        ops in proptest::collection::vec((0u8..4, 0u64..8), 0..300),
+    ) {
+        // Aggressive config so Half-Open episodes actually happen; the
+        // quota assertions live inside `drive`.
+        let config = BreakerConfig {
+            failure_threshold: 1,
+            cooldown_ticks: 2,
+            half_open_probes: probes,
+        };
+        drive(config, &ops)?;
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_and_in_band(
+        base in 1u64..32,
+        multiplier in 1u32..5,
+        max_delay in 1u64..256,
+        attempts in 1u32..6,
+        entropy in 0u64..10_000,
+        query in 0u64..5_000,
+    ) {
+        let policy = BackoffPolicy {
+            base_ticks: base,
+            multiplier,
+            max_delay_ticks: max_delay,
+            max_attempts: attempts,
+        };
+        let root = Seed::from_entropy_u64(entropy);
+        let schedule = policy.schedule(&root, query);
+        prop_assert_eq!(schedule.clone(), policy.schedule(&root, query),
+            "same (root, query) must replay the same waits");
+        prop_assert_eq!(schedule.len() as u32, attempts - 1);
+        for (attempt, delay) in schedule.iter().enumerate() {
+            let cap = base
+                .saturating_mul(u64::from(multiplier).saturating_pow(attempt as u32))
+                .min(max_delay);
+            prop_assert!(
+                *delay >= cap / 2 && *delay <= cap,
+                "attempt {attempt}: delay {delay} outside [{}, {cap}]",
+                cap / 2
+            );
+        }
+    }
+
+    #[test]
+    fn backoff_differs_across_roots(
+        base in 4u64..32,
+        query in 0u64..1_000,
+    ) {
+        let policy = BackoffPolicy {
+            base_ticks: base,
+            multiplier: 2,
+            max_delay_ticks: 1 << 20,
+            max_attempts: 6,
+        };
+        // Jitter must actually depend on the root: across many roots at
+        // least two schedules differ (bands are ≥ 3 ticks wide at base 4).
+        let schedules: Vec<_> = (0..32u64)
+            .map(|entropy| policy.schedule(&Seed::from_entropy_u64(entropy), query))
+            .collect();
+        prop_assert!(
+            schedules.iter().any(|schedule| schedule != &schedules[0]),
+            "jitter ignored the seed"
+        );
+    }
+}

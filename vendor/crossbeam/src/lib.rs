@@ -48,6 +48,42 @@ pub mod channel {
 
     impl<T: fmt::Debug> Error for SendError<T> {}
 
+    /// Error returned by [`Sender::try_send`]; carries the unsent
+    /// message.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(message) | TrySendError::Disconnected(message) => message,
+            }
+        }
+
+        /// True when the failure was a full queue (backpressure), not a
+        /// disconnect.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => write!(f, "sending on a full channel"),
+                TrySendError::Disconnected(_) => write!(f, "sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T: fmt::Debug> Error for TrySendError<T> {}
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// every sender is gone.
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -105,6 +141,25 @@ pub mod channel {
                 }
                 state = self.chan.not_full.wait(state).expect("channel poisoned");
             }
+        }
+
+        /// Attempts to send without blocking: fails with
+        /// [`TrySendError::Full`] when a bounded channel is at capacity,
+        /// [`TrySendError::Disconnected`] when every receiver is gone.
+        pub fn try_send(&self, message: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.chan.state.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(message));
+            }
+            let full = state
+                .capacity
+                .is_some_and(|capacity| state.queue.len() >= capacity);
+            if full {
+                return Err(TrySendError::Full(message));
+            }
+            state.queue.push_back(message);
+            self.chan.not_empty.notify_one();
+            Ok(())
         }
     }
 
@@ -227,6 +282,19 @@ pub mod channel {
             assert_eq!(rx.recv(), Ok(2));
             assert_eq!(rx.recv(), Ok(3));
             producer.join().unwrap();
+        }
+
+        #[test]
+        fn try_send_reports_full_and_disconnected() {
+            let (tx, rx) = bounded(1);
+            assert_eq!(tx.try_send(1), Ok(()));
+            let refused = tx.try_send(2).unwrap_err();
+            assert!(refused.is_full());
+            assert_eq!(refused.into_inner(), 2);
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(tx.try_send(3), Ok(()));
+            drop(rx);
+            assert_eq!(tx.try_send(4), Err(TrySendError::Disconnected(4)));
         }
 
         #[test]
