@@ -85,13 +85,13 @@ fn main() {
             let lca = LcaKp::new(eps).expect("lca builds");
             let oracle = InstanceOracle::new(&norm);
             let root = experiment_root("e10");
-            let mut rng = root.derive("sampling", n as u64).rng();
+            let mut rng = root.derive("e10/sampling", n as u64).rng();
             let start = Instant::now();
             let _ = lca.query(
                 &oracle,
                 &mut rng,
                 ItemId(n / 2),
-                &root.derive("shared-seed", 0),
+                &root.derive("e10/shared-seed", 0),
             );
             start.elapsed()
         };

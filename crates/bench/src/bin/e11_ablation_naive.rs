@@ -54,10 +54,12 @@ fn main() {
                 .expect("lca builds")
                 .with_engine(engine)
                 .with_budget(SampleBudget::Calibrated { factor: 0.01 });
-            let seed = experiment_root("e11").derive("shared-seed", 0);
+            let seed = experiment_root("e11").derive("e11/shared-seed", 0);
             let mut rules: Vec<SolutionRule> = Vec::with_capacity(runs);
             for run in 0..runs {
-                let mut rng = experiment_root("e11").derive("sampling", run as u64).rng();
+                let mut rng = experiment_root("e11")
+                    .derive("e11/sampling", run as u64)
+                    .rng();
                 rules.push(
                     lca.build_rule(&oracle, &mut rng, &seed)
                         .expect("rule builds"),

@@ -69,8 +69,8 @@ fn main() {
             .with_budget(SampleBudget::Calibrated { factor: 0.002 })
             .with_max_samples_per_query(50_000_000);
         let root = experiment_root("e12");
-        let mut rng = root.derive("sampling", n as u64).rng();
-        let seed = root.derive("shared-seed", 0);
+        let mut rng = root.derive("e12/sampling", n as u64).rng();
+        let seed = root.derive("e12/shared-seed", 0);
         // One rule build (the per-query work), materialized via
         // MAPPING-GREEDY for the quality audit — full per-item assembly
         // through a 250× rejection overhead would be pointless burn.

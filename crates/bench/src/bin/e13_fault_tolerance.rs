@@ -79,7 +79,7 @@ fn main() {
     let norm = spec.generate_normalized().expect("workload generates");
     let optimum = exact_optimum(&norm).expect("optimum solves");
     let root = experiment_root("e13");
-    let shared_seed = root.derive("shared-seed", 0);
+    let shared_seed = root.derive("e13/shared-seed", 0);
 
     // ---- Sanity: an inert fault plan is bit-identical to no wrapper. ----
     let eps = Epsilon::new(1, 6).expect("valid eps");
@@ -90,7 +90,7 @@ fn main() {
     let (bare, _) = assemble_audited(
         &lca,
         &bare_oracle,
-        &mut root.derive("sampling-inert", 0).rng(),
+        &mut root.derive("e13/sampling-inert", 0).rng(),
         &shared_seed,
     )
     .expect("bare run");
@@ -100,7 +100,8 @@ fn main() {
     let (wrapped, _) = assemble_audited(
         &lca,
         &wrapped_oracle,
-        &mut root.derive("sampling-inert", 0).rng(),
+        // lcakp-lint: allow(D007) reason="bit-identity check: the wrapped run must replay the exact sampling stream of the bare run"
+        &mut root.derive("e13/sampling-inert", 0).rng(),
         &shared_seed,
     )
     .expect("wrapped run");
@@ -145,8 +146,8 @@ fn main() {
                     &lca,
                     &norm,
                     plan,
-                    root.derive("fault-plan", run as u64),
-                    root.derive("sampling-faulty", run as u64),
+                    root.derive("e13/fault-plan", run as u64),
+                    root.derive("e13/sampling-faulty", run as u64),
                     &shared_seed,
                 );
                 let audit = audit_selection(&norm, &selection, optimum);
@@ -184,7 +185,7 @@ fn main() {
     for &cap in &[10_000u64, 100_000, 1_000_000, 10_000_000, u64::MAX] {
         let inner = InstanceOracle::new(&norm);
         let oracle = BudgetedOracle::new(&inner, cap);
-        let mut rng = root.derive("sampling-budget", cap).rng();
+        let mut rng = root.derive("e13/sampling-budget", cap).rng();
         let (selection, stats) =
             assemble_audited(&lca, &oracle, &mut rng, &shared_seed).expect("budgeted run");
         let audit = audit_selection(&norm, &selection, optimum);

@@ -80,7 +80,7 @@ fn main() {
         "Algorithm 2 served concurrently; Theorem 4.1 audited on the fault-free reference",
     );
 
-    let workload_seed = seed_to_u64(&root.derive("workload", 0));
+    let workload_seed = seed_to_u64(&root.derive("e14/workload", 0));
     let norm = WorkloadSpec::new(Family::SmallDominated, N, workload_seed)
         .generate_normalized()
         .expect("workload generates");
@@ -89,7 +89,7 @@ fn main() {
         .expect("lca builds")
         .with_budget(SampleBudget::Calibrated { factor: 0.002 })
         .with_retry_policy(RetryPolicy { max_retries: 5 });
-    let shared_seed = root.derive("shared", 0);
+    let shared_seed = root.derive("e14/shared", 0);
 
     // A clean full-tier query at these parameters costs well under
     // 400k ticks, so the deadline binds only under injected latency;

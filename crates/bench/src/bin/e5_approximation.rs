@@ -45,15 +45,19 @@ fn main() {
                 .expect("lca builds")
                 .with_budget(lcakp_reproducible::SampleBudget::Calibrated { factor });
             let root = experiment_root("e5");
-            let mut rng = root.derive("sampling", den).rng();
-            let audit =
-                match assemble_and_audit(&lca, &norm, &mut rng, &root.derive("shared-seed", 0)) {
-                    Ok(audit) => audit,
-                    Err(err) => {
-                        eprintln!("skipping {spec} at ε={num}/{den}: {err}");
-                        continue;
-                    }
-                };
+            let mut rng = root.derive("e5/sampling", den).rng();
+            let audit = match assemble_and_audit(
+                &lca,
+                &norm,
+                &mut rng,
+                &root.derive("e5/shared-seed", 0),
+            ) {
+                Ok(audit) => audit,
+                Err(err) => {
+                    eprintln!("skipping {spec} at ε={num}/{den}: {err}");
+                    continue;
+                }
+            };
             table.row([
                 spec.family.to_string(),
                 format!("{num}/{den}"),

@@ -61,7 +61,7 @@ fn main() {
                 &lca,
                 &oracle,
                 &items,
-                &experiment_root("e6").derive("shared-seed", 0),
+                &experiment_root("e6").derive("e6/shared-seed", 0),
                 runs,
                 0xABCD,
             )
@@ -92,7 +92,7 @@ fn main() {
         &lca,
         &oracle,
         &items,
-        &experiment_root("e6").derive("shared-seed-parallel", 0),
+        &experiment_root("e6").derive("e6/shared-seed-parallel", 0),
         8,
         0xBEEF,
     )

@@ -61,7 +61,7 @@ fn main() {
                     p,
                     tau,
                     trials,
-                    experiment_root("e7").derive("rquantile", samples as u64),
+                    experiment_root("e7").derive("e7/rquantile", samples as u64),
                     |sample, seed| {
                         let config = RQuantileConfig {
                             domain: Domain::new(41).expect("domain fits"),
@@ -77,7 +77,7 @@ fn main() {
                     p,
                     tau,
                     trials,
-                    experiment_root("e7").derive("naive", samples as u64),
+                    experiment_root("e7").derive("e7/naive", samples as u64),
                     |sample, _| naive_quantile(sample, p),
                 );
                 table.row([

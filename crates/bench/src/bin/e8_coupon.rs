@@ -53,7 +53,7 @@ fn main() -> Result<(), OracleError> {
         }
         let mut successes = 0u64;
         let mut rng = experiment_root("e8")
-            .derive("sampling", delta_inverse)
+            .derive("e8/sampling", delta_inverse)
             .rng();
         for _ in 0..trials {
             let mut seen: HashSet<usize> = HashSet::new();

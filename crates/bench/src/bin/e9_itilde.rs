@@ -80,7 +80,7 @@ fn main() {
         let normalized_opt = optimum as f64 / norm.total_profit() as f64;
         let eps = Epsilon::new(1, 4).expect("valid eps");
         let oracle = InstanceOracle::new(&norm);
-        let mut rng = experiment_root("e9").derive("sampling", 0).rng();
+        let mut rng = experiment_root("e9").derive("e9/sampling", 0).rng();
         let estimate = iky_value_estimate(&oracle, &mut rng, eps, 60_000).expect("estimate runs");
         let err = (estimate.value - normalized_opt).abs();
         table.row([

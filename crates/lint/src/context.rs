@@ -2,9 +2,54 @@
 //! rules need — *which lines are test code* and *what a bare identifier
 //! refers to* (use-path resolution).
 
-use crate::lexer::{tokenize, LexError, Token, TokenKind};
+use crate::lexer::{
+    str_literal_value, tokenize_with_comments, Comment, LexError, Token, TokenKind,
+};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+
+/// One `lcakp-lint: allow(…)` directive, parsed from a *real* comment
+/// token — a directive spelled inside a string literal is never an
+/// allow. The span covers the whole comment, so the autofix engine can
+/// remove a stale directive mechanically.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowEntry {
+    /// 1-based line the comment starts on; the directive covers findings
+    /// on this line and the next.
+    pub line: u32,
+    /// 1-based column the comment starts on.
+    pub col: u32,
+    /// The rule ids listed in `allow(…)`, in source order.
+    pub ids: Vec<String>,
+    /// The `reason="…"` text, if present. `None` or empty means the
+    /// directive is ignored (and the finding annotated).
+    pub reason: Option<String>,
+    /// Byte offset of the comment's first character.
+    pub offset: usize,
+    /// Byte length of the whole comment.
+    pub len: usize,
+}
+
+impl AllowEntry {
+    /// True when the directive carries a nonempty written reason.
+    pub fn has_reason(&self) -> bool {
+        self.reason.as_deref().is_some_and(|r| !r.trim().is_empty())
+    }
+}
+
+/// A file-local `const NAME: &str = "…";` — the resolver behind derive
+/// call sites that pass a named domain constant instead of a literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConstStr {
+    /// The constant's string value.
+    pub value: String,
+    /// 1-based line of the string literal.
+    pub line: u32,
+    /// Byte offset of the string literal token.
+    pub offset: usize,
+    /// Byte length of the string literal token (including quotes).
+    pub len: usize,
+}
 
 /// A fully prepared source file, ready for rule checks.
 #[derive(Debug, Clone)]
@@ -13,16 +58,25 @@ pub struct FileCtx {
     pub path: PathBuf,
     /// Short crate name (`core`, `oracle`, `bench`, `root`, `examples`).
     pub crate_name: String,
+    /// The full source text (the autofix engine edits byte spans of it).
+    pub src: String,
     /// Raw source lines (for the allow mechanism and rendering).
     pub lines: Vec<String>,
     /// The token stream.
     pub tokens: Vec<Token>,
+    /// Every comment, with exact spans.
+    pub comments: Vec<Comment>,
+    /// Parsed `lcakp-lint: allow(…)` directives.
+    pub allows: Vec<AllowEntry>,
     /// `test_lines[line - 1]` is true when the line sits inside a
     /// `#[cfg(test)]` / `#[test]` item.
     pub test_lines: Vec<bool>,
     /// Use-path resolution: local name → full imported path
     /// (`HashMap` → `std::collections::HashMap`).
     pub uses: BTreeMap<String, String>,
+    /// File-local string constants (`const D: &str = "…";`), for
+    /// resolving named domain labels at derive call sites.
+    pub consts: BTreeMap<String, ConstStr>,
 }
 
 impl FileCtx {
@@ -36,18 +90,33 @@ impl FileCtx {
         crate_name: impl Into<String>,
         src: &str,
     ) -> Result<Self, LexError> {
-        let tokens = tokenize(src)?;
+        let (tokens, comments) = tokenize_with_comments(src)?;
         let lines: Vec<String> = src.lines().map(str::to_string).collect();
         let test_lines = mark_test_lines(&tokens, lines.len());
         let uses = resolve_uses(&tokens);
+        let allows = parse_allows(&comments);
+        let consts = resolve_str_consts(&tokens);
         Ok(FileCtx {
             path: path.into(),
             crate_name: crate_name.into(),
+            src: src.to_string(),
             lines,
             tokens,
+            comments,
+            allows,
             test_lines,
             uses,
+            consts,
         })
+    }
+
+    /// Allow directives that cover a finding on 1-based `line`: a
+    /// directive on the same line (trailing) or on the preceding line.
+    pub fn allows_covering(&self, line: u32) -> impl Iterator<Item = (usize, &AllowEntry)> {
+        self.allows
+            .iter()
+            .enumerate()
+            .filter(move |(_, entry)| entry.line == line || entry.line + 1 == line)
     }
 
     /// True when the 1-based `line` lies in test code.
@@ -96,6 +165,112 @@ pub fn crate_name_for(path: &Path) -> String {
         }
     }
     "root".to_string()
+}
+
+/// Parses `lcakp-lint: allow(D001, D002) reason="…"` directives out of
+/// the collected comments. Working from comment tokens (not raw lines)
+/// is what keeps a directive spelled inside a raw string, byte string or
+/// other literal from ever being honoured.
+fn parse_allows(comments: &[Comment]) -> Vec<AllowEntry> {
+    let mut entries = Vec::new();
+    for comment in comments {
+        // Doc comments never carry directives: documentation *mentions*
+        // the allow syntax (as this very comment does) without meaning
+        // it, so only plain `//` / `/* */` comments are honoured.
+        let is_doc = comment.text.starts_with("///")
+            || comment.text.starts_with("//!")
+            || comment.text.starts_with("/**")
+            || comment.text.starts_with("/*!");
+        if is_doc {
+            continue;
+        }
+        let Some(tag_at) = comment.text.find("lcakp-lint:") else {
+            continue;
+        };
+        let rest = comment.text[tag_at + "lcakp-lint:".len()..].trim_start();
+        let Some((ids, tail)) = rest
+            .strip_prefix("allow(")
+            .and_then(|inner| inner.split_once(')'))
+        else {
+            continue;
+        };
+        let ids: Vec<String> = ids
+            .split(',')
+            .map(|id| id.trim().to_string())
+            .filter(|id| !id.is_empty())
+            .collect();
+        if ids.is_empty() {
+            continue;
+        }
+        let reason = tail
+            .split_once("reason=\"")
+            .and_then(|(_, rest)| rest.split_once('"'))
+            .map(|(reason, _)| reason.trim().to_string());
+        entries.push(AllowEntry {
+            line: comment.line,
+            col: comment.col,
+            ids,
+            reason,
+            offset: comment.offset,
+            len: comment.text.len(),
+        });
+    }
+    entries
+}
+
+/// Collects file-local `const NAME: &str = "…";` (also `&'static str`)
+/// declarations into a name → value map with the literal's span.
+fn resolve_str_consts(tokens: &[Token]) -> BTreeMap<String, ConstStr> {
+    let mut map = BTreeMap::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let is_const = tokens[i].kind == TokenKind::Ident && tokens[i].text == "const";
+        if !is_const {
+            i += 1;
+            continue;
+        }
+        let Some(name) = tokens.get(i + 1).filter(|t| t.kind == TokenKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        // Scan the type between `:` and `=`; it must mention `str`.
+        let mut j = i + 2;
+        let mut saw_str = false;
+        let mut eq_at = None;
+        while let Some(token) = tokens.get(j) {
+            match token.text.as_str() {
+                "=" => {
+                    eq_at = Some(j);
+                    break;
+                }
+                ";" => break,
+                "str" if token.kind == TokenKind::Ident => saw_str = true,
+                _ => {}
+            }
+            j += 1;
+        }
+        let Some(eq) = eq_at else {
+            i = j + 1;
+            continue;
+        };
+        if saw_str {
+            if let Some(lit) = tokens.get(eq + 1).filter(|t| t.kind == TokenKind::Str) {
+                if let Some(value) = str_literal_value(&lit.text) {
+                    map.insert(
+                        name.text.clone(),
+                        ConstStr {
+                            value,
+                            line: lit.line,
+                            offset: lit.offset,
+                            len: lit.text.len(),
+                        },
+                    );
+                }
+            }
+        }
+        i = eq + 1;
+    }
+    map
 }
 
 /// Marks every line covered by an item carrying a `test`-bearing
@@ -303,6 +478,56 @@ mod tests {
         assert!(ctx.is_test_line(4));
         assert!(ctx.is_test_line(5));
         assert!(!ctx.is_test_line(6));
+    }
+
+    #[test]
+    fn allow_entries_come_from_real_comments_only() {
+        let src = concat!(
+            "// lcakp-lint: allow(D001, D002) reason=\"demo\"\n",
+            "let s = \"// lcakp-lint: allow(D005) reason=\\\"in a string\\\"\";\n",
+            "let r = r#\"// lcakp-lint: allow(D004) reason=\"raw\"\"#;\n",
+        );
+        let ctx = FileCtx::from_source("x.rs", "core", src).unwrap();
+        assert_eq!(ctx.allows.len(), 1, "{:?}", ctx.allows);
+        assert_eq!(ctx.allows[0].ids, vec!["D001", "D002"]);
+        assert!(ctx.allows[0].has_reason());
+        assert_eq!(ctx.allows[0].line, 1);
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let src = concat!(
+            "//! // lcakp-lint: allow(D005) reason=\"doc example\"\n",
+            "/// Suppress with `lcakp-lint: allow(D001) reason=\"…\"`.\n",
+            "fn f() {}\n",
+            "// lcakp-lint: allow(D002) reason=\"real directive\"\n",
+            "fn g() {}\n",
+        );
+        let ctx = FileCtx::from_source("x.rs", "core", src).unwrap();
+        assert_eq!(ctx.allows.len(), 1, "{:?}", ctx.allows);
+        assert_eq!(ctx.allows[0].ids, vec!["D002"]);
+    }
+
+    #[test]
+    fn allow_without_reason_is_parsed_but_reasonless() {
+        let src = "// lcakp-lint: allow(D003)\nfn f() {}\n";
+        let ctx = FileCtx::from_source("x.rs", "core", src).unwrap();
+        assert_eq!(ctx.allows.len(), 1);
+        assert!(!ctx.allows[0].has_reason());
+    }
+
+    #[test]
+    fn str_consts_resolve_with_spans() {
+        let src = "const DOMAIN: &str = \"fault/access\";\nconst N: usize = 3;\npub const S: &'static str = r#\"a/b\"#;\n";
+        let ctx = FileCtx::from_source("x.rs", "core", src).unwrap();
+        assert_eq!(ctx.consts.len(), 2, "{:?}", ctx.consts);
+        let domain = &ctx.consts["DOMAIN"];
+        assert_eq!(domain.value, "fault/access");
+        assert_eq!(
+            &src[domain.offset..domain.offset + domain.len],
+            "\"fault/access\""
+        );
+        assert_eq!(ctx.consts["S"].value, "a/b");
     }
 
     #[test]

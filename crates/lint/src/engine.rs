@@ -1,8 +1,10 @@
-//! Walks files, runs rules, applies the allow mechanism and renders
-//! diagnostics as text or JSON.
+//! Walks files, runs rules (per-file and workspace passes), applies the
+//! allow mechanism and renders diagnostics as text or JSON.
 
 use crate::context::{crate_name_for, FileCtx};
-use crate::rules::{all_rules, Finding};
+use crate::graph::{build_graph, SeedGraph};
+use crate::rules::{all_rules, Check, Finding};
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -48,8 +50,9 @@ impl fmt::Display for EngineError {
 impl std::error::Error for EngineError {}
 
 /// The result of an in-source allow lookup.
-enum AllowState {
-    /// No allow comment applies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AllowState {
+    /// No allow directive applies.
     None,
     /// A well-formed `allow(rule) reason="…"` covers the finding.
     Suppressed,
@@ -58,83 +61,309 @@ enum AllowState {
     MissingReason,
 }
 
-/// Parses `// lcakp-lint: allow(D001, D002) reason="…"` from one line,
-/// answering for `rule`.
-fn allow_on_line(line: &str, rule: &str) -> AllowState {
-    let Some(comment_at) = line.find("//") else {
-        return AllowState::None;
-    };
-    let comment = &line[comment_at..];
-    let Some(tag_at) = comment.find("lcakp-lint:") else {
-        return AllowState::None;
-    };
-    let rest = comment[tag_at + "lcakp-lint:".len()..].trim_start();
-    let Some(list) = rest
-        .strip_prefix("allow(")
-        .and_then(|inner| inner.split_once(')'))
-    else {
-        return AllowState::None;
-    };
-    let (ids, tail) = list;
-    let names_rule = ids.split(',').any(|id| id.trim() == rule);
-    if !names_rule {
-        return AllowState::None;
+/// Answers whether an allow directive covers a finding of `rule` on
+/// 1-based `line`: a directive on the same line (trailing) or on the
+/// preceding line. Directives come from real comment tokens, so one
+/// spelled inside a string literal never suppresses anything.
+pub(crate) fn allow_state(ctx: &FileCtx, line: u32, rule: &str) -> AllowState {
+    let mut state = AllowState::None;
+    for (_, entry) in ctx.allows_covering(line) {
+        if entry.ids.iter().any(|id| id == rule) {
+            if entry.has_reason() {
+                return AllowState::Suppressed;
+            }
+            state = AllowState::MissingReason;
+        }
     }
-    let reason = tail
-        .split_once("reason=\"")
-        .and_then(|(_, rest)| rest.split_once('"'))
-        .map(|(reason, _)| reason.trim());
-    match reason {
-        Some(text) if !text.is_empty() => AllowState::Suppressed,
-        _ => AllowState::MissingReason,
+    state
+}
+
+/// Applies the allow mechanism to one finding in place: `None` when the
+/// finding is suppressed, `Some` (possibly annotated) otherwise.
+fn apply_allow(ctx: &FileCtx, mut finding: Finding) -> Option<Finding> {
+    match allow_state(ctx, finding.line, finding.rule) {
+        AllowState::Suppressed => None,
+        AllowState::MissingReason => {
+            finding
+                .message
+                .push_str(" (allow ignored: missing or empty reason=\"…\")");
+            Some(finding)
+        }
+        AllowState::None => Some(finding),
     }
 }
 
-/// Runs every applicable rule over one prepared file and applies test-
-/// line filtering plus the allow mechanism.
-pub fn lint_ctx(ctx: &FileCtx) -> Vec<Finding> {
+/// Raw per-file findings: every applicable file rule, test-line
+/// filtered and deduped per (rule, line), but *before* the allow
+/// mechanism — the input for both [`lint_ctx`] and the stale-allow
+/// analysis (which must know what would fire absent the allows).
+fn raw_file_findings(ctx: &FileCtx) -> Vec<Finding> {
     let mut findings = Vec::new();
     for rule in all_rules() {
+        let Check::File(check) = rule.check else {
+            continue;
+        };
         if !(rule.applies)(&ctx.crate_name) {
             continue;
         }
-        for mut finding in (rule.check)(ctx) {
-            if ctx.is_test_line(finding.line) {
-                continue;
-            }
-            // Allow comment on the preceding line, or trailing on the
-            // finding's own line.
-            let own = ctx
-                .lines
-                .get(finding.line as usize - 1)
-                .map(String::as_str)
-                .unwrap_or("");
-            let preceding = (finding.line >= 2)
-                .then(|| ctx.lines.get(finding.line as usize - 2))
-                .flatten()
-                .map(String::as_str)
-                .unwrap_or("");
-            let state = match allow_on_line(preceding, finding.rule) {
-                AllowState::None => allow_on_line(own, finding.rule),
-                state => state,
-            };
-            match state {
-                AllowState::Suppressed => continue,
-                AllowState::MissingReason => {
-                    finding
-                        .message
-                        .push_str(" (allow ignored: missing or empty reason=\"…\")");
-                }
-                AllowState::None => {}
-            }
-            findings.push(finding);
-        }
+        findings.extend(
+            check(ctx)
+                .into_iter()
+                .filter(|finding| !ctx.is_test_line(finding.line)),
+        );
     }
     // One diagnostic per (rule, line): an import and three uses on one
     // line should read as one problem.
     findings.sort_by_key(|f| (f.line, f.rule, f.col));
     findings.dedup_by_key(|f| (f.rule, f.line));
     findings
+}
+
+/// Runs every applicable *per-file* rule over one prepared file and
+/// applies test-line filtering plus the allow mechanism. Cross-file
+/// rules (D007–D009) need a [`Workspace`]; see
+/// [`Workspace::diagnostics`].
+pub fn lint_ctx(ctx: &FileCtx) -> Vec<Finding> {
+    raw_file_findings(ctx)
+        .into_iter()
+        .filter_map(|finding| apply_allow(ctx, finding))
+        .collect()
+}
+
+/// A prepared multi-file analysis unit: every production file's context
+/// plus the seed-derivation graph built over them. The unit the
+/// cross-file rules, the autofix engine and `--emit-graph` all share.
+#[derive(Debug)]
+pub struct Workspace {
+    /// Prepared file contexts, sorted by path.
+    pub ctxs: Vec<FileCtx>,
+    /// The seed-derivation graph over those files.
+    pub graph: SeedGraph,
+    /// Unix-style path → index into `ctxs`.
+    by_path: BTreeMap<String, usize>,
+}
+
+/// Renders a path with forward slashes (the graph's path format).
+fn unix_path(path: &Path) -> String {
+    path.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+impl Workspace {
+    /// Builds the workspace from prepared contexts.
+    pub fn from_ctxs(mut ctxs: Vec<FileCtx>) -> Self {
+        ctxs.sort_by(|a, b| a.path.cmp(&b.path));
+        let graph = build_graph(&ctxs);
+        let by_path = ctxs
+            .iter()
+            .enumerate()
+            .map(|(index, ctx)| (unix_path(&ctx.path), index))
+            .collect();
+        Workspace {
+            ctxs,
+            graph,
+            by_path,
+        }
+    }
+
+    /// Builds the workspace by walking every production source under
+    /// `root`; paths in diagnostics are workspace-relative.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EngineError`] (unreadable / unlexable file).
+    pub fn from_root(root: &Path) -> Result<Self, EngineError> {
+        let mut ctxs = Vec::new();
+        for path in walk_production_sources(root) {
+            let relative = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
+            ctxs.push(load_ctx(&path, relative)?);
+        }
+        Ok(Self::from_ctxs(ctxs))
+    }
+
+    /// Builds the workspace from an explicit file list (the CLI's
+    /// `check path…` form); paths are kept as given.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EngineError`] (unreadable / unlexable file).
+    pub fn from_files(paths: &[PathBuf]) -> Result<Self, EngineError> {
+        let mut ctxs = Vec::new();
+        for path in paths {
+            ctxs.push(load_ctx(path, path.clone())?);
+        }
+        Ok(Self::from_ctxs(ctxs))
+    }
+
+    /// The context for a diagnostic path, if it belongs to this
+    /// workspace.
+    pub fn ctx_for(&self, path: &Path) -> Option<&FileCtx> {
+        self.by_path.get(&unix_path(path)).map(|&i| &self.ctxs[i])
+    }
+
+    /// Runs the full multi-pass analysis: per-file rules, then the
+    /// cross-file rules over the seed-derivation graph, then the allow
+    /// mechanism over everything. Diagnostics are sorted by
+    /// (path, line, col, rule).
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        let mut diagnostics = Vec::new();
+        for ctx in &self.ctxs {
+            diagnostics.extend(lint_ctx(ctx).into_iter().map(|finding| Diagnostic {
+                path: ctx.path.clone(),
+                finding,
+            }));
+        }
+        for rule in all_rules() {
+            let Check::Workspace(check) = rule.check else {
+                continue;
+            };
+            for diagnostic in check(self) {
+                let Some(ctx) = self.ctx_for(&diagnostic.path) else {
+                    diagnostics.push(diagnostic);
+                    continue;
+                };
+                if let Some(finding) = apply_allow(ctx, diagnostic.finding) {
+                    diagnostics.push(Diagnostic {
+                        path: diagnostic.path,
+                        finding,
+                    });
+                }
+            }
+        }
+        diagnostics.sort_by(|a, b| {
+            (&a.path, a.finding.line, a.finding.col, a.finding.rule).cmp(&(
+                &b.path,
+                b.finding.line,
+                b.finding.col,
+                b.finding.rule,
+            ))
+        });
+        diagnostics
+    }
+}
+
+/// Reads and prepares one file, reporting it under `reported` (the
+/// workspace-relative or as-given path).
+fn load_ctx(path: &Path, reported: PathBuf) -> Result<FileCtx, EngineError> {
+    let src = fs::read_to_string(path).map_err(|error| EngineError {
+        path: reported.clone(),
+        message: error.to_string(),
+    })?;
+    let crate_name = crate_name_for(&reported);
+    FileCtx::from_source(reported.clone(), crate_name, &src).map_err(|error| EngineError {
+        path: reported,
+        message: error.to_string(),
+    })
+}
+
+/// One allow directive with at least one stale rule id, located by
+/// context and entry index so both D009 and the autofix engine can act
+/// on it.
+#[derive(Debug)]
+pub(crate) struct StaleAllow {
+    /// Index into `ws.ctxs`.
+    pub ctx_index: usize,
+    /// Index into that context's `allows`.
+    pub entry_index: usize,
+    /// The stale ids within the directive, in source order.
+    pub stale_ids: Vec<String>,
+}
+
+/// The stale-allow analysis behind rule D009: every `allow(id)`
+/// directive is checked against what actually fires at its site — a
+/// directive whose rule produces no finding on its own or the following
+/// line is suppression debt.
+///
+/// `allow(D009)` directives are exempt (policing them would need a
+/// fixed-point); unknown rule ids are stale by definition.
+pub(crate) fn stale_allows(ws: &Workspace) -> Vec<StaleAllow> {
+    // (unix path, allow offset, rule id) of every directive some raw
+    // (pre-allow) finding actually lands on.
+    let mut used: BTreeSet<(String, usize, &'static str)> = BTreeSet::new();
+    let mut mark = |ctx: &FileCtx, line: u32, rule: &str| {
+        let path = unix_path(&ctx.path);
+        for (_, entry) in ctx.allows_covering(line) {
+            if entry.ids.iter().any(|id| id == rule) {
+                // Intern through the rule table for a 'static id.
+                if let Some(spec) = crate::rules::rule_by_id(rule) {
+                    used.insert((path.clone(), entry.offset, spec.id));
+                }
+            }
+        }
+    };
+    for ctx in &ws.ctxs {
+        for finding in raw_file_findings(ctx) {
+            mark(ctx, finding.line, finding.rule);
+        }
+    }
+    for rule in all_rules() {
+        let Check::Workspace(check) = rule.check else {
+            continue;
+        };
+        if rule.id == "D009" {
+            continue; // this analysis *is* D009
+        }
+        for diagnostic in check(ws) {
+            if let Some(ctx) = ws.ctx_for(&diagnostic.path) {
+                mark(ctx, diagnostic.finding.line, diagnostic.finding.rule);
+            }
+        }
+    }
+    let mut stale = Vec::new();
+    for (ctx_index, ctx) in ws.ctxs.iter().enumerate() {
+        let path = unix_path(&ctx.path);
+        for (entry_index, entry) in ctx.allows.iter().enumerate() {
+            let stale_ids: Vec<String> = entry
+                .ids
+                .iter()
+                .filter(|id| id.as_str() != "D009")
+                .filter(|id| {
+                    !crate::rules::rule_by_id(id)
+                        .is_some_and(|spec| used.contains(&(path.clone(), entry.offset, spec.id)))
+                })
+                .cloned()
+                .collect();
+            if !stale_ids.is_empty() {
+                stale.push(StaleAllow {
+                    ctx_index,
+                    entry_index,
+                    stale_ids,
+                });
+            }
+        }
+    }
+    stale
+}
+
+/// Renders the stale-allow analysis as D009 diagnostics, one per stale
+/// id within each directive.
+pub(crate) fn stale_allow_diagnostics(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut diagnostics = Vec::new();
+    for stale in stale_allows(ws) {
+        let ctx = &ws.ctxs[stale.ctx_index];
+        let entry = &ctx.allows[stale.entry_index];
+        for id in &stale.stale_ids {
+            let why = match crate::rules::rule_by_id(id) {
+                Some(_) => "no longer fires at this site",
+                None => "is not a known rule",
+            };
+            diagnostics.push(Diagnostic {
+                path: ctx.path.clone(),
+                finding: Finding {
+                    rule: "D009",
+                    line: entry.line,
+                    col: entry.col,
+                    message: format!(
+                        "stale allow: `allow({id})` but {id} {why}; remove the directive — \
+                         suppressions that outlive their finding hide future regressions"
+                    ),
+                },
+            });
+        }
+    }
+    diagnostics
 }
 
 /// Lints one file from disk, attributing it to `crate_name`.
@@ -207,34 +436,17 @@ fn collect(dir: &Path, files: &mut Vec<PathBuf>, skip_test_dirs: bool) {
     }
 }
 
-/// Lints the whole workspace rooted at `root`.
+/// Lints the whole workspace rooted at `root`: the per-file rules plus
+/// the cross-file passes (D007–D009) over the seed-derivation graph.
 ///
 /// # Errors
 ///
 /// Returns the first [`EngineError`] (unreadable / unlexable file).
 pub fn lint_workspace(root: &Path) -> Result<Vec<Diagnostic>, EngineError> {
-    let mut diagnostics = Vec::new();
-    for path in walk_production_sources(root) {
-        let relative = path.strip_prefix(root).unwrap_or(&path).to_path_buf();
-        let crate_name = crate_name_for(&relative);
-        let src = fs::read_to_string(&path).map_err(|error| EngineError {
-            path: relative.clone(),
-            message: error.to_string(),
-        })?;
-        let ctx =
-            FileCtx::from_source(&relative, crate_name, &src).map_err(|error| EngineError {
-                path: relative.clone(),
-                message: error.to_string(),
-            })?;
-        diagnostics.extend(lint_ctx(&ctx).into_iter().map(|finding| Diagnostic {
-            path: relative.clone(),
-            finding,
-        }));
-    }
-    Ok(diagnostics)
+    Ok(Workspace::from_root(root)?.diagnostics())
 }
 
-fn json_escape(text: &str) -> String {
+pub(crate) fn json_escape(text: &str) -> String {
     let mut out = String::with_capacity(text.len() + 2);
     for c in text.chars() {
         match c {

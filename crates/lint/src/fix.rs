@@ -1,0 +1,513 @@
+//! The span-based autofix engine behind `lcakp-lint fix`.
+//!
+//! Fixes are planned as byte-span edits against the exact source text
+//! (token `offset` + `text.len()` spans, so no re-lexing drift), applied
+//! in a single descending-offset pass, and validated to be a fixed
+//! point: re-linting the fixed tree plans zero further edits. Three
+//! rules are mechanically fixable:
+//!
+//! * **D001** — `HashMap`/`HashSet` → `BTreeMap`/`BTreeSet`, including
+//!   the `use std::collections::…` import (each flagged identifier
+//!   token is renamed in place).
+//! * **D008** — a non-conforming literal domain label is rewritten to
+//!   the canonical suggestion printed in the diagnostic (the same
+//!   [`label_suggestions`] map, so fix and message always agree).
+//!   Labels routed through a `const` are reported but not auto-fixed —
+//!   renaming the const's value could change other call sites.
+//! * **D009** — a stale allow directive (every listed rule id stale) is
+//!   removed outright; a directive alone on its line takes the line
+//!   with it.
+//!
+//! Sites suppressed by a well-formed allow are never edited: the allow
+//! is the reviewed decision, the fixer does not overrule it.
+
+use crate::engine::{allow_state, stale_allows, AllowState, EngineError, Workspace};
+use crate::rules::{label_suggestions, rule_by_id, Check};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One byte-span replacement within a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Edit {
+    /// Byte offset of the span's first byte.
+    pub offset: usize,
+    /// Byte length of the replaced span.
+    pub len: usize,
+    /// Replacement text (empty = deletion).
+    pub replacement: String,
+    /// The rule this edit fixes.
+    pub rule: &'static str,
+}
+
+/// All planned edits for one file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileFix {
+    /// The file's diagnostic path (workspace-relative when walked).
+    pub path: PathBuf,
+    /// Non-overlapping edits, sorted by ascending offset.
+    pub edits: Vec<Edit>,
+}
+
+/// Plans every mechanical fix for the workspace: one [`FileFix`] per
+/// file that has at least one applicable edit, sorted by path.
+pub fn plan_fixes(ws: &Workspace) -> Vec<FileFix> {
+    let mut fixes: Vec<FileFix> = Vec::new();
+    let mut push = |path: &Path, edit: Edit| match fixes.iter_mut().find(|fix| fix.path == path) {
+        Some(fix) => fix.edits.push(edit),
+        None => fixes.push(FileFix {
+            path: path.to_path_buf(),
+            edits: vec![edit],
+        }),
+    };
+
+    // D001: rename each flagged hash-container identifier token.
+    if let Some(rule) = rule_by_id("D001") {
+        if let Check::File(check) = rule.check {
+            for ctx in &ws.ctxs {
+                if !(rule.applies)(&ctx.crate_name) {
+                    continue;
+                }
+                for finding in check(ctx) {
+                    if ctx.is_test_line(finding.line)
+                        || allow_state(ctx, finding.line, "D001") == AllowState::Suppressed
+                    {
+                        continue;
+                    }
+                    let Some(token) = ctx.tokens.iter().find(|t| {
+                        t.line == finding.line
+                            && t.col == finding.col
+                            && matches!(t.text.as_str(), "HashMap" | "HashSet")
+                    }) else {
+                        continue;
+                    };
+                    push(
+                        &ctx.path,
+                        Edit {
+                            offset: token.offset,
+                            len: token.text.len(),
+                            replacement: format!("BTree{}", &token.text[4..]),
+                            rule: "D001",
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    // D008: rewrite non-conforming literal labels to their canonical
+    // suggestion. Only literal labels carry a span; const-routed labels
+    // stay manual.
+    let suggestions = label_suggestions(ws);
+    for site in &ws.graph.derives {
+        let Some((offset, len)) = site.label_span else {
+            continue;
+        };
+        let Some(suggested) = suggestions.get(&(site.path.clone(), site.line, site.col)) else {
+            continue;
+        };
+        let path = PathBuf::from(&site.path);
+        let Some(ctx) = ws.ctx_for(&path) else {
+            continue;
+        };
+        if allow_state(ctx, site.line, "D008") == AllowState::Suppressed {
+            continue;
+        }
+        push(
+            &ctx.path.clone(),
+            Edit {
+                offset,
+                len,
+                replacement: format!("\"{suggested}\""),
+                rule: "D008",
+            },
+        );
+    }
+
+    // D009: remove directives whose every listed id is stale.
+    for stale in stale_allows(ws) {
+        let ctx = &ws.ctxs[stale.ctx_index];
+        let entry = &ctx.allows[stale.entry_index];
+        let fully_stale = entry.ids.iter().all(|id| stale.stale_ids.contains(id));
+        if !fully_stale || allow_state(ctx, entry.line, "D009") == AllowState::Suppressed {
+            continue;
+        }
+        let (offset, len) = allow_removal_span(&ctx.src, entry.offset, entry.len);
+        push(
+            &ctx.path.clone(),
+            Edit {
+                offset,
+                len,
+                replacement: String::new(),
+                rule: "D009",
+            },
+        );
+    }
+
+    for fix in &mut fixes {
+        fix.edits.sort_by_key(|edit| edit.offset);
+        // Drop any later edit overlapping an earlier one — spans come
+        // from disjoint tokens/comments, so this is belt-and-braces.
+        let mut end = 0usize;
+        fix.edits.retain(|edit| {
+            let keep = edit.offset >= end;
+            if keep {
+                end = edit.offset + edit.len;
+            }
+            keep
+        });
+    }
+    fixes.sort_by(|a, b| a.path.cmp(&b.path));
+    fixes
+}
+
+/// The byte span to delete for a stale allow comment at
+/// `offset..offset + len`: the whole line (including its newline) when
+/// the comment is alone on it, otherwise the comment plus the
+/// whitespace separating it from the code it trails.
+fn allow_removal_span(src: &str, offset: usize, len: usize) -> (usize, usize) {
+    let line_start = src[..offset].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let before = &src[line_start..offset];
+    let end = offset + len;
+    let at_line_end = src[end..].starts_with('\n') || end == src.len();
+    if before.chars().all(char::is_whitespace) && at_line_end {
+        let line_end = if src[end..].starts_with('\n') {
+            end + 1
+        } else {
+            end
+        };
+        (line_start, line_end - line_start)
+    } else {
+        let trailing_ws = before.len() - before.trim_end().len();
+        (offset - trailing_ws, len + trailing_ws)
+    }
+}
+
+/// Applies edits to source text in one pass. Edits must be
+/// non-overlapping; they are applied highest-offset first so earlier
+/// spans stay valid.
+pub fn apply_edits(src: &str, edits: &[Edit]) -> String {
+    let mut sorted: Vec<&Edit> = edits.iter().collect();
+    sorted.sort_by_key(|edit| edit.offset);
+    let mut out = src.to_string();
+    for edit in sorted.into_iter().rev() {
+        out.replace_range(edit.offset..edit.offset + edit.len, &edit.replacement);
+    }
+    out
+}
+
+/// Byte span of the full line(s) covering `start..end`, trailing
+/// newline included.
+fn line_span(src: &str, start: usize, end: usize) -> (usize, usize) {
+    let line_start = src[..start].rfind('\n').map(|i| i + 1).unwrap_or(0);
+    let line_end = if src[..end].ends_with('\n') {
+        end
+    } else {
+        end + src[end..]
+            .find('\n')
+            .map(|i| i + 1)
+            .unwrap_or(src.len() - end)
+    };
+    (line_start, line_end)
+}
+
+/// Renders one file's planned edits as a `-`/`+` line diff (the
+/// `fix --dry-run` output). Edits touching the same line(s) are shown
+/// as one hunk.
+pub fn render_fix_diff(src: &str, fix: &FileFix) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "--- {}", fix.path.display());
+    let mut groups: Vec<(usize, usize, Vec<&Edit>)> = Vec::new();
+    for edit in &fix.edits {
+        let (ls, le) = line_span(src, edit.offset, edit.offset + edit.len);
+        match groups.last_mut() {
+            Some((_, ge, list)) if ls <= *ge => {
+                *ge = (*ge).max(le);
+                list.push(edit);
+            }
+            _ => groups.push((ls, le, vec![edit])),
+        }
+    }
+    for (ls, le, list) in groups {
+        let line_no = src[..ls].bytes().filter(|&b| b == b'\n').count() + 1;
+        let rules: Vec<&str> = {
+            let mut ids: Vec<&str> = list.iter().map(|edit| edit.rule).collect();
+            ids.dedup();
+            ids
+        };
+        let _ = writeln!(out, "@@ line {} [{}]", line_no, rules.join(", "));
+        let old = &src[ls..le];
+        let mut new = old.to_string();
+        for edit in list.iter().rev() {
+            let local = edit.offset - ls;
+            new.replace_range(local..local + edit.len, &edit.replacement);
+        }
+        for line in old.lines() {
+            let _ = writeln!(out, "- {line}");
+        }
+        for line in new.lines() {
+            let _ = writeln!(out, "+ {line}");
+        }
+    }
+    out
+}
+
+/// The outcome of a `fix` run.
+#[derive(Debug)]
+pub struct FixReport {
+    /// Files changed (or that would change, under `--dry-run`).
+    pub files: Vec<PathBuf>,
+    /// Total edits applied (or planned).
+    pub edits: usize,
+    /// Rendered diff of every planned edit.
+    pub diff: String,
+    /// True when a re-plan after applying finds nothing further — the
+    /// single pass reached the fixed point. Always true for `--dry-run`
+    /// (nothing was applied to re-check).
+    pub converged: bool,
+}
+
+/// Plans and (unless `dry_run`) applies every mechanical fix under
+/// `root`, then re-plans from the written tree to confirm the fixed
+/// point.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] when a file cannot be read, lexed or written.
+pub fn fix_workspace(root: &Path, dry_run: bool) -> Result<FixReport, EngineError> {
+    let ws = Workspace::from_root(root)?;
+    let fixes = plan_fixes(&ws);
+    let mut diff = String::new();
+    let mut edits = 0usize;
+    let mut files = Vec::new();
+    for fix in &fixes {
+        let Some(ctx) = ws.ctx_for(&fix.path) else {
+            continue;
+        };
+        diff.push_str(&render_fix_diff(&ctx.src, fix));
+        edits += fix.edits.len();
+        files.push(fix.path.clone());
+        if !dry_run {
+            let fixed = apply_edits(&ctx.src, &fix.edits);
+            let on_disk = root.join(&fix.path);
+            fs::write(&on_disk, fixed).map_err(|error| EngineError {
+                path: fix.path.clone(),
+                message: error.to_string(),
+            })?;
+        }
+    }
+    let converged = if dry_run {
+        true
+    } else {
+        plan_fixes(&Workspace::from_root(root)?).is_empty()
+    };
+    Ok(FixReport {
+        files,
+        edits,
+        diff,
+        converged,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::FileCtx;
+
+    fn workspace_of(files: &[(&str, &str, &str)]) -> Workspace {
+        let ctxs: Vec<FileCtx> = files
+            .iter()
+            .map(|(path, krate, src)| FileCtx::from_source(*path, *krate, src).unwrap())
+            .collect();
+        Workspace::from_ctxs(ctxs)
+    }
+
+    /// Applies every planned fix in memory and returns the new sources.
+    fn fix_in_memory(files: &[(&str, &str, &str)]) -> Vec<(String, String, String)> {
+        let ws = workspace_of(files);
+        let fixes = plan_fixes(&ws);
+        files
+            .iter()
+            .map(|(path, krate, src)| {
+                let fixed = match fixes.iter().find(|f| f.path == Path::new(path)) {
+                    Some(fix) => apply_edits(src, &fix.edits),
+                    None => src.to_string(),
+                };
+                (path.to_string(), krate.to_string(), fixed)
+            })
+            .collect()
+    }
+
+    fn replan(files: &[(String, String, String)]) -> Vec<FileFix> {
+        let ctxs: Vec<FileCtx> = files
+            .iter()
+            .map(|(path, krate, src)| {
+                FileCtx::from_source(path.as_str(), krate.as_str(), src).unwrap()
+            })
+            .collect();
+        plan_fixes(&Workspace::from_ctxs(ctxs))
+    }
+
+    #[test]
+    fn d001_rename_covers_import_and_uses() {
+        let src = "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); m.insert(1, 2); }\n";
+        let fixed = fix_in_memory(&[("crates/core/src/a.rs", "core", src)]);
+        assert_eq!(
+            fixed[0].2,
+            "use std::collections::BTreeMap;\nfn f() { let m: BTreeMap<u32, u32> = BTreeMap::new(); m.insert(1, 2); }\n"
+        );
+    }
+
+    #[test]
+    fn d008_renames_label_to_suggestion() {
+        let src = "fn f(root: Seed) { let s = root.derive(\"Shared Seed\", 0); }\n";
+        let fixed = fix_in_memory(&[("crates/core/src/mixer.rs", "core", src)]);
+        assert_eq!(
+            fixed[0].2,
+            "fn f(root: Seed) { let s = root.derive(\"mixer/shared-seed\", 0); }\n"
+        );
+    }
+
+    #[test]
+    fn d008_fix_does_not_introduce_d007() {
+        // Two sites whose kebab projections collide; suggestions must
+        // disambiguate so the fixed tree has no duplicate labels.
+        let files = [
+            (
+                "crates/core/src/a.rs",
+                "core",
+                "fn f(r: Seed) { r.derive(\"X\", 0); }\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "core",
+                "const L: &str = \"a/x\";\nfn g(r: Seed) { r.derive(\"a x\", 0); r.derive(L, 0); }\n",
+            ),
+        ];
+        let fixed = fix_in_memory(&files);
+        let refixed: Vec<(&str, &str, &str)> = fixed
+            .iter()
+            .map(|(p, k, s)| (p.as_str(), k.as_str(), s.as_str()))
+            .collect();
+        let ws = workspace_of(&refixed);
+        let labels: Vec<&str> = ws
+            .graph
+            .derives
+            .iter()
+            .filter_map(|site| site.label.value())
+            .collect();
+        let mut deduped = labels.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(labels.len(), deduped.len(), "{labels:?}");
+    }
+
+    #[test]
+    fn d009_removes_whole_line_directive() {
+        let src = "// lcakp-lint: allow(D001) reason=\"was needed once\"\nfn f() { let x = 1; }\n";
+        let fixed = fix_in_memory(&[("crates/core/src/a.rs", "core", src)]);
+        assert_eq!(fixed[0].2, "fn f() { let x = 1; }\n");
+    }
+
+    #[test]
+    fn d009_removes_trailing_directive_only() {
+        let src = "fn f() { let x = 1; } // lcakp-lint: allow(D002) reason=\"old\"\n";
+        let fixed = fix_in_memory(&[("crates/core/src/a.rs", "core", src)]);
+        assert_eq!(fixed[0].2, "fn f() { let x = 1; }\n");
+    }
+
+    #[test]
+    fn d009_keeps_directive_with_a_live_id() {
+        // D002 still fires (thread_rng), D001 is stale — but the
+        // directive is not fully stale, so the fixer leaves it for a
+        // human (D009 still reports the stale half).
+        let src = "// lcakp-lint: allow(D001, D002) reason=\"entropy ok here\"\nfn f() { let r = thread_rng(); }\n";
+        let fixed = fix_in_memory(&[("crates/core/src/a.rs", "core", src)]);
+        assert_eq!(fixed[0].2, src);
+    }
+
+    #[test]
+    fn suppressed_sites_are_not_edited() {
+        let src = "// lcakp-lint: allow(D001) reason=\"reviewed: cache only\"\nuse std::collections::HashMap;\n";
+        let fixed = fix_in_memory(&[("crates/core/src/a.rs", "core", src)]);
+        assert_eq!(fixed[0].2, src);
+    }
+
+    #[test]
+    fn fixes_reach_a_fixed_point_in_one_pass() {
+        let files = [
+            (
+                "crates/core/src/a.rs",
+                "core",
+                "use std::collections::{HashMap, HashSet};\nfn f(r: Seed) { let m: HashMap<u32, u32> = HashMap::new(); r.derive(\"plainlabel\", 0); }\n",
+            ),
+            (
+                "crates/core/src/b.rs",
+                "core",
+                "// lcakp-lint: allow(D004) reason=\"stale\"\nfn g(r: Seed) { r.derive(\"Another Label\", 1); }\n",
+            ),
+        ];
+        let fixed = fix_in_memory(&files);
+        assert!(replan(&fixed).is_empty(), "second pass must be a no-op");
+    }
+
+    /// Pseudo-random (deterministic LCG) property test: whatever mix of
+    /// fixable findings we generate, one apply pass is idempotent.
+    #[test]
+    fn property_fix_is_idempotent() {
+        let mut state = 0x9e37_79b9_u64;
+        let mut next = move |bound: u64| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        for case in 0..40 {
+            let mut src = String::new();
+            for stmt in 0..(1 + next(5)) {
+                match next(4) {
+                    0 => {
+                        let _ = writeln!(src, "use std::collections::HashMap;");
+                    }
+                    1 => {
+                        let _ = writeln!(
+                            src,
+                            "fn d{case}_{stmt}(r: Seed) {{ r.derive(\"Bad Label {case} {stmt}\", {stmt}); }}"
+                        );
+                    }
+                    2 => {
+                        let _ = writeln!(src, "// lcakp-lint: allow(D005) reason=\"stale {case}\"");
+                        let _ = writeln!(src, "fn f{case}_{stmt}() {{}}");
+                    }
+                    _ => {
+                        let _ = writeln!(
+                            src,
+                            "fn ok{case}_{stmt}(r: Seed) {{ r.derive(\"good/label-{case}-{stmt}\", 0); }}"
+                        );
+                    }
+                }
+            }
+            let files = [("crates/core/src/gen.rs", "core", src.as_str())];
+            let once = fix_in_memory(&files);
+            assert!(
+                replan(&once).is_empty(),
+                "case {case} did not converge:\n{}",
+                once[0].2
+            );
+            let twice_files = [("crates/core/src/gen.rs", "core", once[0].2.as_str())];
+            let twice = fix_in_memory(&twice_files);
+            assert_eq!(once[0].2, twice[0].2, "case {case} not idempotent");
+        }
+    }
+
+    #[test]
+    fn diff_shows_minus_and_plus_lines() {
+        let src = "use std::collections::HashMap;\n";
+        let ws = workspace_of(&[("crates/core/src/a.rs", "core", src)]);
+        let fixes = plan_fixes(&ws);
+        let diff = render_fix_diff(src, &fixes[0]);
+        assert!(diff.contains("- use std::collections::HashMap;"), "{diff}");
+        assert!(diff.contains("+ use std::collections::BTreeMap;"), "{diff}");
+        assert!(diff.contains("[D001]"), "{diff}");
+    }
+}

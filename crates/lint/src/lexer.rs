@@ -42,6 +42,30 @@ pub struct Token {
     pub line: u32,
     /// 1-based column (in characters).
     pub col: u32,
+    /// Byte offset of the token's first character in the source. The
+    /// token's span is `offset .. offset + text.len()` — `text` is the
+    /// exact source text, so its byte length is the span length. The
+    /// autofix engine rewrites files through these spans.
+    pub offset: usize,
+}
+
+/// A comment, preserved as side data rather than a token.
+///
+/// Rules never see comments in the token stream (so `// HashMap` cannot
+/// fire D001), but the allow mechanism and the stale-allow rule (D009)
+/// need them with exact spans: an `lcakp-lint: allow(…)` directive only
+/// counts when it sits in a *real* comment, never inside a string
+/// literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Full comment text including the `//` / `/* … */` delimiters.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+    /// Byte offset of the comment's first character.
+    pub offset: usize,
 }
 
 /// Lexing failure — the only unrecoverable states are unterminated
@@ -88,6 +112,7 @@ struct Cursor<'a> {
     pos: usize,
     line: u32,
     col: u32,
+    byte: usize,
     src: std::marker::PhantomData<&'a str>,
 }
 
@@ -98,6 +123,7 @@ impl Cursor<'_> {
             pos: 0,
             line: 1,
             col: 1,
+            byte: 0,
             src: std::marker::PhantomData,
         }
     }
@@ -109,6 +135,7 @@ impl Cursor<'_> {
     fn bump(&mut self) -> Option<char> {
         let c = self.chars.get(self.pos).copied()?;
         self.pos += 1;
+        self.byte += c.len_utf8();
         if c == '\n' {
             self.line += 1;
             self.col = 1;
@@ -135,11 +162,22 @@ fn is_ident_continue(c: char) -> bool {
 /// char literals; every other byte sequence lexes (unknown symbols
 /// become one-character [`TokenKind::Punct`] tokens).
 pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    tokenize_with_comments(src).map(|(tokens, _)| tokens)
+}
+
+/// Tokenizes `src`, additionally returning every comment with its exact
+/// span — the input for the allow mechanism and the stale-allow rule.
+///
+/// # Errors
+///
+/// Same as [`tokenize`].
+pub fn tokenize_with_comments(src: &str) -> Result<(Vec<Token>, Vec<Comment>), LexError> {
     let mut cur = Cursor::new(src);
     let mut tokens = Vec::new();
+    let mut comments = Vec::new();
 
     while let Some(c) = cur.peek(0) {
-        let (line, col) = (cur.line, cur.col);
+        let (line, col, offset) = (cur.line, cur.col, cur.byte);
 
         // Whitespace.
         if c.is_whitespace() {
@@ -149,39 +187,53 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
 
         // Comments.
         if c == '/' && cur.peek(1) == Some('/') {
+            let mut text = String::new();
             while let Some(next) = cur.peek(0) {
                 if next == '\n' {
                     break;
                 }
-                cur.bump();
+                text.push(cur.bump().expect("peeked"));
             }
+            comments.push(Comment {
+                text,
+                line,
+                col,
+                offset,
+            });
             continue;
         }
         if c == '/' && cur.peek(1) == Some('*') {
-            cur.bump();
-            cur.bump();
+            let mut text = String::new();
+            text.push(cur.bump().expect("peeked"));
+            text.push(cur.bump().expect("peeked"));
             let mut depth = 1usize;
             loop {
                 match (cur.peek(0), cur.peek(1)) {
                     (Some('/'), Some('*')) => {
-                        cur.bump();
-                        cur.bump();
+                        text.push(cur.bump().expect("peeked"));
+                        text.push(cur.bump().expect("peeked"));
                         depth += 1;
                     }
                     (Some('*'), Some('/')) => {
-                        cur.bump();
-                        cur.bump();
+                        text.push(cur.bump().expect("peeked"));
+                        text.push(cur.bump().expect("peeked"));
                         depth -= 1;
                         if depth == 0 {
                             break;
                         }
                     }
                     (Some(_), _) => {
-                        cur.bump();
+                        text.push(cur.bump().expect("peeked"));
                     }
                     (None, _) => return Err(LexError::UnterminatedComment { line }),
                 }
             }
+            comments.push(Comment {
+                text,
+                line,
+                col,
+                offset,
+            });
             continue;
         }
 
@@ -223,6 +275,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     text,
                     line,
                     col,
+                    offset,
                 });
                 continue;
             }
@@ -234,6 +287,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     text: format!("b{text}"),
                     line,
                     col,
+                    offset,
                 });
                 continue;
             }
@@ -245,6 +299,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     text: format!("b{text}"),
                     line,
                     col,
+                    offset,
                 });
                 continue;
             }
@@ -259,6 +314,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 text,
                 line,
                 col,
+                offset,
             });
             continue;
         }
@@ -279,6 +335,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     text,
                     line,
                     col,
+                    offset,
                 });
             } else {
                 let mut text = String::new();
@@ -295,6 +352,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                     text,
                     line,
                     col,
+                    offset,
                 });
             }
             continue;
@@ -385,6 +443,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 text,
                 line,
                 col,
+                offset,
             });
             continue;
         }
@@ -404,6 +463,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 text,
                 line,
                 col,
+                offset,
             });
             continue;
         }
@@ -417,6 +477,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 text: "::".to_string(),
                 line,
                 col,
+                offset,
             });
             continue;
         }
@@ -426,10 +487,46 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             text: c.to_string(),
             line,
             col,
+            offset,
         });
     }
 
-    Ok(tokens)
+    Ok((tokens, comments))
+}
+
+/// The `&str` value of a string-literal token's source text, if it is a
+/// plain or raw (non-byte) string: `"a\"b"` → `a"b`, `r#"x"#` → `x`.
+/// Byte strings (`b"…"`, `br"…"`) and non-string tokens return `None` —
+/// they cannot be a `Seed::derive` domain label.
+pub fn str_literal_value(text: &str) -> Option<String> {
+    if let Some(rest) = text.strip_prefix('r') {
+        let trimmed = rest.trim_start_matches('#');
+        let hashes = rest.len() - trimmed.len();
+        let body = trimmed.strip_prefix('"')?;
+        let body = body.strip_suffix(&format!("\"{}", "#".repeat(hashes)))?;
+        return Some(body.to_string());
+    }
+    if let Some(body) = text.strip_prefix('"') {
+        let body = body.strip_suffix('"')?;
+        let mut out = String::with_capacity(body.len());
+        let mut chars = body.chars();
+        while let Some(c) = chars.next() {
+            if c == '\\' {
+                match chars.next() {
+                    Some('n') => out.push('\n'),
+                    Some('t') => out.push('\t'),
+                    Some('r') => out.push('\r'),
+                    Some('0') => out.push('\0'),
+                    Some(other) => out.push(other),
+                    None => return None,
+                }
+            } else {
+                out.push(c);
+            }
+        }
+        return Some(out);
+    }
+    None
 }
 
 fn lex_cooked_string(cur: &mut Cursor<'_>, line: u32) -> Result<String, LexError> {
@@ -571,5 +668,76 @@ mod tests {
             tokenize("\"oops"),
             Err(LexError::UnterminatedString { line: 1 })
         ));
+    }
+
+    #[test]
+    fn offsets_are_byte_accurate_spans() {
+        let src = "let s = \"é\"; x";
+        let tokens = tokenize(src).unwrap();
+        for token in &tokens {
+            assert_eq!(
+                &src[token.offset..token.offset + token.text.len()],
+                token.text,
+                "token span must slice back to its text"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_string_with_hashes_hides_labels_and_allow_comments() {
+        let src = r####"let s = r#"seed.derive("phantom", 0) // lcakp-lint: allow(D001) reason="no""#;"####;
+        let (tokens, comments) = tokenize_with_comments(src).unwrap();
+        assert!(comments.is_empty(), "{comments:?}");
+        assert!(
+            !tokens
+                .iter()
+                .any(|t| t.kind == TokenKind::Ident && t.text == "derive"),
+            "derive inside a raw string must stay a string, not tokens"
+        );
+        assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn byte_string_is_not_scanned_for_directives() {
+        let src = "let b = b\"lcakp-lint: allow(D005) reason=\\\"in a byte string\\\"\";";
+        let (tokens, comments) = tokenize_with_comments(src).unwrap();
+        assert!(comments.is_empty(), "{comments:?}");
+        assert!(tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Str && t.text.starts_with("b\"")));
+        assert!(!tokens.iter().any(|t| t.text == "allow"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_collected_whole() {
+        let src = "a /* outer /* inner */ still outer */ b // tail";
+        let (tokens, comments) = tokenize_with_comments(src).unwrap();
+        assert_eq!(tokens.len(), 2);
+        assert_eq!(comments.len(), 2);
+        assert_eq!(comments[0].text, "/* outer /* inner */ still outer */");
+        assert_eq!(comments[1].text, "// tail");
+        let src2 = "x /* a /* b */ c */ y";
+        assert_eq!(
+            &src2[comments_of(src2)[0].offset..][..comments_of(src2)[0].text.len()],
+            "/* a /* b */ c */"
+        );
+    }
+
+    fn comments_of(src: &str) -> Vec<Comment> {
+        tokenize_with_comments(src).unwrap().1
+    }
+
+    #[test]
+    fn comment_spans_slice_back_to_their_text() {
+        let src = "fn f() {} // trailing\n/* block\nspanning */ let x = 1;\n";
+        for comment in comments_of(src) {
+            assert_eq!(
+                &src[comment.offset..comment.offset + comment.text.len()],
+                comment.text
+            );
+        }
     }
 }

@@ -25,13 +25,21 @@
 
 pub mod context;
 pub mod engine;
+pub mod fix;
+pub mod graph;
 pub mod lexer;
 pub mod rules;
+pub mod sarif;
 
-pub use context::{crate_name_for, FileCtx};
+pub use context::{crate_name_for, AllowEntry, ConstStr, FileCtx};
 pub use engine::{
     lint_ctx, lint_file, lint_workspace, render_json, render_text, walk_all_sources,
-    walk_production_sources, Diagnostic, EngineError,
+    walk_production_sources, Diagnostic, EngineError, Workspace,
 };
-pub use lexer::{tokenize, LexError, Token, TokenKind};
-pub use rules::{all_rules, rule_by_id, Finding, RuleDef};
+pub use fix::{apply_edits, fix_workspace, plan_fixes, render_fix_diff, Edit, FileFix, FixReport};
+pub use graph::{build_graph, render_graph_json, DeriveSite, LabelSource, RngSite, SeedGraph};
+pub use lexer::{tokenize, tokenize_with_comments, Comment, LexError, Token, TokenKind};
+pub use rules::{
+    all_rules, label_conforms, label_suggestions, rule_by_id, Check, Finding, RuleSpec, Severity,
+};
+pub use sarif::{render_sarif, SARIF_SCHEMA};

@@ -1,8 +1,9 @@
-//! CLI entry point: `lcakp-lint check [--format json] [paths…]` and
+//! CLI entry point: `lcakp-lint check [--format text|json|sarif]
+//! [--emit-graph FILE] [paths…]`, `lcakp-lint fix [--dry-run]` and
 //! `lcakp-lint --list-rules`.
 
 use lcakp_lint::{
-    all_rules, crate_name_for, lint_file, lint_workspace, render_json, render_text, Diagnostic,
+    all_rules, fix_workspace, render_graph_json, render_json, render_sarif, render_text, Workspace,
 };
 use std::path::PathBuf;
 
@@ -10,10 +11,15 @@ const USAGE: &str = "\
 lcakp-lint — workspace invariant checker (determinism, seeded randomness, metered oracle access)
 
 USAGE:
-    lcakp-lint check [--format text|json] [paths…]   lint the workspace (or just the given files)
+    lcakp-lint check [--format text|json|sarif] [--emit-graph FILE] [paths…]
+                                                     lint the workspace (or just the given files);
+                                                     --emit-graph writes the seed-derivation graph
+                                                     as deterministic JSON (`-` for stdout)
+    lcakp-lint fix [--dry-run]                       apply mechanical fixes (D001, D008, D009);
+                                                     --dry-run prints the diff without writing
     lcakp-lint --list-rules                          print rule ids and one-line summaries
 
-Exit codes: 0 = clean, 1 = findings, 2 = usage or I/O error.
+Exit codes: 0 = clean, 1 = findings (check) / fixes planned (fix --dry-run), 2 = usage or I/O error.
 Suppress a reviewed finding with, on the preceding line:
     // lcakp-lint: allow(D00X) reason=\"why this is sound\"
 ";
@@ -33,6 +39,7 @@ fn run() -> i32 {
             0
         }
         Some("check") => check(&args[1..]),
+        Some("fix") => fix(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             if args.is_empty() {
@@ -50,14 +57,22 @@ fn run() -> i32 {
 
 fn check(args: &[String]) -> i32 {
     let mut format = "text".to_string();
+    let mut emit_graph: Option<PathBuf> = None;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--format" => match iter.next().map(String::as_str) {
-                Some(value @ ("text" | "json")) => format = value.to_string(),
+                Some(value @ ("text" | "json" | "sarif")) => format = value.to_string(),
                 other => {
-                    eprintln!("--format expects `text` or `json`, got {other:?}");
+                    eprintln!("--format expects `text`, `json` or `sarif`, got {other:?}");
+                    return 2;
+                }
+            },
+            "--emit-graph" => match iter.next() {
+                Some(file) => emit_graph = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--emit-graph expects a file path (or `-` for stdout)");
                     return 2;
                 }
             },
@@ -69,38 +84,35 @@ fn check(args: &[String]) -> i32 {
         }
     }
 
-    let result = if paths.is_empty() {
-        workspace_root()
-            .and_then(|root| lint_workspace(&root).map_err(|error| format!("lint failed: {error}")))
+    let workspace = if paths.is_empty() {
+        workspace_root().and_then(|root| {
+            Workspace::from_root(&root).map_err(|error| format!("lint failed: {error}"))
+        })
     } else {
-        let mut diagnostics: Vec<Diagnostic> = Vec::new();
-        let mut error = None;
-        for path in &paths {
-            let crate_name = crate_name_for(path);
-            match lint_file(path, &crate_name) {
-                Ok(found) => diagnostics.extend(found),
-                Err(e) => {
-                    error = Some(format!("lint failed: {e}"));
-                    break;
-                }
-            }
-        }
-        match error {
-            Some(message) => Err(message),
-            None => Ok(diagnostics),
-        }
+        Workspace::from_files(&paths).map_err(|error| format!("lint failed: {error}"))
     };
-
-    let diagnostics = match result {
-        Ok(diagnostics) => diagnostics,
+    let workspace = match workspace {
+        Ok(workspace) => workspace,
         Err(message) => {
             eprintln!("{message}");
             return 2;
         }
     };
 
+    if let Some(target) = emit_graph {
+        let json = render_graph_json(&workspace.graph);
+        if target.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(error) = std::fs::write(&target, json) {
+            eprintln!("cannot write graph to {}: {error}", target.display());
+            return 2;
+        }
+    }
+
+    let diagnostics = workspace.diagnostics();
     match format.as_str() {
         "json" => print!("{}", render_json(&diagnostics)),
+        "sarif" => print!("{}", render_sarif(&diagnostics)),
         _ => {
             print!("{}", render_text(&diagnostics));
             if diagnostics.is_empty() {
@@ -114,6 +126,53 @@ fn check(args: &[String]) -> i32 {
         0
     } else {
         1
+    }
+}
+
+fn fix(args: &[String]) -> i32 {
+    let mut dry_run = false;
+    for arg in args {
+        match arg.as_str() {
+            "--dry-run" => dry_run = true,
+            other => {
+                eprintln!("unknown argument `{other}` to fix\n\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let root = match workspace_root() {
+        Ok(root) => root,
+        Err(message) => {
+            eprintln!("{message}");
+            return 2;
+        }
+    };
+    let report = match fix_workspace(&root, dry_run) {
+        Ok(report) => report,
+        Err(error) => {
+            eprintln!("fix failed: {error}");
+            return 2;
+        }
+    };
+    print!("{}", report.diff);
+    if report.edits == 0 {
+        eprintln!("lcakp-lint fix: nothing to fix");
+        return 0;
+    }
+    let verb = if dry_run { "would apply" } else { "applied" };
+    eprintln!(
+        "lcakp-lint fix: {verb} {} edit(s) across {} file(s)",
+        report.edits,
+        report.files.len()
+    );
+    if !report.converged {
+        eprintln!("lcakp-lint fix: WARNING: fixes did not converge in one pass — rerun and review");
+        return 2;
+    }
+    if dry_run {
+        1
+    } else {
+        0
     }
 }
 

@@ -7,12 +7,16 @@
 //! false positive is silenced *with a written reason*.
 
 use crate::context::FileCtx;
+use crate::engine::{Diagnostic, Workspace};
+use crate::graph::LabelSource;
 use crate::lexer::TokenKind;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::PathBuf;
 
 /// A single diagnostic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
-    /// Stable rule id (`D001` … `D006`).
+    /// Stable rule id (`D001` … `D009`).
     pub rule: &'static str,
     /// 1-based line.
     pub line: u32,
@@ -22,23 +26,65 @@ pub struct Finding {
     pub message: String,
 }
 
+/// How serious a finding is — maps onto the SARIF `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// A broken invariant: the determinism contract does not hold.
+    Error,
+    /// Debt: nothing is broken yet, but the guard rails are eroding.
+    Warning,
+}
+
+impl Severity {
+    /// The SARIF 2.1.0 `level` string.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        }
+    }
+}
+
+/// The two shapes a check comes in: per-file (token patterns over one
+/// [`FileCtx`]) or workspace (cross-file analysis over the prepared
+/// [`Workspace`], typically via its seed-derivation graph).
+#[derive(Clone, Copy)]
+pub enum Check {
+    /// Runs once per production file.
+    File(fn(&FileCtx) -> Vec<Finding>),
+    /// Runs once over the whole workspace.
+    Workspace(fn(&Workspace) -> Vec<Diagnostic>),
+}
+
+impl std::fmt::Debug for Check {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Check::File(_) => f.write_str("Check::File"),
+            Check::Workspace(_) => f.write_str("Check::Workspace"),
+        }
+    }
+}
+
 /// A rule definition: id, metadata, crate scope and the check itself.
-pub struct RuleDef {
+pub struct RuleSpec {
     /// Stable id, `D###`.
     pub id: &'static str,
     /// Short kebab-case name.
     pub name: &'static str,
     /// One-line summary (also printed by `--list-rules`).
     pub summary: &'static str,
+    /// Finding severity (the SARIF level).
+    pub severity: Severity,
     /// Returns true when the rule applies to a crate (by short name).
+    /// Workspace rules filter internally and set this to `all`.
     pub applies: fn(&str) -> bool,
-    /// The token-level check.
-    pub check: fn(&FileCtx) -> Vec<Finding>,
+    /// The check itself.
+    pub check: Check,
 }
 
-impl std::fmt::Debug for RuleDef {
+impl std::fmt::Debug for RuleSpec {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("RuleDef")
+        f.debug_struct("RuleSpec")
             .field("id", &self.id)
             .field("name", &self.name)
             .finish()
@@ -54,56 +100,59 @@ pub const EXACT_CRATES: &[&str] = &["knapsack"];
 /// Crates whose experiment binaries may measure wall-clock time.
 pub const TIMING_CRATES: &[&str] = &["bench", "workloads"];
 
-/// All shipped rules, in id order.
-pub fn all_rules() -> &'static [RuleDef] {
-    &[
-        RuleDef {
-            id: "D001",
-            name: "hash-collections-in-seeded-crate",
-            summary: "HashMap/HashSet in a seeded crate: iteration order is nondeterministic; use BTreeMap/BTreeSet",
-            applies: |krate| SEEDED_CRATES.contains(&krate),
-            check: check_d001,
-        },
-        RuleDef {
-            id: "D002",
-            name: "ambient-nondeterminism",
-            summary: "ambient entropy (thread_rng, rand::random, SystemTime/Instant::now, std::env) outside bench/workloads timing code",
-            applies: |_| true,
-            check: check_d002,
-        },
-        RuleDef {
-            id: "D003",
-            name: "panicking-oracle-access",
-            summary: "panicking oracle access (.query/.sample_weighted or unwrap/expect on try_* results); use the fallible try_* API",
-            applies: |krate| krate == "core" || krate == "bench",
-            check: check_d003,
-        },
-        RuleDef {
-            id: "D004",
-            name: "float-in-exact-crate",
-            summary: "f64/f32 in a correctness-critical crate; use knapsack::rat exact rationals (allow for reporting code)",
-            applies: |krate| EXACT_CRATES.contains(&krate),
-            check: check_d004,
-        },
-        RuleDef {
-            id: "D005",
-            name: "literal-seed-construction",
-            summary: "Seed built from an integer literal outside tests; derive it from a root via Seed::derive domain separation",
-            applies: |_| true,
-            check: check_d005,
-        },
-        RuleDef {
-            id: "D006",
-            name: "wall-clock-in-service",
-            summary: "std::time (Instant/SystemTime/Duration) or thread::sleep in the serving runtime; service time is virtual ticks on a VirtualClock",
-            applies: |krate| krate == "service",
-            check: check_d006,
-        },
-    ]
+fn all(_: &str) -> bool {
+    true
+}
+fn seeded(krate: &str) -> bool {
+    SEEDED_CRATES.contains(&krate)
+}
+fn exact(krate: &str) -> bool {
+    EXACT_CRATES.contains(&krate)
+}
+fn oracle_callers(krate: &str) -> bool {
+    krate == "core" || krate == "bench"
+}
+fn service_only(krate: &str) -> bool {
+    krate == "service"
+}
+
+/// The declarative rule table: one row per rule — id, name, severity,
+/// crate scope, check, summary. Everything else (allow mechanism, test
+/// exemption, rendering, SARIF metadata) is generic machinery keyed off
+/// this table, so registering a rule is exactly one line here.
+macro_rules! rule_table {
+    ($( $id:literal $name:literal $sev:ident $applies:ident $kind:ident($check:path): $summary:literal; )*) => {
+        /// All shipped rules, in id order.
+        pub fn all_rules() -> &'static [RuleSpec] {
+            const RULES: &[RuleSpec] = &[
+                $( RuleSpec {
+                    id: $id,
+                    name: $name,
+                    summary: $summary,
+                    severity: Severity::$sev,
+                    applies: $applies,
+                    check: Check::$kind($check),
+                } ),*
+            ];
+            RULES
+        }
+    };
+}
+
+rule_table! {
+    "D001" "hash-collections-in-seeded-crate" Error seeded File(check_d001): "HashMap/HashSet in a seeded crate: iteration order is nondeterministic; use BTreeMap/BTreeSet";
+    "D002" "ambient-nondeterminism" Error all File(check_d002): "ambient entropy (thread_rng, rand::random, SystemTime/Instant::now, std::env) outside bench/workloads timing code";
+    "D003" "panicking-oracle-access" Error oracle_callers File(check_d003): "panicking oracle access (.query/.sample_weighted or unwrap/expect on try_* results); use the fallible try_* API";
+    "D004" "float-in-exact-crate" Error exact File(check_d004): "f64/f32 in a correctness-critical crate; use knapsack::rat exact rationals (allow for reporting code)";
+    "D005" "literal-seed-construction" Error all File(check_d005): "Seed built from an integer literal outside tests; derive it from a root via Seed::derive domain separation";
+    "D006" "wall-clock-in-service" Error service_only File(check_d006): "std::time (Instant/SystemTime/Duration) or thread::sleep in the serving runtime; service time is virtual ticks on a VirtualClock";
+    "D007" "duplicate-domain-label" Error all Workspace(check_d007): "the same Seed::derive domain label at two call sites correlates two 'independent' streams; labels must be workspace-unique";
+    "D008" "label-convention" Error all Workspace(check_d008): "derive domain labels must be component/purpose lowercase-kebab (e.g. rmedian/shift); the diagnostic suggests a canonical label";
+    "D009" "stale-allow" Warning all Workspace(check_d009): "an lcakp-lint: allow(id) comment whose rule no longer fires at that site is suppression debt; remove it";
 }
 
 /// Looks up a rule definition by id.
-pub fn rule_by_id(id: &str) -> Option<&'static RuleDef> {
+pub fn rule_by_id(id: &str) -> Option<&'static RuleSpec> {
     all_rules().iter().find(|rule| rule.id == id)
 }
 
@@ -455,6 +504,210 @@ fn check_d006(ctx: &FileCtx) -> Vec<Finding> {
     findings
 }
 
+// ---------------------------------------------------------------------
+// Cross-file rules: the seed-derivation graph makes these possible.
+// ---------------------------------------------------------------------
+
+/// True when `label` follows the `component/purpose` convention: at
+/// least two `/`-separated segments, each lowercase-kebab
+/// (`[a-z0-9]+(-[a-z0-9]+)*`).
+pub fn label_conforms(label: &str) -> bool {
+    let segments: Vec<&str> = label.split('/').collect();
+    segments.len() >= 2 && segments.iter().all(|segment| kebab_segment(segment))
+}
+
+fn kebab_segment(segment: &str) -> bool {
+    !segment.is_empty()
+        && !segment.starts_with('-')
+        && !segment.ends_with('-')
+        && !segment.contains("--")
+        && segment
+            .chars()
+            .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+}
+
+/// Lowercase-kebab projection of arbitrary text: runs of anything that
+/// is not `[a-z0-9]` collapse to a single `-`.
+fn kebab(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.is_empty() && !out.ends_with('-') {
+            out.push('-');
+        }
+    }
+    while out.ends_with('-') {
+        out.pop();
+    }
+    out
+}
+
+/// The `component` half of a suggested label: the file stem (crate name
+/// for `lib`/`main`/`mod`), shortened to the experiment id for bench
+/// bins (`e5_approximation.rs` → `e5`).
+fn component_for(path: &str, crate_name: &str) -> String {
+    let file = path.rsplit('/').next().unwrap_or(path);
+    let stem = file.strip_suffix(".rs").unwrap_or(file);
+    let stem = if matches!(stem, "lib" | "main" | "mod") {
+        crate_name
+    } else {
+        stem
+    };
+    if let Some((prefix, _)) = stem.split_once('_') {
+        let is_experiment_id = prefix.len() >= 2
+            && prefix.starts_with('e')
+            && prefix[1..].chars().all(|c| c.is_ascii_digit());
+        if is_experiment_id {
+            return kebab(prefix);
+        }
+    }
+    kebab(stem)
+}
+
+/// Deterministic canonical-label suggestions for every non-conforming
+/// literal label in the workspace, keyed by (path, line, col) of the
+/// derive site. D008 prints these and `lint fix` applies them; keeping
+/// one source of truth guarantees the fix matches the diagnostic.
+///
+/// Suggestions never collide with an existing conforming label or with
+/// each other (a `-2`, `-3`, … suffix disambiguates), so applying them
+/// cannot introduce a D007 duplicate.
+pub fn label_suggestions(ws: &Workspace) -> BTreeMap<(String, u32, u32), String> {
+    let mut taken: BTreeSet<String> = ws
+        .graph
+        .derives
+        .iter()
+        .filter_map(|site| site.label.value())
+        .filter(|label| label_conforms(label))
+        .map(str::to_string)
+        .collect();
+    let mut suggestions = BTreeMap::new();
+    for site in &ws.graph.derives {
+        let Some(label) = site.label.value() else {
+            continue;
+        };
+        if label_conforms(label) {
+            continue;
+        }
+        let base = if label.contains('/') {
+            let segments: Vec<String> = label
+                .split('/')
+                .map(kebab)
+                .filter(|segment| !segment.is_empty())
+                .collect();
+            if segments.len() >= 2 {
+                segments.join("/")
+            } else {
+                format!(
+                    "{}/{}",
+                    component_for(&site.path, &site.crate_name),
+                    segments.first().cloned().unwrap_or_else(|| "stream".into())
+                )
+            }
+        } else {
+            let purpose = match kebab(label) {
+                ref p if p.is_empty() => "stream".to_string(),
+                p => p,
+            };
+            format!(
+                "{}/{}",
+                component_for(&site.path, &site.crate_name),
+                purpose
+            )
+        };
+        let mut candidate = base.clone();
+        let mut n = 2;
+        while taken.contains(&candidate) {
+            candidate = format!("{base}-{n}");
+            n += 1;
+        }
+        taken.insert(candidate.clone());
+        suggestions.insert((site.path.clone(), site.line, site.col), candidate);
+    }
+    suggestions
+}
+
+/// D007: the same domain label at two (or more) call sites. Every site
+/// after the first (in path/line order) is flagged, naming the first —
+/// so a duplicated pair yields one diagnostic, at the site that came
+/// second. An intentional re-derivation keeps the label and carries an
+/// `allow(D007)` with the reason.
+fn check_d007(ws: &Workspace) -> Vec<Diagnostic> {
+    let mut by_label: BTreeMap<&str, Vec<&crate::graph::DeriveSite>> = BTreeMap::new();
+    for site in &ws.graph.derives {
+        if let Some(label) = site.label.value() {
+            by_label.entry(label).or_default().push(site);
+        }
+    }
+    let mut diagnostics = Vec::new();
+    for (label, sites) in by_label {
+        let Some((first, rest)) = sites.split_first() else {
+            continue;
+        };
+        for site in rest {
+            diagnostics.push(Diagnostic {
+                path: PathBuf::from(&site.path),
+                finding: Finding {
+                    rule: "D007",
+                    line: site.line,
+                    col: site.col,
+                    message: format!(
+                        "domain label \"{label}\" is also derived at {}:{}; a duplicated label \
+                         correlates two 'independent' random streams and voids the consistency \
+                         analysis — rename one site, or allow(D007) with the re-derivation reason",
+                        first.path, first.line
+                    ),
+                },
+            });
+        }
+    }
+    diagnostics
+}
+
+/// D008: label convention. Every statically known label must be
+/// `component/purpose` lowercase-kebab; the diagnostic carries the
+/// canonical suggestion that `lint fix` would apply.
+fn check_d008(ws: &Workspace) -> Vec<Diagnostic> {
+    let suggestions = label_suggestions(ws);
+    let mut diagnostics = Vec::new();
+    for site in &ws.graph.derives {
+        let Some(label) = site.label.value() else {
+            continue;
+        };
+        if label_conforms(label) {
+            continue;
+        }
+        let suggested = suggestions
+            .get(&(site.path.clone(), site.line, site.col))
+            .cloned()
+            .unwrap_or_else(|| "component/purpose".into());
+        let via = match &site.label {
+            LabelSource::Const { name, .. } => format!(" (via const `{name}`)"),
+            _ => String::new(),
+        };
+        diagnostics.push(Diagnostic {
+            path: PathBuf::from(&site.path),
+            finding: Finding {
+                rule: "D008",
+                line: site.line,
+                col: site.col,
+                message: format!(
+                    "domain label \"{label}\"{via} does not follow the component/purpose \
+                     lowercase-kebab convention; suggested canonical label: \"{suggested}\""
+                ),
+            },
+        });
+    }
+    diagnostics
+}
+
+/// D009: stale allow — delegated to the engine, which knows which allow
+/// directives actually suppressed (or annotated) a finding this run.
+fn check_d009(ws: &Workspace) -> Vec<Diagnostic> {
+    crate::engine::stale_allow_diagnostics(ws)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -462,7 +715,10 @@ mod tests {
     fn run(rule_id: &str, crate_name: &str, src: &str) -> Vec<Finding> {
         let ctx = FileCtx::from_source("mem.rs", crate_name, src).unwrap();
         let rule = rule_by_id(rule_id).unwrap();
-        (rule.check)(&ctx)
+        let Check::File(check) = rule.check else {
+            panic!("{rule_id} is not a file rule");
+        };
+        check(&ctx)
     }
 
     #[test]

@@ -1,0 +1,150 @@
+//! SARIF 2.1.0 output for CI and code-scanning integrations.
+//!
+//! Hand-rolled like every serializer in this crate (the lint must stay
+//! dependency-free), emitting the minimal valid subset of the
+//! [SARIF 2.1.0 schema]: one run, the full rule catalogue under
+//! `tool.driver.rules` (id, name, short description, default level from
+//! the rule's [`Severity`]), and one `result` per diagnostic with a
+//! `physicalLocation` region. Output is deterministic: rules in table
+//! order, results in the engine's (path, line, col, rule) order.
+//!
+//! [SARIF 2.1.0 schema]: https://json.schemastore.org/sarif-2.1.0.json
+
+use crate::engine::{json_escape, Diagnostic};
+use crate::rules::{all_rules, rule_by_id};
+use std::fmt::Write as _;
+
+/// The `$schema` URI stamped into every report.
+pub const SARIF_SCHEMA: &str = "https://json.schemastore.org/sarif-2.1.0.json";
+
+/// Renders diagnostics as a SARIF 2.1.0 document.
+pub fn render_sarif(diagnostics: &[Diagnostic]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"$schema\": \"{SARIF_SCHEMA}\",");
+    out.push_str("  \"version\": \"2.1.0\",\n  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"lcakp-lint\",\n");
+    out.push_str("          \"informationUri\": \"docs/lints.md\",\n");
+    let _ = writeln!(
+        out,
+        "          \"version\": \"{}\",",
+        env!("CARGO_PKG_VERSION")
+    );
+    out.push_str("          \"rules\": [");
+    for (index, rule) in all_rules().iter().enumerate() {
+        out.push_str(if index == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "            {{\"id\": \"{}\", \"name\": \"{}\", \"shortDescription\": {{\"text\": \"{}\"}}, \"defaultConfiguration\": {{\"level\": \"{}\"}}}}",
+            rule.id,
+            json_escape(rule.name),
+            json_escape(rule.summary),
+            rule.severity.sarif_level(),
+        );
+    }
+    out.push_str("\n          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [");
+    for (index, diagnostic) in diagnostics.iter().enumerate() {
+        out.push_str(if index == 0 { "\n" } else { ",\n" });
+        let rule_index = all_rules()
+            .iter()
+            .position(|rule| rule.id == diagnostic.finding.rule)
+            .unwrap_or(0);
+        let level = rule_by_id(diagnostic.finding.rule)
+            .map(|rule| rule.severity.sarif_level())
+            .unwrap_or("error");
+        // SARIF artifact URIs are relative, forward-slashed.
+        let uri = diagnostic
+            .path
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let _ = write!(
+            out,
+            "        {{\"ruleId\": \"{}\", \"ruleIndex\": {}, \"level\": \"{}\", \"message\": {{\"text\": \"{}\"}}, \"locations\": [{{\"physicalLocation\": {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \"startColumn\": {}}}}}}}]}}",
+            diagnostic.finding.rule,
+            rule_index,
+            level,
+            json_escape(&diagnostic.finding.message),
+            json_escape(&uri),
+            diagnostic.finding.line,
+            diagnostic.finding.col,
+        );
+    }
+    if diagnostics.is_empty() {
+        out.push_str("]\n");
+    } else {
+        out.push_str("\n      ]\n");
+    }
+    out.push_str("    }\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Finding;
+    use std::path::PathBuf;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic {
+                path: PathBuf::from("crates/core/src/lca.rs"),
+                finding: Finding {
+                    rule: "D001",
+                    line: 12,
+                    col: 5,
+                    message: "say \"no\" to HashMap".to_string(),
+                },
+            },
+            Diagnostic {
+                path: PathBuf::from("crates/service/src/chaos.rs"),
+                finding: Finding {
+                    rule: "D009",
+                    line: 3,
+                    col: 1,
+                    message: "stale allow".to_string(),
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn report_has_schema_version_and_rule_catalogue() {
+        let sarif = render_sarif(&sample());
+        assert!(sarif.contains("\"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(sarif.contains("\"version\": \"2.1.0\""));
+        for rule in all_rules() {
+            assert!(
+                sarif.contains(&format!("\"id\": \"{}\"", rule.id)),
+                "missing rule {} in catalogue",
+                rule.id
+            );
+        }
+    }
+
+    #[test]
+    fn results_carry_location_level_and_escaped_message() {
+        let sarif = render_sarif(&sample());
+        assert!(sarif.contains("\"uri\": \"crates/core/src/lca.rs\""));
+        assert!(sarif.contains("\"startLine\": 12"));
+        assert!(sarif.contains("\"startColumn\": 5"));
+        assert!(sarif.contains("say \\\"no\\\" to HashMap"));
+        // D001 is an error, D009 a warning.
+        assert!(sarif.contains("\"ruleId\": \"D001\", \"ruleIndex\": 0, \"level\": \"error\""));
+        assert!(sarif.contains("\"ruleId\": \"D009\", \"ruleIndex\": 8, \"level\": \"warning\""));
+    }
+
+    #[test]
+    fn empty_report_is_still_valid_shape() {
+        let sarif = render_sarif(&[]);
+        assert!(sarif.contains("\"results\": []"));
+        assert!(sarif.contains("\"runs\": ["));
+    }
+
+    #[test]
+    fn output_is_deterministic() {
+        assert_eq!(render_sarif(&sample()), render_sarif(&sample()));
+    }
+}

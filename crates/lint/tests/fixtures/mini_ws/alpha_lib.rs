@@ -1,0 +1,12 @@
+//! Mini-workspace fixture: library crate with a const-routed
+//! non-conforming label (D008), a stale allow (D009) and the first
+//! derivation of `alpha/query`.
+
+const FAULT_DOMAIN: &str = "Alpha Faults";
+
+pub fn streams(root: &Seed, k: u64) {
+    let _a = root.derive("alpha/query", 0);
+    let _b = root.derive(FAULT_DOMAIN, k);
+    // lcakp-lint: allow(D001) reason="HashMap was removed in a refactor"
+    let _c = k + 1;
+}

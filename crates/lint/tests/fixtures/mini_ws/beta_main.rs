@@ -1,0 +1,8 @@
+//! Mini-workspace fixture: binary crate that re-derives `alpha/query`
+//! (D007) and uses a bare one-segment label (D008).
+
+fn main() {
+    let root = seed();
+    let _q = root.derive("alpha/query", 1);
+    let _p = root.derive("plain", 0).rng();
+}

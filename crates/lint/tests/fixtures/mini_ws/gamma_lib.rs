@@ -1,0 +1,7 @@
+//! Mini-workspace fixture: an intentional re-derivation, suppressed by
+//! an allow-with-reason (so neither D007 nor D009 fires).
+
+pub fn replay(root: &Seed) {
+    // lcakp-lint: allow(D007) reason="replays the alpha stream to assert bit-identity"
+    let _r = root.derive("alpha/query", 0);
+}

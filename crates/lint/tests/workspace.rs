@@ -3,9 +3,13 @@
 //! production tree must be lint-clean — the same bar the CI `lint` job
 //! enforces via `cargo run -p lcakp-lint -- check`.
 
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use lcakp_lint::{lint_workspace, render_json, tokenize, walk_all_sources};
+use lcakp_lint::{
+    label_conforms, lint_workspace, render_graph_json, render_json, tokenize, walk_all_sources,
+    Workspace,
+};
 
 fn workspace_root() -> PathBuf {
     // crates/lint → crates → workspace root.
@@ -54,6 +58,67 @@ fn workspace_is_lint_clean() {
         "workspace has lint findings:\n{}",
         lcakp_lint::render_text(&diagnostics)
     );
+}
+
+/// The seed-derivation graph over the real repository: emission is
+/// byte-identical across independent builds (the `--emit-graph`
+/// determinism contract), and the graph is non-trivial — the seeded
+/// crates really do route their randomness through `derive`.
+#[test]
+fn seed_graph_emission_is_deterministic() {
+    let root = workspace_root();
+    let first = Workspace::from_root(&root).expect("workspace builds");
+    let second = Workspace::from_root(&root).expect("workspace rebuilds");
+    assert_eq!(
+        render_graph_json(&first.graph),
+        render_graph_json(&second.graph),
+        "graph emission must be byte-identical across runs"
+    );
+    assert!(
+        first.graph.derives.len() >= 20,
+        "suspiciously few derive sites: {}",
+        first.graph.derives.len()
+    );
+    assert!(!first.graph.rngs.is_empty());
+}
+
+/// Every statically known domain label in the production tree is unique
+/// (no D007 collisions) unless the re-derivation site carries an
+/// `allow(D007)` with a reason — and every label parses under the D008
+/// `component/purpose` convention.
+#[test]
+fn workspace_labels_are_unique_and_conforming() {
+    let root = workspace_root();
+    let ws = Workspace::from_root(&root).expect("workspace builds");
+    let mut by_label: BTreeMap<&str, Vec<String>> = BTreeMap::new();
+    for site in &ws.graph.derives {
+        let Some(label) = site.label.value() else {
+            continue;
+        };
+        assert!(
+            label_conforms(label),
+            "label \"{label}\" at {}:{} violates the component/purpose convention",
+            site.path,
+            site.line
+        );
+        let allowed = ws
+            .ctx_for(Path::new(&site.path))
+            .into_iter()
+            .flat_map(|ctx| ctx.allows_covering(site.line))
+            .any(|(_, entry)| entry.ids.iter().any(|id| id == "D007") && entry.has_reason());
+        if !allowed {
+            by_label
+                .entry(label)
+                .or_default()
+                .push(format!("{}:{}", site.path, site.line));
+        }
+    }
+    for (label, sites) in by_label {
+        assert!(
+            sites.len() == 1,
+            "domain label \"{label}\" derived at multiple sites without allow(D007): {sites:?}"
+        );
+    }
 }
 
 /// `docs/lints.md` documents every shipped rule: each id and kebab-case

@@ -99,7 +99,7 @@ pub fn rquantile(
         domain: extended,
         tau: config.tau / 2.0,
     };
-    let out = rmedian(&padded, &median_config, &seed.derive("rquantile", 0))?;
+    let out = rmedian(&padded, &median_config, &seed.derive("rquantile/median", 0))?;
     // Decode: clamp −∞ to the domain minimum and +∞ (or any grid point
     // above the real values) to the maximum.
     Ok(out.saturating_sub(1).min(config.domain.max_value()))

@@ -75,7 +75,7 @@ impl BackoffPolicy {
         }
         let mut rng = root
             .derive(JITTER_DOMAIN, query)
-            .derive("attempt", u64::from(attempt))
+            .derive("backoff/attempt", u64::from(attempt))
             .rng();
         floor + rng.gen_range(0..=span)
     }

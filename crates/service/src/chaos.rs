@@ -383,7 +383,7 @@ pub struct SmokeParts {
 ///
 /// Propagates workload generation and LCA construction errors.
 pub fn smoke_parts(root: &Seed) -> Result<SmokeParts, LcaError> {
-    let workload_seed = seed_to_u64(&root.derive("workload", 0));
+    let workload_seed = seed_to_u64(&root.derive("chaos/workload", 0));
     let norm = WorkloadSpec::new(Family::SmallDominated, 48, workload_seed)
         .generate_normalized()
         .map_err(LcaError::from)?;
@@ -427,8 +427,8 @@ pub fn smoke_parts(root: &Seed) -> Result<SmokeParts, LcaError> {
     Ok(SmokeParts {
         norm,
         lca,
-        shared_seed: root.derive("shared", 0),
-        service_root: root.derive("service", 0),
+        shared_seed: root.derive("chaos/shared", 0),
+        service_root: root.derive("chaos/service", 0),
         config,
         plan,
     })

@@ -496,7 +496,7 @@ where
             // Every attempt replays the SAME sampling stream: a retry
             // that succeeds is byte-identical to a fault-free first try
             // (the fault layer never consumes this stream).
-            let mut rng = query_seed.derive("sampling", 0).rng();
+            let mut rng = query_seed.derive("service/sampling", 0).rng();
             let (answer, audit) =
                 ctx.lca
                     .query_with_audit(&guarded, &mut rng, item, ctx.shared_seed)?;

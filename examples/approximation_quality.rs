@@ -31,8 +31,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let lca = LcaKp::new(eps)?.with_budget(
                 lca_knapsack::reproducible::SampleBudget::Calibrated { factor: 0.005 },
             );
-            let mut rng = root.derive("sampling", 0).rng();
-            let audit = assemble_and_audit(&lca, &norm, &mut rng, &root.derive("shared-seed", 0))?;
+            let mut rng = root.derive("approximation-quality/sampling", 0).rng();
+            let audit = assemble_and_audit(
+                &lca,
+                &norm,
+                &mut rng,
+                &root.derive("approximation-quality/shared-seed", 0),
+            )?;
             println!(
                 "{:<42} {:>6} {:>8} {:>8} {:>7.3} {:>9} {:>6}",
                 spec.family.to_string(),

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Single root seed for this example; every stream below derives from it.
     // lcakp-lint: allow(D005) reason="the example's single root seed constant"
     let root = Seed::from_entropy_u64(0xC1_0531);
-    let seed = root.derive("shared-seed", 0);
+    let seed = root.derive("cluster-serving/shared-seed", 0);
 
     // A realistic query log: every item once, plus a hot set queried
     // five times (by whichever workers get them).

@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Single root seed for this example; every stream below derives from it.
     // lcakp-lint: allow(D005) reason="the example's single root seed constant"
     let root = Seed::from_entropy_u64(0xD15C);
-    let shared_seed = root.derive("shared-seed", 0);
+    let shared_seed = root.derive("distributed-consistency/shared-seed", 0);
 
     // Phase 1: workers answer DISJOINT slices; the union must be one
     // feasible solution.
@@ -53,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 let oracle = &oracle;
                 let seed = &shared_seed;
                 scope.spawn(move || {
-                    let mut rng = root.derive("worker-sampling", worker as u64).rng();
+                    let mut rng = root
+                        .derive("distributed-consistency/worker-sampling", worker as u64)
+                        .rng();
                     let mut included = Vec::new();
                     for &item in slice {
                         let answer = lca

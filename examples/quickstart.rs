@@ -30,9 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Single root seed for this example; every stream below derives from it.
     // lcakp-lint: allow(D005) reason="the example's single root seed constant"
     let root = Seed::from_entropy_u64(0x0111C3);
-    let shared_seed = root.derive("shared-seed", 0);
+    let shared_seed = root.derive("quickstart/shared-seed", 0);
     let oracle = InstanceOracle::new(&norm);
-    let mut sampling_rng = root.derive("sampling", 0).rng();
+    let mut sampling_rng = root.derive("quickstart/sampling", 0).rng();
 
     // 3. Ask about a few items — each query is answered independently,
     //    yet all answers are consistent with one common solution.

@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p,
         tau,
         trials,
-        root.derive("rquantile", 0),
+        root.derive("reproducible-median-demo/rquantile", 0),
         |sample, seed| {
             let config = RQuantileConfig {
                 domain: Domain::new(20).expect("20-bit domain fits"),
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         p,
         tau,
         trials,
-        root.derive("naive", 0),
+        root.derive("reproducible-median-demo/naive", 0),
         |sample, _| naive_quantile(sample, p),
     );
     println!("naive quantile (same conditions):         {naive}");

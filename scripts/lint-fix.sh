@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Preview, and optionally apply, lcakp-lint's mechanical autofixes
+# (D001 BTree renames, D008 label renames, D009 stale-allow removal).
+#
+#   scripts/lint-fix.sh            show the planned diff (no writes)
+#   scripts/lint-fix.sh --apply    apply the fixes, then re-check
+#
+# Exits 0 when the tree is clean (or was just fixed clean), nonzero
+# when fixes are pending (preview mode) or findings remain that need a
+# human (non-mechanical rules, const-routed labels).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--apply" ]]; then
+    cargo run -q -p lcakp-lint -- fix
+    cargo run -q -p lcakp-lint -- check
+else
+    if cargo run -q -p lcakp-lint -- fix --dry-run; then
+        # No fixes planned; surface anything the fixer cannot repair.
+        cargo run -q -p lcakp-lint -- check
+    else
+        status=$?
+        echo
+        echo "fixes pending — run scripts/lint-fix.sh --apply" >&2
+        exit "$status"
+    fi
+fi
