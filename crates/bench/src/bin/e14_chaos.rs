@@ -28,7 +28,7 @@ use lcakp_oracle::FaultPlan;
 use lcakp_reproducible::SampleBudget;
 use lcakp_service::{
     run_scenario, run_smoke, seed_to_u64, BackoffPolicy, BreakerConfig, ChaosPlan, ChaosRun,
-    ChaosScenario, CostModel, FallbackTrigger, LatencyWindow, ServiceConfig,
+    ChaosScenario, CostModel, FallbackTrigger, LatencyWindow, RecoveryDiscipline, ServiceConfig,
 };
 use lcakp_workloads::{Family, WorkloadSpec};
 
@@ -108,6 +108,7 @@ fn main() {
             half_open_probes: 1,
         },
         worker_access_cap: None,
+        recovery: RecoveryDiscipline::Faithful,
     };
 
     // ---- Scenario 1: fault bursts against the availability SLO. ----
@@ -125,6 +126,7 @@ fn main() {
         },
         burst_period: 16,
         burst_len: 8,
+        worker_events: Vec::new(),
     };
     let fault_burst = ChaosScenario {
         label: "fault-burst-slo",

@@ -92,7 +92,14 @@ impl std::fmt::Debug for RuleSpec {
 }
 
 /// Crates whose execution must be a pure function of the shared seed.
-pub const SEEDED_CRATES: &[&str] = &["core", "reproducible", "oracle", "lowerbounds", "service"];
+pub const SEEDED_CRATES: &[&str] = &[
+    "core",
+    "reproducible",
+    "oracle",
+    "lowerbounds",
+    "service",
+    "sim",
+];
 
 /// Crates where exact rational arithmetic (`knapsack::rat`) is the law.
 pub const EXACT_CRATES: &[&str] = &["knapsack"];
@@ -149,6 +156,7 @@ rule_table! {
     "D007" "duplicate-domain-label" Error all Workspace(check_d007): "the same Seed::derive domain label at two call sites correlates two 'independent' streams; labels must be workspace-unique";
     "D008" "label-convention" Error all Workspace(check_d008): "derive domain labels must be component/purpose lowercase-kebab (e.g. rmedian/shift); the diagnostic suggests a canonical label";
     "D009" "stale-allow" Warning all Workspace(check_d009): "an lcakp-lint: allow(id) comment whose rule no longer fires at that site is suppression debt; remove it";
+    "D010" "process-exit-outside-main" Error all File(check_d010): "std::process::exit/abort outside main.rs or a bin entry point kills the process out from under the runtime; crashes must only happen via the simulator's crash schedule";
 }
 
 /// Looks up a rule definition by id.
@@ -504,6 +512,60 @@ fn check_d006(ctx: &FileCtx) -> Vec<Finding> {
     findings
 }
 
+/// True when the file is a process entry point, where terminating the
+/// process is legitimate: a `main.rs`, or anything under a `bin/`
+/// directory (bench experiment bins).
+fn is_entry_point(ctx: &FileCtx) -> bool {
+    let file_name = ctx
+        .path
+        .file_name()
+        .and_then(|name| name.to_str())
+        .unwrap_or("");
+    file_name == "main.rs"
+        || ctx
+            .path
+            .components()
+            .any(|component| component.as_os_str() == "bin")
+}
+
+fn check_d010(ctx: &FileCtx) -> Vec<Finding> {
+    if is_entry_point(ctx) {
+        return Vec::new();
+    }
+    let mut findings = Vec::new();
+    for (index, token) in ctx.tokens.iter().enumerate() {
+        if token.kind != TokenKind::Ident {
+            continue;
+        }
+        let name = token.text.as_str();
+        if name != "exit" && name != "abort" {
+            continue;
+        }
+        // Only calls count; a field or variable named `exit` is fine.
+        if !ctx.is_punct(index + 1, "(") {
+            continue;
+        }
+        let path_qualified =
+            index >= 2 && ctx.is_punct(index - 1, "::") && ctx.is_ident(index - 2, "process");
+        let imported = ctx
+            .resolve(name)
+            .is_some_and(|path| path.starts_with("std::process") || path.starts_with("libc"));
+        if path_qualified || imported {
+            findings.push(finding(
+                "D010",
+                ctx,
+                index,
+                format!(
+                    "`process::{name}()` kills the process out from under the runtime — \
+                     journals stay torn and queries are silently dropped; return an error \
+                     (library code) or crash via the simulator's schedule (tests)",
+                ),
+            ));
+        }
+    }
+    findings
+}
+
 // ---------------------------------------------------------------------
 // Cross-file rules: the seed-derivation graph makes these possible.
 // ---------------------------------------------------------------------
@@ -810,6 +872,37 @@ mod tests {
             "use crate::ticks::Duration;\nfn f(pause: Duration) { let _ = pause; }\n",
         );
         assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn d010_flags_qualified_and_imported_exits_in_library_code() {
+        let src =
+            "use std::process::exit;\nfn f() { exit(1); }\nfn g() { std::process::abort(); }\n";
+        let hits = run("D010", "service", src);
+        assert_eq!(hits.len(), 2, "{hits:?}"); // the call sites, not the import
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[1].line, 3);
+    }
+
+    #[test]
+    fn d010_ignores_unrelated_exits() {
+        let src =
+            "fn f(exit: u64) -> u64 { exit }\nfn g() { door.exit(); }\nfn h() { my::exit(3); }\n";
+        let hits = run("D010", "service", src);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn d010_exempts_entry_points() {
+        let src = "fn main() { std::process::exit(run()); }\n";
+        for path in ["main.rs", "src/bin/e15_simulation.rs"] {
+            let ctx = FileCtx::from_source(path, "lint", src).unwrap();
+            let rule = rule_by_id("D010").unwrap();
+            let Check::File(check) = rule.check else {
+                panic!("D010 is not a file rule");
+            };
+            assert!(check(&ctx).is_empty(), "{path} must be exempt");
+        }
     }
 
     #[test]

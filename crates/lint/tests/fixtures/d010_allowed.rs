@@ -1,0 +1,5 @@
+//! D010 allow fixture: a reasoned termination outside an entry point.
+pub fn poisoned_lock_is_unrecoverable() {
+    // lcakp-lint: allow(D010) reason="double-panic guard: unwinding again would abort anyway"
+    std::process::abort();
+}

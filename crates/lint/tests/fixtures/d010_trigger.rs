@@ -1,0 +1,10 @@
+//! D010 trigger: process termination from library code.
+use std::process::exit;
+
+pub fn bail(code: i32) {
+    exit(code);
+}
+
+pub fn die() {
+    std::process::abort();
+}

@@ -243,3 +243,45 @@ fn d006_is_scoped_to_the_service_crate() {
     let src = include_str!("fixtures/d006_trigger.rs");
     assert_eq!(diags("core", "d006_trigger.rs", src), Vec::<String>::new());
 }
+
+#[test]
+fn d010_trigger_snapshot() {
+    let got = diags(
+        "service",
+        "d010_trigger.rs",
+        include_str!("fixtures/d010_trigger.rs"),
+    );
+    assert_eq!(
+        got,
+        vec![
+            "d010_trigger.rs:5:5: [D010] `process::exit()` kills the process out from under the \
+             runtime — journals stay torn and queries are silently dropped; return an error \
+             (library code) or crash via the simulator's schedule (tests)",
+            "d010_trigger.rs:9:19: [D010] `process::abort()` kills the process out from under the \
+             runtime — journals stay torn and queries are silently dropped; return an error \
+             (library code) or crash via the simulator's schedule (tests)",
+        ]
+    );
+}
+
+#[test]
+fn d010_allow_is_silent() {
+    let got = diags(
+        "service",
+        "d010_allowed.rs",
+        include_str!("fixtures/d010_allowed.rs"),
+    );
+    assert_eq!(got, Vec::<String>::new());
+}
+
+/// Path scoping: entry points (`main.rs`, anything under a `bin/`
+/// directory) own process exit — the same source is silent there.
+#[test]
+fn d010_is_scoped_to_library_code() {
+    let src = include_str!("fixtures/d010_trigger.rs");
+    assert_eq!(diags("lint", "main.rs", src), Vec::<String>::new());
+    assert_eq!(
+        diags("bench", "src/bin/e15_simulation.rs", src),
+        Vec::<String>::new()
+    );
+}

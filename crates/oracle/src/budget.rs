@@ -31,11 +31,21 @@ pub struct BudgetedOracle<'a, O> {
 
 impl<'a, O> BudgetedOracle<'a, O> {
     /// Wraps `inner` with a combined query+sample cap.
+    #[must_use]
     pub fn new(inner: &'a O, cap: u64) -> Self {
+        BudgetedOracle::with_spent(inner, cap, 0)
+    }
+
+    /// Wraps `inner` with `spent` accesses already charged against
+    /// `cap` — how a crash-recovered worker resumes its budget slice
+    /// exactly where its snapshot froze it. `spent` is clamped to `cap`
+    /// (a snapshot can never legitimately exceed the cap it ran under).
+    #[must_use]
+    pub fn with_spent(inner: &'a O, cap: u64, spent: u64) -> Self {
         BudgetedOracle {
             inner,
             cap,
-            used: AtomicU64::new(0),
+            used: AtomicU64::new(spent.min(cap)),
         }
     }
 
@@ -186,6 +196,26 @@ mod tests {
             let _ = budgeted.stats();
         }
         assert_eq!(budgeted.used(), 0);
+    }
+
+    #[test]
+    fn with_spent_resumes_the_budget_exactly() {
+        let norm = norm();
+        let inner = InstanceOracle::new(&norm);
+        let resumed = BudgetedOracle::with_spent(&inner, 5, 3);
+        assert_eq!(resumed.used(), 3);
+        assert_eq!(resumed.remaining(), 2);
+        assert!(resumed.try_query(ItemId(0)).is_ok());
+        assert!(resumed.try_query(ItemId(1)).is_ok());
+        assert_eq!(
+            resumed.try_query(ItemId(2)),
+            Err(OracleError::BudgetExhausted { spent: 5, cap: 5 })
+        );
+        // A spend beyond the cap clamps instead of underflowing
+        // `remaining`.
+        let clamped = BudgetedOracle::with_spent(&inner, 4, 10);
+        assert_eq!(clamped.used(), 4);
+        assert_eq!(clamped.remaining(), 0);
     }
 
     #[test]

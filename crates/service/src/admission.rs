@@ -35,6 +35,13 @@ pub enum ShedReason {
         /// Accesses the worker still has.
         remaining: u64,
     },
+    /// The owning worker crashed and was never restarted; the query was
+    /// admitted but can no longer be served. Still an explicit
+    /// response: a dead worker must not turn into a silent drop.
+    WorkerCrashed {
+        /// The worker that died.
+        worker: usize,
+    },
 }
 
 impl fmt::Display for ShedReason {
@@ -46,6 +53,9 @@ impl fmt::Display for ShedReason {
                     f,
                     "budget-insufficient(needed={needed}, remaining={remaining})"
                 )
+            }
+            ShedReason::WorkerCrashed { worker } => {
+                write!(f, "worker-crashed(worker={worker})")
             }
         }
     }
@@ -68,6 +78,10 @@ mod tests {
             }
             .to_string(),
             "budget-insufficient(needed=100, remaining=7)"
+        );
+        assert_eq!(
+            ShedReason::WorkerCrashed { worker: 3 }.to_string(),
+            "worker-crashed(worker=3)"
         );
     }
 }

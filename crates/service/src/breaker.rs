@@ -109,6 +109,42 @@ impl Default for BreakerConfig {
     }
 }
 
+/// The breaker's complete mutable state, frozen for the crash–recovery
+/// journal. Restoring it with [`CircuitBreaker::restore`] resumes the
+/// state machine exactly — including the event log, so a recovered
+/// worker's trace is byte-identical to one that never crashed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakerSnapshot {
+    /// State at snapshot time.
+    pub state: BreakerState,
+    /// Consecutive query-level failures accumulated while Closed.
+    pub consecutive_failures: u32,
+    /// Tick the breaker last opened at.
+    pub opened_at: u64,
+    /// Probes issued in the current Half-Open episode.
+    pub probes_issued: u32,
+    /// Probes succeeded in the current Half-Open episode.
+    pub probes_succeeded: u32,
+    /// The full transition log so far.
+    pub events: Vec<BreakerEvent>,
+}
+
+impl BreakerSnapshot {
+    /// The snapshot of a freshly constructed (closed, event-free)
+    /// breaker.
+    #[must_use]
+    pub fn initial() -> Self {
+        BreakerSnapshot {
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+            probes_issued: 0,
+            probes_succeeded: 0,
+            events: Vec::new(),
+        }
+    }
+}
+
 /// The state machine. One instance per worker; all methods take the
 /// current virtual tick explicitly so the breaker itself holds no clock.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -129,6 +165,7 @@ impl CircuitBreaker {
     ///
     /// Panics if `failure_threshold` or `half_open_probes` is zero —
     /// both would make the state machine degenerate.
+    #[must_use]
     pub fn new(config: BreakerConfig) -> Self {
         assert!(
             config.failure_threshold >= 1,
@@ -149,7 +186,40 @@ impl CircuitBreaker {
         }
     }
 
+    /// A breaker resumed from a [`BreakerSnapshot`], byte-for-byte
+    /// where [`snapshot`](Self::snapshot) left it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same degenerate configurations as
+    /// [`new`](Self::new).
+    #[must_use]
+    pub fn restore(config: BreakerConfig, snapshot: BreakerSnapshot) -> Self {
+        let mut breaker = CircuitBreaker::new(config);
+        breaker.state = snapshot.state;
+        breaker.consecutive_failures = snapshot.consecutive_failures;
+        breaker.opened_at = snapshot.opened_at;
+        breaker.probes_issued = snapshot.probes_issued;
+        breaker.probes_succeeded = snapshot.probes_succeeded;
+        breaker.events = snapshot.events;
+        breaker
+    }
+
+    /// Freezes the breaker's complete mutable state for the journal.
+    #[must_use]
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: self.state,
+            consecutive_failures: self.consecutive_failures,
+            opened_at: self.opened_at,
+            probes_issued: self.probes_issued,
+            probes_succeeded: self.probes_succeeded,
+            events: self.events.clone(),
+        }
+    }
+
     /// The configuration in force.
+    #[must_use]
     pub fn config(&self) -> BreakerConfig {
         self.config
     }
@@ -162,11 +232,13 @@ impl CircuitBreaker {
     }
 
     /// The state without touching the clock (no cool-down evaluation).
+    #[must_use]
     pub fn raw_state(&self) -> BreakerState {
         self.state
     }
 
     /// Every transition so far, in order.
+    #[must_use]
     pub fn events(&self) -> &[BreakerEvent] {
         &self.events
     }
@@ -326,6 +398,23 @@ mod tests {
         assert_eq!(breaker.raw_state(), BreakerState::Open);
         assert!(!breaker.allow_full(13), "cooldown restarted from t=12");
         assert!(breaker.allow_full(22), "new probe episode");
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_the_exact_state_machine() {
+        let mut breaker = CircuitBreaker::new(config());
+        breaker.on_failure(1);
+        breaker.on_failure(2); // opens at t=2
+        assert!(breaker.allow_full(12)); // half-open, probe 1 issued
+        let snapshot = breaker.snapshot();
+        let mut restored = CircuitBreaker::restore(config(), snapshot.clone());
+        assert_eq!(restored, breaker);
+        assert_eq!(restored.snapshot(), snapshot);
+        // Both copies evolve identically from here.
+        breaker.on_failure(13);
+        restored.on_failure(13);
+        assert_eq!(restored, breaker);
+        assert_eq!(restored.events(), breaker.events());
     }
 
     #[test]

@@ -17,7 +17,10 @@
 //! against Theorem 4.1's `(1/2, 6ε)` bound.
 
 use crate::deadline::CostModel;
-use crate::service::{serve_batch, BatchReport, Disposition, FaultSchedule, ServiceConfig};
+use crate::service::{
+    serve_batch, BatchReport, CrashDirective, Disposition, FaultSchedule, RecoveryDiscipline,
+    ServiceConfig,
+};
 use lcakp_core::solution_audit::{audit_selection, exact_optimum, ApproxAudit};
 use lcakp_core::{LcaError, LcaKp, ResponseTier};
 use lcakp_knapsack::iky::Epsilon;
@@ -27,8 +30,38 @@ use lcakp_reproducible::SampleBudget;
 use lcakp_workloads::{Family, WorkloadSpec};
 use std::fmt::Write as _;
 
-/// Periodic fault bursts over batch positions.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// A scheduled worker-lifecycle event. Crashes kill a worker at a
+/// virtual tick (optionally tearing the in-flight journal write);
+/// restarts revive the *earliest unrevived crash* of the same worker.
+/// A restart's tick is bookkeeping only: recovery restores the clock
+/// from the last journal snapshot, so a revival costs wall time, never
+/// virtual time — which is exactly why a crashed run can stay
+/// byte-identical to a crash-free one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerEvent {
+    /// Kill `worker` at the first crash point at or after `at_tick` on
+    /// its virtual clock.
+    Crash {
+        /// The worker to kill.
+        worker: usize,
+        /// The virtual tick the crash fires at.
+        at_tick: u64,
+        /// Surviving bytes of the in-flight journal write (`None`:
+        /// crash between writes, nothing torn).
+        torn_keep: Option<usize>,
+    },
+    /// Revive `worker` after its earliest unrevived crash.
+    Restart {
+        /// The worker to revive.
+        worker: usize,
+        /// When the revival happened (bookkeeping; see the enum docs).
+        at_tick: u64,
+    },
+}
+
+/// Periodic fault bursts over batch positions, plus scheduled worker
+/// crashes and restarts.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChaosPlan {
     /// Faults injected outside bursts.
     pub quiet: FaultPlan,
@@ -39,20 +72,35 @@ pub struct ChaosPlan {
     pub burst_period: usize,
     /// Queries per burst.
     pub burst_len: usize,
+    /// Worker crash/restart schedule, in event order.
+    pub worker_events: Vec<WorkerEvent>,
 }
 
 impl ChaosPlan {
     /// No faults at all.
+    #[must_use]
     pub fn none() -> Self {
         ChaosPlan {
             quiet: FaultPlan::none(),
             burst: FaultPlan::none(),
             burst_period: 0,
             burst_len: 0,
+            worker_events: Vec::new(),
+        }
+    }
+
+    /// This plan with every crash/restart removed — the crash-free twin
+    /// the E15 simulator compares against.
+    #[must_use]
+    pub fn without_worker_events(&self) -> Self {
+        ChaosPlan {
+            worker_events: Vec::new(),
+            ..self.clone()
         }
     }
 
     /// Whether batch position `index` falls inside a burst.
+    #[must_use]
     pub fn in_burst(&self, index: usize) -> bool {
         self.burst_period > 0 && index % self.burst_period < self.burst_len
     }
@@ -65,6 +113,49 @@ impl FaultSchedule for ChaosPlan {
         } else {
             self.quiet
         }
+    }
+
+    fn crash_directives(&self, worker: usize) -> Vec<CrashDirective> {
+        let mut claimed = vec![false; self.worker_events.len()];
+        let mut directives = Vec::new();
+        for (position, event) in self.worker_events.iter().enumerate() {
+            let WorkerEvent::Crash {
+                worker: crash_worker,
+                at_tick,
+                torn_keep,
+            } = *event
+            else {
+                continue;
+            };
+            if crash_worker != worker {
+                continue;
+            }
+            // Pair this crash with the first unclaimed later restart.
+            let mut restarts = false;
+            for (later, event) in self.worker_events.iter().enumerate().skip(position + 1) {
+                if claimed[later] {
+                    continue;
+                }
+                if let WorkerEvent::Restart {
+                    worker: restart_worker,
+                    ..
+                } = *event
+                {
+                    if restart_worker == worker {
+                        claimed[later] = true;
+                        restarts = true;
+                        break;
+                    }
+                }
+            }
+            directives.push(CrashDirective {
+                at_tick,
+                torn_keep,
+                restarts,
+            });
+        }
+        directives.sort_by_key(|directive| directive.at_tick);
+        directives
     }
 }
 
@@ -119,11 +210,13 @@ pub struct ChaosRun {
 impl ChaosRun {
     /// Whether the reference run satisfies Theorem 4.1's `(1/2, 6ε)`
     /// bound.
+    #[must_use]
     pub fn reference_theorem_ok(&self) -> bool {
         self.reference_audit.satisfies_theorem(self.eps)
     }
 
     /// Whether availability meets the SLO `slo` (e.g. `0.99`).
+    #[must_use]
     pub fn slo_met(&self, slo: f64) -> bool {
         self.availability + 1e-12 >= slo
     }
@@ -412,6 +505,7 @@ pub fn smoke_parts(root: &Seed) -> Result<SmokeParts, LcaError> {
             half_open_probes: 1,
         },
         worker_access_cap: None,
+        recovery: RecoveryDiscipline::Faithful,
     };
     let plan = ChaosPlan {
         quiet: FaultPlan::transient(0.02),
@@ -423,6 +517,7 @@ pub fn smoke_parts(root: &Seed) -> Result<SmokeParts, LcaError> {
         },
         burst_period: 16,
         burst_len: 6,
+        worker_events: Vec::new(),
     };
     Ok(SmokeParts {
         norm,
@@ -472,6 +567,7 @@ mod tests {
             burst: FaultPlan::transient(0.5),
             burst_period: 10,
             burst_len: 3,
+            worker_events: Vec::new(),
         };
         for index in 0..40 {
             assert_eq!(plan.in_burst(index), index % 10 < 3, "index {index}");
@@ -489,6 +585,58 @@ mod tests {
         let plan = ChaosPlan::none();
         assert!(!plan.in_burst(0));
         assert!(plan.plan_for(0).is_inert());
+    }
+
+    #[test]
+    fn crash_directives_pair_each_crash_with_the_first_free_restart() {
+        let plan = ChaosPlan {
+            worker_events: vec![
+                WorkerEvent::Crash {
+                    worker: 0,
+                    at_tick: 10,
+                    torn_keep: None,
+                },
+                WorkerEvent::Crash {
+                    worker: 1,
+                    at_tick: 5,
+                    torn_keep: Some(3),
+                },
+                WorkerEvent::Restart {
+                    worker: 0,
+                    at_tick: 20,
+                },
+                WorkerEvent::Crash {
+                    worker: 0,
+                    at_tick: 50,
+                    torn_keep: Some(0),
+                },
+            ],
+            ..ChaosPlan::none()
+        };
+        assert_eq!(
+            plan.crash_directives(0),
+            vec![
+                CrashDirective {
+                    at_tick: 10,
+                    torn_keep: None,
+                    restarts: true,
+                },
+                CrashDirective {
+                    at_tick: 50,
+                    torn_keep: Some(0),
+                    restarts: false,
+                },
+            ]
+        );
+        assert_eq!(
+            plan.crash_directives(1),
+            vec![CrashDirective {
+                at_tick: 5,
+                torn_keep: Some(3),
+                restarts: false,
+            }]
+        );
+        assert!(plan.crash_directives(2).is_empty());
     }
 
     #[test]

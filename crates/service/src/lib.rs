@@ -21,10 +21,14 @@
 //!   expensive full-rule path.
 //! * [`admission`] — bounded queues and budget-aware pre-dispatch
 //!   shedding.
-//! * [`service`] — [`serve_batch`], the runtime itself.
-//! * [`chaos`] — the deterministic chaos harness of experiment E14.
+//! * [`journal`] — the write-ahead journal and snapshot encoding behind
+//!   deterministic crash–recovery.
+//! * [`service`] — [`serve_batch`], the runtime itself (including the
+//!   crash/recover worker loop).
+//! * [`chaos`] — the deterministic chaos harness of experiment E14,
+//!   extended with worker crash/restart events for E15.
 //!
-//! See `docs/robustness.md` for the design rationale and the E14
+//! See `docs/robustness.md` for the design rationale and the E14/E15
 //! acceptance criteria.
 
 #![forbid(unsafe_code)]
@@ -37,17 +41,25 @@ pub mod breaker;
 pub mod chaos;
 pub mod clock;
 pub mod deadline;
+pub mod journal;
 pub mod service;
 
 pub use admission::ShedReason;
 pub use backoff::BackoffPolicy;
-pub use breaker::{BreakerConfig, BreakerEvent, BreakerState, CircuitBreaker, TransitionCause};
+pub use breaker::{
+    BreakerConfig, BreakerEvent, BreakerSnapshot, BreakerState, CircuitBreaker, TransitionCause,
+};
 pub use chaos::{
     run_scenario, run_smoke, seed_to_u64, ChaosPlan, ChaosRun, ChaosScenario, SmokeParts,
+    WorkerEvent,
 };
 pub use clock::{TickClock, VirtualClock};
 pub use deadline::{CostModel, DeadlineOracle, LatencyWindow};
+pub use journal::{
+    decode, DecodeMode, DecodedJournal, Journal, JournalRecord, Recovered, RecoveryError,
+    WorkerSnapshot,
+};
 pub use service::{
-    serve_batch, Answered, BatchReport, Disposition, FallbackTrigger, FaultSchedule, QueryOutcome,
-    ServiceConfig, WorkerTrace,
+    serve_batch, Answered, BatchReport, CrashDirective, CrashReport, Disposition, FallbackTrigger,
+    FaultSchedule, QueryOutcome, RecoveryDiscipline, ServiceConfig, WorkerTrace,
 };

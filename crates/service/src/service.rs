@@ -34,6 +34,7 @@ use crate::backoff::BackoffPolicy;
 use crate::breaker::{BreakerConfig, BreakerEvent, CircuitBreaker};
 use crate::clock::{TickClock, VirtualClock};
 use crate::deadline::{CostModel, DeadlineOracle};
+use crate::journal::{Journal, JournalRecord, RecoveryError, WorkerSnapshot};
 use lcakp_core::{DegradationReason, LcaError, LcaKp, ResponseTier, RetryPolicy, SolutionRule};
 use lcakp_knapsack::{Item, ItemId, Selection};
 use lcakp_oracle::{
@@ -48,12 +49,71 @@ const FAULT_DOMAIN: &str = "service/fault";
 /// Seed domain for the cached-rule construction stream.
 const CACHE_DOMAIN: &str = "service/cache";
 
+/// One scheduled worker death, as the worker consumes it: kill the
+/// worker at the first journal-consistent point after `at_tick` on its
+/// virtual clock, optionally tearing the in-flight journal write, and
+/// optionally revive it afterwards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashDirective {
+    /// Virtual tick the crash fires at (the first crash point at or
+    /// after it).
+    pub at_tick: u64,
+    /// How many bytes of the in-flight journal write survive —
+    /// `None` kills between writes (nothing torn), `Some(k)` keeps the
+    /// first `k` bytes of the pending record(s).
+    pub torn_keep: Option<usize>,
+    /// Whether a matching restart revives the worker; without one the
+    /// rest of its shard is shed as [`ShedReason::WorkerCrashed`].
+    pub restarts: bool,
+}
+
+/// How faithfully a restarted worker rebuilds itself from its journal.
+/// Everything except [`Faithful`](RecoveryDiscipline::Faithful) is a
+/// deliberately planted recovery bug: the E15 simulator proves it can
+/// catch (and shrink) exactly these mistakes, which is the
+/// self-validation half of its acceptance criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryDiscipline {
+    /// Full recovery: replay the journal, restore clock, breaker, and
+    /// budget from the last snapshot.
+    #[default]
+    Faithful,
+    /// Bug: restore state but never replay journaled dispositions —
+    /// every query completed before the crash is silently dropped.
+    SkipJournalReplay,
+    /// Bug: resume with a fresh (closed, event-free) breaker.
+    SkipBreakerRestore,
+    /// Bug: resume with the budget spend reset to zero.
+    SkipBudgetRestore,
+    /// Bug: resume with the virtual clock reset to zero.
+    SkipClockRestore,
+}
+
+impl fmt::Display for RecoveryDiscipline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoveryDiscipline::Faithful => write!(f, "faithful"),
+            RecoveryDiscipline::SkipJournalReplay => write!(f, "skip-journal-replay"),
+            RecoveryDiscipline::SkipBreakerRestore => write!(f, "skip-breaker-restore"),
+            RecoveryDiscipline::SkipBudgetRestore => write!(f, "skip-budget-restore"),
+            RecoveryDiscipline::SkipClockRestore => write!(f, "skip-clock-restore"),
+        }
+    }
+}
+
 /// Deterministic per-query fault assignment — implemented by the chaos
 /// harness; `None` in production use. `Sync` because every worker reads
 /// the schedule concurrently.
 pub trait FaultSchedule: Sync {
     /// The fault plan injected for the query at batch position `index`.
     fn plan_for(&self, index: usize) -> FaultPlan;
+
+    /// Crash/restart directives for `worker`, ordered by `at_tick`.
+    /// The default schedule never kills anyone.
+    fn crash_directives(&self, worker: usize) -> Vec<CrashDirective> {
+        let _ = worker;
+        Vec::new()
+    }
 }
 
 /// Tuning of the serving runtime.
@@ -78,6 +138,10 @@ pub struct ServiceConfig {
     /// Hard access cap *per worker* (`None` = unlimited). Workers
     /// pre-shed queries their remaining budget cannot cover.
     pub worker_access_cap: Option<u64>,
+    /// How a restarted worker rebuilds itself from its journal.
+    /// Anything but [`RecoveryDiscipline::Faithful`] is a planted bug
+    /// for the E15 simulator to catch.
+    pub recovery: RecoveryDiscipline,
 }
 
 impl Default for ServiceConfig {
@@ -91,6 +155,7 @@ impl Default for ServiceConfig {
             backoff: BackoffPolicy::default(),
             breaker: BreakerConfig::default(),
             worker_access_cap: None,
+            recovery: RecoveryDiscipline::Faithful,
         }
     }
 }
@@ -150,6 +215,7 @@ pub enum Disposition {
 
 impl Disposition {
     /// The answer, if the query was served.
+    #[must_use]
     pub fn answered(&self) -> Option<&Answered> {
         match self {
             Disposition::Answered(answered) => Some(answered),
@@ -169,6 +235,20 @@ pub struct QueryOutcome {
     pub disposition: Disposition,
 }
 
+/// One worker death (and what recovery made of it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashReport {
+    /// The directive's virtual tick.
+    pub at_tick: u64,
+    /// Whether the worker was revived afterwards.
+    pub restarted: bool,
+    /// Bytes of the in-flight journal write lost to tearing.
+    pub torn_bytes: usize,
+    /// `Some` when the journal could not be rebuilt (the worker then
+    /// stays dead regardless of `restarted`).
+    pub recovery_error: Option<RecoveryError>,
+}
+
 /// Per-worker execution trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WorkerTrace {
@@ -180,6 +260,10 @@ pub struct WorkerTrace {
     pub accesses_used: u64,
     /// Breaker transitions, in order.
     pub breaker_events: Vec<BreakerEvent>,
+    /// Crashes the worker suffered, in order.
+    pub crashes: Vec<CrashReport>,
+    /// The worker's write-ahead journal, byte-for-byte.
+    pub journal: Journal,
 }
 
 /// The merged result of one [`serve_batch`] call.
@@ -196,6 +280,7 @@ pub struct BatchReport {
 impl BatchReport {
     /// Fraction of queries answered within their deadline (sheds and
     /// deadline misses both count against it). 1.0 for an empty batch.
+    #[must_use]
     pub fn availability(&self) -> f64 {
         if self.outcomes.is_empty() {
             return 1.0;
@@ -210,6 +295,7 @@ impl BatchReport {
     }
 
     /// Served answers at the given tier.
+    #[must_use]
     pub fn tier_count(&self, tier: ResponseTier) -> usize {
         self.outcomes
             .iter()
@@ -219,6 +305,7 @@ impl BatchReport {
     }
 
     /// Queries rejected by admission control.
+    #[must_use]
     pub fn shed_count(&self) -> usize {
         self.outcomes
             .iter()
@@ -227,6 +314,7 @@ impl BatchReport {
     }
 
     /// Breaker transitions across all workers.
+    #[must_use]
     pub fn breaker_transitions(&self) -> usize {
         self.workers
             .iter()
@@ -235,6 +323,7 @@ impl BatchReport {
     }
 
     /// Total access-level retries spent.
+    #[must_use]
     pub fn retries_used(&self) -> u64 {
         self.outcomes
             .iter()
@@ -244,12 +333,14 @@ impl BatchReport {
     }
 
     /// Total counted accesses charged.
+    #[must_use]
     pub fn accesses_used(&self) -> u64 {
         self.workers.iter().map(|trace| trace.accesses_used).sum()
     }
 
     /// Materializes the served answers as a selection over `n` items
     /// (shed queries contribute "no", keeping the selection feasible).
+    #[must_use]
     pub fn to_selection(&self, n: usize) -> Selection {
         let mut selection = Selection::new(n);
         for outcome in &self.outcomes {
@@ -392,8 +483,102 @@ struct WorkerOutput {
     trace: WorkerTrace,
 }
 
+/// The worker state a crash wipes and recovery rebuilds: clock,
+/// breaker, budget slice, shard cursor, and the in-memory view of the
+/// completed outcomes.
+type LiveState<'a, O> = (
+    TickClock,
+    CircuitBreaker,
+    BudgetedOracle<'a, O>,
+    usize,
+    Vec<QueryOutcome>,
+);
+
+/// The next unconsumed crash directive, if it is due at tick `now`.
+fn due_directive(directives: &[CrashDirective], next: usize, now: u64) -> Option<CrashDirective> {
+    directives
+        .get(next)
+        .copied()
+        .filter(|directive| now >= directive.at_tick)
+}
+
+/// Rebuilds outcomes from journal records: dispositions in journal
+/// order, first occurrence winning (a torn snapshot can leave the same
+/// answer journaled twice — byte-identically, by determinism).
+fn replay_outcomes(records: &[JournalRecord], items: &[(usize, ItemId)]) -> Vec<QueryOutcome> {
+    let item_of: std::collections::BTreeMap<usize, ItemId> = items.iter().copied().collect();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut outcomes = Vec::new();
+    for record in records {
+        let disposition = match record {
+            JournalRecord::Answered { answer, .. } => Disposition::Answered(*answer),
+            JournalRecord::Shed { reason, .. } => Disposition::Shed(*reason),
+            JournalRecord::Admitted { .. } | JournalRecord::Snapshot(_) => continue,
+        };
+        let index = record.index().expect("dispositions carry an index") as usize;
+        if !seen.insert(index) {
+            continue;
+        }
+        let Some(&item) = item_of.get(&index) else {
+            continue;
+        };
+        outcomes.push(QueryOutcome {
+            index,
+            item,
+            disposition,
+        });
+    }
+    outcomes
+}
+
+/// Rebuilds a restarted worker from its journal, honouring the
+/// configured [`RecoveryDiscipline`] (anything but `Faithful` is a
+/// planted bug for the simulator to catch).
+fn restore_worker<'a, O>(
+    ctx: &SharedCtx<'a, O>,
+    journal: &mut Journal,
+    queries: &[(usize, ItemId)],
+) -> Result<LiveState<'a, O>, RecoveryError> {
+    let recovered = journal.recover()?;
+    // Discard the torn tail (if any) before the revived worker appends:
+    // bytes after torn garbage would be unreachable to every decoder.
+    journal.truncate(journal.bytes().len() - recovered.torn_bytes);
+    let config = ctx.config;
+    let cap = config.worker_access_cap.unwrap_or(u64::MAX);
+    let snapshot = recovered.snapshot;
+    let clock = match config.recovery {
+        RecoveryDiscipline::SkipClockRestore => TickClock::new(),
+        _ => TickClock::at(snapshot.tick),
+    };
+    let breaker = match config.recovery {
+        RecoveryDiscipline::SkipBreakerRestore => CircuitBreaker::new(config.breaker),
+        _ => CircuitBreaker::restore(config.breaker, snapshot.breaker),
+    };
+    let budgeted = match config.recovery {
+        RecoveryDiscipline::SkipBudgetRestore => BudgetedOracle::new(ctx.oracle, cap),
+        _ => BudgetedOracle::with_spent(ctx.oracle, cap, snapshot.budget_spent),
+    };
+    let outcomes = match config.recovery {
+        RecoveryDiscipline::SkipJournalReplay => Vec::new(),
+        _ => replay_outcomes(&recovered.records, queries),
+    };
+    Ok((
+        clock,
+        breaker,
+        budgeted,
+        snapshot.next_position as usize,
+        outcomes,
+    ))
+}
+
 /// One worker: drains its pre-filled shard sequentially against
-/// worker-local clock, breaker, and budget slice.
+/// worker-local clock, breaker, and budget slice, journaling every
+/// disposition ahead of acknowledging it. Scheduled crashes wipe the
+/// live state (optionally tearing the in-flight journal write); a
+/// restarted worker rebuilds itself from the journal and resumes —
+/// byte-identically to a worker that never died, because the snapshot
+/// restores the virtual clock and every random stream is keyed on batch
+/// position.
 fn run_worker<O>(
     worker: usize,
     shard: crossbeam::channel::Receiver<(usize, ItemId)>,
@@ -403,53 +588,192 @@ where
     O: ItemOracle + WeightedSampler + Sync,
 {
     let config = ctx.config;
-    let clock = TickClock::new();
-    let mut breaker = CircuitBreaker::new(config.breaker);
-    let budgeted = BudgetedOracle::new(ctx.oracle, config.worker_access_cap.unwrap_or(u64::MAX));
+    let queries: Vec<(usize, ItemId)> = shard.iter().collect();
+    let directives = ctx
+        .chaos
+        .map_or_else(Vec::new, |schedule| schedule.crash_directives(worker));
     let worst_case = ctx.lca.worst_case_accesses();
-    let mut outcomes = Vec::new();
+    let cap = config.worker_access_cap.unwrap_or(u64::MAX);
 
-    for (index, item) in shard.iter() {
+    // The durable side: admitted queries are journaled *before* any of
+    // them runs (write-ahead), then an initial snapshot.
+    let mut journal = Journal::new();
+    for &(index, item) in &queries {
+        journal.append(&JournalRecord::Admitted {
+            index: index as u64,
+            item: item.0 as u64,
+        });
+    }
+    journal.append(&JournalRecord::Snapshot(WorkerSnapshot::initial(
+        worker as u64,
+    )));
+
+    // The live side: wiped by every crash, rebuilt from the journal.
+    let mut clock = TickClock::new();
+    let mut breaker = CircuitBreaker::new(config.breaker);
+    let mut budgeted = BudgetedOracle::new(ctx.oracle, cap);
+    let mut position = 0usize;
+    let mut outcomes: Vec<QueryOutcome> = Vec::new();
+
+    let mut crashes: Vec<CrashReport> = Vec::new();
+    let mut next_directive = 0usize;
+    let mut dead = false;
+
+    'serve: while position < queries.len() {
+        // A crash due between queries tears nothing — the journal is
+        // consistent up to the last completed query.
+        while let Some(directive) = due_directive(&directives, next_directive, clock.now()) {
+            next_directive += 1;
+            let mut report = CrashReport {
+                at_tick: directive.at_tick,
+                restarted: directive.restarts,
+                torn_bytes: 0,
+                recovery_error: None,
+            };
+            if !directive.restarts {
+                crashes.push(report);
+                dead = true;
+                break 'serve;
+            }
+            match restore_worker(ctx, &mut journal, &queries) {
+                Ok(state) => {
+                    (clock, breaker, budgeted, position, outcomes) = state;
+                    crashes.push(report);
+                }
+                Err(error) => {
+                    report.recovery_error = Some(error);
+                    crashes.push(report);
+                    dead = true;
+                    break 'serve;
+                }
+            }
+        }
+        if position >= queries.len() {
+            break;
+        }
+
+        let (index, item) = queries[position];
         clock.advance(config.dispatch_cost_ticks);
 
         // Budget-aware pre-dispatch shedding: never start a query the
         // budget slice cannot see through.
-        if config.worker_access_cap.is_some() && budgeted.remaining() < worst_case {
-            outcomes.push(QueryOutcome {
+        let disposition = if config.worker_access_cap.is_some() && budgeted.remaining() < worst_case
+        {
+            Disposition::Shed(ShedReason::BudgetInsufficient {
+                needed: worst_case,
+                remaining: budgeted.remaining(),
+            })
+        } else {
+            let plan = ctx
+                .chaos
+                .map_or_else(FaultPlan::none, |schedule| schedule.plan_for(index));
+            let faulty = FaultyOracle::new(
+                &budgeted,
+                plan,
+                ctx.service_root.derive(FAULT_DOMAIN, index as u64),
+            );
+            Disposition::Answered(serve_one(
+                ctx,
+                &clock,
+                &mut breaker,
+                &faulty,
+                &budgeted,
+                worker,
                 index,
                 item,
-                disposition: Disposition::Shed(ShedReason::BudgetInsufficient {
-                    needed: worst_case,
-                    remaining: budgeted.remaining(),
-                }),
-            });
-            continue;
+            )?)
+        };
+        let record = match disposition {
+            Disposition::Answered(answer) => JournalRecord::Answered {
+                index: index as u64,
+                answer,
+            },
+            Disposition::Shed(reason) => JournalRecord::Shed {
+                index: index as u64,
+                reason,
+            },
+        };
+
+        // The pending durable write: the disposition plus the post-query
+        // snapshot, appended atomically — unless a crash tears it.
+        let mut pending = record.encode();
+        pending.extend_from_slice(
+            &JournalRecord::Snapshot(WorkerSnapshot {
+                worker: worker as u64,
+                tick: clock.now(),
+                budget_spent: budgeted.used(),
+                next_position: (position + 1) as u64,
+                breaker: breaker.snapshot(),
+            })
+            .encode(),
+        );
+
+        if let Some(directive) = due_directive(&directives, next_directive, clock.now()) {
+            // The crash lands inside this query's journal append.
+            next_directive += 1;
+            let keep = directive.torn_keep.unwrap_or(0).min(pending.len());
+            journal.append_torn(&pending, keep);
+            let mut report = CrashReport {
+                at_tick: directive.at_tick,
+                restarted: directive.restarts,
+                torn_bytes: pending.len() - keep,
+                recovery_error: None,
+            };
+            if !directive.restarts {
+                crashes.push(report);
+                dead = true;
+                break 'serve;
+            }
+            match restore_worker(ctx, &mut journal, &queries) {
+                Ok(state) => {
+                    (clock, breaker, budgeted, position, outcomes) = state;
+                    crashes.push(report);
+                }
+                Err(error) => {
+                    report.recovery_error = Some(error);
+                    crashes.push(report);
+                    dead = true;
+                    break 'serve;
+                }
+            }
+            continue 'serve;
         }
 
-        let plan = ctx
-            .chaos
-            .map_or_else(FaultPlan::none, |schedule| schedule.plan_for(index));
-        let faulty = FaultyOracle::new(
-            &budgeted,
-            plan,
-            ctx.service_root.derive(FAULT_DOMAIN, index as u64),
-        );
-        let answered = serve_one(
-            ctx,
-            &clock,
-            &mut breaker,
-            &faulty,
-            &budgeted,
-            worker,
-            index,
-            item,
-        )?;
+        journal.append_encoded(&pending);
         outcomes.push(QueryOutcome {
             index,
             item,
-            disposition: Disposition::Answered(answered),
+            disposition,
         });
+        position += 1;
     }
+
+    if dead {
+        // Supervisor salvage: rebuild what the journal proves completed,
+        // then shed the rest of the shard with an explicit reason — a
+        // dead worker must never become a silent drop.
+        outcomes = journal
+            .recover()
+            .map(|recovered| replay_outcomes(&recovered.records, &queries))
+            .unwrap_or_default();
+        let done: std::collections::BTreeSet<usize> =
+            outcomes.iter().map(|outcome| outcome.index).collect();
+        for &(index, item) in &queries {
+            if !done.contains(&index) {
+                outcomes.push(QueryOutcome {
+                    index,
+                    item,
+                    disposition: Disposition::Shed(ShedReason::WorkerCrashed { worker }),
+                });
+            }
+        }
+    }
+
+    // A torn snapshot can make a re-executed query appear twice (the
+    // journal keeps both byte-identical records as evidence); the
+    // outcome list keeps the first.
+    outcomes.sort_by_key(|outcome| outcome.index);
+    outcomes.dedup_by_key(|outcome| outcome.index);
 
     Ok(WorkerOutput {
         outcomes,
@@ -458,6 +782,8 @@ where
             end_tick: clock.now(),
             accesses_used: budgeted.used(),
             breaker_events: breaker.events().to_vec(),
+            crashes,
+            journal,
         },
     })
 }
@@ -766,6 +1092,133 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(answers(&a), answers(&other));
+    }
+
+    #[test]
+    fn crash_and_restart_is_byte_invisible() {
+        use crate::chaos::{ChaosPlan, WorkerEvent};
+        let norm = WorkloadSpec::new(Family::SmallDominated, 30, 11)
+            .generate_normalized()
+            .unwrap();
+        let oracle = InstanceOracle::new(&norm);
+        let lca = quick_lca();
+        let config = ServiceConfig {
+            workers: 3,
+            ..ServiceConfig::default()
+        };
+        let run = |plan: Option<&ChaosPlan>| {
+            serve_batch(
+                &lca,
+                &oracle,
+                &Seed::from_entropy_u64(5),
+                &Seed::from_entropy_u64(6),
+                &batch(30),
+                &config,
+                plan.map(|plan| plan as &dyn FaultSchedule),
+            )
+            .unwrap()
+        };
+        let reference = run(None);
+        // Kill worker 0 halfway through its shard, tearing the journal
+        // append mid-record, then revive it.
+        let crash_tick = reference.workers[0].end_tick / 2;
+        let plan = ChaosPlan {
+            worker_events: vec![
+                WorkerEvent::Crash {
+                    worker: 0,
+                    at_tick: crash_tick,
+                    torn_keep: Some(10),
+                },
+                WorkerEvent::Restart {
+                    worker: 0,
+                    at_tick: crash_tick,
+                },
+            ],
+            ..ChaosPlan::none()
+        };
+        let crashed = run(Some(&plan));
+        assert_eq!(crashed.outcomes, reference.outcomes);
+        for (crashed_trace, reference_trace) in crashed.workers.iter().zip(&reference.workers) {
+            assert_eq!(crashed_trace.end_tick, reference_trace.end_tick);
+            assert_eq!(crashed_trace.accesses_used, reference_trace.accesses_used);
+            assert_eq!(crashed_trace.breaker_events, reference_trace.breaker_events);
+        }
+        let crash = &crashed.workers[0].crashes;
+        assert_eq!(crash.len(), 1);
+        assert!(crash[0].restarted);
+        assert!(crash[0].torn_bytes > 0);
+        assert!(crash[0].recovery_error.is_none());
+        assert!(reference.workers[0].crashes.is_empty());
+        // The journal replays cleanly despite the torn write.
+        let recovered = crashed.workers[0].journal.recover().unwrap();
+        assert!(recovered.torn_bytes == 0, "tail was repaired by re-append");
+    }
+
+    #[test]
+    fn unrestarted_crash_sheds_the_rest_of_the_shard_explicitly() {
+        use crate::chaos::{ChaosPlan, WorkerEvent};
+        let norm = WorkloadSpec::new(Family::SmallDominated, 24, 12)
+            .generate_normalized()
+            .unwrap();
+        let oracle = InstanceOracle::new(&norm);
+        let lca = quick_lca();
+        let config = ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        };
+        let reference = serve_batch(
+            &lca,
+            &oracle,
+            &Seed::from_entropy_u64(7),
+            &Seed::from_entropy_u64(8),
+            &batch(24),
+            &config,
+            None,
+        )
+        .unwrap();
+        let crash_tick = reference.workers[1].end_tick / 2;
+        let plan = ChaosPlan {
+            worker_events: vec![WorkerEvent::Crash {
+                worker: 1,
+                at_tick: crash_tick,
+                torn_keep: None,
+            }],
+            ..ChaosPlan::none()
+        };
+        let crashed = serve_batch(
+            &lca,
+            &oracle,
+            &Seed::from_entropy_u64(7),
+            &Seed::from_entropy_u64(8),
+            &batch(24),
+            &config,
+            Some(&plan),
+        )
+        .unwrap();
+        let mut crashed_sheds = 0usize;
+        for outcome in &crashed.outcomes {
+            match outcome.disposition {
+                Disposition::Shed(ShedReason::WorkerCrashed { worker: 1 }) => {
+                    assert_eq!(outcome.index % 2, 1, "only worker 1's shard may shed");
+                    crashed_sheds += 1;
+                }
+                Disposition::Shed(other) => panic!("unexpected shed {other}"),
+                Disposition::Answered(answered) => {
+                    // Everything still answered matches the reference.
+                    assert_eq!(
+                        Some(&answered),
+                        reference.outcomes[outcome.index].disposition.answered()
+                    );
+                }
+            }
+        }
+        assert!(crashed_sheds > 0, "the dead worker must shed its tail");
+        assert!(
+            crashed_sheds < 12,
+            "queries journaled before the crash must survive it"
+        );
+        assert_eq!(crashed.workers[1].crashes.len(), 1);
+        assert!(!crashed.workers[1].crashes[0].restarted);
     }
 
     #[test]

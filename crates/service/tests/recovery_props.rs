@@ -1,0 +1,189 @@
+//! Property tests for the crash–recovery layer (the E15 satellite
+//! invariants):
+//!
+//! * snapshot encoding is canonical — `encode → decode → encode`
+//!   round-trips to identical bytes for arbitrary worker snapshots,
+//!   breaker event logs included;
+//! * a crash at an arbitrary virtual tick, tearing an arbitrary number
+//!   of bytes off the in-flight journal write, followed by a restart,
+//!   is byte-invisible: the batch report equals the fault-free run's.
+
+use lcakp_core::LcaKp;
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::ItemId;
+use lcakp_oracle::{InstanceOracle, Seed};
+use lcakp_reproducible::SampleBudget;
+use lcakp_service::{
+    decode, serve_batch, BreakerEvent, BreakerSnapshot, BreakerState, ChaosPlan, DecodeMode,
+    FaultSchedule, JournalRecord, ServiceConfig, TransitionCause, WorkerEvent, WorkerSnapshot,
+};
+use lcakp_workloads::{Family, WorkloadSpec};
+use proptest::prelude::*;
+
+fn breaker_state() -> impl Strategy<Value = BreakerState> {
+    (0u8..3).prop_map(|tag| match tag {
+        0 => BreakerState::Closed,
+        1 => BreakerState::Open,
+        _ => BreakerState::HalfOpen,
+    })
+}
+
+fn transition_cause() -> impl Strategy<Value = TransitionCause> {
+    (0u8..4).prop_map(|tag| match tag {
+        0 => TransitionCause::FailureThreshold,
+        1 => TransitionCause::CooldownElapsed,
+        2 => TransitionCause::ProbesSucceeded,
+        _ => TransitionCause::ProbeFailed,
+    })
+}
+
+fn breaker_event() -> impl Strategy<Value = BreakerEvent> {
+    (
+        0u64..=u64::MAX,
+        breaker_state(),
+        breaker_state(),
+        transition_cause(),
+    )
+        .prop_map(|(at_tick, from, to, cause)| BreakerEvent {
+            at_tick,
+            from,
+            to,
+            cause,
+        })
+}
+
+fn breaker_snapshot() -> impl Strategy<Value = BreakerSnapshot> {
+    (
+        breaker_state(),
+        (0u32..=u32::MAX, 0u64..=u64::MAX),
+        (0u32..=u32::MAX, 0u32..=u32::MAX),
+        proptest::collection::vec(breaker_event(), 0..8),
+    )
+        .prop_map(
+            |(
+                state,
+                (consecutive_failures, opened_at),
+                (probes_issued, probes_succeeded),
+                events,
+            )| {
+                BreakerSnapshot {
+                    state,
+                    consecutive_failures,
+                    opened_at,
+                    probes_issued,
+                    probes_succeeded,
+                    events,
+                }
+            },
+        )
+}
+
+fn worker_snapshot() -> impl Strategy<Value = WorkerSnapshot> {
+    (
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        0u64..=u64::MAX,
+        breaker_snapshot(),
+    )
+        .prop_map(
+            |(worker, tick, budget_spent, next_position, breaker)| WorkerSnapshot {
+                worker,
+                tick,
+                budget_spent,
+                next_position,
+                breaker,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn snapshot_encoding_is_canonical(snapshot in worker_snapshot()) {
+        let record = JournalRecord::Snapshot(snapshot);
+        let first = record.encode();
+        let decoded = decode(&first, DecodeMode::Strict)
+            .map_err(|error| TestCaseError::fail(format!("decode failed: {error}")))?;
+        prop_assert_eq!(decoded.torn_bytes, 0);
+        prop_assert_eq!(decoded.records.len(), 1);
+        let second = decoded.records[0].encode();
+        prop_assert_eq!(first, second, "re-encode must reproduce the bytes");
+        prop_assert_eq!(&decoded.records[0], &record);
+    }
+}
+
+proptest! {
+    // Each case runs the full service twice (reference + crashed), so
+    // keep the case count modest; the tick/torn space is what matters.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn crash_at_an_arbitrary_tick_recovers_byte_identically(
+        tick_permille in 0u64..1000,
+        torn_keep in (0u8..2, 0usize..48).prop_map(|(some, keep)| (some == 1).then_some(keep)),
+        crashed_worker in 0usize..2,
+    ) {
+        let norm = WorkloadSpec::new(Family::SmallDominated, 16, 23)
+            .generate_normalized()
+            .unwrap();
+        let oracle = InstanceOracle::new(&norm);
+        let lca = LcaKp::new(Epsilon::new(1, 3).unwrap())
+            .unwrap()
+            .with_budget(SampleBudget::Calibrated { factor: 0.01 });
+        let config = ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        };
+        let batch: Vec<ItemId> = (0..16).map(ItemId).collect();
+        let run = |plan: Option<&ChaosPlan>| {
+            serve_batch(
+                &lca,
+                &oracle,
+                &Seed::from_entropy_u64(9),
+                &Seed::from_entropy_u64(10),
+                &batch,
+                &config,
+                plan.map(|plan| plan as &dyn FaultSchedule),
+            )
+            .unwrap()
+        };
+        let reference = run(None);
+        let end_tick = reference.workers[crashed_worker].end_tick.max(1);
+        let crash_tick = end_tick * tick_permille / 1000;
+        let plan = ChaosPlan {
+            worker_events: vec![
+                WorkerEvent::Crash {
+                    worker: crashed_worker,
+                    at_tick: crash_tick,
+                    torn_keep,
+                },
+                WorkerEvent::Restart {
+                    worker: crashed_worker,
+                    at_tick: crash_tick,
+                },
+            ],
+            ..ChaosPlan::none()
+        };
+        let crashed = run(Some(&plan));
+        prop_assert_eq!(
+            &reference.outcomes,
+            &crashed.outcomes,
+            "crash+restart must be byte-invisible (tick {}, torn {:?})",
+            crash_tick,
+            torn_keep
+        );
+        for (trace, reference_trace) in crashed.workers.iter().zip(&reference.workers) {
+            prop_assert_eq!(trace.end_tick, reference_trace.end_tick);
+            prop_assert_eq!(trace.accesses_used, reference_trace.accesses_used);
+            prop_assert_eq!(&trace.breaker_events, &reference_trace.breaker_events);
+            // The surviving journal must decode cleanly end to end.
+            let decoded = trace
+                .journal
+                .decode(DecodeMode::Recover)
+                .map_err(|error| TestCaseError::fail(format!("journal corrupt: {error}")))?;
+            prop_assert_eq!(decoded.torn_bytes, 0, "recovery must truncate torn tails");
+        }
+    }
+}

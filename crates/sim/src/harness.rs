@@ -1,0 +1,410 @@
+//! The simulator itself: builds a world, runs each case's crash-free
+//! twin and faulted run, checks invariants, and shrinks the first
+//! failure.
+//!
+//! A *case* is `(root, case number)`: the schedule derives from the
+//! seed, the world from the root, and both runs from `serve_batch` —
+//! so one `u64` replays everything, and a shrunk event list replays
+//! without the generator at all.
+
+use crate::invariants::{check_run, Violation};
+use crate::schedule::{generate_schedule, SimEvent};
+use crate::shrink::{shrink, Shrunk};
+use lcakp_core::{LcaError, LcaKp};
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::{ItemId, NormalizedInstance};
+use lcakp_oracle::{FaultPlan, InstanceOracle, Seed};
+use lcakp_reproducible::SampleBudget;
+use lcakp_service::{
+    seed_to_u64, serve_batch, BatchReport, BreakerConfig, ChaosPlan, FaultSchedule, LatencyWindow,
+    RecoveryDiscipline, ServiceConfig, WorkerEvent,
+};
+use lcakp_workloads::{Family, WorkloadSpec};
+use std::fmt::Write as _;
+use std::ops::Range;
+
+/// Simulator tuning. The defaults keep one case (twin + faulted run)
+/// in the low hundreds of milliseconds so seed ranges and shrink loops
+/// stay cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Instance size (= batch size: the batch queries every item).
+    pub n: usize,
+    /// Worker threads in the simulated service.
+    pub workers: usize,
+    /// Recovery discipline under test — [`RecoveryDiscipline::Faithful`]
+    /// must survive every schedule; anything else is a planted bug the
+    /// simulator exists to catch.
+    pub recovery: RecoveryDiscipline,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n: 24,
+            workers: 3,
+            recovery: RecoveryDiscipline::Faithful,
+        }
+    }
+}
+
+/// The fixed world one simulation runs in: instance, LCA, seeds, and
+/// the base service configuration events get applied to.
+#[derive(Debug)]
+pub struct SimWorld {
+    norm: NormalizedInstance,
+    lca: LcaKp,
+    shared_seed: Seed,
+    service_root: Seed,
+    base: ServiceConfig,
+}
+
+/// Headline counters of one faulted run (rendered into the smoke JSON).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CaseStats {
+    /// Queries answered (any tier).
+    pub answered: usize,
+    /// Queries shed with a typed reason.
+    pub shed: usize,
+    /// Worker crashes that actually fired.
+    pub crashes: usize,
+}
+
+/// One simulated case: its schedule, run counters, and violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseResult {
+    /// The case number (schedule seed index).
+    pub case: u64,
+    /// The generated schedule.
+    pub events: Vec<SimEvent>,
+    /// Counters of the faulted run.
+    pub stats: CaseStats,
+    /// Invariant violations (empty = the case passed).
+    pub violations: Vec<Violation>,
+}
+
+/// A shrunk repro of the first violating case in a range.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Repro {
+    /// The violating case number (replays the unshrunk schedule).
+    pub case: u64,
+    /// The shrunk schedule and the violations it still triggers.
+    pub shrunk: Shrunk,
+}
+
+impl Repro {
+    /// The repro as replayable text: the case seed plus one line per
+    /// surviving event and violation.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "repro: case {} shrunk to {} event(s) ({} candidate schedules tried)",
+            self.case,
+            self.shrunk.events.len(),
+            self.shrunk.attempts
+        );
+        for event in &self.shrunk.events {
+            let _ = writeln!(out, "  event: {event}");
+        }
+        for violation in &self.shrunk.violations {
+            let _ = writeln!(out, "  violation: {violation}");
+        }
+        out
+    }
+}
+
+/// Everything [`run_range`] learned: per-case results plus the first
+/// violation's shrunk repro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimReport {
+    /// One entry per case, in case order.
+    pub cases: Vec<CaseResult>,
+    /// Shrunk repro of the first violating case, if any violated.
+    pub repro: Option<Repro>,
+}
+
+impl SimReport {
+    /// Total violations across the range.
+    pub fn total_violations(&self) -> usize {
+        self.cases.iter().map(|case| case.violations.len()).sum()
+    }
+}
+
+impl SimWorld {
+    /// Builds the world for `root`: a small dominated instance and a
+    /// service tuned so corruption bursts trip breakers and budget
+    /// squeezes force sheds, while a clean query still answers full
+    /// tier.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload generation and LCA construction errors.
+    pub fn build(root: &Seed, config: &SimConfig) -> Result<SimWorld, LcaError> {
+        let workload_seed = seed_to_u64(&root.derive("sim/workload", 0));
+        let norm = WorkloadSpec::new(Family::SmallDominated, config.n, workload_seed)
+            .generate_normalized()
+            .map_err(LcaError::from)?;
+        let lca =
+            LcaKp::new(Epsilon::new(1, 3)?)?.with_budget(SampleBudget::Calibrated { factor: 0.01 });
+        let base = ServiceConfig {
+            workers: config.workers,
+            queue_depth: config.n.max(1),
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_ticks: 6,
+                half_open_probes: 1,
+            },
+            recovery: config.recovery,
+            ..ServiceConfig::default()
+        };
+        Ok(SimWorld {
+            norm,
+            lca,
+            shared_seed: root.derive("sim/shared", 0),
+            service_root: root.derive("sim/serving", 0),
+            base,
+        })
+    }
+
+    /// Applies the ambient (non-crash) events to the base world.
+    fn ambient_world(&self, events: &[SimEvent]) -> (ServiceConfig, ChaosPlan) {
+        let mut config = self.base.clone();
+        let mut plan = ChaosPlan::none();
+        for event in events {
+            match *event {
+                SimEvent::CorruptionBurst {
+                    period,
+                    len,
+                    transient_permille,
+                    corruption_permille,
+                } => {
+                    plan.burst = FaultPlan {
+                        transient_rate: f64::from(transient_permille) / 1000.0,
+                        corruption_rate: f64::from(corruption_permille) / 1000.0,
+                        signal_corruption: true,
+                        ..FaultPlan::none()
+                    };
+                    plan.burst_period = period;
+                    plan.burst_len = len;
+                }
+                SimEvent::LatencySpike {
+                    start_tick,
+                    len_ticks,
+                    extra_cost,
+                } => {
+                    config.cost = config.cost.with_spike(LatencyWindow {
+                        start_tick,
+                        end_tick: start_tick.saturating_add(len_ticks),
+                        extra_cost,
+                    });
+                }
+                SimEvent::BudgetSqueeze { slack_accesses } => {
+                    config.worker_access_cap = Some(
+                        self.lca
+                            .worst_case_accesses()
+                            .saturating_add(slack_accesses),
+                    );
+                }
+                SimEvent::Crash { .. } | SimEvent::Restart { .. } => {}
+            }
+        }
+        (config, plan)
+    }
+
+    /// Runs one schedule: the crash-free twin first (also the timeline
+    /// that turns permille crash ticks into absolute ones), then the
+    /// faulted run, then every invariant check.
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard configuration errors from [`serve_batch`].
+    pub fn run_schedule(
+        &self,
+        events: &[SimEvent],
+    ) -> Result<(CaseStats, Vec<Violation>), LcaError> {
+        let batch: Vec<ItemId> = (0..self.norm.len()).map(ItemId).collect();
+        let oracle = InstanceOracle::new(&self.norm);
+        let (config, twin_plan) = self.ambient_world(events);
+        let serve = |plan: &ChaosPlan| {
+            serve_batch(
+                &self.lca,
+                &oracle,
+                &self.shared_seed,
+                &self.service_root,
+                &batch,
+                &config,
+                Some(plan as &dyn FaultSchedule),
+            )
+        };
+        let twin = serve(&twin_plan)?;
+        let worker_events = map_crash_events(events, &twin);
+        let faulted_plan = ChaosPlan {
+            worker_events,
+            ..twin_plan
+        };
+        let faulted = serve(&faulted_plan)?;
+        let violations = check_run(&twin, &faulted, batch.len());
+        let stats = CaseStats {
+            answered: faulted.outcomes.len() - faulted.shed_count(),
+            shed: faulted.shed_count(),
+            crashes: faulted
+                .workers
+                .iter()
+                .map(|trace| trace.crashes.len())
+                .sum(),
+        };
+        Ok((stats, violations))
+    }
+
+    /// Convenience for shrink loops: violations only, with hard errors
+    /// treated as "no violation" (a schedule that cannot even run is
+    /// not a smaller repro of an invariant break).
+    pub fn violations_for(&self, events: &[SimEvent]) -> Vec<Violation> {
+        self.run_schedule(events)
+            .map(|(_, violations)| violations)
+            .unwrap_or_default()
+    }
+}
+
+/// Turns the schedule's permille crash ticks into absolute
+/// [`WorkerEvent`]s on the twin's timeline. Events naming a worker the
+/// configuration doesn't have are dropped (shrunk or hand-written
+/// schedules may contain them).
+fn map_crash_events(events: &[SimEvent], twin: &BatchReport) -> Vec<WorkerEvent> {
+    let mut worker_events = Vec::new();
+    for event in events {
+        match *event {
+            SimEvent::Crash {
+                worker,
+                tick_permille,
+                torn_keep,
+            } => {
+                let Some(trace) = twin.workers.get(worker) else {
+                    continue;
+                };
+                let at_tick = trace.end_tick.max(1) * u64::from(tick_permille) / 1000;
+                worker_events.push(WorkerEvent::Crash {
+                    worker,
+                    at_tick,
+                    torn_keep,
+                });
+            }
+            SimEvent::Restart { worker } => {
+                worker_events.push(WorkerEvent::Restart { worker, at_tick: 0 });
+            }
+            _ => {}
+        }
+    }
+    worker_events
+}
+
+/// Runs the cases in `range` against one world, shrinking the first
+/// violating schedule (if any) to a minimal repro.
+///
+/// # Errors
+///
+/// Propagates world construction and [`serve_batch`] errors.
+pub fn run_range(
+    root: &Seed,
+    config: &SimConfig,
+    range: Range<u64>,
+) -> Result<SimReport, LcaError> {
+    let world = SimWorld::build(root, config)?;
+    let mut cases = Vec::new();
+    let mut repro = None;
+    for case in range {
+        let events = generate_schedule(root, case, config.workers);
+        let (stats, violations) = world.run_schedule(&events)?;
+        if !violations.is_empty() && repro.is_none() {
+            let shrunk = shrink(&events, |candidate| world.violations_for(candidate));
+            repro = Some(Repro { case, shrunk });
+        }
+        cases.push(CaseResult {
+            case,
+            events,
+            stats,
+            violations,
+        });
+    }
+    Ok(SimReport { cases, repro })
+}
+
+/// Renders a range report as canonical JSON: fixed field order, no
+/// floats, no ambient state — two runs with the same root must be
+/// byte-identical. This is what the `e15_simulation --smoke` golden
+/// pins.
+#[must_use]
+pub fn render_json(label: &str, config: &SimConfig, report: &SimReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ = writeln!(out, "  \"n\": {},", config.n);
+    let _ = writeln!(out, "  \"workers\": {},", config.workers);
+    let _ = writeln!(out, "  \"recovery\": \"{}\",", config.recovery);
+    let _ = writeln!(out, "  \"cases\": [");
+    for (position, case) in report.cases.iter().enumerate() {
+        let events: Vec<String> = case
+            .events
+            .iter()
+            .map(|event| format!("\"{event}\""))
+            .collect();
+        let violations: Vec<String> = case
+            .violations
+            .iter()
+            .map(|violation| format!("\"{violation}\""))
+            .collect();
+        let comma = if position + 1 < report.cases.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"case\": {}, \"events\": [{}], \"answered\": {}, \"shed\": {}, \
+             \"crashes\": {}, \"violations\": [{}]}}{comma}",
+            case.case,
+            events.join(", "),
+            case.stats.answered,
+            case.stats.shed,
+            case.stats.crashes,
+            violations.join(", "),
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"total_violations\": {},",
+        report.total_violations()
+    );
+    let _ = writeln!(
+        out,
+        "  \"repro\": {}",
+        report.repro.as_ref().map_or_else(
+            || "null".to_string(),
+            |repro| format!(
+                "{{\"case\": {}, \"events\": {}}}",
+                repro.case,
+                repro.shrunk.events.len()
+            )
+        )
+    );
+    let _ = write!(out, "}}");
+    out
+}
+
+/// Cases the smoke run covers (CI diffs its JSON against the golden).
+pub const SMOKE_CASES: u64 = 5;
+
+/// Runs the committed smoke range for the `e15_simulation --smoke` bin
+/// and the golden test: [`SMOKE_CASES`] cases under faithful recovery.
+///
+/// # Errors
+///
+/// Propagates [`run_range`] errors.
+pub fn run_smoke(root: &Seed) -> Result<String, LcaError> {
+    let config = SimConfig::default();
+    let report = run_range(root, &config, 0..SMOKE_CASES)?;
+    Ok(render_json("e15-smoke", &config, &report))
+}

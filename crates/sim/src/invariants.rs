@@ -1,0 +1,234 @@
+//! The safety and liveness invariants the simulator checks.
+//!
+//! Every check compares the faulted run against its *crash-free twin* —
+//! the same world and the same schedule minus crash/restart events — or
+//! inspects the faulted run's write-ahead journals directly:
+//!
+//! * **crash transparency** — every outcome equals the twin's, except
+//!   that a query owned by an unrevived dead worker may shed as
+//!   [`ShedReason::WorkerCrashed`];
+//! * **liveness** — every submitted query terminates in exactly one
+//!   outcome (answer or typed shed), none silently dropped;
+//! * **no conflicting double-serve** — a journal may record the same
+//!   index twice (a torn snapshot forces a re-execution), but every
+//!   record for one index must be byte-identical;
+//! * **write-ahead discipline** — an answer the runtime acknowledged
+//!   must appear in its worker's journal;
+//! * **journal integrity** — journals decode cleanly (recovery
+//!   truncates torn tails; only an unrevived final crash may leave one)
+//!   and snapshots are monotone in `(tick, next_position)`.
+
+use lcakp_service::{
+    BatchReport, DecodeMode, Disposition, JournalRecord, RecoveryError, ShedReason,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// One invariant violation, addressable enough to debug from the
+/// rendered repro alone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Violation {
+    /// The faulted outcome differs from the crash-free twin's (and is
+    /// not a `WorkerCrashed` shed of a dead worker's query).
+    OutcomeDiverged {
+        /// Batch position of the diverging query.
+        index: usize,
+    },
+    /// A submitted query has no outcome at all — silently dropped.
+    MissingOutcome {
+        /// Batch position of the dropped query.
+        index: usize,
+    },
+    /// A batch position appears in more than one outcome.
+    DuplicateOutcome {
+        /// The duplicated batch position.
+        index: usize,
+    },
+    /// An acknowledged answer is absent from its worker's journal.
+    UnjournaledAnswer {
+        /// The worker that served the answer.
+        worker: usize,
+        /// Batch position of the unjournaled answer.
+        index: usize,
+    },
+    /// The same index was journaled twice with different bytes.
+    ConflictingJournalRecords {
+        /// The worker whose journal conflicts.
+        worker: usize,
+        /// The conflicting batch position.
+        index: usize,
+    },
+    /// Snapshot ticks or positions went backwards within one journal.
+    JournalNotMonotone {
+        /// The worker whose journal regressed.
+        worker: usize,
+    },
+    /// A journal failed to decode even in recovery mode.
+    JournalCorrupt {
+        /// The worker whose journal is unreadable.
+        worker: usize,
+        /// The decoder's typed error.
+        error: RecoveryError,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::OutcomeDiverged { index } => {
+                write!(f, "outcome-diverged(index={index})")
+            }
+            Violation::MissingOutcome { index } => {
+                write!(f, "missing-outcome(index={index})")
+            }
+            Violation::DuplicateOutcome { index } => {
+                write!(f, "duplicate-outcome(index={index})")
+            }
+            Violation::UnjournaledAnswer { worker, index } => {
+                write!(f, "unjournaled-answer(worker={worker}, index={index})")
+            }
+            Violation::ConflictingJournalRecords { worker, index } => {
+                write!(
+                    f,
+                    "conflicting-journal-records(worker={worker}, index={index})"
+                )
+            }
+            Violation::JournalNotMonotone { worker } => {
+                write!(f, "journal-not-monotone(worker={worker})")
+            }
+            Violation::JournalCorrupt { worker, error } => {
+                write!(f, "journal-corrupt(worker={worker}, error={error})")
+            }
+        }
+    }
+}
+
+/// Checks every invariant of one faulted run against its crash-free
+/// twin. `n` is the submitted batch size. Violations come back in a
+/// deterministic order (coverage, divergence, then per-worker journal
+/// checks).
+pub fn check_run(twin: &BatchReport, faulted: &BatchReport, n: usize) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Liveness: exactly one outcome per submitted index.
+    let mut seen = BTreeSet::new();
+    for outcome in &faulted.outcomes {
+        if !seen.insert(outcome.index) {
+            violations.push(Violation::DuplicateOutcome {
+                index: outcome.index,
+            });
+        }
+    }
+    for index in 0..n {
+        if !seen.contains(&index) {
+            violations.push(Violation::MissingOutcome { index });
+        }
+    }
+
+    // Crash transparency: outcomes equal the twin's, WorkerCrashed
+    // sheds of dead workers excepted.
+    let twin_by_index: BTreeMap<usize, &Disposition> = twin
+        .outcomes
+        .iter()
+        .map(|outcome| (outcome.index, &outcome.disposition))
+        .collect();
+    for outcome in &faulted.outcomes {
+        if matches!(
+            outcome.disposition,
+            Disposition::Shed(ShedReason::WorkerCrashed { .. })
+        ) {
+            continue;
+        }
+        if twin_by_index.get(&outcome.index) != Some(&&outcome.disposition) {
+            violations.push(Violation::OutcomeDiverged {
+                index: outcome.index,
+            });
+        }
+    }
+
+    // Per-worker journal checks on the faulted run.
+    for trace in &faulted.workers {
+        let decoded = match trace.journal.decode(DecodeMode::Recover) {
+            Ok(decoded) => decoded,
+            Err(error) => {
+                violations.push(Violation::JournalCorrupt {
+                    worker: trace.worker,
+                    error,
+                });
+                continue;
+            }
+        };
+        let mut disposed: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        let mut last_snapshot: Option<(u64, u64)> = None;
+        for record in &decoded.records {
+            match record {
+                JournalRecord::Snapshot(snapshot) => {
+                    let key = (snapshot.tick, snapshot.next_position);
+                    if last_snapshot.is_some_and(|previous| {
+                        snapshot.tick < previous.0 || snapshot.next_position < previous.1
+                    }) {
+                        violations.push(Violation::JournalNotMonotone {
+                            worker: trace.worker,
+                        });
+                    }
+                    last_snapshot = Some(key);
+                }
+                JournalRecord::Answered { index, .. } | JournalRecord::Shed { index, .. } => {
+                    let encoded = record.encode();
+                    let first = disposed.entry(*index).or_insert_with(|| encoded.clone());
+                    if *first != encoded {
+                        violations.push(Violation::ConflictingJournalRecords {
+                            worker: trace.worker,
+                            index: *index as usize,
+                        });
+                    }
+                }
+                JournalRecord::Admitted { .. } => {}
+            }
+        }
+        // Write-ahead discipline: acknowledged answers must be
+        // journaled by their owning worker.
+        for outcome in &faulted.outcomes {
+            let Some(answered) = outcome.disposition.answered() else {
+                continue;
+            };
+            if answered.worker == trace.worker && !disposed.contains_key(&(outcome.index as u64)) {
+                violations.push(Violation::UnjournaledAnswer {
+                    worker: trace.worker,
+                    index: outcome.index,
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violations_render_with_kebab_names_and_addresses() {
+        assert_eq!(
+            Violation::OutcomeDiverged { index: 4 }.to_string(),
+            "outcome-diverged(index=4)"
+        );
+        assert_eq!(
+            Violation::UnjournaledAnswer {
+                worker: 1,
+                index: 9
+            }
+            .to_string(),
+            "unjournaled-answer(worker=1, index=9)"
+        );
+        assert_eq!(
+            Violation::JournalCorrupt {
+                worker: 2,
+                error: RecoveryError::MissingSnapshot,
+            }
+            .to_string(),
+            "journal-corrupt(worker=2, error=journal holds no complete worker snapshot)"
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! `lcakp-sim` — a VOPR-style deterministic simulator for the
+//! `lcakp-service` crash–recovery layer (experiment E15).
+//!
+//! The simulator's claim mirrors Theorem 4.1's consistency guarantee
+//! pushed through the serving runtime: with a shared seed, a worker
+//! that crashes, tears its in-flight journal write, and recovers must
+//! serve answers **byte-identical** to a worker that never died. Each
+//! simulated case derives a randomized fault schedule — crashes,
+//! restarts, corruption bursts, latency spikes, budget squeezes — from
+//! `(root, case)`, runs the full service twice (the faulted run and
+//! its crash-free twin), and checks safety *and* liveness invariants
+//! against the twin and the write-ahead journals. A violating schedule
+//! is automatically shrunk (drop-event / halve-magnitude passes) to a
+//! locally minimal repro printed as a replayable seed + event list.
+//!
+//! One module per concern:
+//!
+//! * [`schedule`] — [`SimEvent`] and seed-derived schedule generation;
+//! * [`invariants`] — the [`Violation`] taxonomy and [`check_run`];
+//! * [`shrink`] — greedy schedule shrinking to a minimal repro;
+//! * [`harness`] — the world builder, twin-run executor, range driver,
+//!   and the canonical JSON the `e15_simulation --smoke` golden pins.
+//!
+//! See `docs/robustness.md` ("Crash–recovery & simulation") for the
+//! journal format, the invariant list, and how to replay a repro.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod harness;
+pub mod invariants;
+pub mod schedule;
+pub mod shrink;
+
+pub use harness::{
+    render_json, run_range, run_smoke, CaseResult, CaseStats, Repro, SimConfig, SimReport,
+    SimWorld, SMOKE_CASES,
+};
+pub use invariants::{check_run, Violation};
+pub use schedule::{generate_schedule, SimEvent};
+pub use shrink::{shrink, Shrunk};

@@ -1,0 +1,208 @@
+//! Seed-derived fault schedules.
+//!
+//! A schedule is an ordered list of [`SimEvent`]s — the *entire*
+//! difference between one simulated world and another. Schedules are a
+//! pure function of `(root, case)`, so any case the simulator flags can
+//! be replayed from its number alone, and any *shrunk* schedule can be
+//! replayed from its printed event list (each event renders and reads
+//! back losslessly through `Display`).
+
+use lcakp_oracle::Seed;
+use rand::Rng;
+use std::fmt;
+
+/// One injected fault. Crash ticks are expressed in *permille of the
+/// crash-free run's final worker tick* rather than absolute ticks, so a
+/// schedule stays meaningful across instances of different sizes and
+/// shrinking a crash tick moves the crash earlier proportionally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimEvent {
+    /// Kill a worker partway through its shard, optionally tearing the
+    /// in-flight journal write to its first `torn_keep` bytes.
+    Crash {
+        /// The worker to kill.
+        worker: usize,
+        /// Crash tick as permille of the worker's crash-free end tick.
+        tick_permille: u32,
+        /// Surviving bytes of the in-flight journal write (`None`:
+        /// crash between writes).
+        torn_keep: Option<usize>,
+    },
+    /// Revive a worker after its earliest unrevived crash.
+    Restart {
+        /// The worker to revive.
+        worker: usize,
+    },
+    /// Periodic heavy-fault windows over batch positions.
+    CorruptionBurst {
+        /// A burst starts every `period` queries.
+        period: usize,
+        /// Queries per burst.
+        len: usize,
+        /// Transient-fault rate inside the burst, in permille.
+        transient_permille: u32,
+        /// Signalled-corruption rate inside the burst, in permille.
+        corruption_permille: u32,
+    },
+    /// A latency surge over a virtual-tick window.
+    LatencySpike {
+        /// First tick (inclusive) of the surge.
+        start_tick: u64,
+        /// Window length in ticks.
+        len_ticks: u64,
+        /// Extra ticks charged per access started inside the window.
+        extra_cost: u64,
+    },
+    /// A hard per-worker access cap barely above the admission bound.
+    BudgetSqueeze {
+        /// Slack above one worst-case query, in accesses.
+        slack_accesses: u64,
+    },
+}
+
+impl fmt::Display for SimEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimEvent::Crash {
+                worker,
+                tick_permille,
+                torn_keep,
+            } => match torn_keep {
+                Some(keep) => write!(
+                    f,
+                    "crash(worker={worker}, tick={tick_permille}/1000, torn-keep={keep})"
+                ),
+                None => write!(f, "crash(worker={worker}, tick={tick_permille}/1000)"),
+            },
+            SimEvent::Restart { worker } => write!(f, "restart(worker={worker})"),
+            SimEvent::CorruptionBurst {
+                period,
+                len,
+                transient_permille,
+                corruption_permille,
+            } => write!(
+                f,
+                "corruption-burst(period={period}, len={len}, transient={transient_permille}/1000, \
+                 corruption={corruption_permille}/1000)"
+            ),
+            SimEvent::LatencySpike {
+                start_tick,
+                len_ticks,
+                extra_cost,
+            } => write!(
+                f,
+                "latency-spike(start={start_tick}, len={len_ticks}, extra={extra_cost})"
+            ),
+            SimEvent::BudgetSqueeze { slack_accesses } => {
+                write!(f, "budget-squeeze(slack={slack_accesses})")
+            }
+        }
+    }
+}
+
+/// Generates the fault schedule for `case`: always at least one crash
+/// (most get a matching restart), plus up to two ambient faults drawn
+/// from corruption bursts, latency spikes, and budget squeezes.
+pub fn generate_schedule(root: &Seed, case: u64, workers: usize) -> Vec<SimEvent> {
+    let mut rng = root.derive("sim/schedule", case).rng();
+    let mut events = Vec::new();
+    let crashes = rng.gen_range(1usize..=2);
+    for _ in 0..crashes {
+        let worker = rng.gen_range(0..workers);
+        let torn_keep = if rng.gen_range(0u32..2) == 0 {
+            Some(rng.gen_range(0usize..64))
+        } else {
+            None
+        };
+        events.push(SimEvent::Crash {
+            worker,
+            tick_permille: rng.gen_range(0u32..1000),
+            torn_keep,
+        });
+        // Most crashes get revived; the rest leave a dead worker whose
+        // shard tail must shed explicitly.
+        if rng.gen_range(0u32..10) < 7 {
+            events.push(SimEvent::Restart { worker });
+        }
+    }
+    for _ in 0..rng.gen_range(0usize..=2) {
+        events.push(match rng.gen_range(0u32..3) {
+            0 => SimEvent::CorruptionBurst {
+                period: rng.gen_range(8usize..24),
+                len: rng.gen_range(2usize..8),
+                transient_permille: rng.gen_range(50u32..400),
+                corruption_permille: rng.gen_range(0u32..80),
+            },
+            1 => SimEvent::LatencySpike {
+                start_tick: rng.gen_range(0u64..40_000),
+                len_ticks: rng.gen_range(1_000u64..20_000),
+                extra_cost: rng.gen_range(1u64..4),
+            },
+            _ => SimEvent::BudgetSqueeze {
+                slack_accesses: rng.gen_range(0u64..200_000),
+            },
+        });
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedules_are_a_pure_function_of_root_and_case() {
+        let root = Seed::from_entropy_u64(7);
+        for case in 0..32 {
+            assert_eq!(
+                generate_schedule(&root, case, 3),
+                generate_schedule(&root, case, 3),
+                "case {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_schedule_contains_a_crash_with_a_valid_worker() {
+        let root = Seed::from_entropy_u64(8);
+        for case in 0..64 {
+            let events = generate_schedule(&root, case, 3);
+            assert!(
+                events.iter().any(|event| matches!(
+                    event,
+                    SimEvent::Crash { worker, .. } if *worker < 3
+                )),
+                "case {case} has no crash: {events:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn display_is_stable_and_distinct_per_variant() {
+        let rendered = [
+            SimEvent::Crash {
+                worker: 1,
+                tick_permille: 512,
+                torn_keep: Some(9),
+            },
+            SimEvent::Restart { worker: 1 },
+            SimEvent::CorruptionBurst {
+                period: 16,
+                len: 4,
+                transient_permille: 300,
+                corruption_permille: 50,
+            },
+            SimEvent::LatencySpike {
+                start_tick: 100,
+                len_ticks: 50,
+                extra_cost: 2,
+            },
+            SimEvent::BudgetSqueeze { slack_accesses: 77 },
+        ]
+        .map(|event| event.to_string());
+        assert_eq!(rendered[0], "crash(worker=1, tick=512/1000, torn-keep=9)");
+        assert_eq!(rendered[1], "restart(worker=1)");
+        let unique: std::collections::BTreeSet<&String> = rendered.iter().collect();
+        assert_eq!(unique.len(), rendered.len());
+    }
+}

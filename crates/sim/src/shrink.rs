@@ -1,0 +1,193 @@
+//! Greedy fault-schedule shrinking.
+//!
+//! When a schedule violates an invariant, [`shrink`] reduces it to a
+//! *locally minimal* repro: two alternating passes — drop one event,
+//! halve one event's magnitudes — are applied greedily until a full
+//! round changes nothing. Every accepted candidate still violates, so
+//! the final schedule is replayable evidence, typically a bare
+//! crash(+restart) pair.
+
+use crate::invariants::Violation;
+use crate::schedule::SimEvent;
+
+/// A shrunk repro: the minimal surviving schedule, the violations it
+/// still triggers, and how many candidate schedules were tried.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Shrunk {
+    /// The locally minimal event list.
+    pub events: Vec<SimEvent>,
+    /// Violations the minimal schedule still triggers.
+    pub violations: Vec<Violation>,
+    /// Candidate schedules evaluated along the way.
+    pub attempts: usize,
+}
+
+/// One event with its magnitudes halved, or `None` when halving cannot
+/// change it (everything already at its floor).
+fn halved(event: &SimEvent) -> Option<SimEvent> {
+    let smaller = match *event {
+        SimEvent::Crash {
+            worker,
+            tick_permille,
+            torn_keep,
+        } => SimEvent::Crash {
+            worker,
+            tick_permille: tick_permille / 2,
+            torn_keep: torn_keep.map(|keep| keep / 2),
+        },
+        SimEvent::Restart { .. } => return None,
+        SimEvent::CorruptionBurst {
+            period,
+            len,
+            transient_permille,
+            corruption_permille,
+        } => SimEvent::CorruptionBurst {
+            period,
+            len: (len / 2).max(1),
+            transient_permille: transient_permille / 2,
+            corruption_permille: corruption_permille / 2,
+        },
+        SimEvent::LatencySpike {
+            start_tick,
+            len_ticks,
+            extra_cost,
+        } => SimEvent::LatencySpike {
+            start_tick: start_tick / 2,
+            len_ticks: (len_ticks / 2).max(1),
+            extra_cost: (extra_cost / 2).max(1),
+        },
+        SimEvent::BudgetSqueeze { slack_accesses } => SimEvent::BudgetSqueeze {
+            slack_accesses: slack_accesses / 2,
+        },
+    };
+    (smaller != *event).then_some(smaller)
+}
+
+/// Shrinks a violating schedule to a locally minimal one. `violates`
+/// re-runs the simulation for a candidate and returns the violations it
+/// triggers (empty = the candidate passes, so the shrink step is
+/// rejected). The input schedule must itself violate; the function
+/// panics otherwise, because "shrink a passing schedule" is always a
+/// caller bug.
+pub fn shrink<F>(events: &[SimEvent], mut violates: F) -> Shrunk
+where
+    F: FnMut(&[SimEvent]) -> Vec<Violation>,
+{
+    let mut current = events.to_vec();
+    let mut violations = violates(&current);
+    let mut attempts = 1;
+    assert!(
+        !violations.is_empty(),
+        "shrink called on a schedule with no violations"
+    );
+    loop {
+        let mut changed = false;
+        // Drop pass, later events first so crash/restart pairing of the
+        // survivors is preserved while a trailing restart is tried
+        // first for removal.
+        let mut position = current.len();
+        while position > 0 {
+            position -= 1;
+            let mut candidate = current.clone();
+            candidate.remove(position);
+            attempts += 1;
+            let candidate_violations = violates(&candidate);
+            if !candidate_violations.is_empty() {
+                current = candidate;
+                violations = candidate_violations;
+                changed = true;
+            }
+        }
+        // Halve pass: shrink magnitudes one event at a time.
+        for position in 0..current.len() {
+            let Some(smaller) = halved(&current[position]) else {
+                continue;
+            };
+            let mut candidate = current.clone();
+            candidate[position] = smaller;
+            attempts += 1;
+            let candidate_violations = violates(&candidate);
+            if !candidate_violations.is_empty() {
+                current = candidate;
+                violations = candidate_violations;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Shrunk {
+                events: current,
+                violations,
+                attempts,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A toy oracle: violates iff a crash of worker 0 with
+    /// `tick_permille > 0` is present. Everything else is noise the
+    /// shrinker must strip.
+    fn toy_violates(events: &[SimEvent]) -> Vec<Violation> {
+        let bad = events.iter().any(|event| {
+            matches!(
+                event,
+                SimEvent::Crash {
+                    worker: 0,
+                    tick_permille,
+                    ..
+                } if *tick_permille > 0
+            )
+        });
+        if bad {
+            vec![Violation::MissingOutcome { index: 0 }]
+        } else {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_guilty_event_at_minimal_magnitude() {
+        let events = vec![
+            SimEvent::BudgetSqueeze {
+                slack_accesses: 100,
+            },
+            SimEvent::Crash {
+                worker: 0,
+                tick_permille: 800,
+                torn_keep: Some(40),
+            },
+            SimEvent::Restart { worker: 0 },
+            SimEvent::LatencySpike {
+                start_tick: 10,
+                len_ticks: 10,
+                extra_cost: 2,
+            },
+        ];
+        let shrunk = shrink(&events, toy_violates);
+        // Halving can never reach tick_permille == 0 from 800 without
+        // passing through a still-violating value, so the fixed point is
+        // the lone crash at tick 1/1000 with nothing torn.
+        assert_eq!(
+            shrunk.events,
+            vec![SimEvent::Crash {
+                worker: 0,
+                tick_permille: 1,
+                torn_keep: Some(0),
+            }]
+        );
+        assert_eq!(
+            shrunk.violations,
+            vec![Violation::MissingOutcome { index: 0 }]
+        );
+        assert!(shrunk.attempts > 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no violations")]
+    fn refuses_a_passing_schedule() {
+        shrink(&[SimEvent::Restart { worker: 0 }], toy_violates);
+    }
+}

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Run the E15 VOPR-style simulator (crates/sim) against the serving
+# runtime's crash-recovery layer.
+#
+#   scripts/simulate.sh            full run: default seed range under
+#                                  faithful recovery (must report zero
+#                                  violations), then the planted
+#                                  skip-journal-replay bug is caught and
+#                                  shrunk to a minimal repro
+#   scripts/simulate.sh --smoke    print the CI golden JSON and diff it
+#                                  against crates/sim/tests/golden/
+#
+# Exits nonzero if any invariant violation survives faithful recovery,
+# if the planted bug goes uncaught, or if the smoke output drifts from
+# the committed golden.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    cargo run -q --release -p lcakp-bench --bin e15_simulation -- --smoke \
+        > /tmp/e15_smoke.json
+    diff -u crates/sim/tests/golden/e15_smoke.json /tmp/e15_smoke.json
+    echo "e15 smoke output matches the committed golden"
+else
+    cargo run -q --release -p lcakp-bench --bin e15_simulation
+fi
