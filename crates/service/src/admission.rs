@@ -42,6 +42,20 @@ pub enum ShedReason {
         /// The worker that died.
         worker: usize,
     },
+    /// Every replica of the owning shard's group is dead (or the router
+    /// gave up on the group), so no node can adopt the shard's journal.
+    /// Still an explicit response: a dead replica group must not turn
+    /// into a silent drop.
+    NodeUnreachable {
+        /// The shard whose replica group is gone.
+        shard: usize,
+    },
+    /// A network partition cut every live replica of the owning shard
+    /// off from the client side and never healed within the batch.
+    Partitioned {
+        /// The shard stranded on the far side of the partition.
+        shard: usize,
+    },
 }
 
 impl fmt::Display for ShedReason {
@@ -56,6 +70,12 @@ impl fmt::Display for ShedReason {
             }
             ShedReason::WorkerCrashed { worker } => {
                 write!(f, "worker-crashed(worker={worker})")
+            }
+            ShedReason::NodeUnreachable { shard } => {
+                write!(f, "node-unreachable(shard={shard})")
+            }
+            ShedReason::Partitioned { shard } => {
+                write!(f, "partitioned(shard={shard})")
             }
         }
     }
@@ -82,6 +102,14 @@ mod tests {
         assert_eq!(
             ShedReason::WorkerCrashed { worker: 3 }.to_string(),
             "worker-crashed(worker=3)"
+        );
+        assert_eq!(
+            ShedReason::NodeUnreachable { shard: 5 }.to_string(),
+            "node-unreachable(shard=5)"
+        );
+        assert_eq!(
+            ShedReason::Partitioned { shard: 2 }.to_string(),
+            "partitioned(shard=2)"
         );
     }
 }

@@ -1,0 +1,1120 @@
+//! The simulated multi-node cluster runtime (experiment E16).
+//!
+//! [`serve_cluster`] generalizes [`serve_batch`](crate::serve_batch)
+//! from one worker pool to a cluster of nodes hosting replicated
+//! shards. The paper's Theorem 4.1 consistency plus Definition 2.4
+//! statelessness make replication *free*: every replica derives from
+//! the same root seed, so any node serving a shard produces
+//! byte-identical answers — all failover has to preserve is the durable
+//! journal, and PR 5's checksummed write-ahead journal/snapshot is
+//! exactly the artifact to ship.
+//!
+//! # The deterministic scheduler
+//!
+//! Each shard is a [`WorkerCore`] — the same event-driven serving core
+//! the thread pool runs — hosted on a node picked by the consistent-
+//! hash [`Ring`]. A single-threaded discrete-event scheduler always
+//! steps the runnable shard with the smallest `(virtual tick, shard
+//! id)` key, firing node-level fault events ([`NodeEvent`]) whenever
+//! the cluster frontier reaches their tick. The result is a pure
+//! function of `(inputs, config, events)` — no thread scheduling, no
+//! wall clock.
+//!
+//! # Failover
+//!
+//! When a shard's hosting node crashes, the surviving replicas hold the
+//! shard's journal (synchronously replicated appends; the crash may
+//! tear the tail of the last in-flight append). The router promotes the
+//! first alive, reachable replica in ring order; the new owner replays
+//! the shipped journal through the PR 5 recovery path — restoring the
+//! virtual clock, breaker, and budget from the last snapshot — and
+//! resumes byte-identically. When no replica is reachable the shard's
+//! remaining queries shed explicitly: [`ShedReason::NodeUnreachable`]
+//! when the replica group is gone, [`ShedReason::Partitioned`] when
+//! live replicas exist but a partition cut them all off. Never a silent
+//! drop.
+//!
+//! # Partitions
+//!
+//! [`NodeEvent::Partition`] splits the membership into groups;
+//! reachability is judged from the client's vantage point, wired to
+//! node 0's side of every active partition. A partition with a
+//! `heal_at` tick reconnects everyone at that tick and parked shards
+//! resume (the old owner's live state is intact, so healing costs zero
+//! virtual ticks); one that never heals strands its shards until
+//! end-of-batch salvage.
+//!
+//! # The planted routing bug
+//!
+//! [`RoutingDiscipline::StaleRing`] is E16's deliberately planted bug:
+//! the router keeps consulting the membership view captured at batch
+//! start, where every node is alive and connected — so after an owner
+//! loss it re-picks the boot primary forever and gives up, shedding
+//! `NodeUnreachable` while a live replica sits idle. The simulator must
+//! catch this (divergence from the twin plus a shed audit showing a
+//! reachable replica) and shrink it to a minimal repro.
+
+use crate::admission::ShedReason;
+use crate::journal::Journal;
+use crate::ring::{NodeId, ReplicaSet, Ring};
+use crate::service::{
+    serve_batch_cached_rule, Disposition, FaultSchedule, PendingStep, QueryOutcome, ServiceConfig,
+    SharedCtx, WorkerCore,
+};
+use lcakp_core::{LcaError, LcaKp};
+use lcakp_knapsack::ItemId;
+use lcakp_oracle::{ItemOracle, Seed, WeightedSampler};
+use std::fmt;
+
+/// How the cluster router resolves shard ownership after a node loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RoutingDiscipline {
+    /// Consult the live membership: promote the first alive, reachable
+    /// replica in ring order.
+    #[default]
+    Faithful,
+    /// Planted bug: consult the membership view captured at batch
+    /// start, where every node is alive and connected — the router
+    /// re-picks the boot primary forever, so an owner loss sheds
+    /// `NodeUnreachable` even while a live replica is reachable. E16
+    /// must catch and shrink exactly this mistake.
+    StaleRing,
+}
+
+impl fmt::Display for RoutingDiscipline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingDiscipline::Faithful => write!(f, "faithful"),
+            RoutingDiscipline::StaleRing => write!(f, "stale-ring"),
+        }
+    }
+}
+
+/// One node-level fault event on the cluster scheduler's frontier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// Kill a node at the first scheduling point at or after `at_tick`:
+    /// its live state is lost, its shards fail over to replicas via the
+    /// shipped journal.
+    NodeCrash {
+        /// The node to kill.
+        node: NodeId,
+        /// Cluster-frontier tick the crash fires at.
+        at_tick: u64,
+        /// How many bytes of each owned shard's last in-flight journal
+        /// append survived replication — `None` ships the journal
+        /// clean, `Some(k)` keeps the first `k` bytes of the final
+        /// append (recovery truncates the torn tail).
+        torn_keep: Option<usize>,
+    },
+    /// Revive a dead node at `at_tick` with empty memory; it re-adopts
+    /// shards only through the ring (journal replay, never resumption).
+    NodeRestart {
+        /// The node to revive.
+        node: NodeId,
+        /// Cluster-frontier tick the restart fires at.
+        at_tick: u64,
+    },
+    /// Split the membership into disjoint `groups` at `at_tick`; nodes
+    /// absent from every group stay on the client's side. Heals at
+    /// `heal_at` (`u64::MAX` = never within this batch).
+    Partition {
+        /// The partition's sides; cross-group traffic is dropped.
+        groups: Vec<Vec<NodeId>>,
+        /// Cluster-frontier tick the cut fires at.
+        at_tick: u64,
+        /// Cluster-frontier tick the cut heals at (`u64::MAX` = never).
+        heal_at: u64,
+    },
+}
+
+impl fmt::Display for NodeEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeEvent::NodeCrash {
+                node,
+                at_tick,
+                torn_keep,
+            } => match torn_keep {
+                Some(keep) => {
+                    write!(f, "node-crash({node}, at={at_tick}, torn-keep={keep})")
+                }
+                None => write!(f, "node-crash({node}, at={at_tick})"),
+            },
+            NodeEvent::NodeRestart { node, at_tick } => {
+                write!(f, "node-restart({node}, at={at_tick})")
+            }
+            NodeEvent::Partition {
+                groups,
+                at_tick,
+                heal_at,
+            } => {
+                write!(f, "partition(groups=[")?;
+                for (position, group) in groups.iter().enumerate() {
+                    if position > 0 {
+                        write!(f, " | ")?;
+                    }
+                    for (inner, node) in group.iter().enumerate() {
+                        if inner > 0 {
+                            write!(f, " ")?;
+                        }
+                        write!(f, "{node}")?;
+                    }
+                }
+                write!(f, "], at={at_tick}, heal=")?;
+                if *heal_at == u64::MAX {
+                    write!(f, "never)")
+                } else {
+                    write!(f, "{heal_at})")
+                }
+            }
+        }
+    }
+}
+
+/// Tuning of the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Nodes in the membership. Must be ≥ 1.
+    pub nodes: usize,
+    /// Replicas per shard (clamped to the membership size).
+    pub replication: usize,
+    /// Shards queries are routed over (`index % shards`). Must be ≥ 1.
+    pub shards: usize,
+    /// Virtual points per node on the consistent-hash ring.
+    pub vnodes: usize,
+    /// How the router resolves ownership after a node loss.
+    pub routing: RoutingDiscipline,
+    /// The per-shard serving configuration (`workers` is ignored — the
+    /// cluster scheduler replaces the thread pool).
+    pub base: ServiceConfig,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            replication: 2,
+            shards: 8,
+            vnodes: 64,
+            routing: RoutingDiscipline::Faithful,
+            base: ServiceConfig::default(),
+        }
+    }
+}
+
+/// Per-shard execution trace of one cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTrace {
+    /// The shard id (also the batch-position residue).
+    pub shard: usize,
+    /// Ownership history: the boot primary first, then every promoted
+    /// owner in order.
+    pub owners: Vec<NodeId>,
+    /// The shard clock when it drained (or was abandoned).
+    pub end_tick: u64,
+    /// Accesses charged against the shard's budget slice.
+    pub accesses_used: u64,
+    /// Owner changes the shard survived.
+    pub failovers: usize,
+    /// The shard's write-ahead journal, byte-for-byte.
+    pub journal: Journal,
+}
+
+/// Per-node liveness trace of one cluster run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTrace {
+    /// The node.
+    pub node: NodeId,
+    /// Crashes the node suffered.
+    pub crashes: usize,
+    /// Restarts that revived it.
+    pub restarts: usize,
+    /// Whether the node was alive when the batch ended.
+    pub alive_at_end: bool,
+}
+
+/// Audit record of a shard the router gave up on: the *true* replica
+/// state at shed time, so the simulator can prove a shed was honest
+/// (no live reachable replica existed) or catch a routing bug lying.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShedAudit {
+    /// The abandoned shard.
+    pub shard: usize,
+    /// The reason its remaining queries shed with.
+    pub reason: ShedReason,
+    /// Replicas that were actually alive at shed time.
+    pub alive_replicas: Vec<NodeId>,
+    /// Alive replicas that were also reachable from the client.
+    pub reachable_replicas: Vec<NodeId>,
+}
+
+/// The merged result of one [`serve_cluster`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct ClusterReport {
+    /// One outcome per submitted query, sorted by batch position.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Per-shard traces, sorted by shard id.
+    pub shards: Vec<ShardTrace>,
+    /// Per-node liveness traces, sorted by node id.
+    pub nodes: Vec<NodeTrace>,
+    /// One audit per abandoned shard, in salvage order.
+    pub shed_audits: Vec<ShedAudit>,
+    /// Whether the cached-rule tier was available for this batch.
+    pub cached_rule_available: bool,
+}
+
+impl ClusterReport {
+    /// Queries rejected (by admission control or failover salvage).
+    #[must_use]
+    pub fn shed_count(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|outcome| matches!(outcome.disposition, Disposition::Shed(_)))
+            .count()
+    }
+
+    /// Queries answered at some tier of the ladder.
+    #[must_use]
+    pub fn answered_count(&self) -> usize {
+        self.outcomes.len() - self.shed_count()
+    }
+
+    /// Owner changes across all shards.
+    #[must_use]
+    pub fn failover_count(&self) -> usize {
+        self.shards.iter().map(|trace| trace.failovers).sum()
+    }
+}
+
+/// What a shard task is currently doing on the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskStatus {
+    /// Hosted on an alive, reachable owner; eligible for stepping.
+    Running,
+    /// No owner right now; waiting for a heal or restart.
+    Parked,
+    /// Shard drained.
+    Done,
+    /// Salvaged: remaining queries shed, never scheduled again.
+    Abandoned,
+}
+
+/// One shard task: a serving core plus its placement state.
+struct ShardTask<'a, O> {
+    core: WorkerCore<'a, O>,
+    owner: NodeId,
+    owners: Vec<NodeId>,
+    failovers: usize,
+    status: TaskStatus,
+    /// Whether the owner's in-memory state matches the core (false
+    /// after the owner's crash until a journal restore completes).
+    live_valid: bool,
+}
+
+/// A fault op on the scheduler's timeline (heals are split out of
+/// their `Partition` event so the timeline is a flat sorted list).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Crash {
+        node: usize,
+        torn_keep: Option<usize>,
+    },
+    Restart {
+        node: usize,
+    },
+    Cut {
+        slot: usize,
+    },
+    Heal {
+        slot: usize,
+    },
+}
+
+/// Shards queries over `index % shards` into bounded per-shard queues;
+/// overflow sheds `QueueFull` at admission, before anything runs.
+fn admit(
+    queries: &[ItemId],
+    shards: usize,
+    queue_depth: usize,
+) -> (Vec<Vec<(usize, ItemId)>>, Vec<QueryOutcome>) {
+    let mut shard_queries: Vec<Vec<(usize, ItemId)>> = vec![Vec::new(); shards];
+    let mut shed = Vec::new();
+    for (index, &item) in queries.iter().enumerate() {
+        let shard = index % shards;
+        if shard_queries[shard].len() < queue_depth {
+            shard_queries[shard].push((index, item));
+        } else {
+            shed.push(QueryOutcome {
+                index,
+                item,
+                disposition: Disposition::Shed(ShedReason::QueueFull { depth: queue_depth }),
+            });
+        }
+    }
+    (shard_queries, shed)
+}
+
+/// The single-threaded cluster scheduler state.
+struct Cluster<'a, O> {
+    tasks: Vec<ShardTask<'a, O>>,
+    replica_sets: Vec<ReplicaSet>,
+    alive: Vec<bool>,
+    crashes: Vec<usize>,
+    restarts: Vec<usize>,
+    /// `partitions[slot]` is `Some(groups)` while that cut is active.
+    partitions: Vec<Option<Vec<Vec<NodeId>>>>,
+    routing: RoutingDiscipline,
+    shed_audits: Vec<ShedAudit>,
+}
+
+impl<'a, O> Cluster<'a, O>
+where
+    O: ItemOracle + WeightedSampler,
+{
+    /// Which side of `groups` a node is on (`usize::MAX` = unlisted,
+    /// which stays on the client's side).
+    fn side(groups: &[Vec<NodeId>], node: NodeId) -> usize {
+        groups
+            .iter()
+            .position(|group| group.contains(&node))
+            .unwrap_or(usize::MAX)
+    }
+
+    /// Whether the client (wired to node 0's side of every active
+    /// partition) can reach `node`.
+    fn reachable(&self, node: NodeId) -> bool {
+        self.partitions
+            .iter()
+            .flatten()
+            .all(|groups| Self::side(groups, node) == Self::side(groups, NodeId(0)))
+    }
+
+    /// The router's pick for `shard`, per the configured discipline.
+    fn route(&self, shard: usize) -> Option<NodeId> {
+        let set = &self.replica_sets[shard];
+        match self.routing {
+            RoutingDiscipline::Faithful => set
+                .nodes()
+                .iter()
+                .copied()
+                .find(|&node| self.alive[node.0] && self.reachable(node)),
+            RoutingDiscipline::StaleRing => {
+                let primary = set.primary();
+                (self.alive[primary.0] && self.reachable(primary)).then_some(primary)
+            }
+        }
+    }
+
+    /// Sheds the shard's remaining queries with an honest reason and
+    /// records the true replica state for the simulator's audit.
+    fn salvage(&mut self, shard: usize) {
+        let set = &self.replica_sets[shard];
+        let alive_replicas: Vec<NodeId> = set
+            .nodes()
+            .iter()
+            .copied()
+            .filter(|node| self.alive[node.0])
+            .collect();
+        let reachable_replicas: Vec<NodeId> = alive_replicas
+            .iter()
+            .copied()
+            .filter(|&node| self.reachable(node))
+            .collect();
+        // Live replicas all cut off ⇒ a partition shed; otherwise the
+        // group is gone (or the router *claims* it is — the audit keeps
+        // the evidence either way).
+        let reason = if !alive_replicas.is_empty() && reachable_replicas.is_empty() {
+            ShedReason::Partitioned { shard }
+        } else {
+            ShedReason::NodeUnreachable { shard }
+        };
+        self.tasks[shard].core.salvage(reason);
+        self.tasks[shard].status = TaskStatus::Abandoned;
+        self.shed_audits.push(ShedAudit {
+            shard,
+            reason,
+            alive_replicas,
+            reachable_replicas,
+        });
+    }
+
+    /// Re-places a shard whose owner was lost (or resumes it): resume
+    /// in place when the owner is back and its memory is intact,
+    /// promote the router's pick via journal restore otherwise, park
+    /// when live replicas exist but none is reachable, salvage when the
+    /// router finds nothing.
+    fn resolve(&mut self, shard: usize, ctx: &SharedCtx<'a, O>) {
+        let owner = self.tasks[shard].owner;
+        let owner_usable = self.alive[owner.0] && self.reachable(owner);
+        if owner_usable && self.tasks[shard].live_valid {
+            self.tasks[shard].status = if self.tasks[shard].core.finished() {
+                TaskStatus::Done
+            } else {
+                TaskStatus::Running
+            };
+            return;
+        }
+        match self.route(shard) {
+            Some(next_owner) => {
+                let task = &mut self.tasks[shard];
+                if next_owner != task.owner {
+                    task.failovers += 1;
+                }
+                task.owner = next_owner;
+                task.owners.push(next_owner);
+                match task.core.restore(ctx) {
+                    Ok(()) => {
+                        task.live_valid = true;
+                        task.status = if task.core.finished() {
+                            TaskStatus::Done
+                        } else {
+                            TaskStatus::Running
+                        };
+                    }
+                    // The shipped journal could not be replayed: the
+                    // replica group effectively lost the shard.
+                    Err(_) => self.salvage(shard),
+                }
+            }
+            None => {
+                let any_alive = self.replica_sets[shard]
+                    .nodes()
+                    .iter()
+                    .any(|node| self.alive[node.0]);
+                if any_alive && self.routing == RoutingDiscipline::Faithful {
+                    self.tasks[shard].status = TaskStatus::Parked;
+                } else {
+                    self.salvage(shard);
+                }
+            }
+        }
+    }
+
+    /// Applies one fault op at its timeline position.
+    fn apply(&mut self, op: Op, ctx: &SharedCtx<'a, O>) {
+        match op {
+            Op::Crash { node, torn_keep } => {
+                if node >= self.alive.len() || !self.alive[node] {
+                    return;
+                }
+                self.alive[node] = false;
+                self.crashes[node] += 1;
+                for shard in 0..self.tasks.len() {
+                    let task = &self.tasks[shard];
+                    if task.owner != NodeId(node)
+                        || !matches!(task.status, TaskStatus::Running | TaskStatus::Parked)
+                    {
+                        continue;
+                    }
+                    // The owner's memory is gone; what survives is the
+                    // replicated journal, whose last in-flight append
+                    // the crash may have torn.
+                    self.tasks[shard].live_valid = false;
+                    if let Some(keep) = torn_keep {
+                        let tail = self.tasks[shard].core.last_append_len();
+                        if tail > 0 {
+                            let keep = keep.min(tail);
+                            let mut shipped = self.tasks[shard].core.journal().clone();
+                            let len = shipped.bytes().len();
+                            shipped.truncate(len - (tail - keep));
+                            self.tasks[shard].core.adopt_journal(shipped);
+                        }
+                    }
+                    self.resolve(shard, ctx);
+                }
+            }
+            Op::Restart { node } => {
+                if node >= self.alive.len() || self.alive[node] {
+                    return;
+                }
+                self.alive[node] = true;
+                self.restarts[node] += 1;
+                self.resolve_parked(ctx);
+            }
+            Op::Cut { slot } => {
+                // The cut is already active (the scheduler installs the
+                // groups before dispatching the op); strand every
+                // running shard whose owner fell off the client's side.
+                debug_assert!(self.partitions[slot].is_some());
+                for shard in 0..self.tasks.len() {
+                    if self.tasks[shard].status == TaskStatus::Running
+                        && !self.reachable(self.tasks[shard].owner)
+                    {
+                        // Park first so `resolve` re-routes instead of
+                        // resuming on the now-unreachable owner.
+                        self.tasks[shard].status = TaskStatus::Parked;
+                    }
+                }
+                self.resolve_parked(ctx);
+            }
+            Op::Heal { slot } => {
+                self.partitions[slot] = None;
+                self.resolve_parked(ctx);
+            }
+        }
+    }
+
+    /// Tries to re-place every parked shard, ascending.
+    fn resolve_parked(&mut self, ctx: &SharedCtx<'a, O>) {
+        for shard in 0..self.tasks.len() {
+            if self.tasks[shard].status == TaskStatus::Parked {
+                self.resolve(shard, ctx);
+            }
+        }
+    }
+}
+
+/// Serves `queries` on the simulated cluster, deterministically.
+///
+/// Semantics mirror [`serve_batch`](crate::serve_batch) — same cached
+/// rule stream, same per-query seed derivation, same admission rules
+/// with `index % shards` routing — plus node-level fault injection via
+/// `node_events`. With an empty event list and faithful routing the
+/// outcomes are byte-identical to a fault-free run.
+///
+/// # Errors
+///
+/// Propagates hard configuration errors ([`LcaError`]); node faults
+/// shed or fail over instead of erroring.
+///
+/// # Panics
+///
+/// Panics if `nodes`, `shards`, `vnodes`, or `base.queue_depth` is
+/// zero.
+#[allow(clippy::too_many_arguments)]
+pub fn serve_cluster<O>(
+    lca: &LcaKp,
+    oracle: &O,
+    shared_seed: &Seed,
+    service_root: &Seed,
+    queries: &[ItemId],
+    config: &ClusterConfig,
+    chaos: Option<&dyn FaultSchedule>,
+    node_events: &[NodeEvent],
+) -> Result<ClusterReport, LcaError>
+where
+    O: ItemOracle + WeightedSampler + Sync,
+{
+    assert!(config.nodes >= 1, "nodes must be at least 1");
+    assert!(config.shards >= 1, "shards must be at least 1");
+    assert!(
+        config.base.queue_depth >= 1,
+        "queue_depth must be at least 1"
+    );
+
+    let cached = serve_batch_cached_rule(lca, oracle, shared_seed, service_root);
+    let shared = SharedCtx {
+        lca,
+        oracle,
+        shared_seed,
+        service_root,
+        config: &config.base,
+        chaos,
+        cached: cached.as_ref(),
+    };
+
+    let (shard_queries, mut outcomes) = admit(queries, config.shards, config.base.queue_depth);
+
+    // Placement: one replica group per shard from the boot-time ring.
+    let ring = Ring::new(config.nodes, config.vnodes);
+    let replica_sets: Vec<ReplicaSet> = (0..config.shards)
+        .map(|shard| {
+            ring.replicas(shard, config.replication)
+                .expect("a non-empty membership always routes")
+        })
+        .collect();
+
+    let tasks: Vec<ShardTask<'_, O>> = shard_queries
+        .into_iter()
+        .enumerate()
+        .map(|(shard, queries)| {
+            let owner = replica_sets[shard].primary();
+            let core = WorkerCore::new(shard, queries, &shared);
+            let status = if core.finished() {
+                TaskStatus::Done
+            } else {
+                TaskStatus::Running
+            };
+            ShardTask {
+                core,
+                owner,
+                owners: vec![owner],
+                failovers: 0,
+                status,
+                live_valid: true,
+            }
+        })
+        .collect();
+
+    // Flatten the fault events into a sorted op timeline; a partition's
+    // heal is its own op so the list stays flat. Stable sort keeps the
+    // submission order on tick ties.
+    let mut partitions: Vec<Option<Vec<Vec<NodeId>>>> = Vec::new();
+    let mut pending_cuts: Vec<(usize, Vec<Vec<NodeId>>)> = Vec::new();
+    let mut ops: Vec<(u64, Op)> = Vec::new();
+    for event in node_events {
+        match event {
+            NodeEvent::NodeCrash {
+                node,
+                at_tick,
+                torn_keep,
+            } => ops.push((
+                *at_tick,
+                Op::Crash {
+                    node: node.0,
+                    torn_keep: *torn_keep,
+                },
+            )),
+            NodeEvent::NodeRestart { node, at_tick } => {
+                ops.push((*at_tick, Op::Restart { node: node.0 }));
+            }
+            NodeEvent::Partition {
+                groups,
+                at_tick,
+                heal_at,
+            } => {
+                let slot = partitions.len();
+                partitions.push(None);
+                pending_cuts.push((slot, groups.clone()));
+                ops.push((*at_tick, Op::Cut { slot }));
+                if *heal_at != u64::MAX {
+                    ops.push((*heal_at, Op::Heal { slot }));
+                }
+            }
+        }
+    }
+    ops.sort_by_key(|&(at_tick, _)| at_tick);
+
+    let mut cluster = Cluster {
+        tasks,
+        replica_sets,
+        alive: vec![true; config.nodes],
+        crashes: vec![0; config.nodes],
+        restarts: vec![0; config.nodes],
+        partitions,
+        routing: config.routing,
+        shed_audits: Vec::new(),
+    };
+
+    // The discrete-event loop: always step the runnable shard with the
+    // smallest (tick, shard) key; fire fault ops once the cluster
+    // frontier reaches their tick (immediately when nothing runs).
+    let mut next_op = 0usize;
+    loop {
+        let runnable = cluster
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, task)| task.status == TaskStatus::Running)
+            .min_by_key(|&(shard, task)| (task.core.now(), shard))
+            .map(|(shard, _)| shard);
+        if next_op < ops.len() {
+            let (at_tick, op) = ops[next_op];
+            let due = match runnable {
+                Some(shard) => at_tick <= cluster.tasks[shard].core.now(),
+                None => true,
+            };
+            if due {
+                next_op += 1;
+                if let Op::Cut { slot } = op {
+                    let position = pending_cuts
+                        .iter()
+                        .position(|(pending, _)| *pending == slot)
+                        .expect("each cut activates exactly once");
+                    let (_, groups) = pending_cuts.remove(position);
+                    cluster.partitions[slot] = Some(groups);
+                }
+                cluster.apply(op, &shared);
+                continue;
+            }
+        }
+        let Some(shard) = runnable else {
+            break;
+        };
+        let step: PendingStep = cluster.tasks[shard].core.serve_step(&shared)?;
+        cluster.tasks[shard].core.commit(step);
+        if cluster.tasks[shard].core.finished() {
+            cluster.tasks[shard].status = TaskStatus::Done;
+        }
+    }
+
+    // End-of-batch salvage: anything still parked never found a home.
+    for shard in 0..cluster.tasks.len() {
+        if cluster.tasks[shard].status == TaskStatus::Parked {
+            cluster.salvage(shard);
+        }
+    }
+
+    let nodes: Vec<NodeTrace> = (0..config.nodes)
+        .map(|node| NodeTrace {
+            node: NodeId(node),
+            crashes: cluster.crashes[node],
+            restarts: cluster.restarts[node],
+            alive_at_end: cluster.alive[node],
+        })
+        .collect();
+
+    let mut shards = Vec::with_capacity(config.shards);
+    for (shard, task) in cluster.tasks.into_iter().enumerate() {
+        let output = task.core.into_output(Vec::new());
+        outcomes.extend(output.outcomes);
+        shards.push(ShardTrace {
+            shard,
+            owners: task.owners,
+            end_tick: output.trace.end_tick,
+            accesses_used: output.trace.accesses_used,
+            failovers: task.failovers,
+            journal: output.trace.journal,
+        });
+    }
+    outcomes.sort_by_key(|outcome| outcome.index);
+
+    Ok(ClusterReport {
+        outcomes,
+        shards,
+        nodes,
+        shed_audits: cluster.shed_audits,
+        cached_rule_available: cached.is_some(),
+    })
+}
+
+/// Serves exactly one shard of the batch on a standalone core — what
+/// any single replica would compute from the shared seeds alone. The
+/// simulator re-serves each shard on every surviving replica and
+/// asserts the answers byte-identical to the cluster run's: the
+/// paper's consistency guarantee is what makes this check meaningful.
+///
+/// # Errors
+///
+/// Propagates hard configuration errors ([`LcaError`]).
+pub fn serve_shard_standalone<O>(
+    lca: &LcaKp,
+    oracle: &O,
+    shared_seed: &Seed,
+    service_root: &Seed,
+    queries: &[ItemId],
+    shard: usize,
+    config: &ClusterConfig,
+) -> Result<Vec<QueryOutcome>, LcaError>
+where
+    O: ItemOracle + WeightedSampler + Sync,
+{
+    assert!(shard < config.shards, "shard out of range");
+    let cached = serve_batch_cached_rule(lca, oracle, shared_seed, service_root);
+    let shared = SharedCtx {
+        lca,
+        oracle,
+        shared_seed,
+        service_root,
+        config: &config.base,
+        chaos: None,
+        cached: cached.as_ref(),
+    };
+    let (mut shard_queries, _) = admit(queries, config.shards, config.base.queue_depth);
+    let mut core = WorkerCore::new(shard, std::mem::take(&mut shard_queries[shard]), &shared);
+    while !core.finished() {
+        let step = core.serve_step(&shared)?;
+        core.commit(step);
+    }
+    Ok(core.into_output(Vec::new()).outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::serve_batch;
+    use lcakp_knapsack::iky::Epsilon;
+    use lcakp_oracle::InstanceOracle;
+    use lcakp_reproducible::SampleBudget;
+    use lcakp_workloads::{Family, WorkloadSpec};
+
+    fn quick_lca() -> LcaKp {
+        LcaKp::new(Epsilon::new(1, 3).unwrap())
+            .unwrap()
+            .with_budget(SampleBudget::Calibrated { factor: 0.01 })
+    }
+
+    fn batch(n: usize) -> Vec<ItemId> {
+        (0..n).map(ItemId).collect()
+    }
+
+    struct World {
+        norm: lcakp_knapsack::NormalizedInstance,
+        lca: LcaKp,
+        config: ClusterConfig,
+    }
+
+    fn world(n: usize, seed: u64) -> World {
+        let norm = WorkloadSpec::new(Family::SmallDominated, n, seed)
+            .generate_normalized()
+            .unwrap();
+        World {
+            norm,
+            lca: quick_lca(),
+            config: ClusterConfig::default(),
+        }
+    }
+
+    fn run(world: &World, events: &[NodeEvent]) -> ClusterReport {
+        let oracle = InstanceOracle::new(&world.norm);
+        serve_cluster(
+            &world.lca,
+            &oracle,
+            &Seed::from_entropy_u64(41),
+            &Seed::from_entropy_u64(42),
+            &batch(world.norm.len()),
+            &world.config,
+            None,
+            events,
+        )
+        .unwrap()
+    }
+
+    /// A shard whose boot replica group excludes node 0, plus that
+    /// group (needed to partition the group away from the client).
+    fn shard_avoiding_node0(config: &ClusterConfig) -> (usize, Vec<NodeId>) {
+        let ring = Ring::new(config.nodes, config.vnodes);
+        for shard in 0..config.shards {
+            let set = ring.replicas(shard, config.replication).unwrap();
+            if !set.contains(NodeId(0)) {
+                return (shard, set.nodes().to_vec());
+            }
+        }
+        panic!("no shard avoids node 0 — pick different vnodes");
+    }
+
+    #[test]
+    fn clean_cluster_matches_the_worker_pool_per_query() {
+        let world = world(32, 5);
+        let report = run(&world, &[]);
+        assert_eq!(report.outcomes.len(), 32);
+        assert_eq!(report.shed_count(), 0);
+        assert_eq!(report.failover_count(), 0);
+        assert!(report.cached_rule_available);
+        assert!(report.shed_audits.is_empty());
+        // Per-query answers equal serve_batch's: seeds derive from
+        // batch position, so pool vs cluster cannot change a verdict.
+        let oracle = InstanceOracle::new(&world.norm);
+        let pool = serve_batch(
+            &world.lca,
+            &oracle,
+            &Seed::from_entropy_u64(41),
+            &Seed::from_entropy_u64(42),
+            &batch(32),
+            &world.config.base,
+            None,
+        )
+        .unwrap();
+        for (ours, theirs) in report.outcomes.iter().zip(&pool.outcomes) {
+            let a = ours.disposition.answered().unwrap();
+            let b = theirs.disposition.answered().unwrap();
+            assert_eq!((a.include, a.tier), (b.include, b.tier));
+        }
+    }
+
+    #[test]
+    fn node_crash_fails_over_byte_invisibly() {
+        let world = world(32, 6);
+        let twin = run(&world, &[]);
+        let horizon = twin.shards.iter().map(|s| s.end_tick).max().unwrap();
+        let victim = twin.shards[0].owners[0];
+        let crashed = run(
+            &world,
+            &[NodeEvent::NodeCrash {
+                node: victim,
+                at_tick: horizon / 2,
+                torn_keep: Some(7),
+            }],
+        );
+        assert_eq!(
+            crashed.outcomes, twin.outcomes,
+            "failover must be invisible"
+        );
+        assert!(crashed.failover_count() > 0, "the victim owned shards");
+        assert!(crashed.shed_audits.is_empty());
+        let trace = &crashed.nodes[victim.0];
+        assert_eq!((trace.crashes, trace.restarts), (1, 0));
+        assert!(!trace.alive_at_end);
+        // Promoted shards record their new owner.
+        let moved = crashed
+            .shards
+            .iter()
+            .filter(|s| s.owners.first() == Some(&victim))
+            .count();
+        assert!(moved > 0);
+        for shard in crashed.shards.iter().filter(|s| s.failovers > 0) {
+            assert_ne!(*shard.owners.last().unwrap(), victim);
+        }
+    }
+
+    #[test]
+    fn losing_every_replica_sheds_node_unreachable_not_silently() {
+        let world = world(32, 7);
+        let (shard, group) = shard_avoiding_node0(&world.config);
+        let events: Vec<NodeEvent> = group
+            .iter()
+            .map(|&node| NodeEvent::NodeCrash {
+                node,
+                at_tick: 1,
+                torn_keep: None,
+            })
+            .collect();
+        let report = run(&world, &events);
+        let mut sheds = 0usize;
+        for outcome in &report.outcomes {
+            if outcome.index % world.config.shards == shard {
+                if let Disposition::Shed(reason) = outcome.disposition {
+                    assert_eq!(reason, ShedReason::NodeUnreachable { shard });
+                    sheds += 1;
+                }
+            }
+        }
+        assert!(sheds > 0, "the orphaned shard must shed explicitly");
+        let audit = report
+            .shed_audits
+            .iter()
+            .find(|audit| audit.shard == shard)
+            .expect("an abandoned shard leaves an audit");
+        assert!(audit.alive_replicas.is_empty());
+        assert_eq!(report.outcomes.len(), 32, "no silent drops");
+    }
+
+    #[test]
+    fn healed_partition_is_byte_invisible_and_unhealed_sheds_partitioned() {
+        let world = world(32, 8);
+        let twin = run(&world, &[]);
+        let horizon = twin.shards.iter().map(|s| s.end_tick).max().unwrap();
+        let (shard, group) = shard_avoiding_node0(&world.config);
+        let cut = |heal_at: u64| NodeEvent::Partition {
+            groups: vec![group.clone()],
+            at_tick: horizon / 3,
+            heal_at,
+        };
+        // Healed: parked shards resume with intact memory, zero ticks.
+        let healed = run(&world, &[cut(horizon / 2)]);
+        assert_eq!(healed.outcomes, twin.outcomes);
+        assert!(healed.shed_audits.is_empty());
+        // Never healed: the stranded shard sheds with the typed reason.
+        let stranded = run(&world, &[cut(u64::MAX)]);
+        assert_eq!(stranded.outcomes.len(), 32, "no silent drops");
+        let audit = stranded
+            .shed_audits
+            .iter()
+            .find(|audit| audit.shard == shard)
+            .expect("the stranded shard leaves an audit");
+        assert_eq!(audit.reason, ShedReason::Partitioned { shard });
+        assert!(!audit.alive_replicas.is_empty());
+        assert!(audit.reachable_replicas.is_empty());
+        let shed = stranded
+            .outcomes
+            .iter()
+            .filter(|o| {
+                matches!(
+                    o.disposition,
+                    Disposition::Shed(ShedReason::Partitioned { .. })
+                )
+            })
+            .count();
+        assert!(shed > 0);
+    }
+
+    #[test]
+    fn crash_then_restart_rejoins_through_journal_replay() {
+        let world = world(32, 9);
+        let twin = run(&world, &[]);
+        let horizon = twin.shards.iter().map(|s| s.end_tick).max().unwrap();
+        let victim = twin.shards[0].owners[0];
+        let report = run(
+            &world,
+            &[
+                NodeEvent::NodeCrash {
+                    node: victim,
+                    at_tick: horizon / 3,
+                    torn_keep: None,
+                },
+                NodeEvent::NodeRestart {
+                    node: victim,
+                    at_tick: horizon / 2,
+                },
+            ],
+        );
+        assert_eq!(report.outcomes, twin.outcomes);
+        let trace = &report.nodes[victim.0];
+        assert_eq!((trace.crashes, trace.restarts), (1, 1));
+        assert!(trace.alive_at_end);
+    }
+
+    #[test]
+    fn stale_ring_routing_sheds_while_a_live_replica_waits() {
+        let mut world = world(32, 10);
+        let twin = run(&world, &[]);
+        let horizon = twin.shards.iter().map(|s| s.end_tick).max().unwrap();
+        let victim = twin.shards[0].owners[0];
+        world.config.routing = RoutingDiscipline::StaleRing;
+        let report = run(
+            &world,
+            &[NodeEvent::NodeCrash {
+                node: victim,
+                at_tick: horizon / 2,
+                torn_keep: None,
+            }],
+        );
+        // The bug's signature: a NodeUnreachable shed whose audit shows
+        // an alive, reachable replica the router never consulted.
+        let lying = report
+            .shed_audits
+            .iter()
+            .find(|audit| !audit.reachable_replicas.is_empty())
+            .expect("the stale router must strand a shard with live replicas");
+        assert_eq!(
+            lying.reason,
+            ShedReason::NodeUnreachable { shard: lying.shard }
+        );
+        assert_ne!(report.outcomes, twin.outcomes);
+        assert_eq!(
+            report.outcomes.len(),
+            32,
+            "even the bug never drops silently"
+        );
+    }
+
+    #[test]
+    fn standalone_shard_replay_matches_the_faulted_cluster_run() {
+        let world = world(32, 11);
+        let twin = run(&world, &[]);
+        let horizon = twin.shards.iter().map(|s| s.end_tick).max().unwrap();
+        let victim = twin.shards[0].owners[0];
+        let crashed = run(
+            &world,
+            &[NodeEvent::NodeCrash {
+                node: victim,
+                at_tick: horizon / 2,
+                torn_keep: Some(3),
+            }],
+        );
+        let oracle = InstanceOracle::new(&world.norm);
+        for shard in 0..world.config.shards {
+            let standalone = serve_shard_standalone(
+                &world.lca,
+                &oracle,
+                &Seed::from_entropy_u64(41),
+                &Seed::from_entropy_u64(42),
+                &batch(32),
+                shard,
+                &world.config,
+            )
+            .unwrap();
+            let from_cluster: Vec<&QueryOutcome> = crashed
+                .outcomes
+                .iter()
+                .filter(|o| o.index % world.config.shards == shard)
+                .collect();
+            assert_eq!(standalone.len(), from_cluster.len());
+            for (a, b) in standalone.iter().zip(from_cluster) {
+                assert_eq!(a, b, "replica answers must be byte-identical");
+            }
+        }
+    }
+}

@@ -671,6 +671,14 @@ fn encode_shed_reason(enc: &mut Enc, reason: &ShedReason) {
             enc.u8(2);
             enc.u64(*worker as u64);
         }
+        ShedReason::NodeUnreachable { shard } => {
+            enc.u8(3);
+            enc.u64(*shard as u64);
+        }
+        ShedReason::Partitioned { shard } => {
+            enc.u8(4);
+            enc.u64(*shard as u64);
+        }
     }
 }
 
@@ -685,6 +693,12 @@ fn decode_shed_reason(dec: &mut Dec<'_>) -> Result<ShedReason, RecoveryError> {
         }),
         2 => Ok(ShedReason::WorkerCrashed {
             worker: dec.u64()? as usize,
+        }),
+        3 => Ok(ShedReason::NodeUnreachable {
+            shard: dec.u64()? as usize,
+        }),
+        4 => Ok(ShedReason::Partitioned {
+            shard: dec.u64()? as usize,
         }),
         _ => Err(dec.bad("unknown shed-reason tag")),
     }
@@ -845,6 +859,14 @@ mod tests {
             JournalRecord::Answered {
                 index: 1,
                 answer: sample_answered(),
+            },
+            JournalRecord::Shed {
+                index: 2,
+                reason: ShedReason::NodeUnreachable { shard: 6 },
+            },
+            JournalRecord::Shed {
+                index: 3,
+                reason: ShedReason::Partitioned { shard: 1 },
             },
             JournalRecord::Snapshot(sample_snapshot()),
         ]

@@ -27,9 +27,14 @@
 //!   crash/recover worker loop).
 //! * [`chaos`] — the deterministic chaos harness of experiment E14,
 //!   extended with worker crash/restart events for E15.
+//! * [`ring`] — the consistent-hash ring placing replicated shards on
+//!   simulated cluster nodes.
+//! * [`cluster`] — [`serve_cluster`], the simulated multi-node runtime:
+//!   replica failover via journal shipping, partition tolerance, and
+//!   node-level fault events (experiment E16).
 //!
-//! See `docs/robustness.md` for the design rationale and the E14/E15
-//! acceptance criteria.
+//! See `docs/robustness.md` for the design rationale and the
+//! E14/E15/E16 acceptance criteria.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -40,8 +45,10 @@ pub mod backoff;
 pub mod breaker;
 pub mod chaos;
 pub mod clock;
+pub mod cluster;
 pub mod deadline;
 pub mod journal;
+pub mod ring;
 pub mod service;
 
 pub use admission::ShedReason;
@@ -54,11 +61,16 @@ pub use chaos::{
     WorkerEvent,
 };
 pub use clock::{TickClock, VirtualClock};
+pub use cluster::{
+    serve_cluster, serve_shard_standalone, ClusterConfig, ClusterReport, NodeEvent, NodeTrace,
+    RoutingDiscipline, ShardTrace, ShedAudit,
+};
 pub use deadline::{CostModel, DeadlineOracle, LatencyWindow};
 pub use journal::{
     decode, DecodeMode, DecodedJournal, Journal, JournalRecord, Recovered, RecoveryError,
     WorkerSnapshot,
 };
+pub use ring::{NodeId, ReplicaSet, Ring, RouteError};
 pub use service::{
     serve_batch, Answered, BatchReport, CrashDirective, CrashReport, Disposition, FallbackTrigger,
     FaultSchedule, QueryOutcome, RecoveryDiscipline, ServiceConfig, WorkerTrace,

@@ -394,13 +394,7 @@ where
     assert!(config.workers >= 1, "workers must be at least 1");
     assert!(config.queue_depth >= 1, "queue_depth must be at least 1");
 
-    // Cached-rule tier: one rule per batch from its own stream. Failure
-    // to build it (e.g. a miscalibrated sample budget) disables the
-    // tier instead of failing the batch.
-    let cached: Option<SolutionRule> = {
-        let mut rng = service_root.derive(CACHE_DOMAIN, 0).rng();
-        lca.build_rule(oracle, &mut rng, shared_seed).ok()
-    };
+    let cached = serve_batch_cached_rule(lca, oracle, shared_seed, service_root);
 
     // Admission: fill every bounded queue before any worker runs, so
     // queue-full sheds are a pure function of the batch.
@@ -467,20 +461,39 @@ where
     })
 }
 
-/// Read-only state shared by every worker.
-struct SharedCtx<'a, O> {
-    lca: &'a LcaKp,
-    oracle: &'a O,
-    shared_seed: &'a Seed,
-    service_root: &'a Seed,
-    config: &'a ServiceConfig,
-    chaos: Option<&'a dyn FaultSchedule>,
-    cached: Option<&'a SolutionRule>,
+/// Cached-rule tier: one rule per batch from its own dedicated stream
+/// against the *bare* oracle (a rule cached before the incident).
+/// Failure to build it (e.g. a miscalibrated sample budget) disables
+/// the tier instead of failing the batch. The cluster runtime shares
+/// this helper so pool and cluster runs serve from the same rule.
+pub(crate) fn serve_batch_cached_rule<O>(
+    lca: &LcaKp,
+    oracle: &O,
+    shared_seed: &Seed,
+    service_root: &Seed,
+) -> Option<SolutionRule>
+where
+    O: ItemOracle + WeightedSampler,
+{
+    let mut rng = service_root.derive(CACHE_DOMAIN, 0).rng();
+    lca.build_rule(oracle, &mut rng, shared_seed).ok()
 }
 
-struct WorkerOutput {
-    outcomes: Vec<QueryOutcome>,
-    trace: WorkerTrace,
+/// Read-only state shared by every worker (and, in the cluster runtime,
+/// by every shard task on every node).
+pub(crate) struct SharedCtx<'a, O> {
+    pub(crate) lca: &'a LcaKp,
+    pub(crate) oracle: &'a O,
+    pub(crate) shared_seed: &'a Seed,
+    pub(crate) service_root: &'a Seed,
+    pub(crate) config: &'a ServiceConfig,
+    pub(crate) chaos: Option<&'a dyn FaultSchedule>,
+    pub(crate) cached: Option<&'a SolutionRule>,
+}
+
+pub(crate) struct WorkerOutput {
+    pub(crate) outcomes: Vec<QueryOutcome>,
+    pub(crate) trace: WorkerTrace,
 }
 
 /// The worker state a crash wipes and recovery rebuilds: clock,
@@ -571,6 +584,262 @@ fn restore_worker<'a, O>(
     ))
 }
 
+/// One serving step the core has produced but not yet committed: the
+/// outcome plus the encoded `disposition ‖ snapshot` bytes whose append
+/// is the step's durability point (a crash may tear it).
+pub(crate) struct PendingStep {
+    pub(crate) outcome: QueryOutcome,
+    pub(crate) bytes: Vec<u8>,
+}
+
+/// The event-driven serving core of one scheduled actor: a worker
+/// thread in [`serve_batch`]'s pool, or a shard task hosted on a
+/// cluster node in [`serve_cluster`](crate::cluster::serve_cluster).
+///
+/// The core owns the actor's durable write-ahead [`Journal`] and its
+/// crash-wipeable live state (virtual clock, breaker, budget slice,
+/// shard cursor, completed outcomes), and serves exactly one query per
+/// [`serve_step`](WorkerCore::serve_step) /
+/// [`commit`](WorkerCore::commit) pair — so a deterministic scheduler
+/// can interleave crash, restart, and partition events between steps
+/// without ever racing a query mid-flight.
+pub(crate) struct WorkerCore<'a, O> {
+    worker: usize,
+    queries: Vec<(usize, ItemId)>,
+    journal: Journal,
+    clock: TickClock,
+    breaker: CircuitBreaker,
+    budgeted: BudgetedOracle<'a, O>,
+    position: usize,
+    outcomes: Vec<QueryOutcome>,
+    worst_case: u64,
+    /// Bytes of the most recent committed append — the largest suffix a
+    /// cluster crash may tear off the journal copy shipped to a replica.
+    last_append_len: usize,
+}
+
+impl<'a, O> WorkerCore<'a, O>
+where
+    O: ItemOracle + WeightedSampler,
+{
+    /// Builds a fresh core over its shard: admitted queries are
+    /// journaled *before* any of them runs (write-ahead), then an
+    /// initial snapshot.
+    pub(crate) fn new(
+        worker: usize,
+        queries: Vec<(usize, ItemId)>,
+        ctx: &SharedCtx<'a, O>,
+    ) -> Self {
+        let cap = ctx.config.worker_access_cap.unwrap_or(u64::MAX);
+        let mut journal = Journal::new();
+        for &(index, item) in &queries {
+            journal.append(&JournalRecord::Admitted {
+                index: index as u64,
+                item: item.0 as u64,
+            });
+        }
+        journal.append(&JournalRecord::Snapshot(WorkerSnapshot::initial(
+            worker as u64,
+        )));
+        WorkerCore {
+            worker,
+            queries,
+            journal,
+            clock: TickClock::new(),
+            breaker: CircuitBreaker::new(ctx.config.breaker),
+            budgeted: BudgetedOracle::new(ctx.oracle, cap),
+            position: 0,
+            outcomes: Vec::new(),
+            worst_case: ctx.lca.worst_case_accesses(),
+            last_append_len: 0,
+        }
+    }
+
+    /// The actor's virtual clock — the scheduler's ordering key.
+    pub(crate) fn now(&self) -> u64 {
+        self.clock.now()
+    }
+
+    /// Whether the shard cursor has drained the shard.
+    pub(crate) fn finished(&self) -> bool {
+        self.position >= self.queries.len()
+    }
+
+    /// The durable journal, byte-for-byte (what a replica would ship).
+    pub(crate) fn journal(&self) -> &Journal {
+        &self.journal
+    }
+
+    /// Bytes of the most recent committed append (0 right after a
+    /// restore or adoption) — bounds how much a mid-append crash tears.
+    pub(crate) fn last_append_len(&self) -> usize {
+        self.last_append_len
+    }
+
+    /// Serves the query under the cursor: advances the clock by the
+    /// dispatch cost, pre-sheds on budget or runs the degradation
+    /// ladder, and returns the not-yet-durable step. The caller decides
+    /// whether the append [`commit`](Self::commit)s or tears.
+    pub(crate) fn serve_step(&mut self, ctx: &SharedCtx<'a, O>) -> Result<PendingStep, LcaError> {
+        let config = ctx.config;
+        let (index, item) = self.queries[self.position];
+        self.clock.advance(config.dispatch_cost_ticks);
+
+        // Budget-aware pre-dispatch shedding: never start a query the
+        // budget slice cannot see through.
+        let disposition =
+            if config.worker_access_cap.is_some() && self.budgeted.remaining() < self.worst_case {
+                Disposition::Shed(ShedReason::BudgetInsufficient {
+                    needed: self.worst_case,
+                    remaining: self.budgeted.remaining(),
+                })
+            } else {
+                let plan = ctx
+                    .chaos
+                    .map_or_else(FaultPlan::none, |schedule| schedule.plan_for(index));
+                let faulty = FaultyOracle::new(
+                    &self.budgeted,
+                    plan,
+                    ctx.service_root.derive(FAULT_DOMAIN, index as u64),
+                );
+                Disposition::Answered(serve_one(
+                    ctx,
+                    &self.clock,
+                    &mut self.breaker,
+                    &faulty,
+                    &self.budgeted,
+                    self.worker,
+                    index,
+                    item,
+                )?)
+            };
+        let record = match disposition {
+            Disposition::Answered(answer) => JournalRecord::Answered {
+                index: index as u64,
+                answer,
+            },
+            Disposition::Shed(reason) => JournalRecord::Shed {
+                index: index as u64,
+                reason,
+            },
+        };
+
+        // The pending durable write: the disposition plus the post-query
+        // snapshot, appended atomically — unless a crash tears it.
+        let mut bytes = record.encode();
+        bytes.extend_from_slice(
+            &JournalRecord::Snapshot(WorkerSnapshot {
+                worker: self.worker as u64,
+                tick: self.clock.now(),
+                budget_spent: self.budgeted.used(),
+                next_position: (self.position + 1) as u64,
+                breaker: self.breaker.snapshot(),
+            })
+            .encode(),
+        );
+        Ok(PendingStep {
+            outcome: QueryOutcome {
+                index,
+                item,
+                disposition,
+            },
+            bytes,
+        })
+    }
+
+    /// Makes a served step durable and acknowledges its outcome.
+    pub(crate) fn commit(&mut self, step: PendingStep) {
+        self.journal.append_encoded(&step.bytes);
+        self.last_append_len = step.bytes.len();
+        self.outcomes.push(step.outcome);
+        self.position += 1;
+    }
+
+    /// Crashes inside the step's journal append, keeping only the first
+    /// `keep` bytes. The outcome is *not* acknowledged.
+    pub(crate) fn crash_torn(&mut self, step: &PendingStep, keep: usize) {
+        self.journal.append_torn(&step.bytes, keep);
+    }
+
+    /// Rebuilds the live state from the journal, honouring the
+    /// configured [`RecoveryDiscipline`].
+    pub(crate) fn restore(&mut self, ctx: &SharedCtx<'a, O>) -> Result<(), RecoveryError> {
+        let state = restore_worker(ctx, &mut self.journal, &self.queries)?;
+        (
+            self.clock,
+            self.breaker,
+            self.budgeted,
+            self.position,
+            self.outcomes,
+        ) = state;
+        self.last_append_len = 0;
+        Ok(())
+    }
+
+    /// Replaces the journal with a copy shipped from a replica (cluster
+    /// failover); the live state is rebuilt by the following
+    /// [`restore`](Self::restore).
+    pub(crate) fn adopt_journal(&mut self, journal: Journal) {
+        self.journal = journal;
+        self.last_append_len = 0;
+    }
+
+    /// Supervisor salvage when the actor stays dead: rebuild what the
+    /// journal proves completed, then shed the rest of the shard with
+    /// the given explicit reason — a dead actor must never become a
+    /// silent drop.
+    pub(crate) fn salvage(&mut self, reason: ShedReason) {
+        self.outcomes = self
+            .journal
+            .recover()
+            .map(|recovered| replay_outcomes(&recovered.records, &self.queries))
+            .unwrap_or_default();
+        let done: std::collections::BTreeSet<usize> =
+            self.outcomes.iter().map(|outcome| outcome.index).collect();
+        for &(index, item) in &self.queries {
+            if !done.contains(&index) {
+                self.outcomes.push(QueryOutcome {
+                    index,
+                    item,
+                    disposition: Disposition::Shed(reason),
+                });
+            }
+        }
+        self.position = self.queries.len();
+    }
+
+    /// Finishes the actor: sorted, deduped outcomes plus the execution
+    /// trace. A torn snapshot can make a re-executed query appear twice
+    /// (the journal keeps both byte-identical records as evidence); the
+    /// outcome list keeps the first.
+    pub(crate) fn into_output(self, crashes: Vec<CrashReport>) -> WorkerOutput {
+        let mut outcomes = self.outcomes;
+        outcomes.sort_by_key(|outcome| outcome.index);
+        outcomes.dedup_by_key(|outcome| outcome.index);
+        WorkerOutput {
+            outcomes,
+            trace: WorkerTrace {
+                worker: self.worker,
+                end_tick: self.clock.now(),
+                accesses_used: self.budgeted.used(),
+                breaker_events: self.breaker.events().to_vec(),
+                crashes,
+                journal: self.journal,
+            },
+        }
+    }
+}
+
+impl<O> fmt::Debug for WorkerCore<'_, O> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerCore")
+            .field("worker", &self.worker)
+            .field("position", &self.position)
+            .field("tick", &self.clock.now())
+            .finish_non_exhaustive()
+    }
+}
+
 /// One worker: drains its pre-filled shard sequentially against
 /// worker-local clock, breaker, and budget slice, journaling every
 /// disposition ahead of acknowledging it. Scheduled crashes wipe the
@@ -587,42 +856,20 @@ fn run_worker<O>(
 where
     O: ItemOracle + WeightedSampler + Sync,
 {
-    let config = ctx.config;
     let queries: Vec<(usize, ItemId)> = shard.iter().collect();
     let directives = ctx
         .chaos
         .map_or_else(Vec::new, |schedule| schedule.crash_directives(worker));
-    let worst_case = ctx.lca.worst_case_accesses();
-    let cap = config.worker_access_cap.unwrap_or(u64::MAX);
-
-    // The durable side: admitted queries are journaled *before* any of
-    // them runs (write-ahead), then an initial snapshot.
-    let mut journal = Journal::new();
-    for &(index, item) in &queries {
-        journal.append(&JournalRecord::Admitted {
-            index: index as u64,
-            item: item.0 as u64,
-        });
-    }
-    journal.append(&JournalRecord::Snapshot(WorkerSnapshot::initial(
-        worker as u64,
-    )));
-
-    // The live side: wiped by every crash, rebuilt from the journal.
-    let mut clock = TickClock::new();
-    let mut breaker = CircuitBreaker::new(config.breaker);
-    let mut budgeted = BudgetedOracle::new(ctx.oracle, cap);
-    let mut position = 0usize;
-    let mut outcomes: Vec<QueryOutcome> = Vec::new();
+    let mut core = WorkerCore::new(worker, queries, ctx);
 
     let mut crashes: Vec<CrashReport> = Vec::new();
     let mut next_directive = 0usize;
     let mut dead = false;
 
-    'serve: while position < queries.len() {
+    'serve: while !core.finished() {
         // A crash due between queries tears nothing — the journal is
         // consistent up to the last completed query.
-        while let Some(directive) = due_directive(&directives, next_directive, clock.now()) {
+        while let Some(directive) = due_directive(&directives, next_directive, core.now()) {
             next_directive += 1;
             let mut report = CrashReport {
                 at_tick: directive.at_tick,
@@ -635,11 +882,8 @@ where
                 dead = true;
                 break 'serve;
             }
-            match restore_worker(ctx, &mut journal, &queries) {
-                Ok(state) => {
-                    (clock, breaker, budgeted, position, outcomes) = state;
-                    crashes.push(report);
-                }
+            match core.restore(ctx) {
+                Ok(()) => crashes.push(report),
                 Err(error) => {
                     report.recovery_error = Some(error);
                     crashes.push(report);
@@ -648,75 +892,22 @@ where
                 }
             }
         }
-        if position >= queries.len() {
+        if core.finished() {
             break;
         }
 
-        let (index, item) = queries[position];
-        clock.advance(config.dispatch_cost_ticks);
+        let step = core.serve_step(ctx)?;
 
-        // Budget-aware pre-dispatch shedding: never start a query the
-        // budget slice cannot see through.
-        let disposition = if config.worker_access_cap.is_some() && budgeted.remaining() < worst_case
-        {
-            Disposition::Shed(ShedReason::BudgetInsufficient {
-                needed: worst_case,
-                remaining: budgeted.remaining(),
-            })
-        } else {
-            let plan = ctx
-                .chaos
-                .map_or_else(FaultPlan::none, |schedule| schedule.plan_for(index));
-            let faulty = FaultyOracle::new(
-                &budgeted,
-                plan,
-                ctx.service_root.derive(FAULT_DOMAIN, index as u64),
-            );
-            Disposition::Answered(serve_one(
-                ctx,
-                &clock,
-                &mut breaker,
-                &faulty,
-                &budgeted,
-                worker,
-                index,
-                item,
-            )?)
-        };
-        let record = match disposition {
-            Disposition::Answered(answer) => JournalRecord::Answered {
-                index: index as u64,
-                answer,
-            },
-            Disposition::Shed(reason) => JournalRecord::Shed {
-                index: index as u64,
-                reason,
-            },
-        };
-
-        // The pending durable write: the disposition plus the post-query
-        // snapshot, appended atomically — unless a crash tears it.
-        let mut pending = record.encode();
-        pending.extend_from_slice(
-            &JournalRecord::Snapshot(WorkerSnapshot {
-                worker: worker as u64,
-                tick: clock.now(),
-                budget_spent: budgeted.used(),
-                next_position: (position + 1) as u64,
-                breaker: breaker.snapshot(),
-            })
-            .encode(),
-        );
-
-        if let Some(directive) = due_directive(&directives, next_directive, clock.now()) {
+        if let Some(directive) = due_directive(&directives, next_directive, core.now()) {
             // The crash lands inside this query's journal append.
             next_directive += 1;
-            let keep = directive.torn_keep.unwrap_or(0).min(pending.len());
-            journal.append_torn(&pending, keep);
+            let keep = directive.torn_keep.unwrap_or(0).min(step.bytes.len());
+            let torn_bytes = step.bytes.len() - keep;
+            core.crash_torn(&step, keep);
             let mut report = CrashReport {
                 at_tick: directive.at_tick,
                 restarted: directive.restarts,
-                torn_bytes: pending.len() - keep,
+                torn_bytes,
                 recovery_error: None,
             };
             if !directive.restarts {
@@ -724,11 +915,8 @@ where
                 dead = true;
                 break 'serve;
             }
-            match restore_worker(ctx, &mut journal, &queries) {
-                Ok(state) => {
-                    (clock, breaker, budgeted, position, outcomes) = state;
-                    crashes.push(report);
-                }
+            match core.restore(ctx) {
+                Ok(()) => crashes.push(report),
                 Err(error) => {
                     report.recovery_error = Some(error);
                     crashes.push(report);
@@ -739,53 +927,14 @@ where
             continue 'serve;
         }
 
-        journal.append_encoded(&pending);
-        outcomes.push(QueryOutcome {
-            index,
-            item,
-            disposition,
-        });
-        position += 1;
+        core.commit(step);
     }
 
     if dead {
-        // Supervisor salvage: rebuild what the journal proves completed,
-        // then shed the rest of the shard with an explicit reason — a
-        // dead worker must never become a silent drop.
-        outcomes = journal
-            .recover()
-            .map(|recovered| replay_outcomes(&recovered.records, &queries))
-            .unwrap_or_default();
-        let done: std::collections::BTreeSet<usize> =
-            outcomes.iter().map(|outcome| outcome.index).collect();
-        for &(index, item) in &queries {
-            if !done.contains(&index) {
-                outcomes.push(QueryOutcome {
-                    index,
-                    item,
-                    disposition: Disposition::Shed(ShedReason::WorkerCrashed { worker }),
-                });
-            }
-        }
+        core.salvage(ShedReason::WorkerCrashed { worker });
     }
 
-    // A torn snapshot can make a re-executed query appear twice (the
-    // journal keeps both byte-identical records as evidence); the
-    // outcome list keeps the first.
-    outcomes.sort_by_key(|outcome| outcome.index);
-    outcomes.dedup_by_key(|outcome| outcome.index);
-
-    Ok(WorkerOutput {
-        outcomes,
-        trace: WorkerTrace {
-            worker,
-            end_tick: clock.now(),
-            accesses_used: budgeted.used(),
-            breaker_events: breaker.events().to_vec(),
-            crashes,
-            journal,
-        },
-    })
+    Ok(core.into_output(crashes))
 }
 
 /// Serves one admitted query through the degradation ladder.

@@ -1,0 +1,114 @@
+//! Property tests for the consistent-hash ring (the E16 satellite
+//! invariants):
+//!
+//! * **balance** — with the default vnode count, primary-shard
+//!   distribution stays within a constant factor of the fair share and
+//!   no node is starved;
+//! * **minimal remap on join** — adding a node either leaves a shard's
+//!   primary unchanged or moves it to the new node, and the new replica
+//!   group is drawn from the old group plus the newcomer;
+//! * **minimal remap on leave** — removing a node never changes the
+//!   primary of a shard it did not own, and replica groups that never
+//!   contained it are untouched.
+
+use lcakp_service::{NodeId, Ring};
+use proptest::prelude::*;
+
+const VNODES: usize = 64;
+const SHARDS: usize = 256;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn primary_distribution_is_balanced(nodes in 2usize..9) {
+        let ring = Ring::new(nodes, VNODES);
+        let mut counts = vec![0usize; nodes];
+        for shard in 0..SHARDS {
+            let set = ring.replicas(shard, 1).unwrap();
+            counts[set.primary().0] += 1;
+        }
+        let fair = SHARDS / nodes;
+        for (node, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                count <= 2 * fair,
+                "node {node} owns {count} of {SHARDS} shards (fair share {fair}): {counts:?}"
+            );
+            prop_assert!(
+                count >= fair / 4,
+                "node {node} starved with {count} of {SHARDS} shards (fair share {fair}): \
+                 {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn join_remaps_only_to_the_new_node(
+        nodes in 2usize..7,
+        replication in 1usize..4,
+    ) {
+        let before = Ring::new(nodes, VNODES);
+        let newcomer = NodeId(nodes);
+        let after = before.join(newcomer);
+        let mut moved = 0usize;
+        for shard in 0..SHARDS {
+            let old = before.replicas(shard, replication).unwrap();
+            let new = after.replicas(shard, replication).unwrap();
+            // The primary either stays or moves to the newcomer — never
+            // to some third node.
+            prop_assert!(
+                new.primary() == old.primary() || new.primary() == newcomer,
+                "shard {shard}: primary moved {} -> {} on join of {newcomer}",
+                old.primary(),
+                new.primary()
+            );
+            // The whole group is drawn from the old group + newcomer.
+            for node in new.nodes() {
+                prop_assert!(
+                    old.contains(*node) || *node == newcomer,
+                    "shard {shard}: join invented replica {node} (old {old}, new {new})"
+                );
+            }
+            if new.primary() == newcomer {
+                moved += 1;
+            }
+        }
+        // The newcomer must actually take a share — a join that remaps
+        // nothing would make scale-out pointless.
+        prop_assert!(moved > 0, "join of {newcomer} took over no shards");
+    }
+
+    #[test]
+    fn leave_remaps_only_the_departed_nodes_shards(
+        nodes in 3usize..7,
+        departed in 0usize..7,
+        replication in 1usize..4,
+    ) {
+        let departed = NodeId(departed % nodes);
+        let before = Ring::new(nodes, VNODES);
+        let after = before.leave(departed);
+        for shard in 0..SHARDS {
+            let old = before.replicas(shard, replication).unwrap();
+            let new = after.replicas(shard, replication).unwrap();
+            prop_assert!(!new.contains(departed));
+            if old.primary() != departed {
+                prop_assert_eq!(
+                    new.primary(),
+                    old.primary(),
+                    "shard {}: primary changed although {} did not own it",
+                    shard,
+                    departed
+                );
+            }
+            if !old.contains(departed) {
+                prop_assert_eq!(
+                    new.nodes(),
+                    old.nodes(),
+                    "shard {}: group changed although {} was not in it",
+                    shard,
+                    departed
+                );
+            }
+        }
+    }
+}

@@ -207,7 +207,11 @@ impl SimWorld {
                             .saturating_add(slack_accesses),
                     );
                 }
-                SimEvent::Crash { .. } | SimEvent::Restart { .. } => {}
+                SimEvent::Crash { .. }
+                | SimEvent::Restart { .. }
+                | SimEvent::NodeCrash { .. }
+                | SimEvent::NodeRestart { .. }
+                | SimEvent::Partition { .. } => {}
             }
         }
         (config, plan)

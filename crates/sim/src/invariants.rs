@@ -17,9 +17,17 @@
 //! * **journal integrity** — journals decode cleanly (recovery
 //!   truncates torn tails; only an unrevived final crash may leave one)
 //!   and snapshots are monotone in `(tick, next_position)`.
+//!
+//! [`check_cluster_run`] applies the same discipline to E16 cluster
+//! runs — there the per-task journals belong to *shards* (which survive
+//! node failover by journal shipping), the tolerated sheds widen to the
+//! cluster-level reasons, and two cluster-only invariants join: a shed
+//! while a live replica was reachable is a routing bug, and surviving
+//! replicas must agree byte-for-byte on every answer.
 
 use lcakp_service::{
-    BatchReport, DecodeMode, Disposition, JournalRecord, RecoveryError, ShedReason,
+    BatchReport, ClusterReport, DecodeMode, Disposition, Journal, JournalRecord, QueryOutcome,
+    RecoveryError, ShedReason,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -70,6 +78,22 @@ pub enum Violation {
         /// The decoder's typed error.
         error: RecoveryError,
     },
+    /// A surviving replica's standalone replay of a shard disagrees
+    /// with the answer the cluster acknowledged.
+    ReplicaAnswerMismatch {
+        /// The shard whose replicas disagree.
+        shard: usize,
+        /// The disagreeing replica node.
+        node: usize,
+    },
+    /// A query was shed for a cluster-level reason while the router had
+    /// a live, reachable replica it should have promoted instead.
+    ShedWithLiveReplica {
+        /// The shard that shed.
+        shard: usize,
+        /// Batch position of the first wrongly shed query.
+        index: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -98,6 +122,12 @@ impl fmt::Display for Violation {
             }
             Violation::JournalCorrupt { worker, error } => {
                 write!(f, "journal-corrupt(worker={worker}, error={error})")
+            }
+            Violation::ReplicaAnswerMismatch { shard, node } => {
+                write!(f, "replica-answer-mismatch(shard={shard}, node={node})")
+            }
+            Violation::ShedWithLiveReplica { shard, index } => {
+                write!(f, "shed-with-live-replica(shard={shard}, index={index})")
             }
         }
     }
@@ -148,57 +178,170 @@ pub fn check_run(twin: &BatchReport, faulted: &BatchReport, n: usize) -> Vec<Vio
 
     // Per-worker journal checks on the faulted run.
     for trace in &faulted.workers {
-        let decoded = match trace.journal.decode(DecodeMode::Recover) {
-            Ok(decoded) => decoded,
-            Err(error) => {
-                violations.push(Violation::JournalCorrupt {
-                    worker: trace.worker,
-                    error,
-                });
-                continue;
+        violations.extend(journal_violations(
+            trace.worker,
+            &trace.journal,
+            &faulted.outcomes,
+        ));
+    }
+
+    violations
+}
+
+/// The journal-discipline checks for one task's write-ahead journal
+/// (`worker` is the task's id — a pool worker in E15, a shard in E16):
+/// decodes cleanly, snapshots are monotone, records per index are
+/// byte-identical, and every acknowledged answer owned by this task is
+/// journaled.
+fn journal_violations(
+    worker: usize,
+    journal: &Journal,
+    outcomes: &[QueryOutcome],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let decoded = match journal.decode(DecodeMode::Recover) {
+        Ok(decoded) => decoded,
+        Err(error) => {
+            violations.push(Violation::JournalCorrupt { worker, error });
+            return violations;
+        }
+    };
+    let mut disposed: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+    let mut last_snapshot: Option<(u64, u64)> = None;
+    for record in &decoded.records {
+        match record {
+            JournalRecord::Snapshot(snapshot) => {
+                let key = (snapshot.tick, snapshot.next_position);
+                if last_snapshot.is_some_and(|previous| {
+                    snapshot.tick < previous.0 || snapshot.next_position < previous.1
+                }) {
+                    violations.push(Violation::JournalNotMonotone { worker });
+                }
+                last_snapshot = Some(key);
             }
+            JournalRecord::Answered { index, .. } | JournalRecord::Shed { index, .. } => {
+                let encoded = record.encode();
+                let first = disposed.entry(*index).or_insert_with(|| encoded.clone());
+                if *first != encoded {
+                    violations.push(Violation::ConflictingJournalRecords {
+                        worker,
+                        index: *index as usize,
+                    });
+                }
+            }
+            JournalRecord::Admitted { .. } => {}
+        }
+    }
+    // Write-ahead discipline: acknowledged answers must be journaled by
+    // their owning task.
+    for outcome in outcomes {
+        let Some(answered) = outcome.disposition.answered() else {
+            continue;
         };
-        let mut disposed: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
-        let mut last_snapshot: Option<(u64, u64)> = None;
-        for record in &decoded.records {
-            match record {
-                JournalRecord::Snapshot(snapshot) => {
-                    let key = (snapshot.tick, snapshot.next_position);
-                    if last_snapshot.is_some_and(|previous| {
-                        snapshot.tick < previous.0 || snapshot.next_position < previous.1
-                    }) {
-                        violations.push(Violation::JournalNotMonotone {
-                            worker: trace.worker,
-                        });
-                    }
-                    last_snapshot = Some(key);
-                }
-                JournalRecord::Answered { index, .. } | JournalRecord::Shed { index, .. } => {
-                    let encoded = record.encode();
-                    let first = disposed.entry(*index).or_insert_with(|| encoded.clone());
-                    if *first != encoded {
-                        violations.push(Violation::ConflictingJournalRecords {
-                            worker: trace.worker,
-                            index: *index as usize,
-                        });
-                    }
-                }
-                JournalRecord::Admitted { .. } => {}
-            }
+        if answered.worker == worker && !disposed.contains_key(&(outcome.index as u64)) {
+            violations.push(Violation::UnjournaledAnswer {
+                worker,
+                index: outcome.index,
+            });
         }
-        // Write-ahead discipline: acknowledged answers must be
-        // journaled by their owning worker.
-        for outcome in &faulted.outcomes {
-            let Some(answered) = outcome.disposition.answered() else {
-                continue;
-            };
-            if answered.worker == trace.worker && !disposed.contains_key(&(outcome.index as u64)) {
-                violations.push(Violation::UnjournaledAnswer {
-                    worker: trace.worker,
-                    index: outcome.index,
-                });
-            }
+    }
+    violations
+}
+
+/// Whether a faulted-run shed is one the cluster twin-check tolerates:
+/// the loss of every replica (or of the whole reachable side) is the
+/// *only* sanctioned divergence from the fault-free twin.
+fn cluster_tolerated(disposition: &Disposition) -> bool {
+    matches!(
+        disposition,
+        Disposition::Shed(
+            ShedReason::WorkerCrashed { .. }
+                | ShedReason::NodeUnreachable { .. }
+                | ShedReason::Partitioned { .. }
+        )
+    )
+}
+
+/// Checks every cluster invariant of one faulted E16 run against its
+/// fault-free twin. `n` is the submitted batch size. On top of the
+/// [`check_run`] discipline (liveness, divergence, per-shard journal
+/// checks), the routing audit trail is inspected: any shed recorded
+/// while a live replica was reachable becomes
+/// [`Violation::ShedWithLiveReplica`] — the signature of the planted
+/// stale-ring bug.
+pub fn check_cluster_run(
+    twin: &ClusterReport,
+    faulted: &ClusterReport,
+    n: usize,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Liveness: exactly one outcome per submitted index — a partition
+    // may shed a query, never silently drop it.
+    let mut seen = BTreeSet::new();
+    for outcome in &faulted.outcomes {
+        if !seen.insert(outcome.index) {
+            violations.push(Violation::DuplicateOutcome {
+                index: outcome.index,
+            });
         }
+    }
+    for index in 0..n {
+        if !seen.contains(&index) {
+            violations.push(Violation::MissingOutcome { index });
+        }
+    }
+
+    // Failover transparency: outcomes equal the twin's, cluster-level
+    // sheds of genuinely unreachable shards excepted.
+    let twin_by_index: BTreeMap<usize, &Disposition> = twin
+        .outcomes
+        .iter()
+        .map(|outcome| (outcome.index, &outcome.disposition))
+        .collect();
+    for outcome in &faulted.outcomes {
+        if cluster_tolerated(&outcome.disposition) {
+            continue;
+        }
+        if twin_by_index.get(&outcome.index) != Some(&&outcome.disposition) {
+            violations.push(Violation::OutcomeDiverged {
+                index: outcome.index,
+            });
+        }
+    }
+
+    // Routing honesty: a shed audit naming reachable replicas means the
+    // router refused work it could have failed over.
+    for audit in &faulted.shed_audits {
+        if !audit.reachable_replicas.is_empty() {
+            let index = faulted
+                .outcomes
+                .iter()
+                .find(|outcome| {
+                    matches!(
+                        outcome.disposition,
+                        Disposition::Shed(
+                            ShedReason::NodeUnreachable { shard }
+                                | ShedReason::Partitioned { shard }
+                        ) if shard == audit.shard
+                    )
+                })
+                .map_or(0, |outcome| outcome.index);
+            violations.push(Violation::ShedWithLiveReplica {
+                shard: audit.shard,
+                index,
+            });
+        }
+    }
+
+    // Per-shard journal checks: the shipped journal that survived
+    // failover must satisfy the same discipline as a pool worker's.
+    for trace in &faulted.shards {
+        violations.extend(journal_violations(
+            trace.shard,
+            &trace.journal,
+            &faulted.outcomes,
+        ));
     }
 
     violations

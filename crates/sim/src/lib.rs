@@ -19,24 +19,33 @@
 //! * [`invariants`] — the [`Violation`] taxonomy and [`check_run`];
 //! * [`shrink`] — greedy schedule shrinking to a minimal repro;
 //! * [`harness`] — the world builder, twin-run executor, range driver,
-//!   and the canonical JSON the `e15_simulation --smoke` golden pins.
+//!   and the canonical JSON the `e15_simulation --smoke` golden pins;
+//! * [`cluster`] — the E16 extension: node crashes, restarts, and
+//!   partitions against the simulated multi-node cluster, plus the
+//!   replica byte-identity check and the `e16_cluster --smoke` JSON.
 //!
-//! See `docs/robustness.md` ("Crash–recovery & simulation") for the
-//! journal format, the invariant list, and how to replay a repro.
+//! See `docs/robustness.md` ("Crash–recovery & simulation" and
+//! "Cluster failover & partitions") for the journal format, the
+//! invariant list, and how to replay a repro.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod cluster;
 pub mod harness;
 pub mod invariants;
 pub mod schedule;
 pub mod shrink;
 
+pub use cluster::{
+    render_cluster_json, run_cluster_range, run_cluster_smoke, ClusterCaseResult, ClusterCaseStats,
+    ClusterSimConfig, ClusterSimReport, ClusterWorld, E16_SMOKE_CASES,
+};
 pub use harness::{
     render_json, run_range, run_smoke, CaseResult, CaseStats, Repro, SimConfig, SimReport,
     SimWorld, SMOKE_CASES,
 };
-pub use invariants::{check_run, Violation};
-pub use schedule::{generate_schedule, SimEvent};
+pub use invariants::{check_cluster_run, check_run, Violation};
+pub use schedule::{generate_cluster_schedule, generate_schedule, SimEvent};
 pub use shrink::{shrink, Shrunk};

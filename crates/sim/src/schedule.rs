@@ -58,6 +58,37 @@ pub enum SimEvent {
         /// Slack above one worst-case query, in accesses.
         slack_accesses: u64,
     },
+    /// Kill a whole cluster node (E16): every shard it hosts fails over
+    /// to a replica via the shipped journal. Ticks are permille of the
+    /// fault-free cluster horizon (the max shard end tick).
+    NodeCrash {
+        /// The node to kill.
+        node: usize,
+        /// Crash tick as permille of the fault-free cluster horizon.
+        tick_permille: u32,
+        /// Surviving bytes of each owned shard's last in-flight journal
+        /// append (`None`: the journal ships clean).
+        torn_keep: Option<usize>,
+    },
+    /// Revive a dead cluster node (E16). A restart halved below its
+    /// crash tick fires while the node is alive and becomes a no-op —
+    /// the schedule then reads as an unrevived crash.
+    NodeRestart {
+        /// The node to revive.
+        node: usize,
+        /// Restart tick as permille of the fault-free cluster horizon.
+        tick_permille: u32,
+    },
+    /// Cut a set of cluster nodes off from the client's side (E16).
+    Partition {
+        /// Bitmask of the nodes on the far side of the cut (bit `i` =
+        /// node `i`); bits beyond the membership are ignored.
+        cut_mask: u32,
+        /// Cut tick as permille of the fault-free cluster horizon.
+        from_permille: u32,
+        /// Heal tick in permille (`None`: never heals in this batch).
+        heal_permille: Option<u32>,
+    },
 }
 
 impl fmt::Display for SimEvent {
@@ -95,6 +126,37 @@ impl fmt::Display for SimEvent {
             ),
             SimEvent::BudgetSqueeze { slack_accesses } => {
                 write!(f, "budget-squeeze(slack={slack_accesses})")
+            }
+            SimEvent::NodeCrash {
+                node,
+                tick_permille,
+                torn_keep,
+            } => match torn_keep {
+                Some(keep) => write!(
+                    f,
+                    "node-crash(node={node}, tick={tick_permille}/1000, torn-keep={keep})"
+                ),
+                None => write!(f, "node-crash(node={node}, tick={tick_permille}/1000)"),
+            },
+            SimEvent::NodeRestart {
+                node,
+                tick_permille,
+            } => {
+                write!(f, "node-restart(node={node}, tick={tick_permille}/1000)")
+            }
+            SimEvent::Partition {
+                cut_mask,
+                from_permille,
+                heal_permille,
+            } => {
+                write!(
+                    f,
+                    "partition(cut=0b{cut_mask:b}, from={from_permille}/1000, heal="
+                )?;
+                match heal_permille {
+                    Some(heal) => write!(f, "{heal}/1000)"),
+                    None => write!(f, "never)"),
+                }
             }
         }
     }
@@ -141,6 +203,53 @@ pub fn generate_schedule(root: &Seed, case: u64, workers: usize) -> Vec<SimEvent
             _ => SimEvent::BudgetSqueeze {
                 slack_accesses: rng.gen_range(0u64..200_000),
             },
+        });
+    }
+    events
+}
+
+/// Generates the node-level fault schedule for a cluster `case`:
+/// always at least one node crash (most get a matching restart), and
+/// half the cases add a partition (most of which heal). Node 0 is never
+/// cut off — it anchors the client's side of every partition.
+pub fn generate_cluster_schedule(root: &Seed, case: u64, nodes: usize) -> Vec<SimEvent> {
+    let mut rng = root.derive("sim/cluster-schedule", case).rng();
+    let mut events = Vec::new();
+    let crashes = rng.gen_range(1usize..=2);
+    for _ in 0..crashes {
+        let node = rng.gen_range(0..nodes);
+        let torn_keep = if rng.gen_range(0u32..2) == 0 {
+            Some(rng.gen_range(0usize..96))
+        } else {
+            None
+        };
+        let tick_permille = rng.gen_range(0u32..900);
+        events.push(SimEvent::NodeCrash {
+            node,
+            tick_permille,
+            torn_keep,
+        });
+        // Most dead nodes come back; the rest stay down so their shards
+        // must live on replicas (or shed explicitly).
+        if rng.gen_range(0u32..10) < 7 {
+            events.push(SimEvent::NodeRestart {
+                node,
+                tick_permille: tick_permille.saturating_add(rng.gen_range(50u32..250)),
+            });
+        }
+    }
+    if nodes > 1 && rng.gen_range(0u32..10) < 5 {
+        let cut_mask = rng.gen_range(1u32..(1 << (nodes - 1))) << 1;
+        let from_permille = rng.gen_range(0u32..700);
+        let heal_permille = if rng.gen_range(0u32..10) < 7 {
+            Some(from_permille.saturating_add(rng.gen_range(100u32..300)))
+        } else {
+            None
+        };
+        events.push(SimEvent::Partition {
+            cut_mask,
+            from_permille,
+            heal_permille,
         });
     }
     events

@@ -59,6 +59,31 @@ fn halved(event: &SimEvent) -> Option<SimEvent> {
         SimEvent::BudgetSqueeze { slack_accesses } => SimEvent::BudgetSqueeze {
             slack_accesses: slack_accesses / 2,
         },
+        SimEvent::NodeCrash {
+            node,
+            tick_permille,
+            torn_keep,
+        } => SimEvent::NodeCrash {
+            node,
+            tick_permille: tick_permille / 2,
+            torn_keep: torn_keep.map(|keep| keep / 2),
+        },
+        SimEvent::NodeRestart {
+            node,
+            tick_permille,
+        } => SimEvent::NodeRestart {
+            node,
+            tick_permille: tick_permille / 2,
+        },
+        SimEvent::Partition {
+            cut_mask,
+            from_permille,
+            heal_permille,
+        } => SimEvent::Partition {
+            cut_mask,
+            from_permille: from_permille / 2,
+            heal_permille: heal_permille.map(|heal| heal / 2),
+        },
     };
     (smaller != *event).then_some(smaller)
 }

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run the E16 cluster simulator (crates/sim::cluster) against the
+# simulated multi-node runtime: replica failover via journal shipping,
+# partition tolerance, and node-level fault schedules.
+#
+#   scripts/cluster-sim.sh            full run: default seed range under
+#                                     faithful routing (must report zero
+#                                     violations while mixing node
+#                                     crashes, restarts, and
+#                                     partitions), then the planted
+#                                     stale-ring routing bug is caught
+#                                     and shrunk to a minimal repro
+#   scripts/cluster-sim.sh --smoke    print the CI golden JSON and diff
+#                                     it against crates/sim/tests/golden/
+#
+# Exits nonzero if any invariant violation survives faithful routing,
+# if the planted bug goes uncaught, or if the smoke output drifts from
+# the committed golden.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    cargo run -q --release -p lcakp-bench --bin e16_cluster -- --smoke \
+        > /tmp/e16_smoke.json
+    diff -u crates/sim/tests/golden/e16_smoke.json /tmp/e16_smoke.json
+    echo "e16 smoke output matches the committed golden"
+else
+    cargo run -q --release -p lcakp-bench --bin e16_cluster
+fi
