@@ -47,6 +47,23 @@ pub enum ReproProfile {
     },
 }
 
+/// Reusable per-worker sampling workspace for [`LcaKp`] queries.
+///
+/// Algorithm 2 buffers two sample sets per query: the distinct large
+/// items of R (line 2) and the efficiency keys of Q (line 7). Both are
+/// dead once the query's [`SolutionRule`] exists, so a serving loop can
+/// hand the same scratch to every query and amortise the allocations to
+/// zero — the buffers keep their high-water capacity across queries.
+/// A fresh (empty) scratch gives byte-identical answers: the buffers
+/// are cleared at each use, so only capacity persists, never contents.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    /// Distinct large items sampled from R (Algorithm 2 lines 1–3).
+    large: Vec<(ItemId, Item)>,
+    /// Small-item efficiency keys sampled from Q (lines 6–8).
+    efficiencies: Vec<u128>,
+}
+
 /// How `LCA-KP` reacts to transient oracle faults: each failing access
 /// is retried up to `max_retries` times (immediately — the fault model
 /// is per-access, so there is nothing to back off from, and determinism
@@ -258,8 +275,31 @@ impl LcaKp {
         O: ItemOracle + WeightedSampler,
         R: Rng + ?Sized,
     {
+        let mut scratch = QueryScratch::default();
+        self.build_rule_in(oracle, rng, seed, &mut scratch)
+    }
+
+    /// [`build_rule`](Self::build_rule) with the sampling workspace in a
+    /// caller-owned [`QueryScratch`], so a serving loop reuses the same
+    /// buffers query after query instead of allocating per query.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LcaError::SampleBudgetTooLarge`] when the configuration
+    /// requires more samples per query than the safety cap.
+    pub fn build_rule_in<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        seed: &Seed,
+        scratch: &mut QueryScratch,
+    ) -> Result<SolutionRule, LcaError>
+    where
+        O: ItemOracle + WeightedSampler,
+        R: Rng + ?Sized,
+    {
         let mut retries = 0u64;
-        self.build_rule_counted(oracle, rng, seed, &mut retries)
+        self.build_rule_counted(oracle, rng, seed, &mut retries, scratch)
     }
 
     /// One weighted sample with bounded retry of transient faults; every
@@ -318,6 +358,7 @@ impl LcaKp {
         rng: &mut R,
         seed: &Seed,
         retries: &mut u64,
+        scratch: &mut QueryScratch,
     ) -> Result<SolutionRule, LcaError>
     where
         O: ItemOracle + WeightedSampler,
@@ -335,15 +376,16 @@ impl LcaKp {
                 cap: self.max_samples_per_query,
             });
         }
-        let mut large: Vec<(ItemId, Item)> = Vec::new();
+        scratch.large.clear();
         for _ in 0..m {
             let (id, item) = self.sample_with_retry(oracle, rng, retries)?;
             if norms.nprofit_of(item.profit) > eps_sq {
-                large.push((id, item));
+                scratch.large.push((id, item));
             }
         }
-        large.sort_by_key(|&(id, _)| id);
-        large.dedup_by_key(|&mut (id, _)| id);
+        scratch.large.sort_by_key(|&(id, _)| id);
+        scratch.large.dedup_by_key(|&mut (id, _)| id);
+        let large = &scratch.large;
         let large_profit: u128 = large.iter().map(|&(_, item)| item.profit as u128).sum();
 
         // ---- Lines 4–17: estimate the EPS when enough profit mass sits
@@ -356,19 +398,22 @@ impl LcaKp {
                 seed,
                 residual as f64 / total_profit as f64,
                 retries,
+                &mut scratch.efficiencies,
             )?
         } else {
             EpsSequence::empty()
         };
 
         // ---- Line 18: construct Ĩ. ----
-        let tilde = TildeInstance::build(norms, oracle.capacity(), self.eps, &large, &seq);
+        let large = &scratch.large;
+        let tilde = TildeInstance::build(norms, oracle.capacity(), self.eps, large, &seq);
 
         // ---- Line 19: CONVERT-GREEDY. ----
         let out = convert_greedy(&tilde, &seq);
         Ok(SolutionRule {
             eps: self.eps,
             capacity: oracle.capacity(),
+            // lcakp-lint: allow(D011) reason="the selected-large set is the rule's output and is bounded by the ε-sized tilde instance, not by n"
             large_selected: out.large_selected.into_iter().collect(),
             e_small: out.e_small,
             singleton: out.singleton,
@@ -384,6 +429,7 @@ impl LcaKp {
         seed: &Seed,
         residual_fraction: f64,
         retries: &mut u64,
+        efficiencies: &mut Vec<u128>,
     ) -> Result<EpsSequence, LcaError>
     where
         O: ItemOracle + WeightedSampler,
@@ -408,7 +454,8 @@ impl LcaKp {
         // Sample Q, drop large items, keep efficiency keys (line 6–8).
         let norms = oracle.norms();
         let eps_sq = self.eps.squared();
-        let mut efficiencies: Vec<u128> = Vec::with_capacity(a as usize);
+        efficiencies.clear();
+        efficiencies.reserve(a as usize);
         for _ in 0..a {
             let (id, item) = self.sample_with_retry(oracle, rng, retries)?;
             if norms.nprofit_of(item.profit) <= eps_sq {
@@ -422,6 +469,7 @@ impl LcaKp {
         }
 
         // Lines 9–10: ẽ_k = rQuantile(E, 1 − kq), made non-increasing.
+        // lcakp-lint: allow(D011) reason="the t ≤ ⌈1/ε⌉ threshold keys are the query's output: EpsSequence must own them, so they cannot live in the scratch"
         let mut keys: Vec<u64> = Vec::with_capacity(t);
         let mut previous = u64::MAX;
         for k in 1..=t {
@@ -434,16 +482,17 @@ impl LcaKp {
                         tau: params.tau.min(0.5),
                     };
                     rquantile(
-                        &efficiencies,
+                        efficiencies,
                         &config,
                         &seed.derive("lca-kp/rquantile", k as u64),
                     )?
                 }
-                QuantileEngine::Naive => naive_quantile(&efficiencies, p),
+                QuantileEngine::Naive => naive_quantile(efficiencies, p),
             };
             // Saturating u128 → u64 without unwrap: quantiles above the
             // key domain clamp to the maximum key.
             let key = (value.min(u128::from(u64::MAX)) as u64).min(previous);
+            // lcakp-lint: allow(D011) reason="appends one of the t ≤ ⌈1/ε⌉ owned threshold keys"
             keys.push(key);
             previous = key;
         }
@@ -496,6 +545,31 @@ impl LcaKp {
         O: ItemOracle + WeightedSampler,
         R: Rng + ?Sized,
     {
+        let mut scratch = QueryScratch::default();
+        self.query_with_audit_in(oracle, rng, item, seed, &mut scratch)
+    }
+
+    /// [`query_with_audit`](Self::query_with_audit) with the sampling
+    /// workspace in a caller-owned [`QueryScratch`]: the serving runtime
+    /// hands each worker's scratch to every query it serves, so steady
+    /// state allocates nothing per query. Answers are byte-identical to
+    /// the scratch-free variant.
+    ///
+    /// # Errors
+    ///
+    /// As [`query_with_audit`](Self::query_with_audit).
+    pub fn query_with_audit_in<O, R>(
+        &self,
+        oracle: &O,
+        rng: &mut R,
+        item: ItemId,
+        seed: &Seed,
+        scratch: &mut QueryScratch,
+    ) -> Result<(LcaAnswer, QueryAudit), LcaError>
+    where
+        O: ItemOracle + WeightedSampler,
+        R: Rng + ?Sized,
+    {
         if item.index() >= oracle.len() {
             return Err(LcaError::ItemOutOfRange {
                 index: item.index(),
@@ -505,7 +579,7 @@ impl LcaKp {
         let before = oracle.stats();
         let mut retries = 0u64;
         let outcome = self
-            .build_rule_counted(oracle, rng, seed, &mut retries)
+            .build_rule_counted(oracle, rng, seed, &mut retries, scratch)
             .and_then(|rule| {
                 let queried = self.query_with_retry(oracle, item, &mut retries)?;
                 Ok(rule.decide(oracle.norms(), item, queried))

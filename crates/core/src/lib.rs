@@ -54,6 +54,6 @@ pub use consistency::ConsistencyReport;
 pub use convert_greedy::{convert_greedy, ConvertGreedyOutput};
 pub use error::LcaError;
 pub use lca::{DecisionReason, KnapsackLca, LcaAnswer, SolutionRule};
-pub use lca_kp::{LcaKp, QuantileEngine, ReproProfile, RetryPolicy};
+pub use lca_kp::{LcaKp, QuantileEngine, QueryScratch, ReproProfile, RetryPolicy};
 pub use solution_audit::{DegradationReason, DegradationStats, QueryAudit, ResponseTier};
 pub use trivial::{degraded_answer, EmptyLca, FullScanLca};

@@ -1,6 +1,7 @@
 //! Walks files, runs rules (per-file and workspace passes), applies the
 //! allow mechanism and renders diagnostics as text or JSON.
 
+use crate::callgraph::{build_callgraph, CallGraph};
 use crate::context::{crate_name_for, FileCtx};
 use crate::graph::{build_graph, SeedGraph};
 use crate::rules::{all_rules, Check, Finding};
@@ -141,10 +142,13 @@ pub struct Workspace {
     pub graph: SeedGraph,
     /// Unix-style path → index into `ctxs`.
     by_path: BTreeMap<String, usize>,
+    /// Lazily built whole-workspace call graph, shared by the
+    /// hot-path rules (D011–D013) and `--emit-callgraph`.
+    callgraph: std::cell::OnceCell<CallGraph>,
 }
 
 /// Renders a path with forward slashes (the graph's path format).
-fn unix_path(path: &Path) -> String {
+pub(crate) fn unix_path(path: &Path) -> String {
     path.components()
         .map(|c| c.as_os_str().to_string_lossy())
         .collect::<Vec<_>>()
@@ -165,7 +169,14 @@ impl Workspace {
             ctxs,
             graph,
             by_path,
+            callgraph: std::cell::OnceCell::new(),
         }
+    }
+
+    /// The whole-workspace call graph, built on first use and shared
+    /// by every hot-path rule in this run.
+    pub fn callgraph(&self) -> &CallGraph {
+        self.callgraph.get_or_init(|| build_callgraph(&self.ctxs))
     }
 
     /// Builds the workspace by walking every production source under
@@ -208,8 +219,25 @@ impl Workspace {
     /// mechanism over everything. Diagnostics are sorted by
     /// (path, line, col, rule).
     pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.diagnostics_filtered(None)
+    }
+
+    /// Changed-files mode: per-file rules run only on the listed
+    /// files (unix-style workspace-relative paths) and cross-file
+    /// diagnostics are filtered to them — but the cross-file rules
+    /// (D007/D008/D011–D013) still analyse the whole workspace, so
+    /// their verdicts match a full run.
+    pub fn diagnostics_for(&self, files: &BTreeSet<String>) -> Vec<Diagnostic> {
+        self.diagnostics_filtered(Some(files))
+    }
+
+    fn diagnostics_filtered(&self, files: Option<&BTreeSet<String>>) -> Vec<Diagnostic> {
+        let listed = |path: &Path| files.is_none_or(|set| set.contains(&unix_path(path)));
         let mut diagnostics = Vec::new();
         for ctx in &self.ctxs {
+            if !listed(&ctx.path) {
+                continue;
+            }
             diagnostics.extend(lint_ctx(ctx).into_iter().map(|finding| Diagnostic {
                 path: ctx.path.clone(),
                 finding,
@@ -220,6 +248,9 @@ impl Workspace {
                 continue;
             };
             for diagnostic in check(self) {
+                if !listed(&diagnostic.path) {
+                    continue;
+                }
                 let Some(ctx) = self.ctx_for(&diagnostic.path) else {
                     diagnostics.push(diagnostic);
                     continue;

@@ -239,7 +239,7 @@ fn derive_site_at(ctx: &FileCtx, path: &str, index: usize) -> Option<DeriveSite>
     })
 }
 
-fn json_str(out: &mut String, text: &str) {
+pub(crate) fn json_str(out: &mut String, text: &str) {
     out.push('"');
     for c in text.chars() {
         match c {

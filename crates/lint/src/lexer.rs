@@ -629,6 +629,43 @@ mod tests {
     }
 
     #[test]
+    fn lifetimes_and_loop_labels_never_unterminated() {
+        // Every form a tick takes outside a char literal: declaration
+        // position, reference types, `'static`, loop labels (declared
+        // and targeted), and a lifetime as the final token. None may
+        // error as an unterminated char literal.
+        let cases = [
+            "fn f<'a, 'b: 'a>(x: &'a str, y: &'b [u8]) {}",
+            "static S: &'static str = \"s\";",
+            "'outer: for _ in 0..3 { break 'outer; }",
+            "'l: loop { continue 'l }",
+            "impl<'de> Visitor<'de> for V<'de> {}",
+            "type T = dyn Fn() + 'static",
+            "let r: &'_ u8 = &0; r",
+            "x: &'a", // lifetime as the very last token (EOF after ident)
+        ];
+        for src in cases {
+            let toks = tokenize(src).unwrap_or_else(|e| panic!("{src:?} failed to lex: {e}"));
+            assert!(
+                toks.iter().any(|t| t.kind == TokenKind::Lifetime),
+                "{src:?} lexed no lifetime token"
+            );
+            assert!(
+                !toks.iter().any(|t| t.kind == TokenKind::Char),
+                "{src:?} mis-lexed a lifetime as a char literal"
+            );
+        }
+        // Char literals that look adjacent to the lifetime forms stay chars.
+        let chars = tokenize(r"let (a, b, c) = ('a', '\'', 'é');").expect("chars lex");
+        assert_eq!(
+            chars.iter().filter(|t| t.kind == TokenKind::Char).count(),
+            3
+        );
+        // A genuinely bare tick is still an error, not a silent token.
+        assert!(tokenize("let x = '").is_err());
+    }
+
+    #[test]
     fn numbers() {
         let toks = kinds("0xFACE 1_000u64 1.5 2e-3 1f64 0..n 3.max(4)");
         let ints: Vec<_> = toks

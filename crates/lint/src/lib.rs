@@ -23,6 +23,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod callgraph;
 pub mod context;
 pub mod engine;
 pub mod fix;
@@ -31,6 +32,10 @@ pub mod lexer;
 pub mod rules;
 pub mod sarif;
 
+pub use callgraph::{
+    build_callgraph, render_callgraph_json, CallEdge, CallGraph, CallKind, Cycle, FnDef,
+    HOT_PATH_CRATES,
+};
 pub use context::{crate_name_for, AllowEntry, ConstStr, FileCtx};
 pub use engine::{
     lint_ctx, lint_file, lint_workspace, render_json, render_text, walk_all_sources,

@@ -1,20 +1,29 @@
 //! CLI entry point: `lcakp-lint check [--format text|json|sarif]
-//! [--emit-graph FILE] [paths…]`, `lcakp-lint fix [--dry-run]` and
-//! `lcakp-lint --list-rules`.
+//! [--emit-graph FILE] [--emit-callgraph FILE] [--files] [paths…]`,
+//! `lcakp-lint fix [--dry-run]` and `lcakp-lint --list-rules`.
 
 use lcakp_lint::{
-    all_rules, fix_workspace, render_graph_json, render_json, render_sarif, render_text, Workspace,
+    all_rules, fix_workspace, render_callgraph_json, render_graph_json, render_json, render_sarif,
+    render_text, Workspace,
 };
-use std::path::PathBuf;
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
 
 const USAGE: &str = "\
 lcakp-lint — workspace invariant checker (determinism, seeded randomness, metered oracle access)
 
 USAGE:
-    lcakp-lint check [--format text|json|sarif] [--emit-graph FILE] [paths…]
+    lcakp-lint check [--format text|json|sarif] [--emit-graph FILE] [--emit-callgraph FILE]
+                     [--files] [paths…]
                                                      lint the workspace (or just the given files);
                                                      --emit-graph writes the seed-derivation graph
-                                                     as deterministic JSON (`-` for stdout)
+                                                     as deterministic JSON (`-` for stdout);
+                                                     --emit-callgraph writes the hot-path call
+                                                     graph the same way;
+                                                     --files treats the paths as a changed-files
+                                                     list: only they are reported, but cross-file
+                                                     rules (D007/D008/D011–D013) still analyse the
+                                                     full workspace
     lcakp-lint fix [--dry-run]                       apply mechanical fixes (D001, D008, D009);
                                                      --dry-run prints the diff without writing
     lcakp-lint --list-rules                          print rule ids and one-line summaries
@@ -58,6 +67,8 @@ fn run() -> i32 {
 fn check(args: &[String]) -> i32 {
     let mut format = "text".to_string();
     let mut emit_graph: Option<PathBuf> = None;
+    let mut emit_callgraph: Option<PathBuf> = None;
+    let mut files_mode = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -76,6 +87,14 @@ fn check(args: &[String]) -> i32 {
                     return 2;
                 }
             },
+            "--emit-callgraph" => match iter.next() {
+                Some(file) => emit_callgraph = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--emit-callgraph expects a file path (or `-` for stdout)");
+                    return 2;
+                }
+            },
+            "--files" => files_mode = true,
             flag if flag.starts_with("--") => {
                 eprintln!("unknown flag `{flag}`\n\n{USAGE}");
                 return 2;
@@ -83,8 +102,12 @@ fn check(args: &[String]) -> i32 {
             path => paths.push(PathBuf::from(path)),
         }
     }
+    if files_mode && paths.is_empty() {
+        eprintln!("--files expects at least one path\n\n{USAGE}");
+        return 2;
+    }
 
-    let workspace = if paths.is_empty() {
+    let workspace = if paths.is_empty() || files_mode {
         workspace_root().and_then(|root| {
             Workspace::from_root(&root).map_err(|error| format!("lint failed: {error}"))
         })
@@ -108,8 +131,29 @@ fn check(args: &[String]) -> i32 {
             return 2;
         }
     }
+    if let Some(target) = emit_callgraph {
+        let json = render_callgraph_json(workspace.callgraph());
+        if target.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(error) = std::fs::write(&target, json) {
+            eprintln!("cannot write call graph to {}: {error}", target.display());
+            return 2;
+        }
+    }
 
-    let diagnostics = workspace.diagnostics();
+    let diagnostics = if files_mode {
+        let root = match workspace_root() {
+            Ok(root) => root,
+            Err(message) => {
+                eprintln!("{message}");
+                return 2;
+            }
+        };
+        let listed: BTreeSet<String> = paths.iter().map(|p| relative_to(&root, p)).collect();
+        workspace.diagnostics_for(&listed)
+    } else {
+        workspace.diagnostics()
+    };
     match format.as_str() {
         "json" => print!("{}", render_json(&diagnostics)),
         "sarif" => print!("{}", render_sarif(&diagnostics)),
@@ -174,6 +218,34 @@ fn fix(args: &[String]) -> i32 {
     } else {
         0
     }
+}
+
+/// Renders a changed-files path workspace-relative with forward
+/// slashes, matching diagnostic paths. Accepts paths given relative to
+/// the current directory, relative to the workspace root, or absolute.
+fn relative_to(root: &Path, path: &Path) -> String {
+    let candidates = [
+        path.to_path_buf(),
+        // lcakp-lint: allow(D002) reason="normalizing user-given paths needs the process cwd"
+        std::env::current_dir()
+            .map(|cwd| cwd.join(path))
+            .unwrap_or_else(|_| path.to_path_buf()),
+    ];
+    for candidate in candidates {
+        let absolute = candidate.canonicalize().unwrap_or(candidate);
+        if let Ok(rel) = absolute.strip_prefix(root) {
+            return unixy(rel);
+        }
+    }
+    unixy(path)
+}
+
+/// Joins path components with forward slashes.
+fn unixy(path: &Path) -> String {
+    path.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
 }
 
 /// Ascends from the current directory to the workspace root (the first

@@ -157,6 +157,9 @@ rule_table! {
     "D008" "label-convention" Error all Workspace(check_d008): "derive domain labels must be component/purpose lowercase-kebab (e.g. rmedian/shift); the diagnostic suggests a canonical label";
     "D009" "stale-allow" Warning all Workspace(check_d009): "an lcakp-lint: allow(id) comment whose rule no longer fires at that site is suppression debt; remove it";
     "D010" "process-exit-outside-main" Error all File(check_d010): "std::process::exit/abort outside main.rs or a bin entry point kills the process out from under the runtime; crashes must only happen via the simulator's crash schedule";
+    "D011" "unbounded-alloc-in-hot-path" Error all Workspace(check_d011): "allocation (Vec::new/push/collect/format!/String::from/Box::new/to_vec/heap clone) in a fn reachable from a serving entry point; reuse a per-worker scratch buffer or bound it with with_capacity(CONST)";
+    "D012" "blocking-in-hot-path" Error all Workspace(check_d012): "blocking (std Mutex/RwLock acquisition, channel recv, thread::sleep, file or stdio I/O) in a fn reachable from a serving entry point";
+    "D013" "unbounded-recursion-in-hot-path" Error all Workspace(check_d013): "a recursion cycle reachable from a serving entry point with no declared depth bound; annotate one member with lcakp-lint: recursion-bound(<bound>) reason=\"…\"";
 }
 
 /// Looks up a rule definition by id.
@@ -768,6 +771,23 @@ fn check_d008(ws: &Workspace) -> Vec<Diagnostic> {
 /// directives actually suppressed (or annotated) a finding this run.
 fn check_d009(ws: &Workspace) -> Vec<Diagnostic> {
     crate::engine::stale_allow_diagnostics(ws)
+}
+
+/// D011: unbounded allocation in the hot path — delegated to the
+/// call-graph pass.
+fn check_d011(ws: &Workspace) -> Vec<Diagnostic> {
+    crate::callgraph::check_hot_alloc(ws)
+}
+
+/// D012: blocking in the hot path — delegated to the call-graph pass.
+fn check_d012(ws: &Workspace) -> Vec<Diagnostic> {
+    crate::callgraph::check_hot_blocking(ws)
+}
+
+/// D013: recursion cycles in the hot path without a declared depth
+/// bound — delegated to the call-graph pass.
+fn check_d013(ws: &Workspace) -> Vec<Diagnostic> {
+    crate::callgraph::check_hot_recursion(ws)
 }
 
 #[cfg(test)]

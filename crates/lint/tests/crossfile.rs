@@ -5,8 +5,17 @@
 //! The mini-workspace lives in `tests/fixtures/mini_ws/` — three files
 //! that together trigger one diagnostic of each cross-file rule while an
 //! allow-with-reason suppresses an intentional re-derivation.
+//!
+//! The hot-path rules (D011–D013) run over a second fixture workspace,
+//! `tests/fixtures/hot_ws/` — builtin and directive-declared roots, an
+//! exempt `&mut`-parameter append, an allowed allocation, a bounded and
+//! an unbounded recursion cycle, and a hot-but-out-of-scope crate.
 
-use lcakp_lint::{plan_fixes, render_graph_json, render_sarif, FileCtx, LabelSource, Workspace};
+use lcakp_lint::{
+    plan_fixes, render_callgraph_json, render_graph_json, render_sarif, FileCtx, LabelSource,
+    Workspace,
+};
+use std::collections::BTreeSet;
 
 /// Builds the fixture mini-workspace with explicit paths and crate
 /// names (path-based attribution would file everything under `lint`).
@@ -35,8 +44,161 @@ fn mini_ws() -> Workspace {
     Workspace::from_ctxs(ctxs)
 }
 
+/// Builds the hot-path fixture workspace: two hot-path reporting crates
+/// (`core`, `service`) and one crate that is reachable but out of
+/// reporting scope (`zeta`).
+fn hot_ws() -> Workspace {
+    let files = [
+        (
+            "crates/core/src/hot.rs",
+            "core",
+            include_str!("fixtures/hot_ws/core_hot.rs"),
+        ),
+        (
+            "crates/service/src/pump.rs",
+            "service",
+            include_str!("fixtures/hot_ws/service_pump.rs"),
+        ),
+        (
+            "crates/zeta/src/lib.rs",
+            "zeta",
+            include_str!("fixtures/hot_ws/zeta_outside.rs"),
+        ),
+    ];
+    let ctxs: Vec<FileCtx> = files
+        .iter()
+        .map(|(path, krate, src)| FileCtx::from_source(*path, *krate, src).unwrap())
+        .collect();
+    Workspace::from_ctxs(ctxs)
+}
+
 fn rendered(ws: &Workspace) -> Vec<String> {
     ws.diagnostics().iter().map(ToString::to_string).collect()
+}
+
+#[test]
+fn hot_ws_diagnostics_snapshot() {
+    let got = rendered(&hot_ws());
+    assert_eq!(
+        got,
+        vec![
+            "crates/core/src/hot.rs:13:24: [D011] `Vec::new()` allocates unboundedly in hot-path \
+             fn `helper_alloc` (hot via `LcaKp::query_fast`); reuse a per-worker scratch buffer, \
+             bound it with with_capacity(CONST), or allow with a reason",
+            "crates/core/src/hot.rs:14:9: [D011] `push` may grow an unbounded buffer in hot-path \
+             fn `helper_alloc` (hot via `LcaKp::query_fast`); reuse a per-worker scratch buffer, \
+             bound it with with_capacity(CONST), or allow with a reason",
+            "crates/core/src/hot.rs:24:13: [D011] `String::from` allocates in hot-path fn `leaky` \
+             (hot via `custom_entry`); reuse a per-worker scratch buffer, bound it with \
+             with_capacity(CONST), or allow with a reason",
+            "crates/service/src/pump.rs:15:9: [D012] stdio writes acquire a process-global lock \
+             in hot-path fn `WorkerCore::drain` (hot via `WorkerCore::serve_step`); move it off \
+             the query path or allow with a reason",
+            "crates/service/src/pump.rs:28:1: [D013] recursion cycle in hot path without a \
+             declared depth bound: `spin_a` -> `spin_b`; annotate one member with `lcakp-lint: \
+             recursion-bound(<bound>) reason=\"…\"`",
+        ],
+        "{got:#?}"
+    );
+}
+
+#[test]
+fn hot_ws_suppressions_and_scope() {
+    let got = rendered(&hot_ws());
+    // The allow-with-reason vec!, the &mut-parameter push, the
+    // const-capacity with_capacity, and the bounded recursion are all
+    // silent; so is the hot-but-out-of-scope zeta crate and the cold
+    // (unreachable) allocator.
+    assert!(!got.iter().any(|d| d.contains("append_frame")), "{got:#?}");
+    assert!(
+        !got.iter().any(|d| d.contains("bounded_shrink")),
+        "{got:#?}"
+    );
+    assert!(!got.iter().any(|d| d.contains("cold_helper")), "{got:#?}");
+    assert!(!got.iter().any(|d| d.contains("zeta")), "{got:#?}");
+    assert!(!got.iter().any(|d| d.contains("vec!")), "{got:#?}");
+}
+
+#[test]
+fn hot_ws_callgraph_marks_roots_and_reachability() {
+    let ws = hot_ws();
+    let graph = ws.callgraph();
+    let by_name = |name: &str| {
+        graph
+            .fns
+            .iter()
+            .position(|def| def.display() == name)
+            .unwrap_or_else(|| panic!("fn `{name}` not in the call graph"))
+    };
+    // Builtin roots: LcaKp::query*, WorkerCore::serve_step, try_query —
+    // plus the directive-declared custom_entry.
+    for root in [
+        "LcaKp::query_fast",
+        "WorkerCore::serve_step",
+        "try_query",
+        "custom_entry",
+    ] {
+        let idx = by_name(root);
+        assert!(graph.fns[idx].root, "`{root}` should be a root");
+        assert!(graph.hot[idx], "`{root}` should be hot");
+    }
+    // Reachability crosses files and impls; cold code stays cold.
+    assert!(graph.hot[by_name("helper_alloc")]);
+    assert!(graph.hot[by_name("WorkerCore::drain")]);
+    assert!(graph.hot[by_name("spin_b")]);
+    assert!(!graph.hot[by_name("cold_helper")]);
+    assert!(!graph.fns[by_name("helper_alloc")].root);
+    // The bounded cycle carries its declared bound; the unbounded one
+    // does not.
+    let bounds: Vec<Option<&str>> = graph.cycles.iter().map(|c| c.bound.as_deref()).collect();
+    assert!(bounds.contains(&Some("log* n")), "{bounds:?}");
+    assert!(bounds.contains(&None), "{bounds:?}");
+}
+
+#[test]
+fn callgraph_json_matches_golden_and_is_deterministic() {
+    let first = render_callgraph_json(hot_ws().callgraph());
+    let second = render_callgraph_json(hot_ws().callgraph());
+    assert_eq!(first, second, "call-graph emission must be byte-identical");
+    // Regenerate with:
+    //   LCAKP_LINT_REGEN_GOLDEN=1 cargo test -p lcakp-lint --test crossfile
+    if std::env::var_os("LCAKP_LINT_REGEN_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/hot_ws_callgraph.json"
+        );
+        std::fs::write(path, &first).expect("golden writes");
+        return;
+    }
+    let golden = include_str!("golden/hot_ws_callgraph.json");
+    assert_eq!(
+        first, golden,
+        "call graph drifted from the committed golden"
+    );
+}
+
+#[test]
+fn changed_files_mode_reports_only_listed_files() {
+    let ws = mini_ws();
+    let listed: BTreeSet<String> = ["crates/beta/src/main.rs".to_string()].into();
+    let got: Vec<String> = ws
+        .diagnostics_for(&listed)
+        .iter()
+        .map(ToString::to_string)
+        .collect();
+    // Only beta's diagnostics are reported — but the D007 there is a
+    // *cross-file* collision with alpha, proving the full workspace was
+    // still analysed.
+    assert_eq!(got.len(), 2, "{got:#?}");
+    assert!(
+        got.iter().all(|d| d.starts_with("crates/beta/")),
+        "{got:#?}"
+    );
+    assert!(
+        got.iter()
+            .any(|d| d.contains("[D007]") && d.contains("crates/alpha/src/lib.rs:8")),
+        "{got:#?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,39 @@
+//! Hot-workspace fixture, `core` crate: a builtin root (`LcaKp::query*`),
+//! an allocating helper reached from it (D011), a directive-declared
+//! root, and a bounded single-fn recursion (no D013).
+
+impl LcaKp {
+    pub fn query_fast(&self) -> u64 {
+        helper_alloc();
+        bounded_shrink(3)
+    }
+}
+
+fn helper_alloc() -> usize {
+    let mut buf = Vec::new();
+    buf.push(1u64);
+    buf.len()
+}
+
+// lcakp-lint: hot-path-root
+fn custom_entry() -> String {
+    leaky()
+}
+
+fn leaky() -> String {
+    String::from("x")
+}
+
+// lcakp-lint: recursion-bound(log* n) reason="each level replaces n by log2 n"
+fn bounded_shrink(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        1 + bounded_shrink(n / 2)
+    }
+}
+
+fn cold_helper() -> Vec<u64> {
+    // Unreachable from any root: may allocate freely.
+    vec![1, 2, 3]
+}

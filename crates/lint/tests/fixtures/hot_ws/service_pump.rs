@@ -1,0 +1,34 @@
+//! Hot-workspace fixture, `service` crate: the `WorkerCore::serve_step`
+//! builtin root, blocking stdio (D012), an exempt push into a `&mut`
+//! parameter, an allowed allocation, and an unbounded two-fn recursion
+//! cycle (D013).
+
+impl WorkerCore {
+    pub fn serve_step(&mut self) -> u64 {
+        self.drain();
+        spin_a(0)
+    }
+}
+
+impl WorkerCore {
+    fn drain(&mut self) {
+        println!("tick");
+        // lcakp-lint: allow(D011) reason="fixture: reviewed one-off allocation"
+        let _ok = vec![1u8];
+        let mut out = Vec::with_capacity(FRAME_CAP);
+        append_frame(&mut out);
+    }
+}
+
+fn append_frame(out: &mut Vec<u8>) {
+    // Push into a `&mut` parameter: the caller owns the buffer — exempt.
+    out.push(0xA5);
+}
+
+fn spin_a(n: u64) -> u64 {
+    spin_b(n)
+}
+
+fn spin_b(n: u64) -> u64 {
+    spin_a(n)
+}

@@ -1,0 +1,10 @@
+//! Hot-workspace fixture, `zeta` crate: `try_query` is a builtin root,
+//! so this fn is hot — but `zeta` is not a hot-path *reporting* crate,
+//! so its allocation is never diagnosed (reachability is workspace-wide,
+//! reporting is scoped).
+
+pub fn try_query() -> u64 {
+    let mut v = Vec::new();
+    v.push(1u64);
+    v[0]
+}

@@ -7,8 +7,8 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use lcakp_lint::{
-    label_conforms, lint_workspace, render_graph_json, render_json, tokenize, walk_all_sources,
-    Workspace,
+    label_conforms, lint_workspace, render_callgraph_json, render_graph_json, render_json,
+    tokenize, walk_all_sources, Workspace,
 };
 
 fn workspace_root() -> PathBuf {
@@ -80,6 +80,69 @@ fn seed_graph_emission_is_deterministic() {
         first.graph.derives.len()
     );
     assert!(!first.graph.rngs.is_empty());
+}
+
+/// The hot-path call graph over the real repository: emission is
+/// byte-identical across independent builds (the `--emit-callgraph`
+/// determinism contract), the serving entry points are rooted, and the
+/// two known log*-recursions carry their declared bounds.
+#[test]
+fn callgraph_emission_is_deterministic_and_rooted() {
+    let root = workspace_root();
+    let first = Workspace::from_root(&root).expect("workspace builds");
+    let second = Workspace::from_root(&root).expect("workspace rebuilds");
+    let json = render_callgraph_json(first.callgraph());
+    assert_eq!(
+        json,
+        render_callgraph_json(second.callgraph()),
+        "call-graph emission must be byte-identical across runs"
+    );
+    let graph = first.callgraph();
+    assert!(
+        graph.fns.len() > 200,
+        "suspiciously few fns: {}",
+        graph.fns.len()
+    );
+    let roots: Vec<String> = graph
+        .fns
+        .iter()
+        .filter(|def| def.root)
+        .map(|def| def.display())
+        .collect();
+    for expected in [
+        "LcaKp::query_with_audit_in",
+        "WorkerCore::serve_step",
+        "Cluster::route",
+    ] {
+        assert!(
+            roots.iter().any(|r| r == expected),
+            "`{expected}` missing from roots: {roots:#?}"
+        );
+    }
+    // Every hot-path recursion cycle declares a bound (the D013 bar),
+    // and the paper's log* recursions are among them.
+    for cycle in &graph.cycles {
+        let in_scope = cycle
+            .members
+            .iter()
+            .any(|&i| lcakp_lint::HOT_PATH_CRATES.contains(&graph.fns[i].crate_name.as_str()));
+        assert!(
+            !in_scope || cycle.bound.is_some(),
+            "unbounded hot cycle: {:?}",
+            cycle
+                .members
+                .iter()
+                .map(|&i| graph.fns[i].display())
+                .collect::<Vec<_>>()
+        );
+    }
+    assert!(
+        graph
+            .cycles
+            .iter()
+            .any(|c| c.bound.as_deref().is_some_and(|b| b.contains("log*"))),
+        "the rMedian/log* recursion bounds disappeared"
+    );
 }
 
 /// Every statically known domain label in the production tree is unique

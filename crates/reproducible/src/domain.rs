@@ -91,6 +91,7 @@ impl std::fmt::Display for Domain {
 
 /// The iterated logarithm: `log* n = 0` if `n ≤ 1`, else
 /// `1 + log*(log₂ n)` (Section 2 of the paper).
+// lcakp-lint: recursion-bound(log* n) reason="each level replaces n by log2(n); the iterated logarithm of any f64 is at most 5"
 pub fn log_star(n: f64) -> u32 {
     if n <= 1.0 {
         0

@@ -30,6 +30,7 @@ pub fn naive_quantile(sample: &[u128], p: f64) -> u128 {
         !sample.is_empty(),
         "naive_quantile requires a nonempty sample"
     );
+    // lcakp-lint: allow(D011) reason="sorting needs an owned copy; the sample is budget-bounded (at most n_rq keys per query)"
     let mut sorted = sample.to_vec();
     sorted.sort_unstable();
     let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());

@@ -119,8 +119,10 @@ pub fn rmedian(
 /// an *upper* quantile for the internal scale selection (a conservative,
 /// stable choice when the scale distribution is bimodal — larger cells
 /// only cost descent steps, which the accuracy guard bounds).
+// lcakp-lint: recursion-bound(log* bits) reason="each recursive call compresses the domain from 2^bits values to bits+2 scale codes (Algorithm 1's 2^d -> d step), so the depth is the iterated logarithm of the domain size"
 fn solve(raw: &[u128], bits: u32, tau: f64, target: f64, seed: &Seed, depth: u64) -> u128 {
     debug_assert!(!raw.is_empty());
+    // lcakp-lint: allow(D011) reason="sorting needs an owned copy; per-level samples shrink geometrically from the budget-bounded root sample (arena pooling tracked in ROADMAP)"
     let mut sorted = raw.to_vec();
     sorted.sort_unstable();
     if bits <= BASE_BITS || raw.len() < 64 {
@@ -132,7 +134,9 @@ fn solve(raw: &[u128], bits: u32, tau: f64, target: f64, seed: &Seed, depth: u64
 
     // Halves (by parity of arrival index, so both are i.i.d. samples):
     // A estimates the fluctuation scale, B the median position.
+    // lcakp-lint: allow(D011) reason="half-split of the budget-bounded sample (arena pooling tracked in ROADMAP)"
     let half_a: Vec<u128> = raw.iter().copied().step_by(2).collect();
+    // lcakp-lint: allow(D011) reason="half-split of the budget-bounded sample (arena pooling tracked in ROADMAP)"
     let mut half_b: Vec<u128> = raw.iter().copied().skip(1).step_by(2).collect();
     if half_b.is_empty() {
         half_b.clone_from(&half_a);
@@ -151,15 +155,19 @@ fn solve(raw: &[u128], bits: u32, tau: f64, target: f64, seed: &Seed, depth: u64
                 .copied()
                 .skip(batch)
                 .step_by(batch_count)
+                // lcakp-lint: allow(D011) reason="one strided batch of half A; batches partition the budget-bounded sample"
                 .collect();
             members.sort_unstable();
             members[(members.len() - 1) / 2]
         })
+        // lcakp-lint: allow(D011) reason="at most BATCHES batch medians - a compile-time constant"
         .collect();
     let scales: Vec<u128> = batch_medians
         .chunks_exact(2)
         .map(|pair| bit_length((pair[0] + shift) ^ (pair[1] + shift)) as u128)
+        // lcakp-lint: allow(D011) reason="at most BATCHES/2 separation scales - a compile-time constant"
         .collect();
+    // lcakp-lint: allow(D011) reason="a one-element fallback vector for the degenerate empty-scales case"
     let scales = if scales.is_empty() { vec![0] } else { scales };
 
     // Recursive reproducible median over the scale domain [0, bits+1] ⊆

@@ -81,6 +81,7 @@ pub fn rquantile(
 
     let low_code = 0u128;
     let high_code = extended.max_value();
+    // lcakp-lint: allow(D011) reason="2n is the padded-sample size, bounded by the per-query sample budget n_rq"
     let mut padded: Vec<u128> = Vec::with_capacity(2 * n);
     padded.extend(sample.iter().map(|&value| value + 1));
     padded.extend(std::iter::repeat_n(low_code, lows));

@@ -316,6 +316,7 @@ impl CircuitBreaker {
     }
 
     fn transition(&mut self, at_tick: u64, to: BreakerState, cause: TransitionCause) {
+        // lcakp-lint: allow(D011) reason="the transition log is journaled snapshot state: one entry per breaker state change, bounded by queries served"
         self.events.push(BreakerEvent {
             at_tick,
             from: self.state,

@@ -210,32 +210,41 @@ impl JournalRecord {
     /// and checksum).
     #[must_use]
     pub fn encode(&self) -> Vec<u8> {
-        let (tag, payload) = match self {
+        let mut scratch = Vec::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut scratch, &mut out);
+        out
+    }
+
+    /// Appends the canonical byte encoding of this record to `out`,
+    /// building the payload in `scratch` (cleared first). Both buffers
+    /// retain their capacity across calls, so a worker that reuses them
+    /// encodes without allocating on the serving hot path.
+    pub fn encode_into(&self, scratch: &mut Vec<u8>, out: &mut Vec<u8>) {
+        scratch.clear();
+        let mut enc = Enc { out: scratch };
+        let tag = match self {
             JournalRecord::Admitted { index, item } => {
-                let mut enc = Enc::new();
                 enc.u64(*index);
                 enc.u64(*item);
-                (TAG_ADMITTED, enc.0)
+                TAG_ADMITTED
             }
             JournalRecord::Answered { index, answer } => {
-                let mut enc = Enc::new();
                 enc.u64(*index);
                 encode_answered(&mut enc, answer);
-                (TAG_ANSWERED, enc.0)
+                TAG_ANSWERED
             }
             JournalRecord::Shed { index, reason } => {
-                let mut enc = Enc::new();
                 enc.u64(*index);
                 encode_shed_reason(&mut enc, reason);
-                (TAG_SHED, enc.0)
+                TAG_SHED
             }
             JournalRecord::Snapshot(snapshot) => {
-                let mut enc = Enc::new();
                 encode_snapshot(&mut enc, snapshot);
-                (TAG_SNAPSHOT, enc.0)
+                TAG_SNAPSHOT
             }
         };
-        frame(tag, &payload)
+        frame_into(tag, scratch, out);
     }
 
     /// The batch position this record is about (`None` for snapshots).
@@ -461,15 +470,14 @@ pub struct Recovered {
 
 // ---------------------------------------------------------------- framing
 
-fn frame(tag: u8, payload: &[u8]) -> Vec<u8> {
+fn frame_into(tag: u8, payload: &[u8], out: &mut Vec<u8>) {
     let len = u32::try_from(payload.len()).expect("journal payloads are tiny");
-    let mut out = Vec::with_capacity(HEADER_LEN + payload.len() + CRC_LEN);
+    out.reserve(HEADER_LEN + payload.len() + CRC_LEN);
     out.push(MAGIC);
     out.push(tag);
     out.extend_from_slice(&len.to_le_bytes());
     out.extend_from_slice(payload);
     out.extend_from_slice(&record_crc(tag, payload).to_le_bytes());
-    out
 }
 
 fn record_crc(tag: u8, payload: &[u8]) -> u32 {
@@ -494,23 +502,26 @@ fn fnv1a32_step(mut hash: u32, bytes: &[u8]) -> u32 {
 
 // --------------------------------------------------------- field encoding
 
-struct Enc(Vec<u8>);
+/// Little-endian field writer over a borrowed payload buffer, so the
+/// serving path can reuse one buffer across every record it encodes.
+struct Enc<'a> {
+    out: &'a mut Vec<u8>,
+}
 
-impl Enc {
-    fn new() -> Self {
-        Enc(Vec::new())
-    }
+impl Enc<'_> {
     fn u8(&mut self, value: u8) {
-        self.0.push(value);
+        // lcakp-lint: allow(D011) reason="appends into the caller's reusable payload buffer; capacity is retained across records"
+        self.out.push(value);
     }
     fn u32(&mut self, value: u32) {
-        self.0.extend_from_slice(&value.to_le_bytes());
+        self.out.extend_from_slice(&value.to_le_bytes());
     }
     fn u64(&mut self, value: u64) {
-        self.0.extend_from_slice(&value.to_le_bytes());
+        self.out.extend_from_slice(&value.to_le_bytes());
     }
     fn bool(&mut self, value: bool) {
-        self.0.push(u8::from(value));
+        // lcakp-lint: allow(D011) reason="appends into the caller's reusable payload buffer; capacity is retained across records"
+        self.out.push(u8::from(value));
     }
 }
 
@@ -584,7 +595,7 @@ impl<'a> Dec<'a> {
     }
 }
 
-fn encode_answered(enc: &mut Enc, answer: &Answered) {
+fn encode_answered(enc: &mut Enc<'_>, answer: &Answered) {
     enc.bool(answer.include);
     enc.u8(match answer.tier {
         ResponseTier::Full => 0,
@@ -656,7 +667,7 @@ fn decode_answered(dec: &mut Dec<'_>) -> Result<Answered, RecoveryError> {
     })
 }
 
-fn encode_shed_reason(enc: &mut Enc, reason: &ShedReason) {
+fn encode_shed_reason(enc: &mut Enc<'_>, reason: &ShedReason) {
     match reason {
         ShedReason::QueueFull { depth } => {
             enc.u8(0);
@@ -721,7 +732,7 @@ fn breaker_state_from(tag: u8, dec: &Dec<'_>) -> Result<BreakerState, RecoveryEr
     }
 }
 
-fn encode_snapshot(enc: &mut Enc, snapshot: &WorkerSnapshot) {
+fn encode_snapshot(enc: &mut Enc<'_>, snapshot: &WorkerSnapshot) {
     enc.u64(snapshot.worker);
     enc.u64(snapshot.tick);
     enc.u64(snapshot.budget_spent);
@@ -971,7 +982,8 @@ mod tests {
         payload.extend_from_slice(&7u64.to_le_bytes());
         payload.extend_from_slice(&9u64.to_le_bytes());
         payload.push(0xEE);
-        let bytes = frame(TAG_ADMITTED, &payload);
+        let mut bytes = Vec::new();
+        frame_into(TAG_ADMITTED, &payload, &mut bytes);
         assert_eq!(
             decode(&bytes, DecodeMode::Strict),
             Err(RecoveryError::InvalidPayload {
@@ -983,7 +995,8 @@ mod tests {
 
     #[test]
     fn unknown_tag_with_valid_checksum_is_typed() {
-        let bytes = frame(0x7F, &[]);
+        let mut bytes = Vec::new();
+        frame_into(0x7F, &[], &mut bytes);
         assert_eq!(
             decode(&bytes, DecodeMode::Strict),
             Err(RecoveryError::UnknownTag {

@@ -35,7 +35,9 @@ use crate::breaker::{BreakerConfig, BreakerEvent, CircuitBreaker};
 use crate::clock::{TickClock, VirtualClock};
 use crate::deadline::{CostModel, DeadlineOracle};
 use crate::journal::{Journal, JournalRecord, RecoveryError, WorkerSnapshot};
-use lcakp_core::{DegradationReason, LcaError, LcaKp, ResponseTier, RetryPolicy, SolutionRule};
+use lcakp_core::{
+    DegradationReason, LcaError, LcaKp, QueryScratch, ResponseTier, RetryPolicy, SolutionRule,
+};
 use lcakp_knapsack::{Item, ItemId, Selection};
 use lcakp_oracle::{
     BudgetedOracle, FaultPlan, FaultyOracle, ItemOracle, OracleError, Seed, WeightedSampler,
@@ -616,6 +618,14 @@ pub(crate) struct WorkerCore<'a, O> {
     /// Bytes of the most recent committed append — the largest suffix a
     /// cluster crash may tear off the journal copy shipped to a replica.
     last_append_len: usize,
+    /// Per-worker LCA sampling workspace, reused by every query this
+    /// core serves so steady state allocates nothing per query.
+    scratch: QueryScratch,
+    /// Reusable payload buffer for journal-record encoding.
+    enc_payload: Vec<u8>,
+    /// Recycled byte buffer for the next [`PendingStep`]; a committed
+    /// step returns its buffer here so its capacity carries over.
+    step_bytes: Vec<u8>,
 }
 
 impl<'a, O> WorkerCore<'a, O>
@@ -652,6 +662,9 @@ where
             outcomes: Vec::new(),
             worst_case: ctx.lca.worst_case_accesses(),
             last_append_len: 0,
+            scratch: QueryScratch::default(),
+            enc_payload: Vec::new(),
+            step_bytes: Vec::new(),
         }
     }
 
@@ -708,6 +721,7 @@ where
                     &mut self.breaker,
                     &faulty,
                     &self.budgeted,
+                    &mut self.scratch,
                     self.worker,
                     index,
                     item,
@@ -725,18 +739,21 @@ where
         };
 
         // The pending durable write: the disposition plus the post-query
-        // snapshot, appended atomically — unless a crash tears it.
-        let mut bytes = record.encode();
-        bytes.extend_from_slice(
-            &JournalRecord::Snapshot(WorkerSnapshot {
-                worker: self.worker as u64,
-                tick: self.clock.now(),
-                budget_spent: self.budgeted.used(),
-                next_position: (self.position + 1) as u64,
-                breaker: self.breaker.snapshot(),
-            })
-            .encode(),
-        );
+        // snapshot, appended atomically — unless a crash tears it. The
+        // byte buffer is recycled from the previous committed step and
+        // the payload buffer is a worker field, so a steady-state step
+        // encodes without allocating.
+        let mut bytes = std::mem::take(&mut self.step_bytes);
+        bytes.clear();
+        record.encode_into(&mut self.enc_payload, &mut bytes);
+        JournalRecord::Snapshot(WorkerSnapshot {
+            worker: self.worker as u64,
+            tick: self.clock.now(),
+            budget_spent: self.budgeted.used(),
+            next_position: (self.position + 1) as u64,
+            breaker: self.breaker.snapshot(),
+        })
+        .encode_into(&mut self.enc_payload, &mut bytes);
         Ok(PendingStep {
             outcome: QueryOutcome {
                 index,
@@ -747,11 +764,14 @@ where
         })
     }
 
-    /// Makes a served step durable and acknowledges its outcome.
+    /// Makes a served step durable and acknowledges its outcome. The
+    /// step's byte buffer is recycled for the next
+    /// [`serve_step`](Self::serve_step).
     pub(crate) fn commit(&mut self, step: PendingStep) {
         self.journal.append_encoded(&step.bytes);
         self.last_append_len = step.bytes.len();
         self.outcomes.push(step.outcome);
+        self.step_bytes = step.bytes;
         self.position += 1;
     }
 
@@ -945,6 +965,7 @@ fn serve_one<O, F>(
     breaker: &mut CircuitBreaker,
     faulty: &F,
     budgeted: &BudgetedOracle<'_, O>,
+    scratch: &mut QueryScratch,
     worker: usize,
     index: usize,
     item: ItemId,
@@ -974,7 +995,7 @@ where
             let mut rng = query_seed.derive("service/sampling", 0).rng();
             let (answer, audit) =
                 ctx.lca
-                    .query_with_audit(&guarded, &mut rng, item, ctx.shared_seed)?;
+                    .query_with_audit_in(&guarded, &mut rng, item, ctx.shared_seed, scratch)?;
             retries_used += audit.retries_used;
             let Some(reason) = audit.degraded else {
                 breaker.on_success(clock.now());

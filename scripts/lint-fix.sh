@@ -4,6 +4,9 @@
 #
 #   scripts/lint-fix.sh            show the planned diff (no writes)
 #   scripts/lint-fix.sh --apply    apply the fixes, then re-check
+#   scripts/lint-fix.sh --changed  check only files changed vs. the
+#                                  merge base (pre-push mode); cross-file
+#                                  rules still analyse the full workspace
 #
 # Exits 0 when the tree is clean (or was just fixed clean), nonzero
 # when fixes are pending (preview mode) or findings remain that need a
@@ -11,7 +14,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-if [[ "${1:-}" == "--apply" ]]; then
+if [[ "${1:-}" == "--changed" ]]; then
+    base=$(git merge-base HEAD "${2:-origin/main}" 2>/dev/null || echo HEAD)
+    mapfile -t changed < <(git diff --name-only "$base" -- '*.rs'; git diff --name-only --cached -- '*.rs')
+    # De-duplicate and keep only files that still exist.
+    mapfile -t changed < <(printf '%s\n' "${changed[@]}" | sort -u | while read -r f; do [[ -f "$f" ]] && echo "$f"; done)
+    if [[ ${#changed[@]} -eq 0 ]]; then
+        echo "lint-fix: no changed Rust files vs. $base" >&2
+        exit 0
+    fi
+    exec cargo run -q -p lcakp-lint -- check --files "${changed[@]}"
+elif [[ "${1:-}" == "--apply" ]]; then
     cargo run -q -p lcakp-lint -- fix
     cargo run -q -p lcakp-lint -- check
 else
