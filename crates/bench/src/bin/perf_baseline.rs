@@ -1,0 +1,151 @@
+//! Performance point zero: throughput and latency of the serving
+//! stack, written to `BENCH_e14.json` at the workspace root.
+//!
+//! Two measured sections, both on the exact E14 world (same family,
+//! size, ε, budget, and service tuning as `e14_chaos`, chaos plan
+//! removed):
+//!
+//! * **core** — the [`LcaKp::query_with_audit_in`] hot loop: one
+//!   reused scratch, steady-state, the path every serving worker runs
+//!   per query;
+//! * **serving** — the full e14 batch path ([`serve_batch`]: admission,
+//!   dispatch, breaker, deadline accounting, journal) with 4 workers.
+//!
+//! Each section reports wall-clock queries/sec *and* virtual-tick
+//! latency. The two clocks are deliberately separate: wall-clock
+//! throughput is the machine-dependent number future PRs diff against,
+//! while virtual ticks (mean per-query `end_tick − start_tick`, plus
+//! mean counted oracle accesses) are deterministic and must only move
+//! when an algorithmic change moves them.
+//!
+//! The JSON is canonical — fixed field order, integers only — but the
+//! wall-clock fields vary run to run, so the file is a committed
+//! *snapshot*, not a CI-diffed golden.
+
+use std::time::Instant;
+
+use lcakp_bench::experiment_root;
+use lcakp_core::{LcaKp, QueryScratch, RetryPolicy};
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::ItemId;
+use lcakp_oracle::InstanceOracle;
+use lcakp_reproducible::SampleBudget;
+use lcakp_service::{
+    seed_to_u64, serve_batch, BackoffPolicy, BreakerConfig, CostModel, RecoveryDiscipline,
+    ServiceConfig,
+};
+use lcakp_workloads::{Family, WorkloadSpec};
+
+/// The E14 instance size.
+const N: usize = 120;
+/// Core-loop repetitions over the full item universe.
+const CORE_PASSES: usize = 8;
+/// Serving-path repetitions of the full batch.
+const SERVE_PASSES: usize = 4;
+
+/// Integer queries/sec from a query count and elapsed nanoseconds.
+fn qps(queries: u64, nanos: u128) -> u64 {
+    if nanos == 0 {
+        return 0;
+    }
+    u64::try_from(u128::from(queries) * 1_000_000_000 / nanos).unwrap_or(u64::MAX)
+}
+
+fn main() {
+    let root = experiment_root("e14");
+
+    // The exact e14 world: workload, ε, budget, retry policy.
+    let workload_seed = seed_to_u64(&root.derive("bench-perf/workload", 0));
+    let norm = WorkloadSpec::new(Family::SmallDominated, N, workload_seed)
+        .generate_normalized()
+        .expect("workload generates");
+    let oracle = InstanceOracle::new(&norm);
+    let eps = Epsilon::new(1, 6).expect("valid eps");
+    let lca = LcaKp::new(eps)
+        .expect("lca builds")
+        .with_budget(SampleBudget::Calibrated { factor: 0.002 })
+        .with_retry_policy(RetryPolicy { max_retries: 5 });
+    let shared_seed = root.derive("bench-perf/shared", 0);
+
+    // ---- Section 1: the core query_with_audit_in hot loop. ----
+    let mut rng = root.derive("bench-perf/sampling", 0).rng();
+    let mut scratch = QueryScratch::default();
+    lca.query_with_audit_in(&oracle, &mut rng, ItemId(0), &shared_seed, &mut scratch)
+        .expect("warm-up query sizes the scratch");
+    let core_queries = (N * CORE_PASSES) as u64;
+    let mut core_accesses = 0u64;
+    let start = Instant::now();
+    for pass in 0..CORE_PASSES {
+        for index in 0..N {
+            let item = ItemId((index + pass) % N);
+            let (_, audit) = lca
+                .query_with_audit_in(&oracle, &mut rng, item, &shared_seed, &mut scratch)
+                .expect("steady-state query");
+            core_accesses += audit.budget_consumed;
+        }
+    }
+    let core_nanos = start.elapsed().as_nanos();
+    let core_qps = qps(core_queries, core_nanos);
+    let core_mean_accesses = core_accesses / core_queries;
+
+    // ---- Section 2: the e14 serving path, chaos plan removed. ----
+    let config = ServiceConfig {
+        workers: 4,
+        queue_depth: 32,
+        deadline_ticks: 400_000,
+        dispatch_cost_ticks: 1,
+        cost: CostModel::flat(1),
+        backoff: BackoffPolicy::default(),
+        breaker: BreakerConfig {
+            failure_threshold: 2,
+            cooldown_ticks: 4,
+            half_open_probes: 1,
+        },
+        worker_access_cap: None,
+        recovery: RecoveryDiscipline::Faithful,
+    };
+    let queries: Vec<ItemId> = (0..N).map(ItemId).collect();
+    let service_root = root.derive("bench-perf/serving", 0);
+    let mut serve_ticks = 0u64;
+    let mut serve_answered = 0u64;
+    let start = Instant::now();
+    for _ in 0..SERVE_PASSES {
+        let report = serve_batch(
+            &lca,
+            &oracle,
+            &shared_seed,
+            &service_root,
+            &queries,
+            &config,
+            None,
+        )
+        .expect("serving batch runs");
+        for outcome in &report.outcomes {
+            if let Some(answered) = outcome.disposition.answered() {
+                serve_ticks += answered.end_tick - answered.start_tick;
+                serve_answered += 1;
+            }
+        }
+    }
+    let serve_nanos = start.elapsed().as_nanos();
+    let serve_queries = (N * SERVE_PASSES) as u64;
+    let serve_qps = qps(serve_queries, serve_nanos);
+    assert_eq!(
+        serve_answered, serve_queries,
+        "the chaos-free serving path must answer every query"
+    );
+    let serve_mean_ticks = serve_ticks / serve_answered;
+
+    let json = format!(
+        "{{\n  \"label\": \"bench-e14-baseline\",\n  \"n\": {N},\n  \"eps\": \"1/6\",\n  \
+         \"core\": {{\n    \"queries\": {core_queries},\n    \"qps\": {core_qps},\n    \
+         \"mean_oracle_accesses\": {core_mean_accesses}\n  }},\n  \"serving\": {{\n    \
+         \"workers\": {workers},\n    \"queries\": {serve_queries},\n    \"qps\": {serve_qps},\n    \
+         \"mean_latency_ticks\": {serve_mean_ticks}\n  }}\n}}",
+        workers = config.workers,
+    );
+    // The workspace root is two levels above the bench crate.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_e14.json");
+    std::fs::write(path, format!("{json}\n")).expect("baseline file writes");
+    println!("{json}");
+}

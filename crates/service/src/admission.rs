@@ -15,7 +15,18 @@
 //! A shed query gets an explicit rejection response — never a silent
 //! drop — so callers can retry elsewhere, and availability accounting
 //! counts it against the SLO.
+//!
+//! The open-loop traffic engine ([`crate::traffic`]) adds a third,
+//! *adaptive* place: [`AdaptiveAdmission`] watches the windowed
+//! [`LoadSignal`] and, once the signal crosses its entry thresholds,
+//! shrinks the admission queue and sheds an explicit ratio of arrivals
+//! with [`ShedReason::Overload`] — each shed carrying the exact signal
+//! that justified it, so the E17 simulator can audit admission honesty
+//! byte-for-byte. The controller is a pure function of
+//! `(virtual tick, signal, its own prior state)`: no clocks, no
+//! randomness, no allocation on the decide path.
 
+use crate::slo::LoadSignal;
 use std::fmt;
 
 /// Why the runtime refused to serve a query.
@@ -56,6 +67,14 @@ pub enum ShedReason {
         /// The shard stranded on the far side of the partition.
         shard: usize,
     },
+    /// The adaptive admission controller refused the arrival while in
+    /// its overloaded state. Carries the exact load signal the decision
+    /// was made on, so the simulator can verify the shed was honest
+    /// (the signal really did exceed the configured thresholds).
+    Overload {
+        /// The load signal at decision time.
+        signal: LoadSignal,
+    },
 }
 
 impl fmt::Display for ShedReason {
@@ -77,7 +96,245 @@ impl fmt::Display for ShedReason {
             ShedReason::Partitioned { shard } => {
                 write!(f, "partitioned(shard={shard})")
             }
+            ShedReason::Overload { signal } => {
+                write!(f, "overload({signal})")
+            }
         }
+    }
+}
+
+/// The two controller states. Transitions are recorded by the traffic
+/// engine (tick + destination state) so the simulator's hysteresis
+/// invariant can measure the gap between consecutive flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionState {
+    /// Load is within thresholds: admit everything up to the full
+    /// queue bound.
+    #[default]
+    Normal,
+    /// The signal crossed the entry thresholds: the queue bound shrinks
+    /// and an explicit ratio of arrivals sheds.
+    Overloaded,
+}
+
+impl fmt::Display for AdmissionState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionState::Normal => write!(f, "normal"),
+            AdmissionState::Overloaded => write!(f, "overloaded"),
+        }
+    }
+}
+
+/// How faithfully the controller applies its hysteresis band.
+/// [`NoHysteresis`](AdmissionDiscipline::NoHysteresis) is a
+/// deliberately planted bug: the E17 simulator proves it can catch
+/// (and shrink) exactly this mistake — shed-flapping around the
+/// threshold — which is the self-validation half of its acceptance
+/// criteria.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionDiscipline {
+    /// Full hysteresis: enter on the entry thresholds, leave on the
+    /// (lower) exit thresholds, and never flip twice within the
+    /// hysteresis window.
+    #[default]
+    Faithful,
+    /// Bug: flip state on the instantaneous entry-threshold comparison
+    /// alone — no band, no dwell time — so the controller flaps on any
+    /// load hovering near the threshold.
+    NoHysteresis,
+}
+
+impl fmt::Display for AdmissionDiscipline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionDiscipline::Faithful => write!(f, "faithful"),
+            AdmissionDiscipline::NoHysteresis => write!(f, "no-hysteresis"),
+        }
+    }
+}
+
+/// Thresholds and pacing of the adaptive controller. Exit thresholds
+/// sit strictly below their entry counterparts — that gap is the
+/// hysteresis band; `hysteresis_ticks` is the minimum dwell time
+/// between state flips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Enter `Overloaded` when the queue depth reaches this.
+    pub enter_queue_depth: u32,
+    /// Leave `Overloaded` only once the queue depth drops below this
+    /// (must be ≤ `enter_queue_depth`).
+    pub exit_queue_depth: u32,
+    /// Enter `Overloaded` when the windowed deadline-miss rate reaches
+    /// this permille.
+    pub enter_miss_permille: u32,
+    /// Leave `Overloaded` only once the miss rate drops below this.
+    pub exit_miss_permille: u32,
+    /// Minimum virtual ticks between state transitions.
+    pub hysteresis_ticks: u64,
+    /// Arrivals shed per 1000 while `Overloaded` (on top of the
+    /// shrunken queue bound).
+    pub shed_permille: u32,
+    /// Queue bound while `Normal`.
+    pub queue_depth_normal: u32,
+    /// Queue bound while `Overloaded` (the adaptive part: shrinking the
+    /// queue converts queueing delay into explicit, retryable sheds).
+    pub queue_depth_overloaded: u32,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            enter_queue_depth: 8,
+            exit_queue_depth: 3,
+            enter_miss_permille: 250,
+            exit_miss_permille: 60,
+            hysteresis_ticks: 512,
+            shed_permille: 400,
+            queue_depth_normal: 16,
+            queue_depth_overloaded: 4,
+        }
+    }
+}
+
+/// What the controller decided for one arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub enum AdmissionDecision {
+    /// Enqueue the arrival.
+    Admit,
+    /// Refuse it, with the signal that justified the refusal.
+    Shed(ShedReason),
+}
+
+impl AdmissionDecision {
+    /// Whether the arrival was admitted.
+    #[must_use]
+    pub fn admitted(&self) -> bool {
+        matches!(self, AdmissionDecision::Admit)
+    }
+}
+
+/// The adaptive admission controller: a two-state machine over the
+/// windowed [`LoadSignal`], with a hysteresis band and an explicit
+/// shed ratio. Every decision is a pure function of
+/// `(virtual tick, signal, prior controller state)` — replaying the
+/// same trace yields byte-identical decisions, which is what lets the
+/// E17 simulator check it against a twin run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveAdmission {
+    config: AdmissionConfig,
+    discipline: AdmissionDiscipline,
+    state: AdmissionState,
+    last_transition_tick: u64,
+    /// Bresenham-style accumulator metering the shed ratio: adding
+    /// `shed_permille` per overloaded arrival and shedding on overflow
+    /// spreads sheds evenly with integers only.
+    shed_accumulator: u32,
+}
+
+impl AdaptiveAdmission {
+    /// A controller in the `Normal` state.
+    #[must_use]
+    pub fn new(config: AdmissionConfig, discipline: AdmissionDiscipline) -> Self {
+        AdaptiveAdmission {
+            config,
+            discipline,
+            state: AdmissionState::Normal,
+            last_transition_tick: 0,
+            shed_accumulator: 0,
+        }
+    }
+
+    /// The current state.
+    #[must_use]
+    pub fn state(&self) -> AdmissionState {
+        self.state
+    }
+
+    /// The configured thresholds.
+    #[must_use]
+    pub fn config(&self) -> &AdmissionConfig {
+        &self.config
+    }
+
+    /// The queue bound the current state imposes.
+    #[must_use]
+    pub fn queue_limit(&self) -> u32 {
+        match self.state {
+            AdmissionState::Normal => self.config.queue_depth_normal,
+            AdmissionState::Overloaded => self.config.queue_depth_overloaded,
+        }
+    }
+
+    /// Whether `signal` is at or above the entry thresholds.
+    fn hot(&self, signal: LoadSignal) -> bool {
+        signal.queue_depth >= self.config.enter_queue_depth
+            || signal.deadline_miss_permille >= self.config.enter_miss_permille
+    }
+
+    /// Whether `signal` is strictly below the exit thresholds.
+    fn calm(&self, signal: LoadSignal) -> bool {
+        signal.queue_depth < self.config.exit_queue_depth
+            && signal.deadline_miss_permille < self.config.exit_miss_permille
+    }
+
+    /// Decides one arrival at virtual tick `now` under `signal`.
+    ///
+    /// The faithful discipline honours the hysteresis band (enter on
+    /// the entry thresholds, exit on the lower exit thresholds, dwell
+    /// at least `hysteresis_ticks` between flips) and, while
+    /// overloaded, sheds the configured permille of non-calm arrivals
+    /// plus everything beyond the shrunken queue bound. The planted
+    /// `NoHysteresis` bug flips on the instantaneous entry comparison
+    /// alone.
+    // lcakp-lint: hot-path-root
+    pub fn decide(&mut self, now: u64, signal: LoadSignal) -> AdmissionDecision {
+        match self.discipline {
+            AdmissionDiscipline::Faithful => {
+                let dwell_over =
+                    now.saturating_sub(self.last_transition_tick) >= self.config.hysteresis_ticks;
+                match self.state {
+                    AdmissionState::Normal if self.hot(signal) && dwell_over => {
+                        self.state = AdmissionState::Overloaded;
+                        self.last_transition_tick = now;
+                        self.shed_accumulator = 0;
+                    }
+                    AdmissionState::Overloaded if self.calm(signal) && dwell_over => {
+                        self.state = AdmissionState::Normal;
+                        self.last_transition_tick = now;
+                    }
+                    _ => {}
+                }
+            }
+            AdmissionDiscipline::NoHysteresis => {
+                // The bug: no band, no dwell — the state mirrors the
+                // instantaneous entry comparison, flapping on any load
+                // hovering near the threshold.
+                let next = if self.hot(signal) {
+                    AdmissionState::Overloaded
+                } else {
+                    AdmissionState::Normal
+                };
+                if next != self.state {
+                    self.state = next;
+                    self.last_transition_tick = now;
+                    self.shed_accumulator = 0;
+                }
+            }
+        }
+
+        if signal.queue_depth >= self.queue_limit() {
+            return AdmissionDecision::Shed(ShedReason::Overload { signal });
+        }
+        if self.state == AdmissionState::Overloaded && !self.calm(signal) {
+            self.shed_accumulator += self.config.shed_permille;
+            if self.shed_accumulator >= 1000 {
+                self.shed_accumulator -= 1000;
+                return AdmissionDecision::Shed(ShedReason::Overload { signal });
+            }
+        }
+        AdmissionDecision::Admit
     }
 }
 
@@ -111,5 +368,111 @@ mod tests {
             ShedReason::Partitioned { shard: 2 }.to_string(),
             "partitioned(shard=2)"
         );
+        assert_eq!(
+            ShedReason::Overload {
+                signal: LoadSignal {
+                    queue_depth: 9,
+                    shed_permille: 125,
+                    deadline_miss_permille: 300,
+                }
+            }
+            .to_string(),
+            "overload(load(queue=9, shed=125/1000, miss=300/1000))"
+        );
+        assert_eq!(AdmissionState::Normal.to_string(), "normal");
+        assert_eq!(AdmissionState::Overloaded.to_string(), "overloaded");
+        assert_eq!(AdmissionDiscipline::Faithful.to_string(), "faithful");
+        assert_eq!(
+            AdmissionDiscipline::NoHysteresis.to_string(),
+            "no-hysteresis"
+        );
+    }
+
+    fn hot_signal() -> LoadSignal {
+        LoadSignal {
+            queue_depth: 10,
+            shed_permille: 0,
+            deadline_miss_permille: 400,
+        }
+    }
+
+    fn calm_signal() -> LoadSignal {
+        LoadSignal {
+            queue_depth: 0,
+            shed_permille: 0,
+            deadline_miss_permille: 0,
+        }
+    }
+
+    #[test]
+    fn faithful_enters_and_exits_with_dwell() {
+        let cfg = AdmissionConfig::default();
+        let mut ctl = AdaptiveAdmission::new(cfg, AdmissionDiscipline::Faithful);
+        assert_eq!(ctl.state(), AdmissionState::Normal);
+        // Entry requires the dwell time since construction to elapse.
+        let _ = ctl.decide(cfg.hysteresis_ticks, hot_signal());
+        assert_eq!(ctl.state(), AdmissionState::Overloaded);
+        // A calm signal right after entry must NOT flip back: dwell.
+        let _ = ctl.decide(cfg.hysteresis_ticks + 1, calm_signal());
+        assert_eq!(ctl.state(), AdmissionState::Overloaded);
+        // After the dwell window it may leave.
+        let _ = ctl.decide(2 * cfg.hysteresis_ticks + 1, calm_signal());
+        assert_eq!(ctl.state(), AdmissionState::Normal);
+    }
+
+    #[test]
+    fn no_hysteresis_flaps_immediately() {
+        let cfg = AdmissionConfig::default();
+        let mut ctl = AdaptiveAdmission::new(cfg, AdmissionDiscipline::NoHysteresis);
+        let _ = ctl.decide(1, hot_signal());
+        assert_eq!(ctl.state(), AdmissionState::Overloaded);
+        let _ = ctl.decide(2, calm_signal());
+        assert_eq!(ctl.state(), AdmissionState::Normal);
+        let _ = ctl.decide(3, hot_signal());
+        assert_eq!(ctl.state(), AdmissionState::Overloaded);
+    }
+
+    #[test]
+    fn overloaded_sheds_the_configured_permille() {
+        let cfg = AdmissionConfig {
+            shed_permille: 500,
+            queue_depth_overloaded: 100,
+            ..AdmissionConfig::default()
+        };
+        let mut ctl = AdaptiveAdmission::new(cfg, AdmissionDiscipline::Faithful);
+        let signal = LoadSignal {
+            queue_depth: 8,
+            shed_permille: 0,
+            deadline_miss_permille: 0,
+        };
+        let mut shed = 0usize;
+        for i in 0..1000u64 {
+            if !ctl.decide(cfg.hysteresis_ticks + i, signal).admitted() {
+                shed += 1;
+            }
+        }
+        assert_eq!(ctl.state(), AdmissionState::Overloaded);
+        assert_eq!(shed, 500);
+    }
+
+    #[test]
+    fn every_overload_shed_carries_a_non_calm_signal() {
+        let cfg = AdmissionConfig::default();
+        let mut ctl = AdaptiveAdmission::new(cfg, AdmissionDiscipline::Faithful);
+        for i in 0..2000u64 {
+            let signal = if i % 3 == 0 {
+                hot_signal()
+            } else {
+                calm_signal()
+            };
+            if let AdmissionDecision::Shed(ShedReason::Overload { signal }) = ctl.decide(i, signal)
+            {
+                assert!(
+                    signal.queue_depth >= cfg.exit_queue_depth
+                        || signal.deadline_miss_permille >= cfg.exit_miss_permille,
+                    "shed at tick {i} carried a calm signal: {signal}"
+                );
+            }
+        }
     }
 }

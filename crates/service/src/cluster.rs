@@ -342,7 +342,7 @@ fn admit(
     let mut shard_queries: Vec<Vec<(usize, ItemId)>> = vec![Vec::new(); shards];
     let mut shed = Vec::new();
     for (index, &item) in queries.iter().enumerate() {
-        let shard = index % shards;
+        let shard = crate::traffic::shard_of(index, shards);
         if shard_queries[shard].len() < queue_depth {
             shard_queries[shard].push((index, item));
         } else {

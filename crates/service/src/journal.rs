@@ -690,6 +690,12 @@ fn encode_shed_reason(enc: &mut Enc<'_>, reason: &ShedReason) {
             enc.u8(4);
             enc.u64(*shard as u64);
         }
+        ShedReason::Overload { signal } => {
+            enc.u8(5);
+            enc.u32(signal.queue_depth);
+            enc.u32(signal.shed_permille);
+            enc.u32(signal.deadline_miss_permille);
+        }
     }
 }
 
@@ -710,6 +716,13 @@ fn decode_shed_reason(dec: &mut Dec<'_>) -> Result<ShedReason, RecoveryError> {
         }),
         4 => Ok(ShedReason::Partitioned {
             shard: dec.u64()? as usize,
+        }),
+        5 => Ok(ShedReason::Overload {
+            signal: crate::slo::LoadSignal {
+                queue_depth: dec.u32()?,
+                shed_permille: dec.u32()?,
+                deadline_miss_permille: dec.u32()?,
+            },
         }),
         _ => Err(dec.bad("unknown shed-reason tag")),
     }
@@ -878,6 +891,16 @@ mod tests {
             JournalRecord::Shed {
                 index: 3,
                 reason: ShedReason::Partitioned { shard: 1 },
+            },
+            JournalRecord::Shed {
+                index: 4,
+                reason: ShedReason::Overload {
+                    signal: crate::slo::LoadSignal {
+                        queue_depth: 9,
+                        shed_permille: 125,
+                        deadline_miss_permille: 300,
+                    },
+                },
             },
             JournalRecord::Snapshot(sample_snapshot()),
         ]

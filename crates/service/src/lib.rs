@@ -32,9 +32,13 @@
 //! * [`cluster`] — [`serve_cluster`], the simulated multi-node runtime:
 //!   replica failover via journal shipping, partition tolerance, and
 //!   node-level fault events (experiment E16).
+//! * [`traffic`] — seed-derived open-loop arrival processes and the
+//!   discrete-event engine serving them (experiment E17).
+//! * [`slo`] — virtual-time latency percentiles, availability SLOs, and
+//!   the windowed load signal the adaptive controller reacts to.
 //!
 //! See `docs/robustness.md` for the design rationale and the
-//! E14/E15/E16 acceptance criteria.
+//! E14/E15/E16/E17 acceptance criteria.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -50,8 +54,13 @@ pub mod deadline;
 pub mod journal;
 pub mod ring;
 pub mod service;
+pub mod slo;
+pub mod traffic;
 
-pub use admission::ShedReason;
+pub use admission::{
+    AdaptiveAdmission, AdmissionConfig, AdmissionDecision, AdmissionDiscipline, AdmissionState,
+    ShedReason,
+};
 pub use backoff::BackoffPolicy;
 pub use breaker::{
     BreakerConfig, BreakerEvent, BreakerSnapshot, BreakerState, CircuitBreaker, TransitionCause,
@@ -74,4 +83,9 @@ pub use ring::{NodeId, ReplicaSet, Ring, RouteError};
 pub use service::{
     serve_batch, Answered, BatchReport, CrashDirective, CrashReport, Disposition, FallbackTrigger,
     FaultSchedule, QueryOutcome, RecoveryDiscipline, ServiceConfig, WorkerTrace,
+};
+pub use slo::{LatencyHistogram, LoadSignal, SignalWindow, SloReport};
+pub use traffic::{
+    generate_trace, run_open_loop, AdmissionTransition, Arrival, OpenLoopConfig, OpenLoopReport,
+    TrafficConfig, TrafficDisposition, TrafficOutcome, TrafficShape,
 };

@@ -46,8 +46,9 @@ use std::fmt;
 
 /// Seed domain for per-query sampling entropy.
 const QUERY_DOMAIN: &str = "service/query";
-/// Seed domain for per-query fault streams.
-const FAULT_DOMAIN: &str = "service/fault";
+/// Seed domain for per-query fault streams (shared with the open-loop
+/// traffic engine so an arrival's fault stream matches its batch twin).
+pub(crate) const FAULT_DOMAIN: &str = "service/fault";
 /// Seed domain for the cached-rule construction stream.
 const CACHE_DOMAIN: &str = "service/cache";
 
@@ -957,9 +958,12 @@ where
     Ok(core.into_output(crashes))
 }
 
-/// Serves one admitted query through the degradation ladder.
+/// Serves one admitted query through the degradation ladder. Also the
+/// serving kernel of the open-loop traffic engine
+/// ([`crate::traffic`]), which drives it arrival-by-arrival instead of
+/// through a pre-filled shard.
 #[allow(clippy::too_many_arguments)]
-fn serve_one<O, F>(
+pub(crate) fn serve_one<O, F>(
     ctx: &SharedCtx<'_, O>,
     clock: &TickClock,
     breaker: &mut CircuitBreaker,

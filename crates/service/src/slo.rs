@@ -1,0 +1,417 @@
+//! Virtual-time SLO accounting for the open-loop traffic engine.
+//!
+//! Three pieces, all integer-only so every seeded path stays
+//! byte-deterministic (lint rule `D002`):
+//!
+//! * [`LatencyHistogram`] — a fixed 64-bucket log₂ histogram of
+//!   end-to-end virtual-tick latencies; percentiles (p50/p99/p999) come
+//!   back as the upper bound of the bucket holding the requested rank,
+//!   so two runs that record the same latencies report the same
+//!   percentiles on every platform.
+//! * [`SignalWindow`] — a fixed-size ring over the most recent query
+//!   dispositions; it condenses into a [`LoadSignal`] (instantaneous
+//!   queue depth plus windowed shed and deadline-miss rates, in
+//!   permille) that the [`AdaptiveAdmission`](crate::AdaptiveAdmission)
+//!   controller reacts to.
+//! * [`SloReport`] — the per-scenario availability verdict: offered /
+//!   answered / shed counts, permille availability (sheds and misses
+//!   both count against it), and the three latency percentiles.
+//!
+//! The histogram and the window are on the per-arrival hot path of the
+//! traffic engine, so both are fixed arrays with no allocation, no
+//! locking, and no floating point (lint rules `D011`/`D012`).
+
+use std::fmt;
+
+/// Log₂ buckets: latency `l` lands in bucket `⌊log₂(l+1)⌋`, capped.
+const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Dispositions the signal window remembers per slot.
+const WINDOW_SLOTS: usize = 64;
+
+/// A deterministic fixed-bucket latency histogram on virtual ticks.
+///
+/// Bucket `b` covers latencies in `[2^b - 1, 2^(b+1) - 1)`; a
+/// percentile query returns the *upper bound* of the bucket holding the
+/// requested rank — a conservative, platform-independent answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct LatencyHistogram {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    count: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            count: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one latency observation, in virtual ticks.
+    // lcakp-lint: hot-path-root
+    pub fn record(&mut self, latency_ticks: u64) {
+        let bucket = (64 - latency_ticks.saturating_add(1).leading_zeros() as usize - 1)
+            .min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket] += 1;
+        self.count += 1;
+    }
+
+    /// Observations recorded so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The latency at the given permille rank (500 = p50, 990 = p99,
+    /// 999 = p999), as the inclusive upper bound of the bucket holding
+    /// that rank. 0 when the histogram is empty.
+    #[must_use]
+    pub fn percentile_permille(&self, permille: u32) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // Rank of the target observation, 1-based, rounding up so p999
+        // of 1000 observations is the 999th.
+        let rank = (self.count * u64::from(permille.min(1000)))
+            .div_ceil(1000)
+            .max(1);
+        let mut seen = 0u64;
+        for (bucket, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                // Upper bound of bucket b is 2^(b+1) - 2 (inclusive).
+                return if bucket + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << (bucket + 1)) - 2
+                };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median latency upper bound.
+    #[must_use]
+    pub fn p50(&self) -> u64 {
+        self.percentile_permille(500)
+    }
+
+    /// 99th-percentile latency upper bound.
+    #[must_use]
+    pub fn p99(&self) -> u64 {
+        self.percentile_permille(990)
+    }
+
+    /// 99.9th-percentile latency upper bound.
+    #[must_use]
+    pub fn p999(&self) -> u64 {
+        self.percentile_permille(999)
+    }
+}
+
+/// One windowed load summary the admission controller decides on:
+/// the instantaneous queue depth plus the shed ratio and deadline-miss
+/// ratio over the last [`WINDOW_SLOTS`] dispositions, in permille.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[must_use]
+pub struct LoadSignal {
+    /// Queries waiting in the admission queue right now.
+    pub queue_depth: u32,
+    /// Sheds per 1000 dispositions in the window.
+    pub shed_permille: u32,
+    /// SLO deadline misses per 1000 *answered* queries in the window.
+    pub deadline_miss_permille: u32,
+}
+
+impl fmt::Display for LoadSignal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "load(queue={}, shed={}/1000, miss={}/1000)",
+            self.queue_depth, self.shed_permille, self.deadline_miss_permille
+        )
+    }
+}
+
+/// What one window slot remembers about a disposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    /// Nothing recorded yet.
+    Empty,
+    /// Answered within the SLO deadline.
+    AnsweredMet,
+    /// Answered, but past the SLO deadline.
+    AnsweredMissed,
+    /// Shed by admission control.
+    Shed,
+}
+
+/// A fixed ring over the most recent dispositions, condensed into a
+/// [`LoadSignal`] on demand. Alloc-free by construction: the ring is a
+/// fixed array and the cursor wraps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignalWindow {
+    slots: [SlotKind; WINDOW_SLOTS],
+    cursor: usize,
+}
+
+impl Default for SignalWindow {
+    fn default() -> Self {
+        SignalWindow {
+            slots: [SlotKind::Empty; WINDOW_SLOTS],
+            cursor: 0,
+        }
+    }
+}
+
+impl SignalWindow {
+    /// An empty window.
+    #[must_use]
+    pub fn new() -> Self {
+        SignalWindow::default()
+    }
+
+    // lcakp-lint: hot-path-root
+    fn push(&mut self, kind: SlotKind) {
+        self.slots[self.cursor] = kind;
+        self.cursor = (self.cursor + 1) % WINDOW_SLOTS;
+    }
+
+    /// Records an answered query (within or past the SLO deadline).
+    pub fn record_answered(&mut self, deadline_met: bool) {
+        self.push(if deadline_met {
+            SlotKind::AnsweredMet
+        } else {
+            SlotKind::AnsweredMissed
+        });
+    }
+
+    /// Records a shed.
+    pub fn record_shed(&mut self) {
+        self.push(SlotKind::Shed);
+    }
+
+    /// The current load signal given the instantaneous queue depth.
+    // lcakp-lint: hot-path-root
+    pub fn signal(&self, queue_depth: u32) -> LoadSignal {
+        let mut total = 0u32;
+        let mut shed = 0u32;
+        let mut answered = 0u32;
+        let mut missed = 0u32;
+        for slot in &self.slots {
+            match slot {
+                SlotKind::Empty => {}
+                SlotKind::AnsweredMet => {
+                    total += 1;
+                    answered += 1;
+                }
+                SlotKind::AnsweredMissed => {
+                    total += 1;
+                    answered += 1;
+                    missed += 1;
+                }
+                SlotKind::Shed => {
+                    total += 1;
+                    shed += 1;
+                }
+            }
+        }
+        LoadSignal {
+            queue_depth,
+            shed_permille: (shed * 1000).checked_div(total).unwrap_or(0),
+            deadline_miss_permille: (missed * 1000).checked_div(answered).unwrap_or(0),
+        }
+    }
+}
+
+/// The per-scenario SLO verdict of one open-loop run. All integer: the
+/// availability is permille of offered queries answered within the SLO
+/// deadline (sheds and misses both count against it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
+pub struct SloReport {
+    /// Queries the trace offered.
+    pub offered: u64,
+    /// Queries answered (within or past deadline).
+    pub answered: u64,
+    /// Queries shed by admission control.
+    pub shed: u64,
+    /// Answered queries that missed the SLO deadline.
+    pub deadline_missed: u64,
+    /// Permille of offered queries answered within the deadline.
+    pub availability_permille: u32,
+    /// Median end-to-end latency (bucket upper bound), virtual ticks.
+    pub p50_ticks: u64,
+    /// p99 end-to-end latency (bucket upper bound), virtual ticks.
+    pub p99_ticks: u64,
+    /// p999 end-to-end latency (bucket upper bound), virtual ticks.
+    pub p999_ticks: u64,
+}
+
+impl SloReport {
+    /// Builds the report from final counters and the latency histogram.
+    pub fn from_counts(
+        offered: u64,
+        answered: u64,
+        shed: u64,
+        deadline_missed: u64,
+        histogram: &LatencyHistogram,
+    ) -> Self {
+        let good = answered - deadline_missed;
+        SloReport {
+            offered,
+            answered,
+            shed,
+            deadline_missed,
+            availability_permille: (good * 1000).checked_div(offered).map_or(1000, |permille| {
+                u32::try_from(permille).expect("permille fits u32")
+            }),
+            p50_ticks: histogram.p50(),
+            p99_ticks: histogram.p99(),
+            p999_ticks: histogram.p999(),
+        }
+    }
+
+    /// Whether availability meets the given permille SLO target.
+    #[must_use]
+    pub fn meets(&self, slo_permille: u32) -> bool {
+        self.availability_permille >= slo_permille
+    }
+}
+
+impl fmt::Display for SloReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "slo(offered={}, answered={}, shed={}, missed={}, availability={}/1000, \
+             p50={}, p99={}, p999={})",
+            self.offered,
+            self.answered,
+            self.shed,
+            self.deadline_missed,
+            self.availability_permille,
+            self.p50_ticks,
+            self.p99_ticks,
+            self.p999_ticks
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_latencies_by_log2_and_ranks_deterministically() {
+        let mut histogram = LatencyHistogram::new();
+        for latency in [0u64, 1, 2, 5, 100, 1000, 1_000_000] {
+            histogram.record(latency);
+        }
+        assert_eq!(histogram.count(), 7);
+        // p50 of 7 observations is the 4th (latency 5, bucket 2 →
+        // upper bound 2^3 - 2 = 6).
+        assert_eq!(histogram.p50(), 6);
+        // p999 is the 7th: 1_000_000 lands in bucket 19 (2^20 - 2).
+        assert_eq!(histogram.p999(), (1 << 20) - 2);
+        assert_eq!(LatencyHistogram::new().p99(), 0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone_in_rank() {
+        let mut histogram = LatencyHistogram::new();
+        for latency in 0..2000u64 {
+            histogram.record(latency * 7 % 1999);
+        }
+        let mut last = 0;
+        for permille in [100u32, 250, 500, 900, 990, 999, 1000] {
+            let value = histogram.percentile_permille(permille);
+            assert!(value >= last, "permille {permille} regressed");
+            last = value;
+        }
+    }
+
+    #[test]
+    fn window_rates_are_permille_of_recent_dispositions() {
+        let mut window = SignalWindow::new();
+        assert_eq!(
+            window.signal(3),
+            LoadSignal {
+                queue_depth: 3,
+                shed_permille: 0,
+                deadline_miss_permille: 0
+            }
+        );
+        for _ in 0..6 {
+            window.record_answered(true);
+        }
+        window.record_answered(false);
+        window.record_shed();
+        let signal = window.signal(2);
+        assert_eq!(signal.queue_depth, 2);
+        assert_eq!(signal.shed_permille, 125); // 1 of 8
+        assert_eq!(signal.deadline_miss_permille, 142); // 1 of 7 answered
+    }
+
+    #[test]
+    fn window_forgets_old_dispositions_once_full() {
+        let mut window = SignalWindow::new();
+        for _ in 0..WINDOW_SLOTS {
+            window.record_shed();
+        }
+        for _ in 0..WINDOW_SLOTS {
+            window.record_answered(true);
+        }
+        assert_eq!(window.signal(0).shed_permille, 0);
+    }
+
+    #[test]
+    fn report_counts_sheds_and_misses_against_availability() {
+        let mut histogram = LatencyHistogram::new();
+        for _ in 0..90 {
+            histogram.record(10);
+        }
+        let report = SloReport::from_counts(100, 90, 10, 5, &histogram);
+        assert_eq!(report.availability_permille, 850);
+        assert!(report.meets(850));
+        assert!(!report.meets(851));
+        let empty = SloReport::from_counts(0, 0, 0, 0, &LatencyHistogram::new());
+        assert_eq!(empty.availability_permille, 1000);
+    }
+
+    #[test]
+    fn displays_are_stable() {
+        assert_eq!(
+            LoadSignal {
+                queue_depth: 4,
+                shed_permille: 120,
+                deadline_miss_permille: 31
+            }
+            .to_string(),
+            "load(queue=4, shed=120/1000, miss=31/1000)"
+        );
+        let report = SloReport {
+            offered: 100,
+            answered: 95,
+            shed: 5,
+            deadline_missed: 2,
+            availability_permille: 930,
+            p50_ticks: 30,
+            p99_ticks: 510,
+            p999_ticks: 1022,
+        };
+        assert_eq!(
+            report.to_string(),
+            "slo(offered=100, answered=95, shed=5, missed=2, availability=930/1000, \
+             p50=30, p99=510, p999=1022)"
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests for the adaptive admission controller (the E17
+//! satellite invariants):
+//!
+//! * **determinism** — decisions are a pure function of the
+//!   (tick, signal) trace: replaying a trace through a fresh controller
+//!   reproduces every decision and every state byte for byte;
+//! * **monotonicity** — under a constant signal, a pointwise-higher
+//!   signal never sheds a *smaller* fraction of the offered load;
+//! * **hysteresis** — the faithful controller never flips state twice
+//!   within its dwell window, under any signal trace.
+
+use lcakp_service::{
+    AdaptiveAdmission, AdmissionConfig, AdmissionDecision, AdmissionDiscipline, LoadSignal,
+};
+use proptest::prelude::*;
+
+/// A generated (tick-gap, signal) trace step. Gaps rather than absolute
+/// ticks keep generated time monotone by construction.
+fn step_strategy() -> impl Strategy<Value = (u64, LoadSignal)> {
+    (
+        1u64..200,
+        (0u32..40, 0u32..=1000, 0u32..=1000).prop_map(
+            |(queue_depth, shed_permille, deadline_miss_permille)| LoadSignal {
+                queue_depth,
+                shed_permille,
+                deadline_miss_permille,
+            },
+        ),
+    )
+}
+
+fn discipline_strategy() -> impl Strategy<Value = AdmissionDiscipline> {
+    (0u8..2).prop_map(|pick| {
+        if pick == 0 {
+            AdmissionDiscipline::Faithful
+        } else {
+            AdmissionDiscipline::NoHysteresis
+        }
+    })
+}
+
+fn config_strategy() -> impl Strategy<Value = AdmissionConfig> {
+    (
+        (1u32..16, 0u32..8, 1u32..=1000, 0u32..500),
+        (1u64..2000, 0u32..=1000, 1u32..32, 1u32..16),
+    )
+        .prop_map(
+            |(
+                (enter_queue_depth, exit_slack, enter_miss_permille, exit_miss_permille),
+                (hysteresis_ticks, shed_permille, queue_depth_normal, queue_depth_overloaded),
+            )| {
+                AdmissionConfig {
+                    // Exit thresholds at or below the entry thresholds,
+                    // the shape the controller documents.
+                    enter_queue_depth,
+                    exit_queue_depth: enter_queue_depth.saturating_sub(exit_slack),
+                    enter_miss_permille,
+                    exit_miss_permille: exit_miss_permille.min(enter_miss_permille),
+                    hysteresis_ticks,
+                    shed_permille,
+                    queue_depth_normal: queue_depth_normal.max(enter_queue_depth),
+                    queue_depth_overloaded,
+                }
+            },
+        )
+}
+
+/// Replays a trace, returning (decisions, final state rendering).
+fn replay(
+    config: AdmissionConfig,
+    discipline: AdmissionDiscipline,
+    trace: &[(u64, LoadSignal)],
+) -> (Vec<AdmissionDecision>, String) {
+    let mut controller = AdaptiveAdmission::new(config, discipline);
+    let mut now = 0u64;
+    let mut decisions = Vec::with_capacity(trace.len());
+    for &(gap, signal) in trace {
+        now += gap;
+        decisions.push(controller.decide(now, signal));
+    }
+    (decisions, controller.state().to_string())
+}
+
+/// Sheds in a run where every step carries the same constant signal.
+fn sheds_under_constant_signal(
+    config: AdmissionConfig,
+    discipline: AdmissionDiscipline,
+    signal: LoadSignal,
+    steps: usize,
+    gap: u64,
+) -> usize {
+    let mut controller = AdaptiveAdmission::new(config, discipline);
+    let mut sheds = 0;
+    for step in 0..steps {
+        let now = (step as u64 + 1) * gap;
+        if !controller.decide(now, signal).admitted() {
+            sheds += 1;
+        }
+    }
+    sheds
+}
+
+proptest! {
+    /// Determinism: the same (config, discipline, trace) reproduces
+    /// every decision and the final state.
+    #[test]
+    fn decisions_are_a_pure_function_of_the_trace(
+        config in config_strategy(),
+        discipline in discipline_strategy(),
+        trace in proptest::collection::vec(step_strategy(), 1..80),
+    ) {
+        let first = replay(config, discipline, &trace);
+        let second = replay(config, discipline, &trace);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Monotonicity: raising the signal pointwise (deeper queue, higher
+    /// miss rate) never lowers the shed count under a constant signal.
+    #[test]
+    fn pointwise_higher_signal_never_sheds_less(
+        config in config_strategy(),
+        discipline in discipline_strategy(),
+        base_queue in 0u32..30,
+        base_miss in 0u32..900,
+        bump_queue in 0u32..10,
+        bump_miss in 0u32..100,
+        gap in 1u64..300,
+    ) {
+        let low = LoadSignal {
+            queue_depth: base_queue,
+            shed_permille: 0,
+            deadline_miss_permille: base_miss,
+        };
+        let high = LoadSignal {
+            queue_depth: base_queue + bump_queue,
+            shed_permille: 0,
+            deadline_miss_permille: (base_miss + bump_miss).min(1000),
+        };
+        let steps = 64;
+        let low_sheds = sheds_under_constant_signal(config, discipline, low, steps, gap);
+        let high_sheds = sheds_under_constant_signal(config, discipline, high, steps, gap);
+        prop_assert!(
+            high_sheds >= low_sheds,
+            "higher signal shed less: {high_sheds} < {low_sheds} (low={low}, high={high})"
+        );
+    }
+
+    /// Hysteresis: under any signal trace, consecutive state flips of
+    /// the faithful controller are at least `hysteresis_ticks` apart.
+    #[test]
+    fn faithful_controller_never_flaps_within_the_dwell_window(
+        config in config_strategy(),
+        trace in proptest::collection::vec(step_strategy(), 1..120),
+    ) {
+        let mut controller = AdaptiveAdmission::new(config, AdmissionDiscipline::Faithful);
+        let mut now = 0u64;
+        let mut state = controller.state();
+        let mut last_flip: Option<u64> = None;
+        for &(gap, signal) in &trace {
+            now += gap;
+            let _ = controller.decide(now, signal);
+            if controller.state() != state {
+                if let Some(previous) = last_flip {
+                    prop_assert!(
+                        now - previous >= config.hysteresis_ticks,
+                        "flapped after {} ticks (window {})",
+                        now - previous,
+                        config.hysteresis_ticks
+                    );
+                }
+                last_flip = Some(now);
+                state = controller.state();
+            }
+        }
+    }
+}

@@ -211,7 +211,9 @@ impl SimWorld {
                 | SimEvent::Restart { .. }
                 | SimEvent::NodeCrash { .. }
                 | SimEvent::NodeRestart { .. }
-                | SimEvent::Partition { .. } => {}
+                | SimEvent::Partition { .. }
+                | SimEvent::Traffic { .. }
+                | SimEvent::OverloadSurge { .. } => {}
             }
         }
         (config, plan)

@@ -26,8 +26,8 @@
 //! replicas must agree byte-for-byte on every answer.
 
 use lcakp_service::{
-    BatchReport, ClusterReport, DecodeMode, Disposition, Journal, JournalRecord, QueryOutcome,
-    RecoveryError, ShedReason,
+    AdmissionConfig, BatchReport, ClusterReport, DecodeMode, Disposition, Journal, JournalRecord,
+    OpenLoopReport, QueryOutcome, RecoveryError, ShedReason, TrafficDisposition,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -94,6 +94,28 @@ pub enum Violation {
         /// Batch position of the first wrongly shed query.
         index: usize,
     },
+    /// Admission honesty (E17): an `Overload` shed whose recorded load
+    /// signal was below every threshold that could have justified it.
+    DishonestShed {
+        /// Trace position of the dishonestly shed arrival.
+        index: usize,
+    },
+    /// Hysteresis (E17): one shard's admission controller flipped state
+    /// twice within the hysteresis window — the signature of the
+    /// planted non-hysteretic controller.
+    AdmissionFlap {
+        /// The flapping shard.
+        shard: usize,
+        /// Ticks between the two flips (below the hysteresis window).
+        gap_ticks: u64,
+    },
+    /// Liveness (E17): the offered load sat below capacity (the
+    /// admission-free twin never queued past the exit threshold nor
+    /// missed a deadline), yet the controller shed with `Overload`.
+    OverloadShedUnderCapacity {
+        /// Trace position of the needlessly shed arrival.
+        index: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -128,6 +150,15 @@ impl fmt::Display for Violation {
             }
             Violation::ShedWithLiveReplica { shard, index } => {
                 write!(f, "shed-with-live-replica(shard={shard}, index={index})")
+            }
+            Violation::DishonestShed { index } => {
+                write!(f, "dishonest-shed(index={index})")
+            }
+            Violation::AdmissionFlap { shard, gap_ticks } => {
+                write!(f, "admission-flap(shard={shard}, gap={gap_ticks})")
+            }
+            Violation::OverloadShedUnderCapacity { index } => {
+                write!(f, "overload-shed-under-capacity(index={index})")
             }
         }
     }
@@ -347,6 +378,87 @@ pub fn check_cluster_run(
     violations
 }
 
+/// Checks the E17 open-loop invariants of one controlled run against
+/// its admission-free twin (same trace, unbounded queue, nothing shed):
+///
+/// * **admission honesty** — every [`ShedReason::Overload`] carries a
+///   load signal at or above an exit threshold (or the overloaded queue
+///   bound): the controller may never blame a calm signal;
+/// * **hysteresis** — no shard's controller flips state twice within
+///   the configured hysteresis window;
+/// * **liveness** — if the twin proves the offered load sat below
+///   capacity (it never queued to the exit threshold and never missed a
+///   deadline), the controller must not have shed a single arrival with
+///   `Overload`.
+pub fn check_slo_run(
+    twin: &OpenLoopReport,
+    controlled: &OpenLoopReport,
+    admission: &AdmissionConfig,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Admission honesty.
+    for outcome in &controlled.outcomes {
+        let TrafficDisposition::Shed(ShedReason::Overload { signal }) = outcome.disposition else {
+            continue;
+        };
+        let justified = signal.queue_depth >= admission.exit_queue_depth
+            || signal.deadline_miss_permille >= admission.exit_miss_permille
+            || signal.queue_depth >= admission.queue_depth_overloaded;
+        if !justified {
+            violations.push(Violation::DishonestShed {
+                index: outcome.index,
+            });
+        }
+    }
+
+    // Hysteresis: consecutive transitions per shard must be at least
+    // the hysteresis window apart.
+    let shards = controlled
+        .transitions
+        .iter()
+        .map(|transition| transition.shard + 1)
+        .max()
+        .unwrap_or(0);
+    for shard in 0..shards {
+        let mut last: Option<u64> = None;
+        for transition in controlled
+            .transitions
+            .iter()
+            .filter(|transition| transition.shard == shard)
+        {
+            if let Some(previous) = last {
+                let gap = transition.at_tick.saturating_sub(previous);
+                if gap < admission.hysteresis_ticks {
+                    violations.push(Violation::AdmissionFlap {
+                        shard,
+                        gap_ticks: gap,
+                    });
+                }
+            }
+            last = Some(transition.at_tick);
+        }
+    }
+
+    // Liveness: under-capacity offered load must shed nothing.
+    let under_capacity =
+        twin.slo.deadline_missed == 0 && twin.max_queue_depth < admission.exit_queue_depth;
+    if under_capacity {
+        if let Some(outcome) = controlled.outcomes.iter().find(|outcome| {
+            matches!(
+                outcome.disposition,
+                TrafficDisposition::Shed(ShedReason::Overload { .. })
+            )
+        }) {
+            violations.push(Violation::OverloadShedUnderCapacity {
+                index: outcome.index,
+            });
+        }
+    }
+
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,6 +484,22 @@ mod tests {
             }
             .to_string(),
             "journal-corrupt(worker=2, error=journal holds no complete worker snapshot)"
+        );
+        assert_eq!(
+            Violation::DishonestShed { index: 3 }.to_string(),
+            "dishonest-shed(index=3)"
+        );
+        assert_eq!(
+            Violation::AdmissionFlap {
+                shard: 1,
+                gap_ticks: 40
+            }
+            .to_string(),
+            "admission-flap(shard=1, gap=40)"
+        );
+        assert_eq!(
+            Violation::OverloadShedUnderCapacity { index: 7 }.to_string(),
+            "overload-shed-under-capacity(index=7)"
         );
     }
 }

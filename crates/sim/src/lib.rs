@@ -22,7 +22,11 @@
 //!   and the canonical JSON the `e15_simulation --smoke` golden pins;
 //! * [`cluster`] — the E16 extension: node crashes, restarts, and
 //!   partitions against the simulated multi-node cluster, plus the
-//!   replica byte-identity check and the `e16_cluster --smoke` JSON.
+//!   replica byte-identity check and the `e16_cluster --smoke` JSON;
+//! * [`slo`] — the E17 extension: open-loop traffic schedules against
+//!   the adaptive admission controller, with admission-honesty,
+//!   hysteresis, and liveness invariants checked against an
+//!   admission-free twin, and the `e17_slo --smoke` JSON.
 //!
 //! See `docs/robustness.md` ("Crash–recovery & simulation" and
 //! "Cluster failover & partitions") for the journal format, the
@@ -37,6 +41,7 @@ pub mod harness;
 pub mod invariants;
 pub mod schedule;
 pub mod shrink;
+pub mod slo;
 
 pub use cluster::{
     render_cluster_json, run_cluster_range, run_cluster_smoke, ClusterCaseResult, ClusterCaseStats,
@@ -46,6 +51,10 @@ pub use harness::{
     render_json, run_range, run_smoke, CaseResult, CaseStats, Repro, SimConfig, SimReport,
     SimWorld, SMOKE_CASES,
 };
-pub use invariants::{check_cluster_run, check_run, Violation};
-pub use schedule::{generate_cluster_schedule, generate_schedule, SimEvent};
+pub use invariants::{check_cluster_run, check_run, check_slo_run, Violation};
+pub use schedule::{generate_cluster_schedule, generate_schedule, generate_slo_schedule, SimEvent};
 pub use shrink::{shrink, Shrunk};
+pub use slo::{
+    hunt_planted_bug, render_slo_json, run_slo_range, run_slo_smoke, slo_target_permille,
+    SloCaseResult, SloCaseStats, SloSimConfig, SloSimReport, SloWorld, E17_SMOKE_CASES,
+};

@@ -8,6 +8,7 @@
 //! back losslessly through `Display`).
 
 use lcakp_oracle::Seed;
+use lcakp_service::TrafficShape;
 use rand::Rng;
 use std::fmt;
 
@@ -89,6 +90,27 @@ pub enum SimEvent {
         /// Heal tick in permille (`None`: never heals in this batch).
         heal_permille: Option<u32>,
     },
+    /// The offered open-loop traffic of an E17 case. The gap is
+    /// permille of the world's *measured per-query service cost*, so
+    /// 1000 means arrivals at exactly one server's capacity and the
+    /// schedule stays meaningful across instance sizes.
+    Traffic {
+        /// The arrival process.
+        shape: TrafficShape,
+        /// Mean inter-arrival gap as permille of the measured
+        /// per-query service cost.
+        gap_permille: u32,
+    },
+    /// An overload surge inside an E17 trace: arrivals in the window
+    /// (permille of the trace horizon) come `gap_div`× as fast.
+    OverloadSurge {
+        /// First tick of the surge, permille of the trace horizon.
+        start_permille: u32,
+        /// Window length, permille of the trace horizon.
+        len_permille: u32,
+        /// Gap divisor inside the window (≥ 2 to mean anything).
+        gap_div: u32,
+    },
 }
 
 impl fmt::Display for SimEvent {
@@ -157,6 +179,23 @@ impl fmt::Display for SimEvent {
                     Some(heal) => write!(f, "{heal}/1000)"),
                     None => write!(f, "never)"),
                 }
+            }
+            SimEvent::Traffic {
+                shape,
+                gap_permille,
+            } => {
+                write!(f, "traffic(shape={shape}, gap={gap_permille}/1000)")
+            }
+            SimEvent::OverloadSurge {
+                start_permille,
+                len_permille,
+                gap_div,
+            } => {
+                write!(
+                    f,
+                    "overload-surge(start={start_permille}/1000, len={len_permille}/1000, \
+                     div={gap_div})"
+                )
             }
         }
     }
@@ -255,6 +294,28 @@ pub fn generate_cluster_schedule(root: &Seed, case: u64, nodes: usize) -> Vec<Si
     events
 }
 
+/// Generates the traffic schedule for an E17 `case`: exactly one
+/// [`SimEvent::Traffic`] event whose shape cycles through all five
+/// arrival processes (so any ten consecutive cases cover every shape
+/// twice), plus — in half the cases — an [`SimEvent::OverloadSurge`]
+/// that pushes the offered load past capacity for part of the trace.
+pub fn generate_slo_schedule(root: &Seed, case: u64) -> Vec<SimEvent> {
+    let mut rng = root.derive("sim/slo-schedule", case).rng();
+    let shape = TrafficShape::ALL[(case % TrafficShape::ALL.len() as u64) as usize];
+    let mut events = vec![SimEvent::Traffic {
+        shape,
+        gap_permille: rng.gen_range(900u32..2200),
+    }];
+    if rng.gen_range(0u32..10) < 5 {
+        events.push(SimEvent::OverloadSurge {
+            start_permille: rng.gen_range(100u32..500),
+            len_permille: rng.gen_range(150u32..400),
+            gap_div: rng.gen_range(3u32..6),
+        });
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,11 +368,44 @@ mod tests {
                 extra_cost: 2,
             },
             SimEvent::BudgetSqueeze { slack_accesses: 77 },
+            SimEvent::Traffic {
+                shape: TrafficShape::Bursty,
+                gap_permille: 1200,
+            },
+            SimEvent::OverloadSurge {
+                start_permille: 300,
+                len_permille: 200,
+                gap_div: 4,
+            },
         ]
         .map(|event| event.to_string());
         assert_eq!(rendered[0], "crash(worker=1, tick=512/1000, torn-keep=9)");
         assert_eq!(rendered[1], "restart(worker=1)");
+        assert_eq!(rendered[5], "traffic(shape=bursty, gap=1200/1000)");
+        assert_eq!(
+            rendered[6],
+            "overload-surge(start=300/1000, len=200/1000, div=4)"
+        );
         let unique: std::collections::BTreeSet<&String> = rendered.iter().collect();
         assert_eq!(unique.len(), rendered.len());
+    }
+
+    #[test]
+    fn slo_schedules_cover_every_shape_and_always_carry_traffic() {
+        let root = Seed::from_entropy_u64(12);
+        let mut shapes = std::collections::BTreeSet::new();
+        for case in 0..10 {
+            let events = generate_slo_schedule(&root, case);
+            assert_eq!(events, generate_slo_schedule(&root, case));
+            let traffic: Vec<&SimEvent> = events
+                .iter()
+                .filter(|event| matches!(event, SimEvent::Traffic { .. }))
+                .collect();
+            assert_eq!(traffic.len(), 1, "case {case}: {events:?}");
+            if let SimEvent::Traffic { shape, .. } = traffic[0] {
+                shapes.insert(shape.to_string());
+            }
+        }
+        assert_eq!(shapes.len(), TrafficShape::ALL.len());
     }
 }

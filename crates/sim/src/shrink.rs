@@ -84,6 +84,19 @@ fn halved(event: &SimEvent) -> Option<SimEvent> {
             from_permille: from_permille / 2,
             heal_permille: heal_permille.map(|heal| heal / 2),
         },
+        // The shape is categorical and the gap is a load *intensity* —
+        // halving it makes the traffic heavier, not simpler — so a
+        // traffic event only shrinks by being dropped.
+        SimEvent::Traffic { .. } => return None,
+        SimEvent::OverloadSurge {
+            start_permille,
+            len_permille,
+            gap_div,
+        } => SimEvent::OverloadSurge {
+            start_permille: start_permille / 2,
+            len_permille: (len_permille / 2).max(1),
+            gap_div: (gap_div / 2).max(1),
+        },
     };
     (smaller != *event).then_some(smaller)
 }

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run the E17 SLO simulator (crates/sim::slo) against the open-loop
+# traffic engine: seed-derived arrival processes, SLO tracking, and the
+# adaptive admission controller.
+#
+#   scripts/slo-sim.sh            full run: default seed range under the
+#                                 faithful controller (must report zero
+#                                 violations and meet every scenario's
+#                                 availability SLO while actually
+#                                 shedding under surges and
+#                                 query-of-death traffic), then the
+#                                 planted no-hysteresis controller is
+#                                 caught flapping and shrunk to a
+#                                 minimal repro
+#   scripts/slo-sim.sh --smoke    print the CI golden JSON and diff it
+#                                 against crates/sim/tests/golden/
+#
+# Exits nonzero if any invariant violation survives the faithful
+# controller, if a scenario misses its SLO target, if the planted bug
+# goes uncaught, or if the smoke output drifts from the committed
+# golden.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    cargo run -q --release -p lcakp-bench --bin e17_slo -- --smoke \
+        > /tmp/e17_smoke.json
+    diff -u crates/sim/tests/golden/e17_smoke.json /tmp/e17_smoke.json
+    echo "e17 smoke output matches the committed golden"
+else
+    cargo run -q --release -p lcakp-bench --bin e17_slo
+fi
