@@ -1,0 +1,209 @@
+//! `budget_check` — runtime cross-validation of the static
+//! probe-budget certificate (`lcakp-lint check --emit-budget`).
+//!
+//! The certificate claims symbolic worst-case probe bounds per
+//! hot-path root. This harness closes the loop against reality:
+//!
+//! 1. re-derives the certificate from the live tree and diffs it
+//!    against the committed golden (the artifact CI's `lint-budget`
+//!    job ships);
+//! 2. binds the certificate's symbols to a concrete `LcaKp`
+//!    configuration and checks the flagship `LcaKp::query_with_audit`
+//!    bound evaluates to exactly `worst_case_accesses()`;
+//! 3. drives E12-style workload families through `query_with_audit`
+//!    on counting oracles, asserting measured accesses ≤ certified
+//!    at every single query;
+//! 4. replays the E14 smoke chaos scenario and asserts every answered
+//!    query's charged accesses stay within the certified
+//!    `WorkerCore::serve_step` bound (evaluated under the smoke
+//!    scenario's own backoff and retry configuration).
+//!
+//! Any violation panics, so CI gating is just "the binary exits 0".
+
+use std::path::{Path, PathBuf};
+
+use lcakp_bench::{banner, experiment_root, Table};
+use lcakp_core::{LcaKp, RetryPolicy};
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::ItemId;
+use lcakp_lint::{render_budget_json, Bound, BudgetAnalysis, RootBudget, Workspace};
+use lcakp_oracle::{InstanceOracle, ItemOracle};
+use lcakp_reproducible::SampleBudget;
+use lcakp_service::{run_smoke, smoke_parts};
+use lcakp_workloads::{Family, WorkloadSpec};
+
+fn repo_root() -> PathBuf {
+    // crates/bench → crates → workspace root.
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+fn certified<'a>(analysis: &'a BudgetAnalysis, root: &str) -> &'a RootBudget {
+    analysis
+        .roots
+        .iter()
+        .find(|r| r.root == root)
+        .unwrap_or_else(|| panic!("root `{root}` missing from the certificate"))
+}
+
+/// Evaluates a symbolic bound under concrete bindings; every symbol
+/// must be bound and the result finite, or the certificate and the
+/// harness have drifted apart.
+fn eval_bound(bound: &Bound, bindings: &[(&str, u64)]) -> u64 {
+    bound
+        .eval(&|sym| {
+            bindings
+                .iter()
+                .find(|(name, _)| *name == sym)
+                .map(|(_, value)| *value)
+        })
+        .unwrap_or_else(|| {
+            panic!(
+                "bound `{}` has symbols outside the harness bindings {:?}",
+                bound.render(),
+                bindings.iter().map(|(n, _)| *n).collect::<Vec<_>>()
+            )
+        })
+}
+
+fn main() {
+    banner(
+        "BUDGET",
+        "the static probe-budget certificate upper-bounds every measured query",
+        "Definition 2.2 access accounting; Theorem 4.1 probe complexity",
+    );
+
+    // ---- 1. Certificate vs committed golden. ----
+    let repo = repo_root();
+    let ws = Workspace::from_root(&repo).expect("lint workspace builds");
+    let analysis = ws.budget();
+    let rendered = render_budget_json(analysis);
+    let golden_path = repo.join("crates/lint/tests/golden/budget_certificate.json");
+    let golden = std::fs::read_to_string(&golden_path)
+        .unwrap_or_else(|error| panic!("{}: unreadable: {error}", golden_path.display()));
+    assert_eq!(
+        rendered, golden,
+        "live budget certificate drifted from the committed golden — \
+         regenerate with LCAKP_LINT_REGEN_GOLDEN=1 cargo test -p lcakp-lint"
+    );
+    println!(
+        "certificate: {} roots, matches committed golden\n",
+        analysis.roots.len()
+    );
+
+    // ---- 2. Flagship bound ≡ worst_case_accesses(). ----
+    let eps = Epsilon::new(1, 8).expect("valid eps");
+    let lca = LcaKp::new(eps)
+        .expect("lca builds")
+        .with_budget(SampleBudget::Calibrated { factor: 0.002 })
+        .with_retry_policy(RetryPolicy { max_retries: 3 });
+    let bindings = [
+        (
+            "retry-attempts",
+            1 + u64::from(lca.retry_policy().max_retries),
+        ),
+        ("coupon-samples", lca.coupon_samples()),
+        ("eps-estimation-samples", lca.eps_estimation_samples_cap()),
+    ];
+    let query_bound = eval_bound(
+        &certified(analysis, "LcaKp::query_with_audit").probes,
+        &bindings,
+    );
+    assert_eq!(
+        query_bound,
+        lca.worst_case_accesses(),
+        "certified query bound and worst_case_accesses() disagree"
+    );
+
+    // ---- 3. E12-style workloads through counting oracles. ----
+    let root = experiment_root("budget-check");
+    let n = 120;
+    let mut table = Table::new(["workload", "queries", "max measured", "certified"]);
+    for (label, family) in [
+        ("uncorrelated", Family::Uncorrelated { range: 100 }),
+        ("subset-sum", Family::SubsetSum { range: 100 }),
+        ("small-dominated", Family::SmallDominated),
+    ] {
+        let norm = WorkloadSpec::new(family, n, 0xB0D6)
+            .generate_normalized()
+            .expect("workload generates");
+        let oracle = InstanceOracle::new(&norm);
+        let shared_seed = root.derive("budget-check/shared-seed", 0);
+        let mut rng = root.derive("budget-check/sampling", 0).rng();
+        let queries = 16u64;
+        let mut max_measured = 0u64;
+        for i in 0..queries {
+            let before = oracle.stats();
+            let item = ItemId((i as usize * 7) % norm.len());
+            lca.query_with_audit(&oracle, &mut rng, item, &shared_seed)
+                .expect("query runs");
+            let measured = oracle.stats().since(before).total();
+            assert!(
+                measured <= query_bound,
+                "{label}: query {i} measured {measured} accesses, certified {query_bound}"
+            );
+            max_measured = max_measured.max(measured);
+        }
+        table.row([
+            label.to_string(),
+            queries.to_string(),
+            max_measured.to_string(),
+            query_bound.to_string(),
+        ]);
+    }
+
+    // ---- 4. The E14 smoke path against the serve_step bound. ----
+    let smoke_root = experiment_root("e14");
+    let parts = smoke_parts(&smoke_root).expect("smoke parts build");
+    let serve_bindings = [
+        (
+            "retry-attempts",
+            1 + u64::from(parts.lca.retry_policy().max_retries),
+        ),
+        ("coupon-samples", parts.lca.coupon_samples()),
+        (
+            "eps-estimation-samples",
+            parts.lca.eps_estimation_samples_cap(),
+        ),
+        (
+            "backoff-max-attempts",
+            u64::from(parts.config.backoff.max_attempts),
+        ),
+    ];
+    let serve_bound = eval_bound(
+        &certified(analysis, "WorkerCore::serve_step").probes,
+        &serve_bindings,
+    );
+    let run = run_smoke(&smoke_root).expect("smoke scenario runs");
+    let mut answered = 0u64;
+    let mut max_accesses = 0u64;
+    for outcome in &run.report.outcomes {
+        let Some(answer) = outcome.disposition.answered() else {
+            continue;
+        };
+        answered += 1;
+        assert!(
+            answer.accesses <= serve_bound,
+            "smoke query {} charged {} accesses, certified serve_step bound {serve_bound}",
+            outcome.index,
+            answer.accesses
+        );
+        max_accesses = max_accesses.max(answer.accesses);
+    }
+    assert!(answered > 0, "smoke scenario answered nothing");
+    table.row([
+        "e14-smoke serve_step".to_string(),
+        answered.to_string(),
+        max_accesses.to_string(),
+        serve_bound.to_string(),
+    ]);
+
+    table.print();
+    println!(
+        "\nEvery measured query stayed within its certified static bound: the\n\
+         budget certificate is a true upper bound on runtime oracle accesses."
+    );
+}

@@ -1,0 +1,90 @@
+//! Property test tying the static probe-budget certificate to the
+//! runtime access counters: for arbitrary small workloads, epsilons,
+//! and retry policies, the measured per-query oracle accesses never
+//! exceed the certified `LcaKp::query_with_audit` bound evaluated
+//! under that configuration's symbol bindings.
+
+use std::path::Path;
+use std::sync::OnceLock;
+
+use lcakp_core::{LcaKp, RetryPolicy};
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::ItemId;
+use lcakp_lint::{Bound, Workspace};
+use lcakp_oracle::{InstanceOracle, ItemOracle};
+use lcakp_reproducible::SampleBudget;
+use lcakp_workloads::{Family, WorkloadSpec};
+use proptest::prelude::*;
+
+/// The certified symbolic probe bound of the flagship root, derived
+/// from the live tree once (building the lint workspace per case
+/// would dominate the test's runtime).
+fn certified_query_bound() -> &'static Bound {
+    static BOUND: OnceLock<Bound> = OnceLock::new();
+    BOUND.get_or_init(|| {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("bench crate lives two levels below the workspace root");
+        let ws = Workspace::from_root(root).expect("lint workspace builds");
+        ws.budget()
+            .roots
+            .iter()
+            .find(|r| r.root == "LcaKp::query_with_audit")
+            .expect("flagship root certified")
+            .probes
+            .clone()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Measured accesses ≤ certified bound, for every sampled
+    /// configuration and every query.
+    #[test]
+    fn measured_accesses_never_exceed_certified_bound(
+        n in 40usize..80,
+        den in 4u64..10,
+        max_retries in 0u32..3,
+        seed in 0u64..1_000_000,
+    ) {
+        let eps = Epsilon::new(1, den).expect("valid eps");
+        let lca = LcaKp::new(eps)
+            .expect("lca builds")
+            .with_budget(SampleBudget::Calibrated { factor: 0.002 })
+            .with_retry_policy(RetryPolicy { max_retries });
+        let certified = certified_query_bound()
+            .eval(&|sym| match sym {
+                "retry-attempts" => Some(1 + u64::from(max_retries)),
+                "coupon-samples" => Some(lca.coupon_samples()),
+                "eps-estimation-samples" => Some(lca.eps_estimation_samples_cap()),
+                _ => None,
+            })
+            .expect("all certificate symbols bound");
+        prop_assert_eq!(
+            certified,
+            lca.worst_case_accesses(),
+            "certificate and worst_case_accesses() disagree"
+        );
+
+        let norm = WorkloadSpec::new(Family::Uncorrelated { range: 100 }, n, seed)
+            .generate_normalized()
+            .expect("workload generates");
+        let oracle = InstanceOracle::new(&norm);
+        let root = lcakp_bench::experiment_root("budget-prop");
+        let shared_seed = root.derive("budget-prop/shared-seed", seed);
+        let mut rng = root.derive("budget-prop/sampling", seed).rng();
+        for i in 0..3usize {
+            let before = oracle.stats();
+            let item = ItemId((i * 11) % norm.len());
+            lca.query_with_audit(&oracle, &mut rng, item, &shared_seed)
+                .expect("query runs");
+            let measured = oracle.stats().since(before).total();
+            prop_assert!(
+                measured <= certified,
+                "query {i}: measured {measured} accesses, certified {certified}"
+            );
+        }
+    }
+}

@@ -246,15 +246,23 @@ impl LcaKp {
     /// load-shed *before* dispatching a query that could only die
     /// mid-flight.
     pub fn worst_case_accesses(&self) -> u64 {
-        let params = self.repro_params();
-        let n_rq = self.budget.rquantile_samples(&params);
-        let eps = self.eps.as_f64();
-        let estimation = ((1.5 * n_rq as f64) / eps).ceil() as u64;
         let per_attempt = self
             .coupon_samples()
-            .saturating_add(estimation)
+            .saturating_add(self.eps_estimation_samples_cap())
             .saturating_add(1);
         per_attempt.saturating_mul(1 + u64::from(self.retry.max_retries))
+    }
+
+    /// Worst-case number of weighted samples one EPS estimation draws:
+    /// `⌈1.5·n_rq/ε⌉`, since the residual fraction passed to
+    /// `estimate_eps` is at least ε whenever estimation runs at all.
+    /// This is the runtime value the `eps-estimation-samples` symbol in
+    /// the lint's probe-budget certificate is bound to when the
+    /// certificate is cross-checked against counting oracles.
+    pub fn eps_estimation_samples_cap(&self) -> u64 {
+        let params = self.repro_params();
+        let n_rq = self.budget.rquantile_samples(&params);
+        ((1.5 * n_rq as f64) / self.eps.as_f64()).ceil() as u64
     }
 
     /// Builds the per-query [`SolutionRule`] (Algorithm 2 lines 1–19).
@@ -315,6 +323,7 @@ impl LcaKp {
         R: Rng + ?Sized,
     {
         let mut attempts = 0u32;
+        // lcakp-lint: loop-bound(retry-attempts) reason="every non-returning iteration increments attempts, and the retryable guard admits at most max_retries of them, so the body runs at most 1 + max_retries times"
         loop {
             match oracle.try_sample_weighted(rng) {
                 Ok(sample) => return Ok(sample),
@@ -328,6 +337,7 @@ impl LcaKp {
     }
 
     /// One point query with bounded retry of transient faults.
+    // lcakp-lint: probe-budget(retry-attempts) reason="one counted try_query per loop iteration, and the retry loop below is bounded by retry-attempts = 1 + max_retries"
     fn query_with_retry<O>(
         &self,
         oracle: &O,
@@ -338,6 +348,7 @@ impl LcaKp {
         O: ItemOracle,
     {
         let mut attempts = 0u32;
+        // lcakp-lint: loop-bound(retry-attempts) reason="every non-returning iteration increments attempts, and the retryable guard admits at most max_retries of them, so the body runs at most 1 + max_retries times"
         loop {
             match oracle.try_query(id) {
                 Ok(item) => return Ok(item),
@@ -377,6 +388,7 @@ impl LcaKp {
             });
         }
         scratch.large.clear();
+        // lcakp-lint: loop-bound(coupon-samples) reason="m = coupon_samples() exactly; the symbolic name keeps the certificate readable across call sites"
         for _ in 0..m {
             let (id, item) = self.sample_with_retry(oracle, rng, retries)?;
             if norms.nprofit_of(item.profit) > eps_sq {
@@ -456,6 +468,7 @@ impl LcaKp {
         let eps_sq = self.eps.squared();
         efficiencies.clear();
         efficiencies.reserve(a as usize);
+        // lcakp-lint: loop-bound(eps-estimation-samples) reason="a = eps_estimation_samples_cap() at most; the symbolic name keeps the certificate readable across call sites"
         for _ in 0..a {
             let (id, item) = self.sample_with_retry(oracle, rng, retries)?;
             if norms.nprofit_of(item.profit) <= eps_sq {
@@ -472,6 +485,7 @@ impl LcaKp {
         // lcakp-lint: allow(D011) reason="the t ≤ ⌈1/ε⌉ threshold keys are the query's output: EpsSequence must own them, so they cannot live in the scratch"
         let mut keys: Vec<u64> = Vec::with_capacity(t);
         let mut previous = u64::MAX;
+        // lcakp-lint: loop-bound(eps-thresholds) reason="one rQuantile per EPS threshold: t ≤ ⌈1/ε⌉ by construction (Algorithm 2 line 9)"
         for k in 1..=t {
             let p = (1.0 - k as f64 * q).max(0.0);
             let value = match self.engine {
@@ -534,6 +548,7 @@ impl LcaKp {
     /// Returns [`LcaError::ItemOutOfRange`] /
     /// [`LcaError::SampleBudgetTooLarge`] as [`KnapsackLca::query`] does;
     /// oracle faults degrade instead of erroring.
+    // lcakp-lint: probe-budget(retry-attempts * (coupon-samples + eps-estimation-samples + 1)) reason="matches worst_case_accesses(): per attempt, coupon_samples() weighted samples + eps_estimation_samples_cap() estimation samples + one final point query, re-charged across 1 + max_retries attempts"
     pub fn query_with_audit<O, R>(
         &self,
         oracle: &O,
@@ -558,6 +573,7 @@ impl LcaKp {
     /// # Errors
     ///
     /// As [`query_with_audit`](Self::query_with_audit).
+    // lcakp-lint: probe-budget(retry-attempts * (coupon-samples + eps-estimation-samples + 1)) reason="matches worst_case_accesses(): per attempt, coupon_samples() weighted samples + eps_estimation_samples_cap() estimation samples + one final point query, re-charged across 1 + max_retries attempts"
     pub fn query_with_audit_in<O, R>(
         &self,
         oracle: &O,
@@ -613,6 +629,7 @@ impl LcaKp {
 }
 
 impl KnapsackLca for LcaKp {
+    // lcakp-lint: probe-budget(retry-attempts * (coupon-samples + eps-estimation-samples + 1)) reason="matches worst_case_accesses(): per attempt, coupon_samples() weighted samples + eps_estimation_samples_cap() estimation samples + one final point query, re-charged across 1 + max_retries attempts"
     fn query<O, R>(
         &self,
         oracle: &O,

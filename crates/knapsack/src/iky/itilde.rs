@@ -129,6 +129,7 @@ impl TildeInstance {
         let total_weight = norms.total_weight as u128;
         let mut items = Vec::new();
 
+        // lcakp-lint: loop-bound(large-items) reason="large is the sorted, deduplicated large-item sample: at most the coupon-samples draws that produced it (Algorithm 2 line 2)"
         for &(id, item) in large {
             let profit_mu = ((item.profit as u128) << MU_SHIFT) / total_profit;
             let weight_mu = ((item.weight as u128) << MU_SHIFT) / total_weight;
@@ -145,6 +146,7 @@ impl TildeInstance {
         let rep_profit_mu = u64::try_from((num_sq << MU_SHIFT) / den_sq).unwrap_or(u64::MAX);
         let copies = eps.inverse_floor();
 
+        // lcakp-lint: loop-bound(eps-thresholds) reason="one bucket per EPS threshold: t ≤ ⌈1/ε⌉ by construction (Algorithm 2 line 9)"
         for (bucket, &key) in seq.keys().iter().enumerate() {
             // weight = ε² / (key · 2⁻³²)  →  micro-units = ε² · 2^(53+32) / key.
             let weight_mu = if key == 0 {
@@ -153,6 +155,7 @@ impl TildeInstance {
                 let numerator = num_sq << (MU_SHIFT + 32);
                 u64::try_from(numerator / (den_sq * key as u128)).unwrap_or(u64::MAX)
             };
+            // lcakp-lint: loop-bound(eps-inverse) reason="copies = ⌊1/ε⌋ small representatives per bucket (Definition 4.6)"
             for _ in 0..copies {
                 items.push(TildeItem {
                     profit_mu: rep_profit_mu,

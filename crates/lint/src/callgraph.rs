@@ -37,6 +37,9 @@ const ROOT_DIRECTIVE: &str = "lcakp-lint: hot-path-root";
 /// In-source directive declaring a recursion depth bound for the
 /// next `fn` (satisfies D013 for cycles through it).
 const BOUND_DIRECTIVE: &str = "lcakp-lint: recursion-bound(";
+/// In-source directive declaring a hot-path root's probe budget
+/// (checked against the certified bound by D015).
+const PROBE_BUDGET_DIRECTIVE: &str = "lcakp-lint: probe-budget(";
 
 /// A `fn` definition found in the workspace.
 #[derive(Debug, Clone)]
@@ -66,6 +69,9 @@ pub struct FnDef {
     /// Declared recursion depth bound from a `recursion-bound(…)`
     /// directive with a non-empty reason, if any.
     pub recursion_bound: Option<String>,
+    /// Declared probe budget from a `probe-budget(…)` directive with
+    /// a non-empty reason, if any (checked by D015 at roots).
+    pub probe_budget: Option<String>,
 }
 
 impl FnDef {
@@ -152,20 +158,22 @@ const KEYWORDS: &[&str] = &[
     "break", "continue", "ref", "mut", "dyn", "type",
 ];
 
-fn is_keyword(name: &str) -> bool {
+pub(crate) fn is_keyword(name: &str) -> bool {
     KEYWORDS.contains(&name)
 }
 
 /// One raw (unresolved) call site, kept per caller during extraction.
-struct RawCall {
-    name: String,
-    qualifier: Option<String>,
-    kind: CallKind,
+pub(crate) struct RawCall {
+    pub(crate) name: String,
+    pub(crate) qualifier: Option<String>,
+    pub(crate) kind: CallKind,
     /// Ident token immediately before the `.` for method calls, used
     /// for `self.method(…)` same-impl preference.
-    receiver: Option<String>,
-    line: u32,
-    col: u32,
+    pub(crate) receiver: Option<String>,
+    /// Token index of the callee-name identifier.
+    pub(crate) idx: usize,
+    pub(crate) line: u32,
+    pub(crate) col: u32,
 }
 
 /// Extracts the impl-type name from impl-header tokens
@@ -272,50 +280,157 @@ fn body_range(ctx: &FileCtx, name_idx: usize) -> Option<(usize, usize)> {
     None
 }
 
-/// True when a comment whose text contains `needle` sits on `line`
-/// or the line directly above it.
-fn directive_near(ctx: &FileCtx, line: u32, needle: &str) -> bool {
+/// Walks backward from the `fn` keyword token over item qualifiers
+/// (`pub`, `pub(crate)`, `const`, `unsafe`, `async`, `extern "…"`,
+/// `default`) and contiguous `#[…]` attribute groups to the first
+/// token of the item. Directive comments anchor to the item start, so
+/// `// lcakp-lint: …` above `#[inline]\npub const fn f()` still
+/// attaches to `f`.
+fn item_start(ctx: &FileCtx, fn_tok: usize) -> usize {
+    let mut i = fn_tok;
+    while i > 0 {
+        let prev = &ctx.tokens[i - 1];
+        if prev.kind == TokenKind::Ident
+            && matches!(
+                prev.text.as_str(),
+                "pub" | "const" | "unsafe" | "async" | "default"
+            )
+        {
+            i -= 1;
+            continue;
+        }
+        if prev.kind == TokenKind::Str && i >= 2 && ctx.is_ident(i - 2, "extern") {
+            i -= 2;
+            continue;
+        }
+        // `pub(crate)` / `pub(in path)` visibility: a paren group
+        // directly preceded by `pub`.
+        if prev.text == ")" {
+            let Some(open) = match_back(ctx, i - 1, "(", ")") else {
+                break;
+            };
+            if open >= 1 && ctx.is_ident(open - 1, "pub") {
+                i = open - 1;
+                continue;
+            }
+            break;
+        }
+        // A `#[…]` attribute group.
+        if prev.text == "]" {
+            let Some(open) = match_back(ctx, i - 1, "[", "]") else {
+                break;
+            };
+            if open >= 1 && ctx.tokens[open - 1].text == "#" {
+                i = open - 1;
+                continue;
+            }
+            break;
+        }
+        break;
+    }
+    i
+}
+
+/// Scans backward from a closing delimiter at `close_idx` to its
+/// matching opener, returning the opener's token index.
+fn match_back(ctx: &FileCtx, close_idx: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = close_idx;
+    loop {
+        let text = ctx.tokens[j].text.as_str();
+        if text == close {
+            depth += 1;
+        } else if text == open {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+        j = j.checked_sub(1)?;
+    }
+}
+
+/// True when a plain comment is eligible to carry a directive.
+fn plain_comment(text: &str) -> bool {
+    text.starts_with("//") && !text.starts_with("///") && !text.starts_with("//!")
+}
+
+/// True when a comment on `c_line` anchors to an item whose `fn`
+/// keyword is on `fn_line` with attributes/qualifiers starting on
+/// `anchor_line`: trailing on either line, or directly above the
+/// item's first line.
+fn comment_anchors(c_line: u32, fn_line: u32, anchor_line: u32) -> bool {
+    c_line == fn_line || c_line + 1 == fn_line || c_line == anchor_line || c_line + 1 == anchor_line
+}
+
+/// True when a comment whose text contains `needle` anchors to the fn
+/// at `line` (item starting on `anchor_line`).
+fn directive_near(ctx: &FileCtx, line: u32, anchor_line: u32, needle: &str) -> bool {
     ctx.comments.iter().any(|c| {
-        (c.line == line || c.line + 1 == line)
-            && c.text.starts_with("//")
-            && !c.text.starts_with("///")
-            && !c.text.starts_with("//!")
+        comment_anchors(c.line, line, anchor_line)
+            && plain_comment(&c.text)
             && c.text.contains(needle)
     })
 }
 
-/// Parses a `recursion-bound(<bound>) reason="…"` directive near
-/// `line`; the bound only counts when the reason is non-empty.
-fn recursion_bound_near(ctx: &FileCtx, line: u32) -> Option<String> {
+/// Parses a `<directive>(<expr>) reason="…"` comment directive
+/// anchored to the fn at `line`; the expression only counts when the
+/// reason is non-empty.
+fn directive_expr_near(
+    ctx: &FileCtx,
+    line: u32,
+    anchor_line: u32,
+    directive: &str,
+) -> Option<String> {
     for c in &ctx.comments {
-        if c.line != line && c.line + 1 != line {
+        if !comment_anchors(c.line, line, anchor_line) || !plain_comment(&c.text) {
             continue;
         }
-        if !c.text.starts_with("//") || c.text.starts_with("///") || c.text.starts_with("//!") {
-            continue;
-        }
-        let Some(at) = c.text.find(BOUND_DIRECTIVE) else {
-            continue;
-        };
-        let rest = &c.text[at + BOUND_DIRECTIVE.len()..];
-        let Some(close) = rest.find(')') else {
-            continue;
-        };
-        let bound = rest[..close].trim();
-        let tail = &rest[close + 1..];
-        let has_reason = tail
-            .find("reason=\"")
-            .map(|r| {
-                let body = &tail[r + 8..];
-                body.find('"').map(|end| !body[..end].trim().is_empty())
-            })
-            .unwrap_or(None)
-            .unwrap_or(false);
-        if !bound.is_empty() && has_reason {
-            return Some(bound.to_string());
+        if let Some(expr) = parse_expr_directive(&c.text, directive) {
+            return Some(expr);
         }
     }
     None
+}
+
+/// Extracts the `(<expr>)` payload of `<directive>(<expr>)
+/// reason="…"` from a comment's text, requiring a non-empty reason.
+pub(crate) fn parse_expr_directive(text: &str, directive: &str) -> Option<String> {
+    let at = text.find(directive)?;
+    let rest = &text[at + directive.len()..];
+    // The directive ends with the opening paren, so scan for its
+    // balanced close: the payload grammar itself uses parens.
+    let mut depth = 1usize;
+    let mut close = None;
+    for (i, c) in rest.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let close = close?;
+    let expr = rest[..close].trim();
+    let tail = &rest[close + 1..];
+    let has_reason = tail
+        .find("reason=\"")
+        .map(|r| {
+            let body = &tail[r + 8..];
+            body.find('"').map(|end| !body[..end].trim().is_empty())
+        })
+        .unwrap_or(None)
+        .unwrap_or(false);
+    if !expr.is_empty() && has_reason {
+        Some(expr.to_string())
+    } else {
+        None
+    }
 }
 
 /// Whether a fn definition is a serving entry point: the per-query
@@ -381,9 +496,12 @@ pub fn build_callgraph(ctxs: &[FileCtx]) -> CallGraph {
                         if name_tok.kind == TokenKind::Ident && !ctx.is_test_line(tok.line) {
                             let qualifier = impls.last().and_then(|(q, _)| q.clone());
                             let body = body_range(ctx, i + 1);
+                            let anchor = ctx.tokens[item_start(ctx, i)].line;
                             let root = is_builtin_root(qualifier.as_deref(), &name_tok.text)
-                                || directive_near(ctx, tok.line, ROOT_DIRECTIVE);
-                            let bound = recursion_bound_near(ctx, tok.line);
+                                || directive_near(ctx, tok.line, anchor, ROOT_DIRECTIVE);
+                            let bound = directive_expr_near(ctx, tok.line, anchor, BOUND_DIRECTIVE);
+                            let probe_budget =
+                                directive_expr_near(ctx, tok.line, anchor, PROBE_BUDGET_DIRECTIVE);
                             let idx = fns.len();
                             fns.push(FnDef {
                                 path: ctx.path.clone(),
@@ -396,6 +514,7 @@ pub fn build_callgraph(ctxs: &[FileCtx]) -> CallGraph {
                                 body,
                                 root,
                                 recursion_bound: bound,
+                                probe_budget,
                             });
                             if let Some((open, close)) = body {
                                 bodies.push((idx, open, close));
@@ -494,7 +613,7 @@ pub fn build_callgraph(ctxs: &[FileCtx]) -> CallGraph {
 }
 
 /// Extracts raw call sites from a body token range.
-fn extract_calls(ctx: &FileCtx, open: usize, close: usize) -> Vec<RawCall> {
+pub(crate) fn extract_calls(ctx: &FileCtx, open: usize, close: usize) -> Vec<RawCall> {
     let mut calls = Vec::new();
     for i in open + 1..close {
         let tok = &ctx.tokens[i];
@@ -532,6 +651,7 @@ fn extract_calls(ctx: &FileCtx, open: usize, close: usize) -> Vec<RawCall> {
             qualifier,
             kind,
             receiver,
+            idx: i,
             line: tok.line,
             col: tok.col,
         });
@@ -698,12 +818,12 @@ const HEAP_HINTS: &[&str] = &[
     "vec", "buf", "bytes", "string", "text", "items", "samples", "plan", "journal", "records",
 ];
 
-fn in_scope(def: &FnDef) -> bool {
+pub(crate) fn in_scope(def: &FnDef) -> bool {
     HOT_PATH_CRATES.contains(&def.crate_name.as_str())
 }
 
 /// Root attribution suffix for diagnostics: `` (hot via `Root::name`)``.
-fn via(graph: &CallGraph, fn_idx: usize) -> String {
+pub(crate) fn via(graph: &CallGraph, fn_idx: usize) -> String {
     match graph.hot_via[fn_idx] {
         Some(root) => format!(" (hot via `{}`)", graph.fns[root].display()),
         None => String::new(),
@@ -714,7 +834,7 @@ fn via(graph: &CallGraph, fn_idx: usize) -> String {
 /// `with_capacity(<const-resolvable bound>)` inside a body, plus
 /// `&mut` parameters (reusable caller-owned buffers): pushes into
 /// these are exempt from D011.
-fn bounded_receivers(ctx: &FileCtx, def: &FnDef) -> BTreeSet<String> {
+pub(crate) fn bounded_receivers(ctx: &FileCtx, def: &FnDef) -> BTreeSet<String> {
     let mut ok = BTreeSet::new();
     let Some((open, close)) = def.body else {
         return ok;
@@ -825,6 +945,75 @@ fn binding_name_before(ctx: &FileCtx, at: usize) -> Option<String> {
     }
 }
 
+/// If token `i` is a D011-style allocation site, returns a short
+/// description of what allocates. Shared between D011 diagnostics and
+/// the budget summarizer's transient-allocation accounting so the two
+/// can never disagree about what counts as an allocation.
+pub(crate) fn alloc_site_what(
+    ctx: &FileCtx,
+    i: usize,
+    bounded: &BTreeSet<String>,
+) -> Option<String> {
+    let tok = &ctx.tokens[i];
+    if tok.kind != TokenKind::Ident {
+        return None;
+    }
+    match tok.text.as_str() {
+        "new" if ctx.is_punct(i - 1, "::") && ctx.is_punct(i + 1, "(") => {
+            match ctx.tok(i.wrapping_sub(2)).map(|t| t.text.as_str()) {
+                Some(t @ ("Vec" | "String" | "Box" | "VecDeque" | "BTreeMap" | "BTreeSet")) => {
+                    Some(format!("`{t}::new()` allocates unboundedly"))
+                }
+                _ => None,
+            }
+        }
+        "from" if ctx.is_punct(i - 1, "::") && ctx.is_punct(i + 1, "(") => {
+            match ctx.tok(i.wrapping_sub(2)).map(|t| t.text.as_str()) {
+                Some("String") => Some("`String::from` allocates".to_string()),
+                _ => None,
+            }
+        }
+        "with_capacity" if ctx.is_punct(i + 1, "(") => {
+            if capacity_bound_is_const(ctx, i + 1).is_none() {
+                Some("`with_capacity` bound is not const-resolvable".to_string())
+            } else {
+                None
+            }
+        }
+        "push" if ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(") => {
+            let root_recv = receiver_root(ctx, i);
+            if root_recv.as_deref().is_some_and(|r| bounded.contains(r)) {
+                None
+            } else {
+                Some("`push` may grow an unbounded buffer".to_string())
+            }
+        }
+        "collect" if ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(") => {
+            Some("`collect` allocates a fresh container".to_string())
+        }
+        "to_vec" if ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(") => {
+            Some("`to_vec` copies into a fresh allocation".to_string())
+        }
+        "clone" if ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(") => {
+            let recv = ctx
+                .tok(i.wrapping_sub(2))
+                .filter(|t| t.kind == TokenKind::Ident)
+                .map(|t| t.text.to_ascii_lowercase());
+            if recv
+                .as_deref()
+                .is_some_and(|r| HEAP_HINTS.iter().any(|h| r.contains(h)))
+            {
+                Some("`clone` of a heap container copies its allocation".to_string())
+            } else {
+                None
+            }
+        }
+        "format" if ctx.is_punct(i + 1, "!") => Some("`format!` allocates a String".to_string()),
+        "vec" if ctx.is_punct(i + 1, "!") => Some("`vec!` allocates".to_string()),
+        _ => None,
+    }
+}
+
 /// D011 — no unbounded allocation in the hot path.
 pub fn check_hot_alloc(ws: &Workspace) -> Vec<Diagnostic> {
     let graph = ws.callgraph();
@@ -845,63 +1034,7 @@ pub fn check_hot_alloc(ws: &Workspace) -> Vec<Diagnostic> {
             if tok.kind != TokenKind::Ident || ctx.is_test_line(tok.line) {
                 continue;
             }
-            let msg: Option<String> = match tok.text.as_str() {
-                "new" if ctx.is_punct(i - 1, "::") && ctx.is_punct(i + 1, "(") => {
-                    match ctx.tok(i.wrapping_sub(2)).map(|t| t.text.as_str()) {
-                        Some(
-                            t @ ("Vec" | "String" | "Box" | "VecDeque" | "BTreeMap" | "BTreeSet"),
-                        ) => Some(format!("`{t}::new()` allocates unboundedly")),
-                        _ => None,
-                    }
-                }
-                "from" if ctx.is_punct(i - 1, "::") && ctx.is_punct(i + 1, "(") => {
-                    match ctx.tok(i.wrapping_sub(2)).map(|t| t.text.as_str()) {
-                        Some("String") => Some("`String::from` allocates".to_string()),
-                        _ => None,
-                    }
-                }
-                "with_capacity" if ctx.is_punct(i + 1, "(") => {
-                    if capacity_bound_is_const(ctx, i + 1).is_none() {
-                        Some("`with_capacity` bound is not const-resolvable".to_string())
-                    } else {
-                        None
-                    }
-                }
-                "push" if ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(") => {
-                    let root_recv = receiver_root(ctx, i);
-                    if root_recv.as_deref().is_some_and(|r| bounded.contains(r)) {
-                        None
-                    } else {
-                        Some("`push` may grow an unbounded buffer".to_string())
-                    }
-                }
-                "collect" if ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(") => {
-                    Some("`collect` allocates a fresh container".to_string())
-                }
-                "to_vec" if ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(") => {
-                    Some("`to_vec` copies into a fresh allocation".to_string())
-                }
-                "clone" if ctx.is_punct(i - 1, ".") && ctx.is_punct(i + 1, "(") => {
-                    let recv = ctx
-                        .tok(i.wrapping_sub(2))
-                        .filter(|t| t.kind == TokenKind::Ident)
-                        .map(|t| t.text.to_ascii_lowercase());
-                    if recv
-                        .as_deref()
-                        .is_some_and(|r| HEAP_HINTS.iter().any(|h| r.contains(h)))
-                    {
-                        Some("`clone` of a heap container copies its allocation".to_string())
-                    } else {
-                        None
-                    }
-                }
-                "format" if ctx.is_punct(i + 1, "!") => {
-                    Some("`format!` allocates a String".to_string())
-                }
-                "vec" if ctx.is_punct(i + 1, "!") => Some("`vec!` allocates".to_string()),
-                _ => None,
-            };
-            if let Some(what) = msg {
+            if let Some(what) = alloc_site_what(ctx, i, &bounded) {
                 if seen.insert(tok.line) {
                     diags.push(Diagnostic {
                         path: def.path.clone(),
@@ -1093,6 +1226,10 @@ pub fn render_callgraph_json(graph: &CallGraph) -> String {
             if let Some(bound) = &def.recursion_bound {
                 out.push_str(", \"recursion_bound\": ");
                 crate::graph::json_str(&mut out, bound);
+            }
+            if let Some(budget) = &def.probe_budget {
+                out.push_str(", \"probe_budget\": ");
+                crate::graph::json_str(&mut out, budget);
             }
             out.push('}');
             if idx + 1 < graph.fns.len() {

@@ -1,0 +1,387 @@
+//! Per-function control-flow extraction: the loop structure of a fn
+//! body, as token ranges.
+//!
+//! The budget summarizer (`budget.rs`) multiplies the cost of every
+//! call and allocation site by the trip bounds of its enclosing
+//! loops, so all it needs from control flow is *where the loops are*
+//! and *how they nest*. This module finds `for` / `while` / `loop`
+//! headers inside a body token range and brace-matches their bodies;
+//! nesting falls out of token-range containment. Branches (`if` /
+//! `match`) are deliberately ignored — summing both arms instead of
+//! taking the max only over-approximates, which is the sound
+//! direction for an upper bound. Closures are treated as
+//! straight-line code executed once at the call site: iterator
+//! adapters hide their trip counts behind `impl Iterator`, so loops
+//! written that way must be rewritten as `for` or annotated at the
+//! enclosing `for`/`while` level (a documented limitation in
+//! docs/lints.md).
+
+use crate::callgraph::is_keyword;
+use crate::context::FileCtx;
+use crate::lexer::TokenKind;
+
+/// The syntactic flavour of a loop, for diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoopKind {
+    /// `for <pat> in <iter> { … }`.
+    For,
+    /// `while <cond> { … }` (including `while let`).
+    While,
+    /// `loop { … }`.
+    Infinite,
+}
+
+impl LoopKind {
+    /// The source keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            LoopKind::For => "for",
+            LoopKind::While => "while",
+            LoopKind::Infinite => "loop",
+        }
+    }
+}
+
+/// One loop inside a fn body, as token indices into the file's
+/// token stream.
+#[derive(Debug, Clone)]
+pub struct LoopSite {
+    /// Loop flavour.
+    pub kind: LoopKind,
+    /// Token index of the loop keyword.
+    pub keyword: usize,
+    /// Token index of the body's opening brace.
+    pub open: usize,
+    /// Token index of the body's matching closing brace.
+    pub close: usize,
+    /// 1-based line of the loop keyword.
+    pub line: u32,
+    /// 1-based column of the loop keyword.
+    pub col: u32,
+}
+
+impl LoopSite {
+    /// Header token range: everything between the keyword and the
+    /// body's opening brace (the pattern, `in`, and iterator
+    /// expression of a `for`; the condition of a `while`).
+    pub fn header(&self) -> (usize, usize) {
+        (self.keyword + 1, self.open)
+    }
+
+    /// True when token index `i` lies inside the loop body.
+    pub fn contains(&self, i: usize) -> bool {
+        self.open < i && i < self.close
+    }
+}
+
+/// Extracts every loop in a body token range `(open, close)` (the
+/// braces of a fn body), in source order. Loops on test lines are
+/// skipped, matching the call-site extractor.
+pub fn extract_loops(ctx: &FileCtx, open: usize, close: usize) -> Vec<LoopSite> {
+    let mut loops = Vec::new();
+    let mut i = open + 1;
+    while i < close {
+        let tok = &ctx.tokens[i];
+        let kind = match tok.text.as_str() {
+            "for" if tok.kind == TokenKind::Ident => Some(LoopKind::For),
+            "while" if tok.kind == TokenKind::Ident => Some(LoopKind::While),
+            "loop" if tok.kind == TokenKind::Ident => Some(LoopKind::Infinite),
+            _ => None,
+        };
+        let Some(kind) = kind else {
+            i += 1;
+            continue;
+        };
+        if ctx.is_test_line(tok.line) {
+            i += 1;
+            continue;
+        }
+        // `for<'a>` higher-ranked bounds are not loops.
+        if kind == LoopKind::For && ctx.is_punct(i + 1, "<") {
+            i += 1;
+            continue;
+        }
+        let Some((body_open, saw_in)) = find_body_open(ctx, i, close) else {
+            i += 1;
+            continue;
+        };
+        // A `for` without a top-level `in` before its brace is an
+        // `impl Trait for Type` header nested inside the body, not a
+        // loop.
+        if kind == LoopKind::For && !saw_in {
+            i += 1;
+            continue;
+        }
+        let Some(body_close) = brace_match(ctx, body_open, close) else {
+            i += 1;
+            continue;
+        };
+        loops.push(LoopSite {
+            kind,
+            keyword: i,
+            open: body_open,
+            close: body_close,
+            line: tok.line,
+            col: tok.col,
+        });
+        // Continue scanning *inside* the body for nested loops.
+        i += 1;
+    }
+    loops
+}
+
+/// Scans forward from a loop keyword for the body's opening brace at
+/// paren/bracket depth 0, also reporting whether a top-level `in`
+/// keyword was seen (distinguishes `for` loops from `impl … for …`
+/// headers).
+fn find_body_open(ctx: &FileCtx, keyword: usize, limit: usize) -> Option<(usize, bool)> {
+    let mut depth = 0i32;
+    let mut saw_in = false;
+    let mut j = keyword + 1;
+    while j < limit {
+        let tok = &ctx.tokens[j];
+        match tok.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 && tok.kind == TokenKind::Ident => saw_in = true,
+            "{" if depth == 0 => return Some((j, saw_in)),
+            ";" if depth == 0 => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Matches the brace at `open` to its closing brace, scanning no
+/// further than `limit`.
+fn brace_match(ctx: &FileCtx, open: usize, limit: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j <= limit {
+        match ctx.tokens[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Indices (into `loops`) of every loop whose body contains token
+/// index `i`, outermost first.
+pub fn enclosing_loops(loops: &[LoopSite], i: usize) -> Vec<usize> {
+    loops
+        .iter()
+        .enumerate()
+        .filter(|(_, lp)| lp.contains(i))
+        .map(|(idx, _)| idx)
+        .collect()
+}
+
+/// The `for`-range header split: for a `for <pat> in <a> .. <b>` (or
+/// `..=`) loop, returns the token ranges of the start and end
+/// expressions and whether the range is inclusive. `None` when the
+/// iterator expression is not a top-level range literal.
+pub fn range_header(ctx: &FileCtx, lp: &LoopSite) -> Option<(RangeExpr, RangeExpr, bool)> {
+    if lp.kind != LoopKind::For {
+        return None;
+    }
+    let (from, to) = lp.header();
+    // Find the top-level `in`.
+    let mut depth = 0i32;
+    let mut in_at = None;
+    for j in from..to {
+        let tok = &ctx.tokens[j];
+        match tok.text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "in" if depth == 0 && tok.kind == TokenKind::Ident => {
+                in_at = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let in_at = in_at?;
+    // Find a top-level `..` (two adjacent `.` puncts — the lexer
+    // only fuses `::`).
+    let mut depth = 0i32;
+    let mut dots_at = None;
+    for j in in_at + 1..to {
+        match ctx.tokens[j].text.as_str() {
+            "(" | "[" => depth += 1,
+            ")" | "]" => depth -= 1,
+            "." if depth == 0 && ctx.is_punct(j + 1, ".") => {
+                dots_at = Some(j);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let dots = dots_at?;
+    let inclusive = ctx.is_punct(dots + 2, "=");
+    let end_from = dots + if inclusive { 3 } else { 2 };
+    Some((
+        RangeExpr {
+            from: in_at + 1,
+            to: dots,
+        },
+        RangeExpr { from: end_from, to },
+        inclusive,
+    ))
+}
+
+/// A token sub-range holding one endpoint expression of a `for`
+/// range.
+#[derive(Debug, Clone, Copy)]
+pub struct RangeExpr {
+    /// First token index (inclusive).
+    pub from: usize,
+    /// One past the last token index.
+    pub to: usize,
+}
+
+impl RangeExpr {
+    /// The single token of the expression, when it is exactly one
+    /// token wide.
+    pub fn single<'a>(&self, ctx: &'a FileCtx) -> Option<&'a crate::lexer::Token> {
+        if self.to == self.from + 1 {
+            ctx.tok(self.from)
+        } else {
+            None
+        }
+    }
+}
+
+/// True when the name is a keyword the cost model should not treat
+/// as an identifier (re-exported convenience for budget.rs).
+pub fn keywordish(name: &str) -> bool {
+    is_keyword(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::from_source("x.rs", "core", src).unwrap()
+    }
+
+    fn fn_body(ctx: &FileCtx) -> (usize, usize) {
+        let open = ctx
+            .tokens
+            .iter()
+            .position(|t| t.text == "{")
+            .expect("body open");
+        let close = brace_match(ctx, open, ctx.tokens.len() - 1).expect("body close");
+        (open, close)
+    }
+
+    #[test]
+    fn finds_for_while_and_loop_with_nesting() {
+        let c = ctx(concat!(
+            "fn f(n: usize) {\n",
+            "    for i in 0..n {\n",
+            "        while i > 0 {\n",
+            "            work();\n",
+            "        }\n",
+            "    }\n",
+            "    loop {\n",
+            "        break;\n",
+            "    }\n",
+            "}\n",
+        ));
+        let (open, close) = fn_body(&c);
+        let loops = extract_loops(&c, open, close);
+        assert_eq!(loops.len(), 3, "{loops:?}");
+        assert_eq!(loops[0].kind, LoopKind::For);
+        assert_eq!(loops[1].kind, LoopKind::While);
+        assert_eq!(loops[2].kind, LoopKind::Infinite);
+        // The while body nests inside the for body.
+        assert!(loops[0].contains(loops[1].keyword));
+        assert!(!loops[0].contains(loops[2].keyword));
+        let inner = c
+            .tokens
+            .iter()
+            .position(|t| t.text == "work")
+            .expect("work");
+        assert_eq!(enclosing_loops(&loops, inner), vec![0, 1]);
+    }
+
+    #[test]
+    fn for_in_impl_header_and_hrtb_are_not_loops() {
+        let c = ctx(concat!(
+            "fn f() {\n",
+            "    struct L;\n",
+            "    impl Drop for L {\n",
+            "        fn drop(&mut self) {}\n",
+            "    }\n",
+            "    let g: Box<dyn for<'a> Fn(&'a u8)> = Box::new(|_| ());\n",
+            "    g(&1);\n",
+            "}\n",
+        ));
+        let (open, close) = fn_body(&c);
+        let loops = extract_loops(&c, open, close);
+        assert!(loops.is_empty(), "{loops:?}");
+    }
+
+    #[test]
+    fn while_let_and_labeled_loops_are_found() {
+        let c = ctx(concat!(
+            "fn f(mut it: std::vec::IntoIter<u8>) {\n",
+            "    'outer: loop {\n",
+            "        while let Some(x) = it.next() {\n",
+            "            if x == 0 { continue 'outer; }\n",
+            "        }\n",
+            "        break;\n",
+            "    }\n",
+            "}\n",
+        ));
+        let (open, close) = fn_body(&c);
+        let loops = extract_loops(&c, open, close);
+        assert_eq!(loops.len(), 2, "{loops:?}");
+        assert_eq!(loops[0].kind, LoopKind::Infinite);
+        assert_eq!(loops[1].kind, LoopKind::While);
+    }
+
+    #[test]
+    fn range_headers_split_endpoints() {
+        let c = ctx("fn f(n: usize) { for i in 1..=n { touch(i); } }\n");
+        let (open, close) = fn_body(&c);
+        let loops = extract_loops(&c, open, close);
+        let (start, end, inclusive) = range_header(&c, &loops[0]).expect("range");
+        assert!(inclusive);
+        assert_eq!(start.single(&c).unwrap().text, "1");
+        assert_eq!(end.single(&c).unwrap().text, "n");
+    }
+
+    #[test]
+    fn non_range_iterators_have_no_range_header() {
+        let c = ctx("fn f(v: &[u8]) { for x in v.iter() { touch(x); } }\n");
+        let (open, close) = fn_body(&c);
+        let loops = extract_loops(&c, open, close);
+        assert_eq!(loops.len(), 1);
+        assert!(range_header(&c, &loops[0]).is_none());
+    }
+
+    #[test]
+    fn braces_inside_header_closures_do_not_truncate() {
+        let c = ctx("fn f(v: &[u8]) { while v.iter().any(|x| { *x > 0 }) { shrink(); } }\n");
+        let (open, close) = fn_body(&c);
+        let loops = extract_loops(&c, open, close);
+        assert_eq!(loops.len(), 1, "{loops:?}");
+        let shrink = c
+            .tokens
+            .iter()
+            .position(|t| t.text == "shrink")
+            .expect("shrink");
+        assert!(loops[0].contains(shrink));
+    }
+}

@@ -145,6 +145,9 @@ pub struct Workspace {
     /// Lazily built whole-workspace call graph, shared by the
     /// hot-path rules (D011–D013) and `--emit-callgraph`.
     callgraph: std::cell::OnceCell<CallGraph>,
+    /// Lazily built probe/allocation budget analysis, shared by
+    /// D014–D016 and `--emit-budget`.
+    budget: std::cell::OnceCell<crate::budget::BudgetAnalysis>,
 }
 
 /// Renders a path with forward slashes (the graph's path format).
@@ -170,6 +173,7 @@ impl Workspace {
             graph,
             by_path,
             callgraph: std::cell::OnceCell::new(),
+            budget: std::cell::OnceCell::new(),
         }
     }
 
@@ -177,6 +181,12 @@ impl Workspace {
     /// by every hot-path rule in this run.
     pub fn callgraph(&self) -> &CallGraph {
         self.callgraph.get_or_init(|| build_callgraph(&self.ctxs))
+    }
+
+    /// The probe/allocation budget analysis, built on first use and
+    /// shared by D014–D016 and `--emit-budget`.
+    pub fn budget(&self) -> &crate::budget::BudgetAnalysis {
+        self.budget.get_or_init(|| crate::budget::analyze(self))
     }
 
     /// Builds the workspace by walking every production source under

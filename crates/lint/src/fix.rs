@@ -17,6 +17,12 @@
 //! * **D009** — a stale allow directive (every listed rule id stale) is
 //!   removed outright; a directive alone on its line takes the line
 //!   with it.
+//! * **D014** — an unbounded hot-path loop gets a TODO-reasoned
+//!   `loop-bound` skeleton inserted above it. `TODO` parses as an
+//!   ordinary symbol, so the insertion converges (no second-pass
+//!   D014) while leaving an unmissable marker — and an unmistakably
+//!   wrong certificate symbol — for a human to replace with the real
+//!   bound.
 //!
 //! Sites suppressed by a well-formed allow are never edited: the allow
 //! is the reviewed decision, the fixer does not overrule it.
@@ -140,6 +146,47 @@ pub fn plan_fixes(ws: &Workspace) -> Vec<FileFix> {
                 len,
                 replacement: String::new(),
                 rule: "D009",
+            },
+        );
+    }
+
+    // D014: insert a TODO-reasoned loop-bound skeleton above each
+    // flagged loop, preserving the loop's indentation.
+    for diagnostic in &ws.budget().d014 {
+        let Some(ctx) = ws.ctx_for(&diagnostic.path) else {
+            continue;
+        };
+        let finding = &diagnostic.finding;
+        if allow_state(ctx, finding.line, "D014") == AllowState::Suppressed {
+            continue;
+        }
+        let Some(keyword) = ctx
+            .tokens
+            .iter()
+            .find(|t| t.line == finding.line && t.col == finding.col)
+        else {
+            continue;
+        };
+        let line_start = ctx.src[..keyword.offset]
+            .rfind('\n')
+            .map(|i| i + 1)
+            .unwrap_or(0);
+        let indent = &ctx.src[line_start..keyword.offset];
+        if !indent.chars().all(char::is_whitespace) {
+            // The loop keyword trails other code on its line; an
+            // inserted comment line would not anchor to it.
+            continue;
+        }
+        push(
+            &ctx.path.clone(),
+            Edit {
+                offset: line_start,
+                len: 0,
+                replacement: format!(
+                    "{indent}// lcakp-lint: loop-bound(TODO) \
+                     reason=\"TODO: why this loop is bounded\"\n"
+                ),
+                rule: "D014",
             },
         );
     }
@@ -422,6 +469,33 @@ mod tests {
         // directive is not fully stale, so the fixer leaves it for a
         // human (D009 still reports the stale half).
         let src = "// lcakp-lint: allow(D001, D002) reason=\"entropy ok here\"\nfn f() { let r = thread_rng(); }\n";
+        let fixed = fix_in_memory(&[("crates/core/src/a.rs", "core", src)]);
+        assert_eq!(fixed[0].2, src);
+    }
+
+    #[test]
+    fn d014_inserts_loop_bound_skeleton_and_converges() {
+        let src = "impl LcaKp {\n    pub fn query_walk(&self, oracle: &Oracle) -> u64 {\n        \
+                   let mut total = 0;\n        while total < 9 {\n            total += \
+                   oracle.try_query(total);\n        }\n        total\n    }\n}\n";
+        let fixed = fix_in_memory(&[("crates/core/src/a.rs", "core", src)]);
+        assert!(
+            fixed[0].2.contains(
+                "        // lcakp-lint: loop-bound(TODO) reason=\"TODO: why this loop is \
+                 bounded\"\n        while total < 9 {"
+            ),
+            "{}",
+            fixed[0].2
+        );
+        assert!(replan(&fixed).is_empty(), "second pass must be a no-op");
+    }
+
+    #[test]
+    fn d014_fix_respects_allow() {
+        let src = "impl LcaKp {\n    pub fn query_walk(&self, oracle: &Oracle) -> u64 {\n        \
+                   let mut total = 0;\n        // lcakp-lint: allow(D014) reason=\"reviewed: \
+                   fault-driven retry\"\n        while total < 9 {\n            total += \
+                   oracle.try_query(total);\n        }\n        total\n    }\n}\n";
         let fixed = fix_in_memory(&[("crates/core/src/a.rs", "core", src)]);
         assert_eq!(fixed[0].2, src);
     }

@@ -23,8 +23,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod budget;
 pub mod callgraph;
+pub mod cfg;
 pub mod context;
+pub mod dataflow;
 pub mod engine;
 pub mod fix;
 pub mod graph;
@@ -32,11 +35,17 @@ pub mod lexer;
 pub mod rules;
 pub mod sarif;
 
+pub use budget::{
+    analyze, is_probe_name, render_budget_json, BudgetAnalysis, FnCost, RootBudget,
+    PROBE_INTRINSICS,
+};
 pub use callgraph::{
     build_callgraph, render_callgraph_json, CallEdge, CallGraph, CallKind, Cycle, FnDef,
     HOT_PATH_CRATES,
 };
+pub use cfg::{enclosing_loops, extract_loops, LoopKind, LoopSite};
 pub use context::{crate_name_for, AllowEntry, ConstStr, FileCtx};
+pub use dataflow::{int_consts, loop_trip_bound, parse_bound, Bound, Term, LOOP_BOUND_DIRECTIVE};
 pub use engine::{
     lint_ctx, lint_file, lint_workspace, render_json, render_text, walk_all_sources,
     walk_production_sources, Diagnostic, EngineError, Workspace,

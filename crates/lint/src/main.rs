@@ -3,8 +3,8 @@
 //! `lcakp-lint fix [--dry-run]` and `lcakp-lint --list-rules`.
 
 use lcakp_lint::{
-    all_rules, fix_workspace, render_callgraph_json, render_graph_json, render_json, render_sarif,
-    render_text, Workspace,
+    all_rules, fix_workspace, render_budget_json, render_callgraph_json, render_graph_json,
+    render_json, render_sarif, render_text, Workspace,
 };
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
@@ -14,18 +14,21 @@ lcakp-lint — workspace invariant checker (determinism, seeded randomness, mete
 
 USAGE:
     lcakp-lint check [--format text|json|sarif] [--emit-graph FILE] [--emit-callgraph FILE]
-                     [--files] [paths…]
+                     [--emit-budget FILE] [--files] [paths…]
                                                      lint the workspace (or just the given files);
                                                      --emit-graph writes the seed-derivation graph
                                                      as deterministic JSON (`-` for stdout);
                                                      --emit-callgraph writes the hot-path call
                                                      graph the same way;
+                                                     --emit-budget writes the probe-budget
+                                                     certificate the same way;
                                                      --files treats the paths as a changed-files
                                                      list: only they are reported, but cross-file
-                                                     rules (D007/D008/D011–D013) still analyse the
+                                                     rules (D007/D008/D011–D016) still analyse the
                                                      full workspace
-    lcakp-lint fix [--dry-run]                       apply mechanical fixes (D001, D008, D009);
-                                                     --dry-run prints the diff without writing
+    lcakp-lint fix [--dry-run]                       apply mechanical fixes (D001, D008, D009,
+                                                     D014); --dry-run prints the diff without
+                                                     writing
     lcakp-lint --list-rules                          print rule ids and one-line summaries
 
 Exit codes: 0 = clean, 1 = findings (check) / fixes planned (fix --dry-run), 2 = usage or I/O error.
@@ -68,6 +71,7 @@ fn check(args: &[String]) -> i32 {
     let mut format = "text".to_string();
     let mut emit_graph: Option<PathBuf> = None;
     let mut emit_callgraph: Option<PathBuf> = None;
+    let mut emit_budget: Option<PathBuf> = None;
     let mut files_mode = false;
     let mut paths: Vec<PathBuf> = Vec::new();
     let mut iter = args.iter();
@@ -91,6 +95,13 @@ fn check(args: &[String]) -> i32 {
                 Some(file) => emit_callgraph = Some(PathBuf::from(file)),
                 None => {
                     eprintln!("--emit-callgraph expects a file path (or `-` for stdout)");
+                    return 2;
+                }
+            },
+            "--emit-budget" => match iter.next() {
+                Some(file) => emit_budget = Some(PathBuf::from(file)),
+                None => {
+                    eprintln!("--emit-budget expects a file path (or `-` for stdout)");
                     return 2;
                 }
             },
@@ -137,6 +148,18 @@ fn check(args: &[String]) -> i32 {
             print!("{json}");
         } else if let Err(error) = std::fs::write(&target, json) {
             eprintln!("cannot write call graph to {}: {error}", target.display());
+            return 2;
+        }
+    }
+    if let Some(target) = emit_budget {
+        let json = render_budget_json(workspace.budget());
+        if target.as_os_str() == "-" {
+            print!("{json}");
+        } else if let Err(error) = std::fs::write(&target, json) {
+            eprintln!(
+                "cannot write budget certificate to {}: {error}",
+                target.display()
+            );
             return 2;
         }
     }

@@ -160,6 +160,9 @@ rule_table! {
     "D011" "unbounded-alloc-in-hot-path" Error all Workspace(check_d011): "allocation (Vec::new/push/collect/format!/String::from/Box::new/to_vec/heap clone) in a fn reachable from a serving entry point; reuse a per-worker scratch buffer or bound it with with_capacity(CONST)";
     "D012" "blocking-in-hot-path" Error all Workspace(check_d012): "blocking (std Mutex/RwLock acquisition, channel recv, thread::sleep, file or stdio I/O) in a fn reachable from a serving entry point";
     "D013" "unbounded-recursion-in-hot-path" Error all Workspace(check_d013): "a recursion cycle reachable from a serving entry point with no declared depth bound; annotate one member with lcakp-lint: recursion-bound(<bound>) reason=\"…\"";
+    "D014" "unbounded-loop-in-hot-path" Error all Workspace(check_d014): "a loop with oracle or allocation cost in a fn reachable from a serving entry point whose trip count is neither const/parameter-derivable nor annotated; annotate with lcakp-lint: loop-bound(<expr>) reason=\"…\"";
+    "D015" "probe-budget-exceeded" Error all Workspace(check_d015): "the certified worst-case oracle-probe bound at a hot-path root exceeds (or lacks) its declared budget; declare lcakp-lint: probe-budget(<expr>) reason=\"…\" matching the runtime cap";
+    "D016" "uncertified-oracle-call" Error all Workspace(check_d016): "an oracle access reachable from a hot-path root at unbounded multiplicity escapes every summarized probe bound; bound the enclosing loops or move it off the hot path";
 }
 
 /// Looks up a rule definition by id.
@@ -788,6 +791,24 @@ fn check_d012(ws: &Workspace) -> Vec<Diagnostic> {
 /// bound — delegated to the call-graph pass.
 fn check_d013(ws: &Workspace) -> Vec<Diagnostic> {
     crate::callgraph::check_hot_recursion(ws)
+}
+
+/// D014: hot loops with cost inside must have a derivable trip bound
+/// — delegated to the budget summarizer.
+fn check_d014(ws: &Workspace) -> Vec<Diagnostic> {
+    crate::budget::check_unbounded_loops(ws)
+}
+
+/// D015: certified probes at each root must fit the declared budget
+/// — delegated to the budget summarizer.
+fn check_d015(ws: &Workspace) -> Vec<Diagnostic> {
+    crate::budget::check_probe_budget(ws)
+}
+
+/// D016: no oracle access at unbounded multiplicity — delegated to
+/// the budget summarizer.
+fn check_d016(ws: &Workspace) -> Vec<Diagnostic> {
+    crate::budget::check_uncertified_probes(ws)
 }
 
 #[cfg(test)]

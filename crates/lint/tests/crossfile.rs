@@ -12,8 +12,8 @@
 //! an unbounded recursion cycle, and a hot-but-out-of-scope crate.
 
 use lcakp_lint::{
-    plan_fixes, render_callgraph_json, render_graph_json, render_sarif, FileCtx, LabelSource,
-    Workspace,
+    plan_fixes, render_budget_json, render_callgraph_json, render_graph_json, render_sarif,
+    FileCtx, LabelSource, Workspace,
 };
 use std::collections::BTreeSet;
 
@@ -63,6 +63,30 @@ fn hot_ws() -> Workspace {
             "crates/zeta/src/lib.rs",
             "zeta",
             include_str!("fixtures/hot_ws/zeta_outside.rs"),
+        ),
+    ];
+    let ctxs: Vec<FileCtx> = files
+        .iter()
+        .map(|(path, krate, src)| FileCtx::from_source(*path, *krate, src).unwrap())
+        .collect();
+    Workspace::from_ctxs(ctxs)
+}
+
+/// Builds the probe-budget fixture workspace: `LcaKp::query*` roots
+/// with declared budgets (satisfied, exceeded, missing), an annotated
+/// and a const-derived bounded loop, an unbounded probe loop, and
+/// reviewed (allowed) D011/D014 sites.
+fn budget_ws() -> Workspace {
+    let files = [
+        (
+            "crates/core/src/query.rs",
+            "core",
+            include_str!("fixtures/budget_ws/core_query.rs"),
+        ),
+        (
+            "crates/service/src/core.rs",
+            "service",
+            include_str!("fixtures/budget_ws/service_core.rs"),
         ),
     ];
     let ctxs: Vec<FileCtx> = files
@@ -174,6 +198,156 @@ fn callgraph_json_matches_golden_and_is_deterministic() {
     assert_eq!(
         first, golden,
         "call graph drifted from the committed golden"
+    );
+}
+
+#[test]
+fn budget_ws_diagnostics_snapshot() {
+    let got = rendered(&budget_ws());
+    assert_eq!(
+        got,
+        vec![
+            "crates/core/src/query.rs:42:9: [D015] certified worst-case probe bound `3` of \
+             hot-path root `LcaKp::query_overdrawn` exceeds its declared probe-budget `2`",
+            "crates/core/src/query.rs:46:9: [D015] hot-path root `LcaKp::query_unbounded` makes \
+             oracle accesses (certified bound `unbounded`) but declares no budget; annotate with \
+             `lcakp-lint: probe-budget(<expr>) reason=\"…\"` matching the runtime cap",
+            "crates/core/src/query.rs:48:9: [D014] `while` loop with oracle or allocation cost \
+             in hot-path fn `LcaKp::query_unbounded` (hot via `LcaKp::query_unbounded`) has no \
+             derivable trip bound; use a constant range or annotate with `lcakp-lint: \
+             loop-bound(<expr>) reason=\"…\"`",
+            "crates/core/src/query.rs:49:29: [D016] oracle access `try_query` in hot-path fn \
+             `LcaKp::query_unbounded` (hot via `LcaKp::query_unbounded`) has unbounded \
+             multiplicity — it escapes every summarized probe bound; bound the enclosing loops \
+             (loop-bound/recursion-bound) or move it off the hot path",
+        ],
+        "{got:#?}"
+    );
+}
+
+#[test]
+fn budget_ws_reviewed_sites_stay_silent() {
+    let got = rendered(&budget_ws());
+    // The allowed drain loop and its allocations are silent, the used
+    // allows are not stale, and the loop-bound / probe-budget
+    // directives are never themselves mistaken for (stale) allows.
+    assert!(!got.iter().any(|d| d.contains("drain")), "{got:#?}");
+    assert!(!got.iter().any(|d| d.contains("[D009]")), "{got:#?}");
+    assert!(
+        !got.iter()
+            .any(|d| d.contains("query_annotated") || d.contains("query_const_batch")),
+        "{got:#?}"
+    );
+}
+
+#[test]
+fn budget_ws_certificate_matches_golden_and_is_deterministic() {
+    let first = render_budget_json(budget_ws().budget());
+    let second = render_budget_json(budget_ws().budget());
+    assert_eq!(first, second, "budget emission must be byte-identical");
+    // Regenerate with:
+    //   LCAKP_LINT_REGEN_GOLDEN=1 cargo test -p lcakp-lint --test crossfile
+    if std::env::var_os("LCAKP_LINT_REGEN_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/budget_ws_certificate.json"
+        );
+        std::fs::write(path, &first).expect("golden writes");
+        return;
+    }
+    let golden = include_str!("golden/budget_ws_certificate.json");
+    assert_eq!(
+        first, golden,
+        "budget certificate drifted from the committed golden"
+    );
+}
+
+#[test]
+fn budget_ws_certificate_verdicts() {
+    let ws = budget_ws();
+    let analysis = ws.budget();
+    let by_root = |name: &str| {
+        analysis
+            .roots
+            .iter()
+            .find(|r| r.root == name)
+            .unwrap_or_else(|| panic!("root `{name}` missing from the certificate"))
+    };
+    assert!(by_root("LcaKp::query_annotated").within);
+    assert!(by_root("LcaKp::query_const_batch").within);
+    assert!(!by_root("LcaKp::query_overdrawn").within);
+    assert!(!by_root("LcaKp::query_unbounded").within);
+    assert!(by_root("LcaKp::query_unbounded").probes.is_unbounded());
+    assert!(by_root("Oracle::try_query").within);
+    assert_eq!(
+        by_root("Oracle::try_query")
+            .declared
+            .as_ref()
+            .map(|b| b.render()),
+        Some("1".to_string()),
+        "intrinsics carry the implicit unit budget"
+    );
+    assert!(by_root("WorkerCore::serve_step").within);
+    assert_eq!(
+        by_root("WorkerCore::serve_step").probes.render(),
+        "probe-rounds + 1",
+        "imprecise cross-file call composes with the precise local helper"
+    );
+}
+
+#[test]
+fn directive_anchoring_spans_qualifiers_attributes_and_where_clauses() {
+    let src = r#"
+// lcakp-lint: hot-path-root reason="const fn root under test"
+#[inline]
+pub const fn fancy_entry() -> u64 {
+    7
+}
+
+// lcakp-lint: recursion-bound(log* n) reason="where-clause fn under test"
+#[inline(always)]
+#[must_use]
+pub fn generic_step<T>(x: T) -> u64
+where
+    T: Into<u64>,
+{
+    x.into()
+}
+
+// lcakp-lint: probe-budget(5) reason="multi-attribute pub(crate) anchor under test"
+#[allow(dead_code)]
+#[inline]
+pub(crate) fn query_probe() -> u64 {
+    5
+}
+"#;
+    let ctx = FileCtx::from_source("crates/core/src/anchor.rs", "core", src).unwrap();
+    let ws = Workspace::from_ctxs(vec![ctx]);
+    let graph = ws.callgraph();
+    let by_name = |name: &str| {
+        graph
+            .fns
+            .iter()
+            .find(|def| def.name == name)
+            .unwrap_or_else(|| panic!("fn `{name}` not in the call graph"))
+    };
+    assert!(
+        by_name("fancy_entry").root,
+        "hot-path-root must anchor across #[inline] + pub const quals"
+    );
+    assert_eq!(
+        by_name("generic_step").recursion_bound.as_deref(),
+        Some("log* n"),
+        "recursion-bound must anchor across stacked attributes on a where-clause fn"
+    );
+    assert_eq!(
+        by_name("query_probe").probe_budget.as_deref(),
+        Some("5"),
+        "probe-budget must anchor across attributes on a pub(crate) fn"
+    );
+    assert!(
+        by_name("generic_step").body.is_some(),
+        "where-clause fns must still get a body range"
     );
 }
 

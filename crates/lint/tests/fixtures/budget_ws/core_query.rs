@@ -1,0 +1,53 @@
+//! Budget-certification fixture: `LcaKp::query*` roots exercising the
+//! D014/D015/D016 triggers and the bounded-clean paths.
+
+pub struct Oracle {
+    items: Vec<u64>,
+}
+
+impl Oracle {
+    /// Intrinsic unit access: certified and declared at exactly 1.
+    pub fn try_query(&self, id: u64) -> u64 {
+        self.items[id as usize]
+    }
+}
+
+const BATCH: u64 = 4;
+
+pub struct LcaKp {
+    rounds: u32,
+}
+
+impl LcaKp {
+    // lcakp-lint: probe-budget(probe-rounds) reason="one access per annotated round"
+    pub fn query_annotated(&self, oracle: &Oracle) -> u64 {
+        let mut total = 0;
+        // lcakp-lint: loop-bound(probe-rounds) reason="self.rounds is a config cap, not data"
+        for _ in 0..self.rounds {
+            total += oracle.try_query(total);
+        }
+        total
+    }
+
+    // lcakp-lint: probe-budget(4) reason="BATCH const-derived accesses"
+    pub fn query_const_batch(&self, oracle: &Oracle) -> u64 {
+        let mut total = 0;
+        for i in 0..BATCH {
+            total += oracle.try_query(i);
+        }
+        total
+    }
+
+    // lcakp-lint: probe-budget(2) reason="deliberately under the certified 3 for the D015 test"
+    pub fn query_overdrawn(&self, oracle: &Oracle) -> u64 {
+        oracle.try_query(1) + oracle.try_query(2) + oracle.try_query(3)
+    }
+
+    pub fn query_unbounded(&self, oracle: &Oracle) -> u64 {
+        let mut total = 0;
+        while total < 100 {
+            total += oracle.try_query(total);
+        }
+        total
+    }
+}

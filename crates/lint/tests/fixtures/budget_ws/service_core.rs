@@ -1,0 +1,24 @@
+//! Service-side budget fixture: a root whose certified bound composes
+//! an imprecise cross-file call with a precise local helper, plus
+//! reviewed (allowed) D011/D014 sites that must stay silent.
+
+pub struct WorkerCore;
+
+impl WorkerCore {
+    // lcakp-lint: probe-budget(probe-rounds + 1) reason="one annotated query round plus the drain's single direct access"
+    pub fn serve_step(&self, lca: &LcaKp, oracle: &Oracle) -> u64 {
+        let drained = self.drain(oracle);
+        lca.query_annotated(oracle) + drained
+    }
+
+    fn drain(&self, oracle: &Oracle) -> u64 {
+        // lcakp-lint: allow(D011) reason="fixture: the drain buffer is the test's point"
+        let mut out = Vec::new();
+        // lcakp-lint: allow(D014) reason="fixture: reviewed unbounded drain loop"
+        while out.len() < 3 {
+            // lcakp-lint: allow(D011) reason="fixture: growth reviewed"
+            out.push(oracle.capacity());
+        }
+        out.len() as u64 + oracle.try_query(0)
+    }
+}

@@ -7,8 +7,8 @@ use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 use lcakp_lint::{
-    label_conforms, lint_workspace, render_callgraph_json, render_graph_json, render_json,
-    tokenize, walk_all_sources, Workspace,
+    label_conforms, lint_workspace, render_budget_json, render_callgraph_json, render_graph_json,
+    render_json, tokenize, walk_all_sources, Workspace,
 };
 
 fn workspace_root() -> PathBuf {
@@ -142,6 +142,86 @@ fn callgraph_emission_is_deterministic_and_rooted() {
             .iter()
             .any(|c| c.bound.as_deref().is_some_and(|b| b.contains("log*"))),
         "the rMedian/log* recursion bounds disappeared"
+    );
+}
+
+/// The probe-budget certificate over the real repository: emission is
+/// byte-identical across independent builds (the `--emit-budget`
+/// determinism contract, which the CI `lint-budget` job diffs against
+/// the committed golden), every serving entry point is certified
+/// within its declared budget, and the flagship `LcaKp::query` bound
+/// matches `worst_case_accesses()` structurally.
+#[test]
+fn budget_certificate_matches_golden_and_certifies_every_root() {
+    let root = workspace_root();
+    let first = Workspace::from_root(&root).expect("workspace builds");
+    let second = Workspace::from_root(&root).expect("workspace rebuilds");
+    let json = render_budget_json(first.budget());
+    assert_eq!(
+        json,
+        render_budget_json(second.budget()),
+        "budget emission must be byte-identical across runs"
+    );
+    // Regenerate with:
+    //   LCAKP_LINT_REGEN_GOLDEN=1 cargo test -p lcakp-lint --test workspace
+    if std::env::var_os("LCAKP_LINT_REGEN_GOLDEN").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/budget_certificate.json"
+        );
+        std::fs::write(path, &json).expect("golden writes");
+        return;
+    }
+    let golden = include_str!("golden/budget_certificate.json");
+    assert_eq!(
+        json, golden,
+        "budget certificate drifted from the committed golden — \
+         regenerate with LCAKP_LINT_REGEN_GOLDEN=1 if the drift is intended"
+    );
+
+    let analysis = first.budget();
+    let by_root = |name: &str| {
+        analysis
+            .roots
+            .iter()
+            .find(|r| r.root == name)
+            .unwrap_or_else(|| panic!("root `{name}` missing from the certificate"))
+    };
+    for expected in [
+        "LcaKp::query",
+        "LcaKp::query_with_audit",
+        "LcaKp::query_with_audit_in",
+        "WorkerCore::serve_step",
+        "Cluster::route",
+        "InstanceOracle::try_query",
+        "InstanceOracle::try_sample_weighted",
+    ] {
+        assert!(
+            by_root(expected).within,
+            "root `{expected}` is not within its declared budget"
+        );
+    }
+    // Every certified root is within budget — the D015 bar, restated
+    // over the artifact CI ships.
+    for root in &analysis.roots {
+        assert!(
+            root.within,
+            "root `{}` escapes its budget (certified `{}`, declared {:?})",
+            root.root,
+            root.probes.render(),
+            root.declared.as_ref().map(|b| b.render())
+        );
+        assert!(
+            !root.probes.is_unbounded(),
+            "root `{}` has an unbounded probe bound",
+            root.root
+        );
+    }
+    assert_eq!(
+        by_root("LcaKp::query").probes.render(),
+        "coupon-samples * retry-attempts + eps-estimation-samples * retry-attempts + \
+         retry-attempts",
+        "the flagship query bound must mirror worst_case_accesses()"
     );
 }
 

@@ -757,6 +757,7 @@ fn encode_snapshot(enc: &mut Enc<'_>, snapshot: &WorkerSnapshot) {
     enc.u32(breaker.probes_issued);
     enc.u32(breaker.probes_succeeded);
     enc.u32(u32::try_from(breaker.events.len()).expect("breaker event logs are tiny"));
+    // lcakp-lint: loop-bound(breaker-transitions) reason="genuinely data-dependent: one entry per circuit-breaker state transition, which faults (not the query) drive; snapshots are taken off the per-query path"
     for event in &breaker.events {
         enc.u64(event.at_tick);
         enc.u8(breaker_state_tag(event.from));

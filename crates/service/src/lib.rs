@@ -66,8 +66,8 @@ pub use breaker::{
     BreakerConfig, BreakerEvent, BreakerSnapshot, BreakerState, CircuitBreaker, TransitionCause,
 };
 pub use chaos::{
-    run_scenario, run_smoke, seed_to_u64, ChaosPlan, ChaosRun, ChaosScenario, SmokeParts,
-    WorkerEvent,
+    run_scenario, run_smoke, seed_to_u64, smoke_parts, ChaosPlan, ChaosRun, ChaosScenario,
+    SmokeParts, WorkerEvent,
 };
 pub use clock::{TickClock, VirtualClock};
 pub use cluster::{

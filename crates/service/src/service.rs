@@ -694,6 +694,7 @@ where
     /// dispatch cost, pre-sheds on budget or runs the degradation
     /// ladder, and returns the not-yet-durable step. The caller decides
     /// whether the append [`commit`](Self::commit)s or tears.
+    // lcakp-lint: probe-budget(backoff-max-attempts * retry-attempts * (coupon-samples + eps-estimation-samples + 1) + retry-attempts) reason="the degradation ladder re-runs a full audited query per backoff attempt, then falls back to at most one cached-tier point query with access-level retries"
     pub(crate) fn serve_step(&mut self, ctx: &SharedCtx<'a, O>) -> Result<PendingStep, LcaError> {
         let config = ctx.config;
         let (index, item) = self.queries[self.position];
@@ -990,6 +991,7 @@ where
     let mut full_include: Option<bool> = None;
 
     if breaker.allow_full(clock.now()) {
+        // lcakp-lint: loop-bound(backoff-max-attempts) reason="every iteration increments attempts and only the attempts < config.backoff.max_attempts arm continues, so the body runs at most max_attempts times"
         loop {
             attempts += 1;
             let guarded = DeadlineOracle::new(faulty, clock, deadline_tick, &config.cost);
@@ -1064,6 +1066,7 @@ fn point_query_with_retry<O: ItemOracle>(
     retries_used: &mut u64,
 ) -> Result<Item, OracleError> {
     let mut attempts = 0u32;
+    // lcakp-lint: loop-bound(retry-attempts) reason="mirrors LcaKp::query_with_retry: every non-returning iteration increments attempts and the retryable guard admits at most max_retries of them"
     loop {
         match oracle.try_query(id) {
             Ok(item) => return Ok(item),

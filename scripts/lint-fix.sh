@@ -1,12 +1,17 @@
 #!/usr/bin/env bash
 # Preview, and optionally apply, lcakp-lint's mechanical autofixes
-# (D001 BTree renames, D008 label renames, D009 stale-allow removal).
+# (D001 BTree renames, D008 label renames, D009 stale-allow removal,
+# D014 loop-bound skeletons).
 #
 #   scripts/lint-fix.sh            show the planned diff (no writes)
 #   scripts/lint-fix.sh --apply    apply the fixes, then re-check
 #   scripts/lint-fix.sh --changed  check only files changed vs. the
 #                                  merge base (pre-push mode); cross-file
 #                                  rules still analyse the full workspace
+#   scripts/lint-fix.sh --budget   regenerate the probe-budget
+#                                  certificate and diff it against the
+#                                  committed golden (the CI lint-budget
+#                                  job, locally)
 #
 # Exits 0 when the tree is clean (or was just fixed clean), nonzero
 # when fixes are pending (preview mode) or findings remain that need a
@@ -24,6 +29,11 @@ if [[ "${1:-}" == "--changed" ]]; then
         exit 0
     fi
     exec cargo run -q -p lcakp-lint -- check --files "${changed[@]}"
+elif [[ "${1:-}" == "--budget" ]]; then
+    mkdir -p target/lint
+    cargo run -q -p lcakp-lint -- check --emit-budget target/lint/budget_certificate.json
+    diff -u crates/lint/tests/golden/budget_certificate.json target/lint/budget_certificate.json
+    echo "lint-fix: budget certificate matches the committed golden" >&2
 elif [[ "${1:-}" == "--apply" ]]; then
     cargo run -q -p lcakp-lint -- fix
     cargo run -q -p lcakp-lint -- check
