@@ -75,6 +75,18 @@ pub enum ShedReason {
         /// The load signal at decision time.
         signal: LoadSignal,
     },
+    /// The router consulted a ring view whose epoch lags the cluster's
+    /// current one, so the arrival reached a node that no longer owns
+    /// the shard. Carries both epochs so the audit trail shows exactly
+    /// how stale the routing decision was.
+    StaleRingEpoch {
+        /// The shard the arrival was misrouted for.
+        shard: usize,
+        /// The epoch the router routed against.
+        seen: crate::ring::RingEpoch,
+        /// The ring's actual epoch at decision time.
+        current: crate::ring::RingEpoch,
+    },
 }
 
 impl fmt::Display for ShedReason {
@@ -98,6 +110,16 @@ impl fmt::Display for ShedReason {
             }
             ShedReason::Overload { signal } => {
                 write!(f, "overload({signal})")
+            }
+            ShedReason::StaleRingEpoch {
+                shard,
+                seen,
+                current,
+            } => {
+                write!(
+                    f,
+                    "stale-ring-epoch(shard={shard}, seen={seen}, current={current})"
+                )
             }
         }
     }
@@ -378,6 +400,15 @@ mod tests {
             }
             .to_string(),
             "overload(load(queue=9, shed=125/1000, miss=300/1000))"
+        );
+        assert_eq!(
+            ShedReason::StaleRingEpoch {
+                shard: 3,
+                seen: crate::ring::RingEpoch(0),
+                current: crate::ring::RingEpoch(2),
+            }
+            .to_string(),
+            "stale-ring-epoch(shard=3, seen=epoch-0, current=epoch-2)"
         );
         assert_eq!(AdmissionState::Normal.to_string(), "normal");
         assert_eq!(AdmissionState::Overloaded.to_string(), "overloaded");

@@ -53,17 +53,48 @@
 //! `NodeUnreachable` while a live replica sits idle. The simulator must
 //! catch this (divergence from the twin plus a shed audit showing a
 //! reachable replica) and shrink it to a minimal repro.
+//!
+//! # The traffic-driven cluster (experiment E18)
+//!
+//! [`serve_cluster_traffic`] replaces the closed-loop batch above with
+//! the open-loop arrival engine of [`crate::traffic`]: every node runs
+//! its own [`SignalWindow`] and [`AdaptiveAdmission`] controller over
+//! the queries routed to it, and when a node's [`LoadSignal`] crosses
+//! the overload threshold while a live standby replica sits
+//! under-loaded, the [`RebalanceController`] promotes that standby to
+//! acting owner of the node's hottest shard through an epoch-versioned
+//! [`RingView`] update. Service state is split so migration is provably
+//! byte-invisible: each *shard* owns the serving core (clock, breaker,
+//! budget, scratch — so answer bytes depend only on the admitted
+//! per-shard subsequence, never on placement), while each *node* owns
+//! the queueing model (a busy horizon plus in-flight completions — so
+//! end-to-end latency and overload signals genuinely move when a shard
+//! does). Every promotion is journaled as a
+//! [`JournalRecord::RingChange`] on all live nodes, and a crash records
+//! the epoch recovered from the surviving journals next to the epoch
+//! the cluster had actually reached. The planted bug here is
+//! [`RebalanceDiscipline::StaleEpoch`]: a router frozen on the boot
+//! view, whose misroutes shed [`ShedReason::StaleRingEpoch`] with both
+//! epochs on record.
 
-use crate::admission::ShedReason;
-use crate::journal::Journal;
-use crate::ring::{NodeId, ReplicaSet, Ring};
-use crate::service::{
-    serve_batch_cached_rule, Disposition, FaultSchedule, PendingStep, QueryOutcome, ServiceConfig,
-    SharedCtx, WorkerCore,
+use crate::admission::{
+    AdaptiveAdmission, AdmissionConfig, AdmissionDecision, AdmissionDiscipline, AdmissionState,
+    ShedReason,
 };
-use lcakp_core::{LcaError, LcaKp};
+use crate::breaker::CircuitBreaker;
+use crate::clock::{TickClock, VirtualClock};
+use crate::journal::{DecodeMode, Journal, JournalRecord};
+use crate::rebalance::{RebalanceAudit, RebalanceConfig, RebalanceController, RebalanceDiscipline};
+use crate::ring::{NodeId, ReplicaSet, Ring, RingEpoch, RingView};
+use crate::service::{
+    serve_batch_cached_rule, serve_one, Answered, Disposition, FaultSchedule, PendingStep,
+    QueryOutcome, ServiceConfig, SharedCtx, WorkerCore, FAULT_DOMAIN,
+};
+use crate::slo::{LatencyHistogram, LoadSignal, SignalWindow, SloReport};
+use crate::traffic::{Arrival, TrafficDisposition, TrafficOutcome};
+use lcakp_core::{LcaError, LcaKp, QueryScratch};
 use lcakp_knapsack::ItemId;
-use lcakp_oracle::{ItemOracle, Seed, WeightedSampler};
+use lcakp_oracle::{BudgetedOracle, FaultPlan, FaultyOracle, ItemOracle, Seed, WeightedSampler};
 use std::fmt;
 
 /// How the cluster router resolves shard ownership after a node loss.
@@ -332,6 +363,56 @@ enum Op {
     },
 }
 
+/// Flattens fault events into a tick-sorted op timeline; a partition's
+/// heal is its own op so the list stays flat. Stable sort keeps the
+/// submission order on tick ties. Returns the (initially inactive)
+/// partition slots, the pending cut groups, and the timeline.
+#[allow(clippy::type_complexity)]
+fn flatten_node_events(
+    node_events: &[NodeEvent],
+) -> (
+    Vec<Option<Vec<Vec<NodeId>>>>,
+    Vec<(usize, Vec<Vec<NodeId>>)>,
+    Vec<(u64, Op)>,
+) {
+    let mut partitions: Vec<Option<Vec<Vec<NodeId>>>> = Vec::new();
+    let mut pending_cuts: Vec<(usize, Vec<Vec<NodeId>>)> = Vec::new();
+    let mut ops: Vec<(u64, Op)> = Vec::new();
+    for event in node_events {
+        match event {
+            NodeEvent::NodeCrash {
+                node,
+                at_tick,
+                torn_keep,
+            } => ops.push((
+                *at_tick,
+                Op::Crash {
+                    node: node.0,
+                    torn_keep: *torn_keep,
+                },
+            )),
+            NodeEvent::NodeRestart { node, at_tick } => {
+                ops.push((*at_tick, Op::Restart { node: node.0 }));
+            }
+            NodeEvent::Partition {
+                groups,
+                at_tick,
+                heal_at,
+            } => {
+                let slot = partitions.len();
+                partitions.push(None);
+                pending_cuts.push((slot, groups.clone()));
+                ops.push((*at_tick, Op::Cut { slot }));
+                if *heal_at != u64::MAX {
+                    ops.push((*heal_at, Op::Heal { slot }));
+                }
+            }
+        }
+    }
+    ops.sort_by_key(|&(at_tick, _)| at_tick);
+    (partitions, pending_cuts, ops)
+}
+
 /// Shards queries over `index % shards` into bounded per-shard queues;
 /// overflow sheds `QueueFull` at admission, before anything runs.
 fn admit(
@@ -369,26 +450,32 @@ struct Cluster<'a, O> {
     shed_audits: Vec<ShedAudit>,
 }
 
+/// Which side of `groups` a node is on (`usize::MAX` = unlisted, which
+/// stays on the client's side).
+fn partition_side(groups: &[Vec<NodeId>], node: NodeId) -> usize {
+    groups
+        .iter()
+        .position(|group| group.contains(&node))
+        .unwrap_or(usize::MAX)
+}
+
+/// Whether the client (wired to node 0's side of every active
+/// partition) can reach `node`.
+fn client_reachable(partitions: &[Option<Vec<Vec<NodeId>>>], node: NodeId) -> bool {
+    partitions
+        .iter()
+        .flatten()
+        .all(|groups| partition_side(groups, node) == partition_side(groups, NodeId(0)))
+}
+
 impl<'a, O> Cluster<'a, O>
 where
     O: ItemOracle + WeightedSampler,
 {
-    /// Which side of `groups` a node is on (`usize::MAX` = unlisted,
-    /// which stays on the client's side).
-    fn side(groups: &[Vec<NodeId>], node: NodeId) -> usize {
-        groups
-            .iter()
-            .position(|group| group.contains(&node))
-            .unwrap_or(usize::MAX)
-    }
-
     /// Whether the client (wired to node 0's side of every active
     /// partition) can reach `node`.
     fn reachable(&self, node: NodeId) -> bool {
-        self.partitions
-            .iter()
-            .flatten()
-            .all(|groups| Self::side(groups, node) == Self::side(groups, NodeId(0)))
+        client_reachable(&self.partitions, node)
     }
 
     /// The router's pick for `shard`, per the configured discipline.
@@ -648,44 +735,7 @@ where
         })
         .collect();
 
-    // Flatten the fault events into a sorted op timeline; a partition's
-    // heal is its own op so the list stays flat. Stable sort keeps the
-    // submission order on tick ties.
-    let mut partitions: Vec<Option<Vec<Vec<NodeId>>>> = Vec::new();
-    let mut pending_cuts: Vec<(usize, Vec<Vec<NodeId>>)> = Vec::new();
-    let mut ops: Vec<(u64, Op)> = Vec::new();
-    for event in node_events {
-        match event {
-            NodeEvent::NodeCrash {
-                node,
-                at_tick,
-                torn_keep,
-            } => ops.push((
-                *at_tick,
-                Op::Crash {
-                    node: node.0,
-                    torn_keep: *torn_keep,
-                },
-            )),
-            NodeEvent::NodeRestart { node, at_tick } => {
-                ops.push((*at_tick, Op::Restart { node: node.0 }));
-            }
-            NodeEvent::Partition {
-                groups,
-                at_tick,
-                heal_at,
-            } => {
-                let slot = partitions.len();
-                partitions.push(None);
-                pending_cuts.push((slot, groups.clone()));
-                ops.push((*at_tick, Op::Cut { slot }));
-                if *heal_at != u64::MAX {
-                    ops.push((*heal_at, Op::Heal { slot }));
-                }
-            }
-        }
-    }
-    ops.sort_by_key(|&(at_tick, _)| at_tick);
+    let (partitions, mut pending_cuts, ops) = flatten_node_events(node_events);
 
     let mut cluster = Cluster {
         tasks,
@@ -819,6 +869,941 @@ where
         core.commit(step);
     }
     Ok(core.into_output(Vec::new()).outcomes)
+}
+
+/// Tuning of the traffic-driven cluster runtime (experiment E18).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterTrafficConfig {
+    /// Nodes in the membership. Must be ≥ 1.
+    pub nodes: usize,
+    /// Replicas per shard (clamped to the membership size).
+    pub replication: usize,
+    /// Shards arrivals are routed over. Must be ≥ 1.
+    pub shards: usize,
+    /// Virtual points per node on the consistent-hash ring.
+    pub vnodes: usize,
+    /// The per-shard serving configuration.
+    pub service: ServiceConfig,
+    /// The per-node adaptive admission thresholds.
+    pub admission: AdmissionConfig,
+    /// `Some(discipline)` runs per-node adaptive admission; `None`
+    /// disables admission entirely (the unbounded twin).
+    pub discipline: Option<AdmissionDiscipline>,
+    /// `Some(config)` closes the loop from overload signals into ring
+    /// placement; `None` is the no-rebalance twin (failover still
+    /// works — only hot-shard relief is off).
+    pub rebalance: Option<RebalanceConfig>,
+    /// Which ring view the router consults ([`RebalanceDiscipline::StaleEpoch`]
+    /// is the planted bug).
+    pub routing: RebalanceDiscipline,
+}
+
+impl Default for ClusterTrafficConfig {
+    fn default() -> Self {
+        ClusterTrafficConfig {
+            nodes: 3,
+            replication: 2,
+            shards: 4,
+            vnodes: 64,
+            service: ServiceConfig::default(),
+            admission: AdmissionConfig::default(),
+            discipline: Some(AdmissionDiscipline::Faithful),
+            rebalance: Some(RebalanceConfig::default()),
+            routing: RebalanceDiscipline::default(),
+        }
+    }
+}
+
+/// One arrival's fate plus the node that handled it (`None` when no
+/// alive, reachable replica existed to even refuse it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoutedOutcome {
+    /// The node the arrival was routed to.
+    pub node: Option<NodeId>,
+    /// What happened to it.
+    pub outcome: TrafficOutcome,
+}
+
+/// One per-node admission-controller state flip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeTransition {
+    /// The node whose controller flipped.
+    pub node: NodeId,
+    /// The arrival tick the flip happened at.
+    pub at_tick: u64,
+    /// The state it flipped to.
+    pub to: AdmissionState,
+}
+
+/// Per-node load trace of one traffic-driven cluster run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeLoadTrace {
+    /// The node.
+    pub node: NodeId,
+    /// The node's own availability/latency verdict over the arrivals
+    /// routed to it.
+    pub slo: SloReport,
+    /// Deepest in-flight queue observed at this node.
+    pub max_queue_depth: u32,
+    /// Crashes the node suffered.
+    pub crashes: usize,
+    /// Restarts that revived it.
+    pub restarts: usize,
+    /// Whether the node was alive when the trace drained.
+    pub alive_at_end: bool,
+    /// The node's write-ahead journal (admissions, answers, sheds, and
+    /// replicated ring changes), byte-for-byte.
+    pub journal: Journal,
+}
+
+/// Acting-ownership history of one shard across the run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardOwnership {
+    /// The shard.
+    pub shard: usize,
+    /// Acting owners in order, starting at the boot primary
+    /// (consecutive duplicates collapsed).
+    pub owners: Vec<NodeId>,
+    /// Owner changes caused by rebalance promotions.
+    pub promotions: usize,
+    /// Owner changes caused by crash/partition failover.
+    pub failovers: usize,
+}
+
+/// What a crash recovered about the ring: the epoch the cluster had
+/// reached versus the epoch replayable from the surviving journals'
+/// [`JournalRecord::RingChange`] records. The simulator's
+/// epoch-replay invariant demands equality — a recovery that comes back
+/// on an older ring would re-route shards the cluster already moved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochReplay {
+    /// The node that crashed.
+    pub node: NodeId,
+    /// The fault-timeline tick of the crash.
+    pub at_tick: u64,
+    /// The ring epoch at crash time.
+    pub epoch_at_crash: RingEpoch,
+    /// The maximum ring-change epoch decodable from the journals.
+    pub replayed_epoch: RingEpoch,
+}
+
+/// The merged result of one [`serve_cluster_traffic`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct ClusterTrafficReport {
+    /// Every arrival's fate, in trace order — answered, or shed with a
+    /// typed reason. Never a silent drop.
+    pub outcomes: Vec<RoutedOutcome>,
+    /// Acting-ownership history per shard, sorted by shard id.
+    pub shards: Vec<ShardOwnership>,
+    /// Per-node load traces, sorted by node id.
+    pub nodes: Vec<NodeLoadTrace>,
+    /// Every per-node controller state flip, in decision order.
+    pub transitions: Vec<NodeTransition>,
+    /// One audit per rebalance promotion, in decision order (their
+    /// epochs must be strictly increasing).
+    pub rebalance_audits: Vec<RebalanceAudit>,
+    /// One audit per routing give-up, in shed order.
+    pub shed_audits: Vec<ShedAudit>,
+    /// One record per node crash: reached vs journal-replayed epoch.
+    pub epoch_replays: Vec<EpochReplay>,
+    /// The ring epoch when the trace drained.
+    pub final_epoch: RingEpoch,
+    /// The cluster-wide availability/latency verdict.
+    pub slo: SloReport,
+    /// The latest shard clock or node busy horizon when the trace
+    /// drained.
+    pub end_tick: u64,
+}
+
+impl ClusterTrafficReport {
+    /// Rebalance promotions across all shards.
+    #[must_use]
+    pub fn promotion_count(&self) -> usize {
+        self.rebalance_audits.len()
+    }
+
+    /// Sheds carrying [`ShedReason::StaleRingEpoch`] — the planted
+    /// stale-router bug's signature (zero under faithful routing).
+    #[must_use]
+    pub fn stale_sheds(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|routed| {
+                matches!(
+                    routed.outcome.disposition,
+                    TrafficDisposition::Shed(ShedReason::StaleRingEpoch { .. })
+                )
+            })
+            .count()
+    }
+
+    /// Sheds carrying [`ShedReason::Overload`] — per-node adaptive
+    /// admission refusals.
+    #[must_use]
+    pub fn overload_sheds(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|routed| {
+                matches!(
+                    routed.outcome.disposition,
+                    TrafficDisposition::Shed(ShedReason::Overload { .. })
+                )
+            })
+            .count()
+    }
+}
+
+/// One shard's placement-independent serving core. Only the admitted
+/// per-shard subsequence drives this state, so answers are
+/// byte-identical no matter which node hosts the shard — the property
+/// [`replay_shard_traffic`] certifies.
+struct ShardTrafficCore<'a, O> {
+    clock: TickClock,
+    breaker: CircuitBreaker,
+    budgeted: BudgetedOracle<'a, O>,
+    scratch: QueryScratch,
+}
+
+/// One node's queueing and control state. This is the placement-
+/// *dependent* half: the busy horizon and in-flight completions move
+/// with the shards routed here, which is exactly what rebalancing
+/// relieves.
+struct NodeRt {
+    alive: bool,
+    /// Completion tick of the last query this node finished serving.
+    horizon: u64,
+    /// `(completion_tick, deadline_met, shard)` of every in-flight or
+    /// finished query routed here, in completion order.
+    completions: Vec<(u64, bool, usize)>,
+    /// How many `completions` entries the window has absorbed.
+    drained: usize,
+    window: SignalWindow,
+    controller: AdaptiveAdmission,
+    journal: Journal,
+    /// Journal length before the most recent append (for crash-time
+    /// tearing of the last in-flight replication).
+    last_append_start: usize,
+    crashes: usize,
+    restarts: usize,
+    // Trace statistics (durable — they survive crashes and restarts).
+    offered: u64,
+    answered: u64,
+    shed: u64,
+    missed: u64,
+    max_queue_depth: u32,
+    histogram: LatencyHistogram,
+}
+
+impl NodeRt {
+    fn new(admission: AdmissionConfig, discipline: AdmissionDiscipline) -> NodeRt {
+        NodeRt {
+            alive: true,
+            horizon: 0,
+            completions: Vec::new(),
+            drained: 0,
+            window: SignalWindow::new(),
+            controller: AdaptiveAdmission::new(admission, discipline),
+            journal: Journal::new(),
+            last_append_start: 0,
+            crashes: 0,
+            restarts: 0,
+            offered: 0,
+            answered: 0,
+            shed: 0,
+            missed: 0,
+            max_queue_depth: 0,
+            histogram: LatencyHistogram::new(),
+        }
+    }
+
+    /// Queries routed here but not yet complete at `at_tick`, after
+    /// absorbing finished ones into the signal window.
+    fn queue_depth_at(&mut self, at_tick: u64) -> u32 {
+        while self.drained < self.completions.len() {
+            let (completion, met, _) = self.completions[self.drained];
+            if completion > at_tick {
+                break;
+            }
+            self.window.record_answered(met);
+            self.drained += 1;
+        }
+        u32::try_from(self.completions.len() - self.drained).unwrap_or(u32::MAX)
+    }
+
+    /// Appends a record, remembering the frame boundary for crash-time
+    /// tearing.
+    fn journal_append(&mut self, record: &JournalRecord) {
+        self.last_append_start = self.journal.bytes().len();
+        self.journal.append(record);
+    }
+
+    /// Crash-time tear: keep only the first `keep` bytes of the last
+    /// append (the synchronous replication was mid-flight).
+    fn tear_last_append(&mut self, keep: usize) {
+        let tail = self.journal.bytes().len() - self.last_append_start;
+        if tail > 0 {
+            let keep = keep.min(tail);
+            self.journal.truncate(self.last_append_start + keep);
+        }
+    }
+
+    /// Wipes the node's RAM (crash or restart); the journal and the
+    /// trace statistics are durable and survive.
+    fn wipe_memory(&mut self, admission: AdmissionConfig, discipline: AdmissionDiscipline) {
+        self.horizon = 0;
+        self.completions.clear();
+        self.drained = 0;
+        self.window = SignalWindow::new();
+        self.controller = AdaptiveAdmission::new(admission, discipline);
+    }
+}
+
+/// The maximum [`JournalRecord::RingChange`] epoch recoverable from the
+/// nodes' journals (tolerantly decoded — a crash may have torn a tail).
+fn replayed_ring_epoch(nodes: &[NodeRt]) -> RingEpoch {
+    let mut best = RingEpoch::BOOT;
+    for node in nodes {
+        if let Ok(decoded) = node.journal.decode(DecodeMode::Recover) {
+            for record in &decoded.records {
+                if let JournalRecord::RingChange { epoch, .. } = record {
+                    best = best.max(*epoch);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// The router's pick for `shard` in `view`: the first alive, reachable
+/// replica in ring order.
+fn pick_owner(
+    view: &RingView,
+    shard: usize,
+    nodes: &[NodeRt],
+    partitions: &[Option<Vec<Vec<NodeId>>>],
+) -> Option<NodeId> {
+    view.replica_set(shard)
+        .nodes()
+        .iter()
+        .copied()
+        .find(|&node| nodes[node.0].alive && client_reachable(partitions, node))
+}
+
+/// The true replica state of `shard` for a [`ShedAudit`].
+fn audit_replicas(
+    view: &RingView,
+    shard: usize,
+    nodes: &[NodeRt],
+    partitions: &[Option<Vec<Vec<NodeId>>>],
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    let alive: Vec<NodeId> = view
+        .replica_set(shard)
+        .nodes()
+        .iter()
+        .copied()
+        .filter(|node| nodes[node.0].alive)
+        .collect();
+    let reachable: Vec<NodeId> = alive
+        .iter()
+        .copied()
+        .filter(|&node| client_reachable(partitions, node))
+        .collect();
+    (alive, reachable)
+}
+
+/// Serves an open-loop arrival trace on the simulated cluster,
+/// deterministically, with per-node adaptive admission and (optionally)
+/// admission-coupled ring rebalancing.
+///
+/// Per arrival, in decision order: fault ops at or before the arrival
+/// tick fire; the router picks the acting owner from the configured
+/// ring view; the owner's controller decides on its current
+/// [`LoadSignal`]; an admitted query is served on its *shard's* core
+/// (so the answer bytes are placement-independent) while the queueing
+/// latency is charged against the *node's* busy horizon; finally, if
+/// the node's signal is hot and a live standby sits under-loaded, the
+/// [`RebalanceController`] may promote that standby for the node's
+/// hottest shard, bumping the ring epoch and journaling the change on
+/// every live node.
+///
+/// In-flight queries survive node crashes by construction: the journal
+/// is synchronously replicated, and LCA-KP statelessness lets any
+/// replica recompute the identical answer, so a crash only affects
+/// *future* routing and signals.
+///
+/// # Errors
+///
+/// Propagates hard configuration errors ([`LcaError`]); node faults
+/// shed or fail over instead of erroring.
+///
+/// # Panics
+///
+/// Panics if `nodes`, `shards`, or `vnodes` is zero.
+pub fn serve_cluster_traffic<O>(
+    lca: &LcaKp,
+    oracle: &O,
+    shared_seed: &Seed,
+    service_root: &Seed,
+    arrivals: &[Arrival],
+    config: &ClusterTrafficConfig,
+    node_events: &[NodeEvent],
+) -> Result<ClusterTrafficReport, LcaError>
+where
+    O: ItemOracle + WeightedSampler,
+{
+    assert!(config.nodes >= 1, "nodes must be at least 1");
+    assert!(config.shards >= 1, "shards must be at least 1");
+    assert!(config.vnodes >= 1, "vnodes must be at least 1");
+
+    let ctx = SharedCtx {
+        lca,
+        oracle,
+        shared_seed,
+        service_root,
+        config: &config.service,
+        chaos: None,
+        cached: None,
+    };
+    let discipline = config.discipline.unwrap_or_default();
+
+    let ring = Ring::new(config.nodes, config.vnodes);
+    let boot_view = RingView::from_ring(&ring, config.shards, config.replication)
+        .expect("a non-empty membership always routes");
+    let mut view = boot_view.clone();
+
+    let cap = config.service.worker_access_cap.unwrap_or(u64::MAX);
+    let mut cores: Vec<ShardTrafficCore<'_, O>> = (0..config.shards)
+        .map(|_| ShardTrafficCore {
+            clock: TickClock::new(),
+            breaker: CircuitBreaker::new(config.service.breaker),
+            budgeted: BudgetedOracle::new(oracle, cap),
+            scratch: QueryScratch::default(),
+        })
+        .collect();
+    let mut nodes: Vec<NodeRt> = (0..config.nodes)
+        .map(|_| NodeRt::new(config.admission, discipline))
+        .collect();
+    let mut shards: Vec<ShardOwnership> = (0..config.shards)
+        .map(|shard| ShardOwnership {
+            shard,
+            owners: vec![view.primary(shard)],
+            promotions: 0,
+            failovers: 0,
+        })
+        .collect();
+    let mut controller = config
+        .rebalance
+        .map(|rebalance| RebalanceController::new(rebalance, config.shards));
+
+    let (mut partitions, mut pending_cuts, ops) = flatten_node_events(node_events);
+
+    let mut outcomes = Vec::with_capacity(arrivals.len());
+    let mut transitions = Vec::new();
+    let mut rebalance_audits = Vec::new();
+    let mut shed_audits = Vec::new();
+    let mut epoch_replays = Vec::new();
+    let mut histogram = LatencyHistogram::new();
+    let mut answered_count = 0u64;
+    let mut shed_count = 0u64;
+    let mut missed_count = 0u64;
+    // Per-shard in-flight counts, rebuilt per hottest-shard scan.
+    let mut heat = vec![0u32; config.shards];
+
+    let mut next_op = 0usize;
+    let mut fire_ops_through = |tick: u64,
+                                nodes: &mut Vec<NodeRt>,
+                                partitions: &mut Vec<Option<Vec<Vec<NodeId>>>>,
+                                epoch_replays: &mut Vec<EpochReplay>,
+                                view: &RingView,
+                                next_op: &mut usize| {
+        while *next_op < ops.len() && ops[*next_op].0 <= tick {
+            let (at_tick, op) = ops[*next_op];
+            *next_op += 1;
+            match op {
+                Op::Crash { node, torn_keep } => {
+                    if node >= nodes.len() || !nodes[node].alive {
+                        continue;
+                    }
+                    nodes[node].alive = false;
+                    nodes[node].crashes += 1;
+                    if let Some(keep) = torn_keep {
+                        nodes[node].tear_last_append(keep);
+                    }
+                    nodes[node].wipe_memory(config.admission, discipline);
+                    epoch_replays.push(EpochReplay {
+                        node: NodeId(node),
+                        at_tick,
+                        epoch_at_crash: view.epoch(),
+                        replayed_epoch: replayed_ring_epoch(nodes),
+                    });
+                }
+                Op::Restart { node } => {
+                    if node >= nodes.len() || nodes[node].alive {
+                        continue;
+                    }
+                    nodes[node].alive = true;
+                    nodes[node].restarts += 1;
+                    nodes[node].wipe_memory(config.admission, discipline);
+                }
+                Op::Cut { slot } => {
+                    let position = pending_cuts
+                        .iter()
+                        .position(|(pending, _)| *pending == slot)
+                        .expect("each cut activates exactly once");
+                    let (_, groups) = pending_cuts.remove(position);
+                    partitions[slot] = Some(groups);
+                }
+                Op::Heal { slot } => {
+                    partitions[slot] = None;
+                }
+            }
+        }
+    };
+
+    for (index, arrival) in arrivals.iter().enumerate() {
+        fire_ops_through(
+            arrival.at_tick,
+            &mut nodes,
+            &mut partitions,
+            &mut epoch_replays,
+            &view,
+            &mut next_op,
+        );
+        let shard = arrival.shard.min(config.shards - 1);
+        let outcome_shed = |reason: ShedReason| TrafficOutcome {
+            index,
+            item: arrival.item,
+            shard,
+            at_tick: arrival.at_tick,
+            disposition: TrafficDisposition::Shed(reason),
+        };
+
+        // Route per the configured discipline. The faithful pick is the
+        // truth; the stale router consults the boot view instead.
+        let faithful_pick = pick_owner(&view, shard, &nodes, &partitions);
+        let routed = match config.routing {
+            RebalanceDiscipline::Faithful => faithful_pick,
+            RebalanceDiscipline::StaleEpoch => pick_owner(&boot_view, shard, &nodes, &partitions),
+        };
+        let Some(node_id) = routed else {
+            // No replica to even refuse the query: typed shed + audit.
+            let (alive, reachable) = audit_replicas(&view, shard, &nodes, &partitions);
+            let reason = if !alive.is_empty() && reachable.is_empty() {
+                ShedReason::Partitioned { shard }
+            } else {
+                ShedReason::NodeUnreachable { shard }
+            };
+            shed_count += 1;
+            shed_audits.push(ShedAudit {
+                shard,
+                reason,
+                alive_replicas: alive,
+                reachable_replicas: reachable,
+            });
+            outcomes.push(RoutedOutcome {
+                node: None,
+                outcome: outcome_shed(reason),
+            });
+            continue;
+        };
+
+        // The stale router's misroute: the boot pick reaches a node
+        // that no longer owns the shard. An honest node refuses with
+        // both epochs on record — never serves stale placement.
+        if config.routing == RebalanceDiscipline::StaleEpoch && Some(node_id) != faithful_pick {
+            let reason = ShedReason::StaleRingEpoch {
+                shard,
+                seen: boot_view.epoch(),
+                current: view.epoch(),
+            };
+            let node = &mut nodes[node_id.0];
+            node.offered += 1;
+            node.shed += 1;
+            node.window.record_shed();
+            node.journal_append(&JournalRecord::Shed {
+                index: index as u64,
+                reason,
+            });
+            shed_count += 1;
+            let (alive, reachable) = audit_replicas(&view, shard, &nodes, &partitions);
+            shed_audits.push(ShedAudit {
+                shard,
+                reason,
+                alive_replicas: alive,
+                reachable_replicas: reachable,
+            });
+            outcomes.push(RoutedOutcome {
+                node: Some(node_id),
+                outcome: outcome_shed(reason),
+            });
+            continue;
+        }
+
+        // Acting-ownership trace: a routed node differing from the last
+        // acting owner is a failover (promotions record themselves).
+        if *shards[shard]
+            .owners
+            .last()
+            .expect("owners starts non-empty")
+            != node_id
+        {
+            shards[shard].owners.push(node_id);
+            shards[shard].failovers += 1;
+        }
+
+        let node = &mut nodes[node_id.0];
+        node.offered += 1;
+        let depth = node.queue_depth_at(arrival.at_tick);
+        node.max_queue_depth = node.max_queue_depth.max(depth);
+        let signal = node.window.signal(depth);
+
+        if config.discipline.is_some() {
+            let before = node.controller.state();
+            let decision = node.controller.decide(arrival.at_tick, signal);
+            if node.controller.state() != before {
+                transitions.push(NodeTransition {
+                    node: node_id,
+                    at_tick: arrival.at_tick,
+                    to: node.controller.state(),
+                });
+            }
+            if let AdmissionDecision::Shed(reason) = decision {
+                node.window.record_shed();
+                node.shed += 1;
+                node.journal_append(&JournalRecord::Shed {
+                    index: index as u64,
+                    reason,
+                });
+                shed_count += 1;
+                outcomes.push(RoutedOutcome {
+                    node: Some(node_id),
+                    outcome: outcome_shed(reason),
+                });
+                maybe_rebalance(
+                    &mut controller,
+                    &mut view,
+                    &mut nodes,
+                    &mut shards,
+                    &mut rebalance_audits,
+                    &partitions,
+                    &mut heat,
+                    node_id,
+                    signal,
+                    arrival.at_tick,
+                );
+                continue;
+            }
+        }
+
+        // Write-ahead: the admission is durable before anything runs.
+        nodes[node_id.0].journal_append(&JournalRecord::Admitted {
+            index: index as u64,
+            item: arrival.item.0 as u64,
+        });
+
+        // Serve on the shard's placement-independent core.
+        let core = &mut cores[shard];
+        if arrival.at_tick > core.clock.now() {
+            core.clock.advance(arrival.at_tick - core.clock.now());
+        }
+        let service_start = core.clock.now();
+        core.clock.advance(config.service.dispatch_cost_ticks);
+        let faulty = FaultyOracle::new(
+            &core.budgeted,
+            FaultPlan::none(),
+            service_root.derive(FAULT_DOMAIN, index as u64),
+        );
+        let answer = serve_one(
+            &ctx,
+            &core.clock,
+            &mut core.breaker,
+            &faulty,
+            &core.budgeted,
+            &mut core.scratch,
+            shard,
+            index,
+            arrival.item,
+        )?;
+        core.clock.advance(arrival.extra_cost_ticks);
+        let service_ticks = core.clock.now() - service_start;
+
+        // Charge the queueing against the hosting node's busy horizon.
+        let node = &mut nodes[node_id.0];
+        let begin = arrival.at_tick.max(node.horizon);
+        let completion_tick = begin + service_ticks;
+        node.horizon = completion_tick;
+        let latency_ticks = completion_tick - arrival.at_tick;
+        let deadline_met = latency_ticks <= config.service.deadline_ticks;
+        node.completions
+            .push((completion_tick, deadline_met, shard));
+        node.answered += 1;
+        if !deadline_met {
+            node.missed += 1;
+            missed_count += 1;
+        }
+        node.histogram.record(latency_ticks);
+        node.journal_append(&JournalRecord::Answered {
+            index: index as u64,
+            answer,
+        });
+        histogram.record(latency_ticks);
+        answered_count += 1;
+        outcomes.push(RoutedOutcome {
+            node: Some(node_id),
+            outcome: TrafficOutcome {
+                index,
+                item: arrival.item,
+                shard,
+                at_tick: arrival.at_tick,
+                disposition: TrafficDisposition::Answered {
+                    completion_tick,
+                    latency_ticks,
+                    deadline_met,
+                    answer,
+                },
+            },
+        });
+
+        maybe_rebalance(
+            &mut controller,
+            &mut view,
+            &mut nodes,
+            &mut shards,
+            &mut rebalance_audits,
+            &partitions,
+            &mut heat,
+            node_id,
+            signal,
+            arrival.at_tick,
+        );
+    }
+
+    // Fire any fault ops past the last arrival so late crashes still
+    // leave their epoch-replay records.
+    fire_ops_through(
+        u64::MAX,
+        &mut nodes,
+        &mut partitions,
+        &mut epoch_replays,
+        &view,
+        &mut next_op,
+    );
+
+    let end_tick = cores
+        .iter()
+        .map(|core| core.clock.now())
+        .chain(nodes.iter().map(|node| node.horizon))
+        .max()
+        .unwrap_or(0);
+    let node_traces: Vec<NodeLoadTrace> = nodes
+        .into_iter()
+        .enumerate()
+        .map(|(id, node)| NodeLoadTrace {
+            node: NodeId(id),
+            slo: SloReport::from_counts(
+                node.offered,
+                node.answered,
+                node.shed,
+                node.missed,
+                &node.histogram,
+            ),
+            max_queue_depth: node.max_queue_depth,
+            crashes: node.crashes,
+            restarts: node.restarts,
+            alive_at_end: node.alive,
+            journal: node.journal,
+        })
+        .collect();
+
+    Ok(ClusterTrafficReport {
+        outcomes,
+        shards,
+        nodes: node_traces,
+        transitions,
+        rebalance_audits,
+        shed_audits,
+        epoch_replays,
+        final_epoch: view.epoch(),
+        slo: SloReport::from_counts(
+            arrivals.len() as u64,
+            answered_count,
+            shed_count,
+            missed_count,
+            &histogram,
+        ),
+        end_tick,
+    })
+}
+
+/// One rebalance opportunity: if `from`'s signal is hot, propose moving
+/// its hottest primaried shard to the least-loaded live standby and let
+/// the [`RebalanceController`] judge it. On approval the view promotes,
+/// the epoch bumps, and every live node journals the change.
+#[allow(clippy::too_many_arguments)]
+fn maybe_rebalance(
+    controller: &mut Option<RebalanceController>,
+    view: &mut RingView,
+    nodes: &mut [NodeRt],
+    shards: &mut [ShardOwnership],
+    rebalance_audits: &mut Vec<RebalanceAudit>,
+    partitions: &[Option<Vec<Vec<NodeId>>>],
+    heat: &mut [u32],
+    from: NodeId,
+    signal: LoadSignal,
+    at_tick: u64,
+) {
+    let Some(controller) = controller.as_mut() else {
+        return;
+    };
+    if !controller.hot(signal) {
+        return;
+    }
+    // Hottest shard: the most in-flight queries at `from`, restricted
+    // to shards it primaries (failover guests move by healing, not by
+    // promotion). Lowest id wins ties.
+    heat.fill(0);
+    let node = &nodes[from.0];
+    for &(_, _, shard) in &node.completions[node.drained..] {
+        heat[shard] += 1;
+    }
+    let hottest = heat
+        .iter()
+        .enumerate()
+        .filter(|&(shard, &in_flight)| in_flight > 0 && view.primary(shard) == from)
+        .max_by_key(|&(shard, &in_flight)| (in_flight, std::cmp::Reverse(shard)))
+        .map(|(shard, _)| shard);
+    let Some(shard) = hottest else {
+        return;
+    };
+    // Least-loaded live standby replica of that shard (lowest node id
+    // on depth ties).
+    let mut target: Option<(u32, NodeId)> = None;
+    for &candidate in view.replica_set(shard).nodes() {
+        if candidate == from
+            || !nodes[candidate.0].alive
+            || !client_reachable(partitions, candidate)
+        {
+            continue;
+        }
+        let depth = nodes[candidate.0].queue_depth_at(at_tick);
+        if target.is_none_or(|(best_depth, best)| (depth, candidate.0) < (best_depth, best.0)) {
+            target = Some((depth, candidate));
+        }
+    }
+    let Some((target_queue_depth, to)) = target else {
+        return;
+    };
+    let Some(decision) = controller.decide(
+        at_tick,
+        shard,
+        from,
+        to,
+        signal,
+        target_queue_depth,
+        view.epoch(),
+    ) else {
+        return;
+    };
+    let applied = view
+        .promote(shard, to)
+        .expect("the controller only promotes live standby members");
+    debug_assert_eq!(
+        applied, decision.epoch,
+        "controller and view agree on epochs"
+    );
+    // Synchronously replicate the ring change to every live node's
+    // journal — this is what a post-crash recovery replays.
+    let record = JournalRecord::RingChange {
+        epoch: applied,
+        shard: shard as u64,
+        from,
+        to,
+    };
+    for node in nodes.iter_mut().filter(|node| node.alive) {
+        node.journal_append(&record);
+    }
+    if *shards[shard]
+        .owners
+        .last()
+        .expect("owners starts non-empty")
+        != to
+    {
+        shards[shard].owners.push(to);
+    }
+    shards[shard].promotions += 1;
+    rebalance_audits.push(RebalanceAudit {
+        decision,
+        signal,
+        target_queue_depth,
+        target_alive: true,
+    });
+}
+
+/// Replays one shard's admitted arrival subsequence on a fresh,
+/// standalone serving core — what any replica would compute from the
+/// shared seeds alone. The E18 simulator compares these answers
+/// byte-for-byte against the cluster run's: migrations, failovers, and
+/// crashes must all be invisible in the bytes, because per-query
+/// statelessness means placement never enters the computation.
+///
+/// # Errors
+///
+/// Propagates hard configuration errors ([`LcaError`]).
+pub fn replay_shard_traffic<O>(
+    lca: &LcaKp,
+    oracle: &O,
+    shared_seed: &Seed,
+    service_root: &Seed,
+    admitted: &[(usize, Arrival)],
+    shard: usize,
+    service: &ServiceConfig,
+) -> Result<Vec<(usize, Answered)>, LcaError>
+where
+    O: ItemOracle + WeightedSampler,
+{
+    let ctx = SharedCtx {
+        lca,
+        oracle,
+        shared_seed,
+        service_root,
+        config: service,
+        chaos: None,
+        cached: None,
+    };
+    let cap = service.worker_access_cap.unwrap_or(u64::MAX);
+    let mut core = ShardTrafficCore {
+        clock: TickClock::new(),
+        breaker: CircuitBreaker::new(service.breaker),
+        budgeted: BudgetedOracle::new(oracle, cap),
+        scratch: QueryScratch::default(),
+    };
+    let mut answers = Vec::with_capacity(admitted.len());
+    for &(index, arrival) in admitted {
+        if arrival.at_tick > core.clock.now() {
+            core.clock.advance(arrival.at_tick - core.clock.now());
+        }
+        core.clock.advance(service.dispatch_cost_ticks);
+        let faulty = FaultyOracle::new(
+            &core.budgeted,
+            FaultPlan::none(),
+            service_root.derive(FAULT_DOMAIN, index as u64),
+        );
+        let answer = serve_one(
+            &ctx,
+            &core.clock,
+            &mut core.breaker,
+            &faulty,
+            &core.budgeted,
+            &mut core.scratch,
+            shard,
+            index,
+            arrival.item,
+        )?;
+        core.clock.advance(arrival.extra_cost_ticks);
+        answers.push((index, answer));
+    }
+    Ok(answers)
 }
 
 #[cfg(test)]
@@ -1078,6 +2063,267 @@ mod tests {
             32,
             "even the bug never drops silently"
         );
+    }
+
+    use crate::traffic::{generate_trace, TrafficConfig, TrafficShape};
+
+    /// Measures the per-query service cost the way E17's simulator
+    /// does: a back-to-back steady probe, mean ticks per answer.
+    fn probe_cost(world: &World) -> u64 {
+        let oracle = InstanceOracle::new(&world.norm);
+        let admitted: Vec<(usize, Arrival)> = (0..32)
+            .map(|i| {
+                (
+                    i,
+                    Arrival {
+                        at_tick: (i + 1) as u64,
+                        item: ItemId(i % world.norm.len()),
+                        shard: 0,
+                        extra_cost_ticks: 0,
+                    },
+                )
+            })
+            .collect();
+        let answers = replay_shard_traffic(
+            &world.lca,
+            &oracle,
+            &Seed::from_entropy_u64(41),
+            &Seed::from_entropy_u64(42),
+            &admitted,
+            0,
+            &world.config.base,
+        )
+        .unwrap();
+        (answers.last().unwrap().1.end_tick / 32).max(1)
+    }
+
+    /// An overload-ready traffic cluster: thresholds scaled to the
+    /// measured per-query cost, hot-shard arrivals at twice capacity.
+    fn traffic_world(world: &World, cost: u64) -> (ClusterTrafficConfig, Vec<Arrival>) {
+        let mut service = world.config.base.clone();
+        service.deadline_ticks = cost * 8;
+        let admission = AdmissionConfig {
+            enter_queue_depth: 6,
+            exit_queue_depth: 2,
+            enter_miss_permille: 250,
+            exit_miss_permille: 60,
+            hysteresis_ticks: cost * 8,
+            shed_permille: 400,
+            queue_depth_normal: 12,
+            queue_depth_overloaded: 4,
+        };
+        let rebalance = RebalanceConfig {
+            enter_queue_depth: 6,
+            enter_miss_permille: 250,
+            target_queue_depth: 3,
+            hysteresis_ticks: cost * 4,
+            window_ticks: cost * 64,
+            max_promotions_per_shard: 2,
+        };
+        let config = ClusterTrafficConfig {
+            nodes: 3,
+            replication: 2,
+            shards: 4,
+            vnodes: 64,
+            service,
+            admission,
+            discipline: Some(AdmissionDiscipline::Faithful),
+            rebalance: Some(rebalance),
+            routing: RebalanceDiscipline::Faithful,
+        };
+        let trace = generate_trace(
+            &Seed::from_entropy_u64(43),
+            &TrafficConfig {
+                shape: TrafficShape::HotShard,
+                arrivals: 160,
+                mean_gap_ticks: (cost / 2).max(1),
+                universe: world.norm.len(),
+                shards: config.shards,
+            },
+        );
+        (config, trace)
+    }
+
+    fn run_traffic(
+        world: &World,
+        config: &ClusterTrafficConfig,
+        trace: &[Arrival],
+        events: &[NodeEvent],
+    ) -> ClusterTrafficReport {
+        let oracle = InstanceOracle::new(&world.norm);
+        serve_cluster_traffic(
+            &world.lca,
+            &oracle,
+            &Seed::from_entropy_u64(41),
+            &Seed::from_entropy_u64(42),
+            trace,
+            config,
+            events,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn hot_shard_overload_promotes_deterministically_with_honest_audits() {
+        let world = world(24, 12);
+        let cost = probe_cost(&world);
+        let (config, trace) = traffic_world(&world, cost);
+        let first = run_traffic(&world, &config, &trace, &[]);
+        let second = run_traffic(&world, &config, &trace, &[]);
+        assert_eq!(first, second, "traffic cluster must be deterministic");
+        assert_eq!(first.outcomes.len(), trace.len(), "no silent drops");
+        assert!(
+            first.promotion_count() > 0,
+            "a hot shard at 2x capacity must trigger relief"
+        );
+        // Rebalance honesty: every promotion cites a hot signal and a
+        // live under-loaded target, and epochs strictly increase.
+        let rebalance = config.rebalance.unwrap();
+        let mut last_epoch = RingEpoch::BOOT;
+        for audit in &first.rebalance_audits {
+            assert!(
+                audit.signal.queue_depth >= rebalance.enter_queue_depth
+                    || audit.signal.deadline_miss_permille >= rebalance.enter_miss_permille,
+                "promotion without an overloaded source: {audit}"
+            );
+            assert!(audit.target_alive);
+            assert!(audit.target_queue_depth < rebalance.target_queue_depth);
+            assert!(audit.decision.epoch > last_epoch, "epochs must increase");
+            last_epoch = audit.decision.epoch;
+        }
+        assert_eq!(first.final_epoch, last_epoch);
+        assert_eq!(first.stale_sheds(), 0, "faithful routing never goes stale");
+        // The promoted shard records its new acting owner.
+        let moved = first
+            .shards
+            .iter()
+            .find(|ownership| ownership.promotions > 0)
+            .expect("some shard was promoted");
+        assert!(moved.owners.len() >= 2);
+    }
+
+    #[test]
+    fn migrated_answers_are_byte_identical_to_the_standalone_replay() {
+        let world = world(24, 12);
+        let cost = probe_cost(&world);
+        let (config, trace) = traffic_world(&world, cost);
+        let report = run_traffic(&world, &config, &trace, &[]);
+        assert!(report.promotion_count() > 0, "the check needs a migration");
+        let oracle = InstanceOracle::new(&world.norm);
+        for shard in 0..config.shards {
+            let admitted: Vec<(usize, Arrival)> = report
+                .outcomes
+                .iter()
+                .filter(|routed| {
+                    routed.outcome.shard == shard
+                        && matches!(
+                            routed.outcome.disposition,
+                            TrafficDisposition::Answered { .. }
+                        )
+                })
+                .map(|routed| (routed.outcome.index, trace[routed.outcome.index]))
+                .collect();
+            let replayed = replay_shard_traffic(
+                &world.lca,
+                &oracle,
+                &Seed::from_entropy_u64(41),
+                &Seed::from_entropy_u64(42),
+                &admitted,
+                shard,
+                &config.service,
+            )
+            .unwrap();
+            let mut position = 0usize;
+            for routed in &report.outcomes {
+                if routed.outcome.shard != shard {
+                    continue;
+                }
+                if let TrafficDisposition::Answered { answer, .. } = routed.outcome.disposition {
+                    assert_eq!(
+                        replayed[position],
+                        (routed.outcome.index, answer),
+                        "migration must be invisible in the answer bytes"
+                    );
+                    position += 1;
+                }
+            }
+            assert_eq!(position, replayed.len());
+        }
+    }
+
+    #[test]
+    fn stale_epoch_routing_sheds_with_both_epochs_on_record() {
+        let world = world(24, 12);
+        let cost = probe_cost(&world);
+        let (mut config, trace) = traffic_world(&world, cost);
+        config.routing = RebalanceDiscipline::StaleEpoch;
+        let report = run_traffic(&world, &config, &trace, &[]);
+        assert!(report.promotion_count() > 0, "staleness needs a promotion");
+        assert!(
+            report.stale_sheds() > 0,
+            "the frozen router must misroute after the ring moved"
+        );
+        let audit = report
+            .shed_audits
+            .iter()
+            .find(|audit| matches!(audit.reason, ShedReason::StaleRingEpoch { .. }))
+            .expect("stale sheds leave audits");
+        assert!(
+            !audit.reachable_replicas.is_empty(),
+            "the true owner was alive and reachable the whole time"
+        );
+        if let ShedReason::StaleRingEpoch { seen, current, .. } = audit.reason {
+            assert_eq!(seen, RingEpoch::BOOT);
+            assert!(current > seen);
+        }
+        assert_eq!(report.outcomes.len(), trace.len(), "never a silent drop");
+    }
+
+    #[test]
+    fn crash_after_promotion_replays_the_reached_epoch_from_journals() {
+        let world = world(24, 12);
+        let cost = probe_cost(&world);
+        let (config, trace) = traffic_world(&world, cost);
+        let clean = run_traffic(&world, &config, &trace, &[]);
+        assert!(clean.promotion_count() > 0);
+        let first_promotion = clean.rebalance_audits[0].decision.at_tick;
+        // Crash the donating node right after the promotion, tearing
+        // its last journal append mid-replication.
+        let victim = clean.rebalance_audits[0].decision.from;
+        let report = run_traffic(
+            &world,
+            &config,
+            &trace,
+            &[NodeEvent::NodeCrash {
+                node: victim,
+                at_tick: first_promotion + 1,
+                torn_keep: Some(3),
+            }],
+        );
+        let replay = report
+            .epoch_replays
+            .first()
+            .expect("a crash leaves an epoch-replay record");
+        assert_eq!(replay.node, victim);
+        assert!(replay.epoch_at_crash >= RingEpoch(1));
+        assert_eq!(
+            replay.replayed_epoch, replay.epoch_at_crash,
+            "recovery must come back on the epoch the cluster reached"
+        );
+        // The survivors' journals carry the ring change itself.
+        let ring_changes = report
+            .nodes
+            .iter()
+            .flat_map(|node| {
+                node.journal
+                    .decode(DecodeMode::Recover)
+                    .expect("node journals decode")
+                    .records
+            })
+            .filter(|record| matches!(record, JournalRecord::RingChange { .. }))
+            .count();
+        assert!(ring_changes > 0);
+        assert_eq!(report.outcomes.len(), trace.len(), "never a silent drop");
     }
 
     #[test]

@@ -37,6 +37,7 @@
 
 use crate::admission::ShedReason;
 use crate::breaker::{BreakerEvent, BreakerSnapshot, BreakerState, TransitionCause};
+use crate::ring::{NodeId, RingEpoch};
 use crate::service::{Answered, FallbackTrigger};
 use lcakp_core::{DegradationReason, ResponseTier};
 use std::fmt;
@@ -57,6 +58,7 @@ const TAG_ADMITTED: u8 = 1;
 const TAG_ANSWERED: u8 = 2;
 const TAG_SHED: u8 = 3;
 const TAG_SNAPSHOT: u8 = 4;
+const TAG_RING_CHANGE: u8 = 5;
 
 /// Why journal bytes could not be decoded (or a recovery could not
 /// proceed). Every variant names the byte offset of the offending
@@ -203,6 +205,20 @@ pub enum JournalRecord {
     },
     /// The worker's full serving state after the preceding record.
     Snapshot(WorkerSnapshot),
+    /// The cluster's ring advanced one epoch: a rebalance promoted a
+    /// replica to acting owner of a shard. Written to every live node's
+    /// journal so failover recovery replays the epoch the cluster had
+    /// actually reached — not the boot view — before re-routing.
+    RingChange {
+        /// The epoch the ring advanced *to*.
+        epoch: RingEpoch,
+        /// The shard whose acting owner changed.
+        shard: u64,
+        /// The node that donated the shard.
+        from: NodeId,
+        /// The replica promoted to acting owner.
+        to: NodeId,
+    },
 }
 
 impl JournalRecord {
@@ -243,18 +259,32 @@ impl JournalRecord {
                 encode_snapshot(&mut enc, snapshot);
                 TAG_SNAPSHOT
             }
+            JournalRecord::RingChange {
+                epoch,
+                shard,
+                from,
+                to,
+            } => {
+                enc.u64(epoch.get());
+                enc.u64(*shard);
+                enc.u64(from.0 as u64);
+                enc.u64(to.0 as u64);
+                TAG_RING_CHANGE
+            }
         };
         frame_into(tag, scratch, out);
     }
 
-    /// The batch position this record is about (`None` for snapshots).
+    /// The batch position this record is about (`None` for snapshots
+    /// and ring changes, which are about the worker/cluster, not a
+    /// query).
     #[must_use]
     pub fn index(&self) -> Option<u64> {
         match self {
             JournalRecord::Admitted { index, .. }
             | JournalRecord::Answered { index, .. }
             | JournalRecord::Shed { index, .. } => Some(*index),
-            JournalRecord::Snapshot(_) => None,
+            JournalRecord::Snapshot(_) | JournalRecord::RingChange { .. } => None,
         }
     }
 }
@@ -365,6 +395,12 @@ fn decode_payload(tag: u8, payload: &[u8], offset: usize) -> Result<JournalRecor
             reason: decode_shed_reason(&mut dec)?,
         },
         TAG_SNAPSHOT => JournalRecord::Snapshot(decode_snapshot(&mut dec)?),
+        TAG_RING_CHANGE => JournalRecord::RingChange {
+            epoch: RingEpoch(dec.u64()?),
+            shard: dec.u64()?,
+            from: NodeId(dec.u64()? as usize),
+            to: NodeId(dec.u64()? as usize),
+        },
         other => return Err(RecoveryError::UnknownTag { offset, tag: other }),
     };
     dec.finish()?;
@@ -696,6 +732,16 @@ fn encode_shed_reason(enc: &mut Enc<'_>, reason: &ShedReason) {
             enc.u32(signal.shed_permille);
             enc.u32(signal.deadline_miss_permille);
         }
+        ShedReason::StaleRingEpoch {
+            shard,
+            seen,
+            current,
+        } => {
+            enc.u8(6);
+            enc.u64(*shard as u64);
+            enc.u64(seen.get());
+            enc.u64(current.get());
+        }
     }
 }
 
@@ -723,6 +769,11 @@ fn decode_shed_reason(dec: &mut Dec<'_>) -> Result<ShedReason, RecoveryError> {
                 shed_permille: dec.u32()?,
                 deadline_miss_permille: dec.u32()?,
             },
+        }),
+        6 => Ok(ShedReason::StaleRingEpoch {
+            shard: dec.u64()? as usize,
+            seen: RingEpoch(dec.u64()?),
+            current: RingEpoch(dec.u64()?),
         }),
         _ => Err(dec.bad("unknown shed-reason tag")),
     }
@@ -903,7 +954,21 @@ mod tests {
                     },
                 },
             },
+            JournalRecord::Shed {
+                index: 5,
+                reason: ShedReason::StaleRingEpoch {
+                    shard: 3,
+                    seen: RingEpoch(0),
+                    current: RingEpoch(2),
+                },
+            },
             JournalRecord::Snapshot(sample_snapshot()),
+            JournalRecord::RingChange {
+                epoch: RingEpoch(2),
+                shard: 3,
+                from: NodeId(0),
+                to: NodeId(2),
+            },
         ]
     }
 

@@ -36,9 +36,12 @@
 //!   discrete-event engine serving them (experiment E17).
 //! * [`slo`] — virtual-time latency percentiles, availability SLOs, and
 //!   the windowed load signal the adaptive controller reacts to.
+//! * [`rebalance`] — the admission-coupled ring-rebalance controller
+//!   promoting replicas for hot shards under epoch-versioned ring
+//!   updates (experiment E18).
 //!
 //! See `docs/robustness.md` for the design rationale and the
-//! E14/E15/E16/E17 acceptance criteria.
+//! E14/E15/E16/E17/E18 acceptance criteria.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,6 +55,7 @@ pub mod clock;
 pub mod cluster;
 pub mod deadline;
 pub mod journal;
+pub mod rebalance;
 pub mod ring;
 pub mod service;
 pub mod slo;
@@ -71,15 +75,20 @@ pub use chaos::{
 };
 pub use clock::{TickClock, VirtualClock};
 pub use cluster::{
-    serve_cluster, serve_shard_standalone, ClusterConfig, ClusterReport, NodeEvent, NodeTrace,
-    RoutingDiscipline, ShardTrace, ShedAudit,
+    replay_shard_traffic, serve_cluster, serve_cluster_traffic, serve_shard_standalone,
+    ClusterConfig, ClusterReport, ClusterTrafficConfig, ClusterTrafficReport, EpochReplay,
+    NodeEvent, NodeLoadTrace, NodeTrace, NodeTransition, RoutedOutcome, RoutingDiscipline,
+    ShardOwnership, ShardTrace, ShedAudit,
 };
 pub use deadline::{CostModel, DeadlineOracle, LatencyWindow};
 pub use journal::{
     decode, DecodeMode, DecodedJournal, Journal, JournalRecord, Recovered, RecoveryError,
     WorkerSnapshot,
 };
-pub use ring::{NodeId, ReplicaSet, Ring, RouteError};
+pub use rebalance::{
+    RebalanceAudit, RebalanceConfig, RebalanceController, RebalanceDecision, RebalanceDiscipline,
+};
+pub use ring::{NodeId, ReplicaSet, Ring, RingEpoch, RingView, RouteError};
 pub use service::{
     serve_batch, Answered, BatchReport, CrashDirective, CrashReport, Disposition, FallbackTrigger,
     FaultSchedule, QueryOutcome, RecoveryDiscipline, ServiceConfig, WorkerTrace,

@@ -221,6 +221,137 @@ impl Ring {
     }
 }
 
+/// The version counter of a [`RingView`]. Every promotion bumps it by
+/// exactly one, so "which placement did this router consult" is a
+/// single comparable integer — the property the E18 simulator's
+/// ring-epoch-monotonicity invariant pins, and the thing the planted
+/// stale-epoch router gets wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[must_use]
+pub struct RingEpoch(pub u64);
+
+impl RingEpoch {
+    /// The epoch every cluster boots at (before any promotion).
+    pub const BOOT: RingEpoch = RingEpoch(0);
+
+    /// The epoch after one more ring change.
+    pub fn next(self) -> RingEpoch {
+        RingEpoch(self.0 + 1)
+    }
+
+    /// The raw counter value.
+    #[must_use]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for RingEpoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "epoch-{}", self.0)
+    }
+}
+
+/// An epoch-versioned materialization of the ring: every shard's
+/// replica group, resolved once at boot, plus the promotions applied
+/// since. The underlying [`Ring`] stays the *placement* authority; the
+/// view is the *routing* authority — a promotion rotates one shard's
+/// group so a standby becomes acting owner without touching any other
+/// shard (the minimal-remap discipline the ring proptests pin), and
+/// bumps the epoch so a router holding a stale view is detectable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct RingView {
+    epoch: RingEpoch,
+    sets: Vec<ReplicaSet>,
+}
+
+impl RingView {
+    /// Materializes the boot view ([`RingEpoch::BOOT`]) of `ring` for
+    /// `shards` shards at the given replication factor.
+    ///
+    /// # Errors
+    ///
+    /// [`RouteError::EmptyRing`] when the membership is empty.
+    pub fn from_ring(
+        ring: &Ring,
+        shards: usize,
+        replication: usize,
+    ) -> Result<RingView, RouteError> {
+        let mut sets = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            sets.push(ring.replicas(shard, replication)?);
+        }
+        Ok(RingView {
+            epoch: RingEpoch::BOOT,
+            sets,
+        })
+    }
+
+    /// The view's version.
+    pub fn epoch(&self) -> RingEpoch {
+        self.epoch
+    }
+
+    /// Shards the view covers.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// The replica group currently serving `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn replica_set(&self, shard: usize) -> &ReplicaSet {
+        &self.sets[shard]
+    }
+
+    /// The acting owner of `shard`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    #[must_use]
+    pub fn primary(&self, shard: usize) -> NodeId {
+        self.sets[shard].primary()
+    }
+
+    /// Shards whose acting owner is `node`.
+    #[must_use]
+    pub fn primary_count(&self, node: NodeId) -> usize {
+        self.sets.iter().filter(|set| set.primary() == node).count()
+    }
+
+    /// Promotes `node` to acting owner of `shard` in place: the group
+    /// rotates so `node` leads and everyone it displaced shifts back
+    /// one slot (no member joins or leaves), and the epoch advances by
+    /// one. Returns the new epoch, or `None` (leaving the view — and
+    /// its epoch — untouched) when `node` is not a standby of the
+    /// group: promoting a non-member would teleport state the node
+    /// does not have, and "promoting" the sitting owner would burn an
+    /// epoch on a no-op.
+    ///
+    /// Runs allocation-free — the rotation happens inside the group's
+    /// existing buffer — so the rebalance decision path stays within
+    /// its hot-path budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard` is out of range.
+    pub fn promote(&mut self, shard: usize, node: NodeId) -> Option<RingEpoch> {
+        let nodes = &mut self.sets[shard].nodes;
+        let position = nodes.iter().position(|&member| member == node)?;
+        if position == 0 {
+            return None;
+        }
+        nodes[..=position].rotate_right(1);
+        self.epoch = self.epoch.next();
+        Some(self.epoch)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,5 +393,70 @@ mod tests {
         let ring = Ring::new(2, 16);
         let set = ring.replicas(7, 5).unwrap();
         assert_eq!(set.nodes().len(), 2);
+    }
+
+    #[test]
+    fn ring_epoch_display_and_next_are_stable() {
+        assert_eq!(RingEpoch::BOOT.to_string(), "epoch-0");
+        assert_eq!(RingEpoch::BOOT.next().to_string(), "epoch-1");
+        assert_eq!(RingEpoch(7).next().get(), 8);
+        assert!(RingEpoch(3) < RingEpoch(4));
+    }
+
+    #[test]
+    fn boot_view_matches_the_ring_at_epoch_zero() {
+        let ring = Ring::new(4, 64);
+        let view = RingView::from_ring(&ring, 16, 3).unwrap();
+        assert_eq!(view.epoch(), RingEpoch::BOOT);
+        assert_eq!(view.shards(), 16);
+        for shard in 0..16 {
+            assert_eq!(*view.replica_set(shard), ring.replicas(shard, 3).unwrap());
+            assert_eq!(
+                view.primary(shard),
+                ring.replicas(shard, 3).unwrap().primary()
+            );
+        }
+    }
+
+    #[test]
+    fn promote_rotates_one_group_bumps_the_epoch_and_keeps_membership() {
+        let ring = Ring::new(4, 64);
+        let mut view = RingView::from_ring(&ring, 16, 3).unwrap();
+        let boot = view.clone();
+        let shard = 5;
+        let standby = view.replica_set(shard).nodes()[1];
+        let epoch = view.promote(shard, standby).unwrap();
+        assert_eq!(epoch, RingEpoch(1));
+        assert_eq!(view.epoch(), RingEpoch(1));
+        assert_eq!(view.primary(shard), standby);
+        // Same members, owner first.
+        let mut before: Vec<NodeId> = boot.replica_set(shard).nodes().to_vec();
+        let mut after: Vec<NodeId> = view.replica_set(shard).nodes().to_vec();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+        // Every other shard is untouched.
+        for other in (0..16).filter(|&other| other != shard) {
+            assert_eq!(view.replica_set(other), boot.replica_set(other));
+        }
+    }
+
+    #[test]
+    fn promote_refuses_non_members_and_sitting_owners() {
+        let ring = Ring::new(3, 64);
+        let mut view = RingView::from_ring(&ring, 8, 2).unwrap();
+        let shard = 2;
+        let owner = view.primary(shard);
+        let outsider = (0..3)
+            .map(NodeId)
+            .find(|node| !view.replica_set(shard).contains(*node))
+            .unwrap();
+        assert_eq!(view.promote(shard, owner), None);
+        assert_eq!(view.promote(shard, outsider), None);
+        assert_eq!(
+            view.epoch(),
+            RingEpoch::BOOT,
+            "refusals must not burn epochs"
+        );
     }
 }

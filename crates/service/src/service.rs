@@ -529,7 +529,9 @@ fn replay_outcomes(records: &[JournalRecord], items: &[(usize, ItemId)]) -> Vec<
         let disposition = match record {
             JournalRecord::Answered { answer, .. } => Disposition::Answered(*answer),
             JournalRecord::Shed { reason, .. } => Disposition::Shed(*reason),
-            JournalRecord::Admitted { .. } | JournalRecord::Snapshot(_) => continue,
+            JournalRecord::Admitted { .. }
+            | JournalRecord::Snapshot(_)
+            | JournalRecord::RingChange { .. } => continue,
         };
         let index = record.index().expect("dispositions carry an index") as usize;
         if !seen.insert(index) {

@@ -9,9 +9,23 @@
 //!   group is drawn from the old group plus the newcomer;
 //! * **minimal remap on leave** — removing a node never changes the
 //!   primary of a shard it did not own, and replica groups that never
-//!   contained it are untouched.
+//!   contained it are untouched;
+//!
+//! plus the epoch-versioned view (the E18 satellite invariants):
+//!
+//! * **promotion is a minimal remap** — promoting a standby rotates
+//!   exactly one shard's group (same members, new leader), leaves every
+//!   other shard untouched, and bumps the epoch by exactly one;
+//!   refused promotions (sitting owner, non-member) change nothing;
+//! * **epoch strictly increases** — across any promotion sequence the
+//!   view's epoch is exactly the count of promotions applied;
+//! * **hottest-to-coldest promotions preserve the balance bound** —
+//!   promotions that shed load the way the rebalance controller does
+//!   (hottest acting owner donates to a strictly less-loaded standby)
+//!   never push the primary distribution outside the boot ring's
+//!   balance envelope.
 
-use lcakp_service::{NodeId, Ring};
+use lcakp_service::{NodeId, Ring, RingEpoch, RingView};
 use proptest::prelude::*;
 
 const VNODES: usize = 64;
@@ -107,6 +121,122 @@ proptest! {
                     "shard {}: group changed although {} was not in it",
                     shard,
                     departed
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn promotions_bump_the_epoch_and_remap_only_the_promoted_shard(
+        nodes in 2usize..7,
+        replication in 2usize..4,
+        picks in proptest::collection::vec((0usize..SHARDS, 0usize..4), 1..12),
+    ) {
+        let ring = Ring::new(nodes, VNODES);
+        let mut view = RingView::from_ring(&ring, SHARDS, replication).unwrap();
+        prop_assert_eq!(view.epoch(), RingEpoch::BOOT);
+        let mut applied = 0u64;
+        for (shard, pick) in picks {
+            let before = view.clone();
+            let group = before.replica_set(shard).nodes().to_vec();
+            let target = group[pick % group.len()];
+            let result = view.promote(shard, target);
+            if target == group[0] {
+                // "Promoting" the sitting owner is a refused no-op: no
+                // epoch burned, no group touched.
+                prop_assert_eq!(result, None);
+                prop_assert_eq!(&view, &before);
+                continue;
+            }
+            applied += 1;
+            let epoch = result.expect("promoting a standby must succeed");
+            prop_assert_eq!(
+                epoch,
+                RingEpoch(applied),
+                "epoch must advance by exactly one per promotion"
+            );
+            prop_assert_eq!(view.epoch(), epoch);
+            // Only the promoted shard's group changed...
+            for other in 0..SHARDS {
+                if other != shard {
+                    prop_assert_eq!(
+                        view.replica_set(other),
+                        before.replica_set(other),
+                        "shard {} remapped by a promotion on shard {}",
+                        other,
+                        shard
+                    );
+                }
+            }
+            // ...and it changed by rotation only: same membership, the
+            // promoted standby now leads.
+            prop_assert_eq!(view.primary(shard), target);
+            let mut now = view.replica_set(shard).nodes().to_vec();
+            let mut was = group;
+            now.sort_unstable();
+            was.sort_unstable();
+            prop_assert_eq!(now, was, "promotion must not add or drop members");
+        }
+        // A non-member can never be promoted: nothing moves, no epoch.
+        let before = view.clone();
+        prop_assert_eq!(view.promote(0, NodeId(nodes)), None);
+        prop_assert_eq!(view, before);
+    }
+
+    #[test]
+    fn hottest_to_coldest_promotions_preserve_the_balance_bound(
+        nodes in 2usize..9,
+        replication in 2usize..4,
+        rounds in 1usize..9,
+    ) {
+        let ring = Ring::new(nodes, VNODES);
+        let mut view = RingView::from_ring(&ring, SHARDS, replication).unwrap();
+        let fair = SHARDS / nodes;
+        for round in 0..rounds {
+            // Mimic the rebalance controller's target selection: the
+            // hottest acting owner donates one shard to its least-loaded
+            // standby, and only when that standby is strictly less
+            // loaded even after taking the shard.
+            let hottest = (0..nodes)
+                .map(NodeId)
+                .max_by_key(|&node| view.primary_count(node))
+                .unwrap();
+            let mut best: Option<(usize, NodeId, usize)> = None;
+            for shard in 0..SHARDS {
+                if view.primary(shard) != hottest {
+                    continue;
+                }
+                for &standby in &view.replica_set(shard).nodes()[1..] {
+                    let load = view.primary_count(standby);
+                    if load + 1 < view.primary_count(hottest)
+                        && best.is_none_or(|(_, _, lightest)| load < lightest)
+                    {
+                        best = Some((shard, standby, load));
+                    }
+                }
+            }
+            // No strictly-improving move left: the view is as balanced
+            // as single promotions can make it.
+            let Some((shard, target, _)) = best else { break };
+            let epoch = view
+                .promote(shard, target)
+                .expect("the chosen target is a standby of the shard");
+            prop_assert_eq!(epoch, RingEpoch(round as u64 + 1));
+            for node in (0..nodes).map(NodeId) {
+                let count = view.primary_count(node);
+                prop_assert!(
+                    count <= 2 * fair,
+                    "{node} owns {count} of {SHARDS} shards after a load-shedding \
+                     promotion (fair share {fair})"
+                );
+                prop_assert!(
+                    count >= fair / 4,
+                    "{node} starved to {count} of {SHARDS} shards after a \
+                     load-shedding promotion (fair share {fair})"
                 );
             }
         }

@@ -304,7 +304,7 @@ impl ClusterWorld {
 /// doesn't have, worker-level E15 events, and degenerate partitions
 /// (cutting nobody or everybody) are dropped — shrunk or hand-written
 /// schedules may contain them.
-fn map_node_events(events: &[SimEvent], horizon: u64, nodes: usize) -> Vec<NodeEvent> {
+pub(crate) fn map_node_events(events: &[SimEvent], horizon: u64, nodes: usize) -> Vec<NodeEvent> {
     let at = |permille: u32| horizon * u64::from(permille) / 1000;
     let mut mapped = Vec::new();
     for event in events {

@@ -24,10 +24,17 @@
 //! cluster-level reasons, and two cluster-only invariants join: a shed
 //! while a live replica was reachable is a routing bug, and surviving
 //! replicas must agree byte-for-byte on every answer.
+//!
+//! [`check_rebalance_run`] covers the E18 traffic-driven cluster: every
+//! promotion must be justified by its own audit trail (rebalance
+//! honesty), bounded per shard per window (no ping-pong), and strictly
+//! epoch-increasing; stale-epoch sheds and epoch-losing recoveries are
+//! always violations.
 
 use lcakp_service::{
-    AdmissionConfig, BatchReport, ClusterReport, DecodeMode, Disposition, Journal, JournalRecord,
-    OpenLoopReport, QueryOutcome, RecoveryError, ShedReason, TrafficDisposition,
+    AdmissionConfig, BatchReport, ClusterReport, ClusterTrafficReport, DecodeMode, Disposition,
+    Journal, JournalRecord, OpenLoopReport, QueryOutcome, RebalanceConfig, RecoveryError,
+    RingEpoch, ShedReason, TrafficDisposition,
 };
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -116,6 +123,52 @@ pub enum Violation {
         /// Trace position of the needlessly shed arrival.
         index: usize,
     },
+    /// Rebalance honesty (E18): a promotion whose recorded source
+    /// signal was calm, or whose target was dead or already at the busy
+    /// bound — the controller may never cite a justification the audit
+    /// trail contradicts.
+    UnjustifiedPromotion {
+        /// The wrongly promoted shard.
+        shard: usize,
+        /// The promotion's virtual tick.
+        at_tick: u64,
+    },
+    /// No ping-pong (E18): one shard was promoted more often inside a
+    /// rebalance window than the dual-hysteresis bound allows.
+    PromotionPingPong {
+        /// The oscillating shard.
+        shard: usize,
+        /// Promotions observed inside one window.
+        promotions: u32,
+    },
+    /// Ring-epoch monotonicity (E18): a promotion failed to strictly
+    /// increase the ring epoch.
+    EpochNotMonotone {
+        /// The offending epoch value.
+        epoch: u64,
+    },
+    /// Stale-epoch routing (E18): an arrival shed with
+    /// [`ShedReason::StaleRingEpoch`] — the signature of the planted
+    /// stale-router bug (faithful routing never sheds on an epoch).
+    StaleEpochShed {
+        /// Trace position of the stale-shed arrival.
+        index: usize,
+    },
+    /// Migration transparency (E18): an answer the cluster acknowledged
+    /// for a (possibly migrated) shard diverged byte-for-byte from the
+    /// shard's standalone replay of the same admitted subsequence.
+    MigratedAnswerMismatch {
+        /// The shard whose answers diverged.
+        shard: usize,
+        /// Trace position of the first diverging answer.
+        index: usize,
+    },
+    /// Epoch replay (E18): a crashed node's surviving journals replayed
+    /// an older ring epoch than the cluster had reached at crash time.
+    EpochReplayMismatch {
+        /// The node whose recovery lost the epoch.
+        node: usize,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -159,6 +212,27 @@ impl fmt::Display for Violation {
             }
             Violation::OverloadShedUnderCapacity { index } => {
                 write!(f, "overload-shed-under-capacity(index={index})")
+            }
+            Violation::UnjustifiedPromotion { shard, at_tick } => {
+                write!(f, "unjustified-promotion(shard={shard}, tick={at_tick})")
+            }
+            Violation::PromotionPingPong { shard, promotions } => {
+                write!(
+                    f,
+                    "promotion-ping-pong(shard={shard}, promotions={promotions})"
+                )
+            }
+            Violation::EpochNotMonotone { epoch } => {
+                write!(f, "epoch-not-monotone(epoch={epoch})")
+            }
+            Violation::StaleEpochShed { index } => {
+                write!(f, "stale-epoch-shed(index={index})")
+            }
+            Violation::MigratedAnswerMismatch { shard, index } => {
+                write!(f, "migrated-answer-mismatch(shard={shard}, index={index})")
+            }
+            Violation::EpochReplayMismatch { node } => {
+                write!(f, "epoch-replay-mismatch(node={node})")
             }
         }
     }
@@ -260,7 +334,7 @@ fn journal_violations(
                     });
                 }
             }
-            JournalRecord::Admitted { .. } => {}
+            JournalRecord::Admitted { .. } | JournalRecord::RingChange { .. } => {}
         }
     }
     // Write-ahead discipline: acknowledged answers must be journaled by
@@ -459,6 +533,127 @@ pub fn check_slo_run(
     violations
 }
 
+/// Checks the E18 rebalance invariants of one traffic-driven cluster
+/// run. `arrivals` is the offered trace length. The checks need no
+/// twin — every one reads the run's own audit trail:
+///
+/// * **liveness** — every arrival terminates in exactly one outcome;
+/// * **rebalance honesty** — every promotion's audit cites a source
+///   signal at or above an enter threshold and a live target under the
+///   busy bound;
+/// * **no ping-pong** — no shard is promoted more than
+///   `max_promotions_per_shard` times inside one rebalance window;
+/// * **epoch monotonicity** — promotion epochs strictly increase from
+///   the boot epoch, and the report's final epoch is the last one;
+/// * **no stale sheds** — an arrival shed on a ring-epoch mismatch is
+///   always a routing bug (the planted stale-router's signature);
+/// * **epoch replay** — a crashed node's journals must replay the
+///   epoch the cluster had reached.
+///
+/// Migration byte-identity needs the world's oracle to replay shards
+/// standalone, so it lives in
+/// [`RebalanceWorld`](crate::RebalanceWorld), not here.
+pub fn check_rebalance_run(
+    faulted: &ClusterTrafficReport,
+    rebalance: &RebalanceConfig,
+    arrivals: usize,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Liveness: exactly one outcome per offered arrival — a crash or a
+    // partition may shed an arrival, never silently drop it.
+    let mut seen = BTreeSet::new();
+    for routed in &faulted.outcomes {
+        if !seen.insert(routed.outcome.index) {
+            violations.push(Violation::DuplicateOutcome {
+                index: routed.outcome.index,
+            });
+        }
+    }
+    for index in 0..arrivals {
+        if !seen.contains(&index) {
+            violations.push(Violation::MissingOutcome { index });
+        }
+    }
+
+    // Rebalance honesty: the audit trail must justify every promotion.
+    for audit in &faulted.rebalance_audits {
+        let hot = audit.signal.queue_depth >= rebalance.enter_queue_depth
+            || audit.signal.deadline_miss_permille >= rebalance.enter_miss_permille;
+        let target_ok =
+            audit.target_alive && audit.target_queue_depth < rebalance.target_queue_depth;
+        if !hot || !target_ok {
+            violations.push(Violation::UnjustifiedPromotion {
+                shard: audit.decision.shard,
+                at_tick: audit.decision.at_tick,
+            });
+        }
+    }
+
+    // No ping-pong: inside any rebalance window, a shard sees at most
+    // `max_promotions_per_shard` promotions.
+    let bound = rebalance.max_promotions_per_shard as usize;
+    let shard_count = faulted.shards.len();
+    for shard in 0..shard_count {
+        let ticks: Vec<u64> = faulted
+            .rebalance_audits
+            .iter()
+            .filter(|audit| audit.decision.shard == shard)
+            .map(|audit| audit.decision.at_tick)
+            .collect();
+        if (bound..ticks.len())
+            .any(|position| ticks[position] - ticks[position - bound] < rebalance.window_ticks)
+        {
+            violations.push(Violation::PromotionPingPong {
+                shard,
+                promotions: u32::try_from(bound + 1).unwrap_or(u32::MAX),
+            });
+        }
+    }
+
+    // Epoch monotonicity: strictly increasing from boot, and the final
+    // epoch is the last promotion's (or boot if none fired).
+    let mut last = RingEpoch::BOOT;
+    for audit in &faulted.rebalance_audits {
+        if audit.decision.epoch <= last {
+            violations.push(Violation::EpochNotMonotone {
+                epoch: audit.decision.epoch.get(),
+            });
+        }
+        last = last.max(audit.decision.epoch);
+    }
+    if faulted.final_epoch != last {
+        violations.push(Violation::EpochNotMonotone {
+            epoch: faulted.final_epoch.get(),
+        });
+    }
+
+    // No stale sheds: refusing work over a ring-epoch mismatch is never
+    // legitimate — any replica can serve any shard byte-identically.
+    for routed in &faulted.outcomes {
+        if matches!(
+            routed.outcome.disposition,
+            TrafficDisposition::Shed(ShedReason::StaleRingEpoch { .. })
+        ) {
+            violations.push(Violation::StaleEpochShed {
+                index: routed.outcome.index,
+            });
+        }
+    }
+
+    // Epoch replay: recovery must reconstruct the reached epoch from
+    // the synchronously replicated journals.
+    for replay in &faulted.epoch_replays {
+        if replay.replayed_epoch < replay.epoch_at_crash {
+            violations.push(Violation::EpochReplayMismatch {
+                node: replay.node.0,
+            });
+        }
+    }
+
+    violations
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -500,6 +695,38 @@ mod tests {
         assert_eq!(
             Violation::OverloadShedUnderCapacity { index: 7 }.to_string(),
             "overload-shed-under-capacity(index=7)"
+        );
+        assert_eq!(
+            Violation::UnjustifiedPromotion {
+                shard: 2,
+                at_tick: 99
+            }
+            .to_string(),
+            "unjustified-promotion(shard=2, tick=99)"
+        );
+        assert_eq!(
+            Violation::PromotionPingPong {
+                shard: 0,
+                promotions: 3
+            }
+            .to_string(),
+            "promotion-ping-pong(shard=0, promotions=3)"
+        );
+        assert_eq!(
+            Violation::EpochNotMonotone { epoch: 4 }.to_string(),
+            "epoch-not-monotone(epoch=4)"
+        );
+        assert_eq!(
+            Violation::StaleEpochShed { index: 8 }.to_string(),
+            "stale-epoch-shed(index=8)"
+        );
+        assert_eq!(
+            Violation::MigratedAnswerMismatch { shard: 1, index: 5 }.to_string(),
+            "migrated-answer-mismatch(shard=1, index=5)"
+        );
+        assert_eq!(
+            Violation::EpochReplayMismatch { node: 2 }.to_string(),
+            "epoch-replay-mismatch(node=2)"
         );
     }
 }

@@ -26,7 +26,15 @@
 //! * [`slo`] — the E17 extension: open-loop traffic schedules against
 //!   the adaptive admission controller, with admission-honesty,
 //!   hysteresis, and liveness invariants checked against an
-//!   admission-free twin, and the `e17_slo --smoke` JSON.
+//!   admission-free twin, and the `e17_slo --smoke` JSON;
+//! * [`calibrate`] — the per-query service-cost probe the traffic
+//!   simulators share, so E17 and E18 schedules are expressed in the
+//!   same unit;
+//! * [`rebalance`] — the E18 extension: traffic-and-fault schedules
+//!   against the admission-coupled ring-rebalance controller, with
+//!   rebalance-honesty, anti-ping-pong, epoch-monotonicity, and
+//!   migration byte-identity invariants, relief measured against a
+//!   frozen-ring twin, and the `e18_rebalance --smoke` JSON.
 //!
 //! See `docs/robustness.md` ("Crash–recovery & simulation" and
 //! "Cluster failover & partitions") for the journal format, the
@@ -36,13 +44,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod calibrate;
 pub mod cluster;
 pub mod harness;
 pub mod invariants;
+pub mod rebalance;
 pub mod schedule;
 pub mod shrink;
 pub mod slo;
 
+pub use calibrate::calibrate_cost;
 pub use cluster::{
     render_cluster_json, run_cluster_range, run_cluster_smoke, ClusterCaseResult, ClusterCaseStats,
     ClusterSimConfig, ClusterSimReport, ClusterWorld, E16_SMOKE_CASES,
@@ -51,8 +62,16 @@ pub use harness::{
     render_json, run_range, run_smoke, CaseResult, CaseStats, Repro, SimConfig, SimReport,
     SimWorld, SMOKE_CASES,
 };
-pub use invariants::{check_cluster_run, check_run, check_slo_run, Violation};
-pub use schedule::{generate_cluster_schedule, generate_schedule, generate_slo_schedule, SimEvent};
+pub use invariants::{check_cluster_run, check_rebalance_run, check_run, check_slo_run, Violation};
+pub use rebalance::{
+    hunt_planted_rebalance_bug, render_rebalance_json, run_rebalance_range, run_rebalance_smoke,
+    RebalanceCaseResult, RebalanceCaseStats, RebalanceSimConfig, RebalanceSimReport,
+    RebalanceWorld, E18_SMOKE_CASES,
+};
+pub use schedule::{
+    generate_cluster_schedule, generate_rebalance_schedule, generate_schedule,
+    generate_slo_schedule, SimEvent,
+};
 pub use shrink::{shrink, Shrunk};
 pub use slo::{
     hunt_planted_bug, render_slo_json, run_slo_range, run_slo_smoke, slo_target_permille,

@@ -1,0 +1,681 @@
+//! The E18 rebalance simulator: traffic-driven cluster schedules
+//! against the admission-coupled ring-rebalance controller.
+//!
+//! Each case derives one load-concentrating traffic shape (hot shard,
+//! bursty, or query of death), an optional overload surge, and node
+//! crash/restart/partition events from `(root, case)`, then runs
+//! [`serve_cluster_traffic`] twice over the same trace and faults: the
+//! *controlled* run with the [`RebalanceController`] armed, and its
+//! *no-rebalance twin* (same admission, the ring frozen at boot).
+//! [`check_rebalance_run`] verifies the E18 invariants on the
+//! controlled run's own audit trail:
+//!
+//! * **rebalance honesty** — every promotion cites an overloaded
+//!   source signal and a live, under-loaded target;
+//! * **no ping-pong** — promotions per shard per window stay under the
+//!   dual-hysteresis bound;
+//! * **epoch monotonicity** — ring epochs strictly increase, and a
+//!   crashed node's journals replay the epoch the cluster reached;
+//! * **migration byte-identity** — every acknowledged answer matches
+//!   the shard's standalone replay of the same admitted subsequence
+//!   (Theorem 4.1's consistency guarantee across a migration).
+//!
+//! The twin is the *relief* baseline: across the range, promotion must
+//! demonstrably help at least one hot-shard scenario — neither the
+//! hottest node's p99 nor the cluster shed rate worse than the frozen
+//! ring's, and at least one strictly better.
+//! [`RebalanceDiscipline::Faithful`] must survive every schedule;
+//! [`RebalanceDiscipline::StaleEpoch`] is the planted bug (a router
+//! that keeps serving from the boot ring view after a promotion), which
+//! the simulator catches as stale-epoch sheds and shrinks to a
+//! replayable repro.
+//!
+//! [`RebalanceController`]: lcakp_service::RebalanceController
+
+use crate::calibrate::calibrate_cost;
+use crate::cluster::map_node_events;
+use crate::harness::Repro;
+use crate::invariants::{check_rebalance_run, Violation};
+use crate::schedule::{generate_rebalance_schedule, SimEvent};
+use crate::shrink::shrink;
+use crate::slo::apply_surge;
+use lcakp_core::{LcaError, LcaKp};
+use lcakp_knapsack::iky::Epsilon;
+use lcakp_knapsack::NormalizedInstance;
+use lcakp_oracle::{InstanceOracle, Seed};
+use lcakp_reproducible::SampleBudget;
+use lcakp_service::{
+    generate_trace, replay_shard_traffic, seed_to_u64, serve_cluster_traffic, AdmissionConfig,
+    AdmissionDiscipline, Arrival, BreakerConfig, ClusterTrafficConfig, ClusterTrafficReport,
+    RebalanceConfig, RebalanceDiscipline, ServiceConfig, TrafficConfig, TrafficDisposition,
+    TrafficShape,
+};
+use lcakp_workloads::{Family, WorkloadSpec};
+use std::fmt::Write as _;
+use std::ops::Range;
+
+/// Rebalance-simulator tuning. The defaults keep one case (controlled
+/// run + no-rebalance twin + per-shard standalone replays) in the tens
+/// of milliseconds so seed ranges and shrink loops stay affordable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceSimConfig {
+    /// Instance size (arrivals query items `0..n`).
+    pub n: usize,
+    /// Nodes in the simulated membership.
+    pub nodes: usize,
+    /// Replicas per shard.
+    pub replication: usize,
+    /// Shards arrivals are routed over.
+    pub shards: usize,
+    /// Arrivals per generated trace.
+    pub arrivals: usize,
+    /// Routing discipline under test —
+    /// [`RebalanceDiscipline::Faithful`] must survive every schedule;
+    /// [`RebalanceDiscipline::StaleEpoch`] is the planted bug.
+    pub routing: RebalanceDiscipline,
+}
+
+impl Default for RebalanceSimConfig {
+    fn default() -> Self {
+        RebalanceSimConfig {
+            n: 24,
+            nodes: 3,
+            replication: 2,
+            shards: 4,
+            arrivals: 160,
+            routing: RebalanceDiscipline::Faithful,
+        }
+    }
+}
+
+/// The fixed world one rebalance simulation runs in: the instance, the
+/// LCA, the seeds, and the calibration every schedule is expressed
+/// against. Everything here depends only on `(root, config)` — the
+/// schedule is the entire difference between two cases.
+#[derive(Debug)]
+pub struct RebalanceWorld {
+    norm: NormalizedInstance,
+    lca: LcaKp,
+    shared_seed: Seed,
+    service_root: Seed,
+    trace_root: Seed,
+    cluster: ClusterTrafficConfig,
+    arrivals: usize,
+    /// Measured mean service ticks per query (the unit every schedule
+    /// gap is permille of).
+    cost: u64,
+}
+
+/// Headline counters of one controlled run, with its no-rebalance
+/// twin's load figures alongside (rendered into the smoke JSON).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebalanceCaseStats {
+    /// Arrivals the trace offered.
+    pub offered: u64,
+    /// Arrivals answered.
+    pub answered: u64,
+    /// Arrivals shed with a typed reason.
+    pub shed: u64,
+    /// Ring promotions the rebalance controller fired.
+    pub promotions: usize,
+    /// Arrival-time acting-owner changes caused by faults (not by
+    /// promotions).
+    pub failovers: usize,
+    /// Sheds blaming a stale ring epoch (zero under faithful routing).
+    pub stale_sheds: usize,
+    /// The final ring epoch.
+    pub final_epoch: u64,
+    /// The hottest node's p99 end-to-end latency, virtual ticks.
+    pub p99_ticks: u64,
+    /// The same figure for the no-rebalance twin.
+    pub twin_p99_ticks: u64,
+    /// Cluster-wide shed rate, permille of offered arrivals.
+    pub shed_permille: u32,
+    /// The same figure for the no-rebalance twin.
+    pub twin_shed_permille: u32,
+    /// Whether rebalancing demonstrably relieved the cluster: at least
+    /// one promotion fired, neither load figure got worse than the
+    /// frozen-ring twin's, and at least one strictly improved.
+    pub relieved: bool,
+}
+
+/// One simulated rebalance case: its schedule, run counters,
+/// violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceCaseResult {
+    /// The case number (schedule seed index).
+    pub case: u64,
+    /// The generated traffic-and-fault schedule.
+    pub events: Vec<SimEvent>,
+    /// Counters of the controlled run (and its twin's baselines).
+    pub stats: RebalanceCaseStats,
+    /// Invariant violations (empty = the case passed).
+    pub violations: Vec<Violation>,
+}
+
+/// Everything [`run_rebalance_range`] learned: per-case results plus
+/// the first violation's shrunk repro.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RebalanceSimReport {
+    /// One entry per case, in case order.
+    pub cases: Vec<RebalanceCaseResult>,
+    /// Shrunk repro of the first violating case, if any violated.
+    pub repro: Option<Repro>,
+}
+
+impl RebalanceSimReport {
+    /// Total violations across the range.
+    pub fn total_violations(&self) -> usize {
+        self.cases.iter().map(|case| case.violations.len()).sum()
+    }
+
+    /// Whether at least one hot-shard case was demonstrably relieved —
+    /// the scenario the rebalance controller exists for. Not every
+    /// hot-shard case can be: a partition may isolate every standby, or
+    /// answering the arrivals the frozen-ring twin would have shed can
+    /// legitimately widen the donor's latency tail even as the shed
+    /// rate collapses.
+    pub fn hot_shard_relieved(&self) -> bool {
+        self.cases
+            .iter()
+            .filter(|case| {
+                case.events.iter().any(|event| {
+                    matches!(
+                        event,
+                        SimEvent::Traffic {
+                            shape: TrafficShape::HotShard,
+                            ..
+                        }
+                    )
+                })
+            })
+            .any(|case| case.stats.relieved)
+    }
+}
+
+impl RebalanceWorld {
+    /// Builds the world for `root`: the same dominated instance family
+    /// and tuning as the E15/E16/E17 worlds — under rebalance-specific
+    /// domain labels, so the simulators' random streams stay
+    /// independent — then calibrates the per-query service cost with
+    /// the shared probe and scales the SLO deadline, the admission
+    /// hysteresis, and the rebalance dwell/window to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates workload generation, LCA construction, and probe-run
+    /// errors.
+    pub fn build(root: &Seed, config: &RebalanceSimConfig) -> Result<RebalanceWorld, LcaError> {
+        let workload_seed = seed_to_u64(&root.derive("sim/rebalance-workload", 0));
+        let norm = WorkloadSpec::new(Family::SmallDominated, config.n, workload_seed)
+            .generate_normalized()
+            .map_err(LcaError::from)?;
+        let lca =
+            LcaKp::new(Epsilon::new(1, 3)?)?.with_budget(SampleBudget::Calibrated { factor: 0.01 });
+        let shared_seed = root.derive("sim/rebalance-shared", 0);
+        let service_root = root.derive("sim/rebalance-serving", 0);
+        let trace_root = root.derive("sim/rebalance-trace", 0);
+        let mut service = ServiceConfig {
+            workers: 1,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown_ticks: 6,
+                half_open_probes: 1,
+            },
+            ..ServiceConfig::default()
+        };
+        let cost = calibrate_cost(
+            &lca,
+            &InstanceOracle::new(&norm),
+            &shared_seed,
+            &service_root,
+            &trace_root,
+            &service,
+            config.n,
+        )?;
+
+        // The same deadline/hysteresis scaling as the E17 world, plus
+        // the rebalance dual hysteresis: a short dwell (promote fast
+        // under genuine heat) under a long window (but never twice per
+        // shard back to back — the anti-ping-pong bound).
+        service.deadline_ticks = cost * 8;
+        let admission = AdmissionConfig {
+            enter_queue_depth: 6,
+            exit_queue_depth: 2,
+            enter_miss_permille: 250,
+            exit_miss_permille: 60,
+            hysteresis_ticks: cost * 8,
+            shed_permille: 400,
+            queue_depth_normal: 12,
+            queue_depth_overloaded: 4,
+        };
+        let rebalance = RebalanceConfig {
+            enter_queue_depth: 6,
+            enter_miss_permille: 250,
+            target_queue_depth: 3,
+            hysteresis_ticks: cost * 4,
+            window_ticks: cost * 64,
+            max_promotions_per_shard: 2,
+        };
+        Ok(RebalanceWorld {
+            norm,
+            lca,
+            shared_seed,
+            service_root,
+            trace_root,
+            cluster: ClusterTrafficConfig {
+                nodes: config.nodes,
+                replication: config.replication,
+                shards: config.shards,
+                vnodes: 64,
+                service,
+                admission,
+                discipline: Some(AdmissionDiscipline::Faithful),
+                rebalance: Some(rebalance),
+                routing: config.routing,
+            },
+            arrivals: config.arrivals,
+            cost,
+        })
+    }
+
+    /// The calibrated per-query service cost (ticks).
+    #[must_use]
+    pub fn cost(&self) -> u64 {
+        self.cost
+    }
+
+    /// Maps a schedule onto its arrival trace, exactly as the E17 world
+    /// does: the traffic event picks the shape and scales the mean gap
+    /// by the calibrated cost; each overload surge compresses the gaps
+    /// inside its window. An event list with no traffic event maps to
+    /// the empty trace.
+    #[must_use]
+    pub fn build_trace(&self, events: &[SimEvent]) -> Vec<Arrival> {
+        let Some((shape, gap_permille)) = events.iter().find_map(|event| match event {
+            SimEvent::Traffic {
+                shape,
+                gap_permille,
+            } => Some((*shape, *gap_permille)),
+            _ => None,
+        }) else {
+            return Vec::new();
+        };
+        let mut trace = generate_trace(
+            &self.trace_root,
+            &TrafficConfig {
+                shape,
+                arrivals: self.arrivals,
+                mean_gap_ticks: (self.cost * u64::from(gap_permille) / 1000).max(1),
+                universe: self.norm.len(),
+                shards: self.cluster.shards,
+            },
+        );
+        for event in events {
+            if let SimEvent::OverloadSurge {
+                start_permille,
+                len_permille,
+                gap_div,
+            } = event
+            {
+                apply_surge(&mut trace, *start_permille, *len_permille, *gap_div);
+            }
+        }
+        trace
+    }
+
+    /// Runs one schedule: builds the trace, maps the node faults onto
+    /// the trace horizon, runs the controlled cluster and its
+    /// no-rebalance twin, and checks every E18 invariant (including
+    /// migration byte-identity against per-shard standalone replays).
+    ///
+    /// # Errors
+    ///
+    /// Propagates hard serving errors from [`serve_cluster_traffic`].
+    pub fn run_schedule(
+        &self,
+        events: &[SimEvent],
+    ) -> Result<(RebalanceCaseStats, Vec<Violation>), LcaError> {
+        let trace = self.build_trace(events);
+        let horizon = trace.last().map_or(0, |arrival| arrival.at_tick).max(1);
+        let node_events = map_node_events(events, horizon, self.cluster.nodes);
+        let oracle = InstanceOracle::new(&self.norm);
+        let controlled = serve_cluster_traffic(
+            &self.lca,
+            &oracle,
+            &self.shared_seed,
+            &self.service_root,
+            &trace,
+            &self.cluster,
+            &node_events,
+        )?;
+        let twin = serve_cluster_traffic(
+            &self.lca,
+            &oracle,
+            &self.shared_seed,
+            &self.service_root,
+            &trace,
+            &ClusterTrafficConfig {
+                rebalance: None,
+                routing: RebalanceDiscipline::Faithful,
+                ..self.cluster.clone()
+            },
+            &node_events,
+        )?;
+        let rebalance = self
+            .cluster
+            .rebalance
+            .expect("the world always arms the controller");
+        let mut violations = check_rebalance_run(&controlled, &rebalance, trace.len());
+        violations.extend(self.migrated_mismatches(&controlled, &trace));
+        Ok((case_stats(&controlled, &twin), violations))
+    }
+
+    /// The migration byte-identity check: for every shard, the admitted
+    /// subsequence the cluster answered is replayed standalone — what
+    /// any replica computes from the shared seeds alone — and the
+    /// acknowledged answers must match byte-for-byte, no matter how
+    /// often the shard migrated mid-trace.
+    fn migrated_mismatches(
+        &self,
+        controlled: &ClusterTrafficReport,
+        trace: &[Arrival],
+    ) -> Vec<Violation> {
+        let oracle = InstanceOracle::new(&self.norm);
+        let mut violations = Vec::new();
+        for shard in 0..self.cluster.shards {
+            let admitted: Vec<(usize, Arrival)> = controlled
+                .outcomes
+                .iter()
+                .filter(|routed| {
+                    routed.outcome.shard == shard
+                        && matches!(
+                            routed.outcome.disposition,
+                            TrafficDisposition::Answered { .. }
+                        )
+                })
+                .map(|routed| (routed.outcome.index, trace[routed.outcome.index]))
+                .collect();
+            let Ok(replayed) = replay_shard_traffic(
+                &self.lca,
+                &oracle,
+                &self.shared_seed,
+                &self.service_root,
+                &admitted,
+                shard,
+                &self.cluster.service,
+            ) else {
+                // A replay that cannot even run is a world bug, not a
+                // byte-identity violation of this schedule.
+                continue;
+            };
+            let mut position = 0usize;
+            for routed in &controlled.outcomes {
+                if routed.outcome.shard != shard {
+                    continue;
+                }
+                if let TrafficDisposition::Answered { answer, .. } = routed.outcome.disposition {
+                    if replayed.get(position) != Some(&(routed.outcome.index, answer)) {
+                        violations.push(Violation::MigratedAnswerMismatch {
+                            shard,
+                            index: routed.outcome.index,
+                        });
+                        break;
+                    }
+                    position += 1;
+                }
+            }
+        }
+        violations
+    }
+
+    /// Convenience for shrink loops: violations only, with hard errors
+    /// treated as "no violation" (a schedule that cannot even run is
+    /// not a smaller repro of an invariant break).
+    pub fn violations_for(&self, events: &[SimEvent]) -> Vec<Violation> {
+        self.run_schedule(events)
+            .map(|(_, violations)| violations)
+            .unwrap_or_default()
+    }
+}
+
+/// Folds one controlled run and its no-rebalance twin into the
+/// headline stats, including the relief verdict.
+fn case_stats(
+    controlled: &ClusterTrafficReport,
+    twin: &ClusterTrafficReport,
+) -> RebalanceCaseStats {
+    let hottest_p99 = |report: &ClusterTrafficReport| {
+        report
+            .nodes
+            .iter()
+            .map(|node| node.slo.p99_ticks)
+            .max()
+            .unwrap_or(0)
+    };
+    let shed_permille = |report: &ClusterTrafficReport| {
+        u32::try_from(report.slo.shed * 1000 / report.slo.offered.max(1)).unwrap_or(u32::MAX)
+    };
+    let p99_ticks = hottest_p99(controlled);
+    let twin_p99_ticks = hottest_p99(twin);
+    let controlled_shed = shed_permille(controlled);
+    let twin_shed = shed_permille(twin);
+    let promotions = controlled.promotion_count();
+    RebalanceCaseStats {
+        offered: controlled.slo.offered,
+        answered: controlled.slo.answered,
+        shed: controlled.slo.shed,
+        promotions,
+        failovers: controlled.shards.iter().map(|shard| shard.failovers).sum(),
+        stale_sheds: controlled.stale_sheds(),
+        final_epoch: controlled.final_epoch.get(),
+        p99_ticks,
+        twin_p99_ticks,
+        shed_permille: controlled_shed,
+        twin_shed_permille: twin_shed,
+        relieved: promotions > 0
+            && p99_ticks <= twin_p99_ticks
+            && controlled_shed <= twin_shed
+            && (p99_ticks < twin_p99_ticks || controlled_shed < twin_shed),
+    }
+}
+
+/// Runs the cases in `range` against one rebalance world, shrinking
+/// the first violating schedule (if any) to a minimal repro.
+///
+/// # Errors
+///
+/// Propagates world construction and [`serve_cluster_traffic`] errors.
+pub fn run_rebalance_range(
+    root: &Seed,
+    config: &RebalanceSimConfig,
+    range: Range<u64>,
+) -> Result<RebalanceSimReport, LcaError> {
+    let world = RebalanceWorld::build(root, config)?;
+    let mut cases = Vec::new();
+    let mut repro = None;
+    for case in range {
+        let events = generate_rebalance_schedule(root, case, config.nodes);
+        let (stats, violations) = world.run_schedule(&events)?;
+        if !violations.is_empty() && repro.is_none() {
+            let shrunk = shrink(&events, |candidate| world.violations_for(candidate));
+            repro = Some(Repro { case, shrunk });
+        }
+        cases.push(RebalanceCaseResult {
+            case,
+            events,
+            stats,
+            violations,
+        });
+    }
+    Ok(RebalanceSimReport { cases, repro })
+}
+
+/// Renders a range report as canonical JSON: fixed field order, no
+/// floats, no ambient state — two runs with the same root must be
+/// byte-identical. This is what the `e18_rebalance --smoke` golden
+/// pins (together with the planted-bug section appended by
+/// [`run_rebalance_smoke`]).
+#[must_use]
+pub fn render_rebalance_json(
+    label: &str,
+    config: &RebalanceSimConfig,
+    report: &RebalanceSimReport,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"label\": \"{label}\",");
+    let _ = writeln!(out, "  \"n\": {},", config.n);
+    let _ = writeln!(out, "  \"nodes\": {},", config.nodes);
+    let _ = writeln!(out, "  \"replication\": {},", config.replication);
+    let _ = writeln!(out, "  \"shards\": {},", config.shards);
+    let _ = writeln!(out, "  \"arrivals\": {},", config.arrivals);
+    let _ = writeln!(out, "  \"routing\": \"{}\",", config.routing);
+    let _ = writeln!(out, "  \"cases\": [");
+    for (position, case) in report.cases.iter().enumerate() {
+        let events: Vec<String> = case
+            .events
+            .iter()
+            .map(|event| format!("\"{event}\""))
+            .collect();
+        let violations: Vec<String> = case
+            .violations
+            .iter()
+            .map(|violation| format!("\"{violation}\""))
+            .collect();
+        let comma = if position + 1 < report.cases.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"case\": {}, \"events\": [{}], \"offered\": {}, \"answered\": {}, \
+             \"shed\": {}, \"promotions\": {}, \"failovers\": {}, \"stale_sheds\": {}, \
+             \"epoch\": {}, \"p99\": {}, \"twin_p99\": {}, \"shed_permille\": {}, \
+             \"twin_shed_permille\": {}, \"relieved\": {}, \"violations\": [{}]}}{comma}",
+            case.case,
+            events.join(", "),
+            case.stats.offered,
+            case.stats.answered,
+            case.stats.shed,
+            case.stats.promotions,
+            case.stats.failovers,
+            case.stats.stale_sheds,
+            case.stats.final_epoch,
+            case.stats.p99_ticks,
+            case.stats.twin_p99_ticks,
+            case.stats.shed_permille,
+            case.stats.twin_shed_permille,
+            case.stats.relieved,
+            violations.join(", "),
+        );
+    }
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(
+        out,
+        "  \"total_violations\": {},",
+        report.total_violations()
+    );
+    let _ = writeln!(
+        out,
+        "  \"hot_shard_relieved\": {},",
+        report.hot_shard_relieved()
+    );
+    let _ = writeln!(
+        out,
+        "  \"repro\": {}",
+        report.repro.as_ref().map_or_else(
+            || "null".to_string(),
+            |repro| format!(
+                "{{\"case\": {}, \"events\": {}}}",
+                repro.case,
+                repro.shrunk.events.len()
+            )
+        )
+    );
+    let _ = write!(out, "}}");
+    out
+}
+
+/// Cases the smoke run covers (CI diffs its JSON against the golden).
+pub const E18_SMOKE_CASES: u64 = 10;
+
+/// Hunts for the planted stale-router bug: runs the world under
+/// `config.routing` over cases from 0 until a schedule violates
+/// (bounded by `max_cases`), then shrinks it to a minimal repro.
+///
+/// # Errors
+///
+/// Propagates world construction and [`serve_cluster_traffic`] errors.
+pub fn hunt_planted_rebalance_bug(
+    root: &Seed,
+    config: &RebalanceSimConfig,
+    max_cases: u64,
+) -> Result<Option<Repro>, LcaError> {
+    let world = RebalanceWorld::build(root, config)?;
+    for case in 0..max_cases {
+        let events = generate_rebalance_schedule(root, case, config.nodes);
+        let violations = world.violations_for(&events);
+        if !violations.is_empty() {
+            let shrunk = shrink(&events, |candidate| world.violations_for(candidate));
+            return Ok(Some(Repro { case, shrunk }));
+        }
+    }
+    Ok(None)
+}
+
+/// Runs the committed smoke for the `e18_rebalance --smoke` bin and
+/// the golden test: [`E18_SMOKE_CASES`] cases under faithful routing,
+/// plus the planted-bug section — the stale-epoch router hunted over
+/// the same schedules and shrunk to its minimal repro.
+///
+/// # Errors
+///
+/// Propagates [`run_rebalance_range`] and
+/// [`hunt_planted_rebalance_bug`] errors.
+pub fn run_rebalance_smoke(root: &Seed) -> Result<String, LcaError> {
+    let config = RebalanceSimConfig::default();
+    let report = run_rebalance_range(root, &config, 0..E18_SMOKE_CASES)?;
+    let faithful = render_rebalance_json("e18-smoke", &config, &report);
+
+    let bug_config = RebalanceSimConfig {
+        routing: RebalanceDiscipline::StaleEpoch,
+        ..config
+    };
+    let repro = hunt_planted_rebalance_bug(root, &bug_config, E18_SMOKE_CASES)?;
+    let planted = repro.map_or_else(
+        || "null".to_string(),
+        |repro| {
+            let events: Vec<String> = repro
+                .shrunk
+                .events
+                .iter()
+                .map(|event| format!("\"{event}\""))
+                .collect();
+            let violations: Vec<String> = repro
+                .shrunk
+                .violations
+                .iter()
+                .map(|violation| format!("\"{violation}\""))
+                .collect();
+            format!(
+                "{{\"routing\": \"{}\", \"case\": {}, \"events\": [{}], \
+                 \"violations\": [{}]}}",
+                bug_config.routing,
+                repro.case,
+                events.join(", "),
+                violations.join(", "),
+            )
+        },
+    );
+
+    // Splice the planted-bug section before the closing brace so the
+    // golden pins both halves of the acceptance criteria in one file.
+    let body = faithful
+        .strip_suffix('}')
+        .expect("render_rebalance_json ends with a closing brace")
+        .trim_end()
+        .to_string();
+    Ok(format!("{body},\n  \"planted\": {planted}\n}}"))
+}

@@ -316,6 +316,73 @@ pub fn generate_slo_schedule(root: &Seed, case: u64) -> Vec<SimEvent> {
     events
 }
 
+/// The traffic shapes an E18 rebalance case cycles through: the three
+/// that concentrate load — a hot shard, bursty arrivals, and a query of
+/// death — because those are the regimes where promoting a replica can
+/// actually relieve anything.
+const REBALANCE_SHAPES: [TrafficShape; 3] = [
+    TrafficShape::HotShard,
+    TrafficShape::Bursty,
+    TrafficShape::QueryOfDeath,
+];
+
+/// Generates the combined traffic-and-fault schedule for an E18
+/// rebalance `case`: exactly one [`SimEvent::Traffic`] event cycling
+/// through the load-concentrating shapes at overload-leaning gaps, plus
+/// — independently — an overload surge (~40%), a node crash with a
+/// likely restart (~50%), and a partition (~40%). Node 0 is never cut
+/// off — it anchors the client's side of every partition.
+pub fn generate_rebalance_schedule(root: &Seed, case: u64, nodes: usize) -> Vec<SimEvent> {
+    let mut rng = root.derive("sim/rebalance-schedule", case).rng();
+    let shape = REBALANCE_SHAPES[(case % REBALANCE_SHAPES.len() as u64) as usize];
+    let mut events = vec![SimEvent::Traffic {
+        shape,
+        gap_permille: rng.gen_range(500u32..1400),
+    }];
+    if rng.gen_range(0u32..10) < 4 {
+        events.push(SimEvent::OverloadSurge {
+            start_permille: rng.gen_range(100u32..500),
+            len_permille: rng.gen_range(150u32..400),
+            gap_div: rng.gen_range(2u32..5),
+        });
+    }
+    if rng.gen_range(0u32..10) < 5 {
+        let node = rng.gen_range(0..nodes);
+        let torn_keep = if rng.gen_range(0u32..2) == 0 {
+            Some(rng.gen_range(0usize..96))
+        } else {
+            None
+        };
+        let tick_permille = rng.gen_range(100u32..800);
+        events.push(SimEvent::NodeCrash {
+            node,
+            tick_permille,
+            torn_keep,
+        });
+        if rng.gen_range(0u32..10) < 7 {
+            events.push(SimEvent::NodeRestart {
+                node,
+                tick_permille: tick_permille.saturating_add(rng.gen_range(50u32..250)),
+            });
+        }
+    }
+    if nodes > 1 && rng.gen_range(0u32..10) < 4 {
+        let cut_mask = rng.gen_range(1u32..(1 << (nodes - 1))) << 1;
+        let from_permille = rng.gen_range(0u32..600);
+        let heal_permille = if rng.gen_range(0u32..10) < 7 {
+            Some(from_permille.saturating_add(rng.gen_range(100u32..300)))
+        } else {
+            None
+        };
+        events.push(SimEvent::Partition {
+            cut_mask,
+            from_permille,
+            heal_permille,
+        });
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +455,29 @@ mod tests {
         );
         let unique: std::collections::BTreeSet<&String> = rendered.iter().collect();
         assert_eq!(unique.len(), rendered.len());
+    }
+
+    #[test]
+    fn rebalance_schedules_carry_load_concentrating_traffic() {
+        let root = Seed::from_entropy_u64(13);
+        let mut shapes = std::collections::BTreeSet::new();
+        for case in 0..12 {
+            let events = generate_rebalance_schedule(&root, case, 3);
+            assert_eq!(events, generate_rebalance_schedule(&root, case, 3));
+            let traffic: Vec<&SimEvent> = events
+                .iter()
+                .filter(|event| matches!(event, SimEvent::Traffic { .. }))
+                .collect();
+            assert_eq!(traffic.len(), 1, "case {case}: {events:?}");
+            if let SimEvent::Traffic { shape, .. } = traffic[0] {
+                assert!(
+                    REBALANCE_SHAPES.contains(shape),
+                    "case {case} drew a non-concentrating shape: {shape}"
+                );
+                shapes.insert(shape.to_string());
+            }
+        }
+        assert_eq!(shapes.len(), REBALANCE_SHAPES.len());
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! [`AdmissionDiscipline::NoHysteresis`] is the planted bug the
 //! simulator exists to catch (and shrink to a replayable repro).
 
+use crate::calibrate::calibrate_cost;
 use crate::harness::Repro;
 use crate::invariants::{check_slo_run, Violation};
 use crate::schedule::{generate_slo_schedule, SimEvent};
@@ -211,33 +212,18 @@ impl SloWorld {
             ..ServiceConfig::default()
         };
 
-        // Calibration probe: serve a short back-to-back trace with
-        // admission disabled; the mean ticks per query is the unit
-        // every schedule gap is expressed in.
-        let probe_trace = generate_trace(
-            &trace_root,
-            &TrafficConfig {
-                shape: TrafficShape::Steady,
-                arrivals: 32,
-                mean_gap_ticks: 1,
-                universe: config.n,
-                shards: 1,
-            },
-        );
-        let probe = run_open_loop(
+        // Calibration probe (shared with the E18 world): the measured
+        // mean ticks per query is the unit every schedule gap is
+        // expressed in.
+        let cost = calibrate_cost(
             &lca,
             &InstanceOracle::new(&norm),
             &shared_seed,
             &service_root,
-            &probe_trace,
-            &OpenLoopConfig {
-                service: service.clone(),
-                admission: AdmissionConfig::default(),
-                discipline: None,
-                shards: 1,
-            },
+            &trace_root,
+            &service,
+            config.n,
         )?;
-        let cost = (probe.end_tick / probe_trace.len() as u64).max(1);
 
         // An end-to-end deadline of 8 service costs: unqueued queries
         // meet it easily; a queue of ~7 starts missing.
@@ -415,7 +401,12 @@ impl SloWorld {
 /// the window `[start, start+len)` — both permille of the trace horizon
 /// — by `gap_div`, then rebuilds the cumulative ticks so they stay
 /// strictly increasing.
-fn apply_surge(trace: &mut [Arrival], start_permille: u32, len_permille: u32, gap_div: u32) {
+pub(crate) fn apply_surge(
+    trace: &mut [Arrival],
+    start_permille: u32,
+    len_permille: u32,
+    gap_div: u32,
+) {
     let div = u64::from(gap_div.max(1));
     let horizon = trace.last().map_or(0, |arrival| arrival.at_tick);
     let start = horizon * u64::from(start_permille) / 1000;

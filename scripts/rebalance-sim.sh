@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run the E18 rebalance simulator (crates/sim::rebalance) against the
+# traffic-driven cluster runtime: load-concentrating arrival schedules
+# with faults layered on, served through the admission-coupled ring
+# rebalance controller.
+#
+#   scripts/rebalance-sim.sh           full run: default seed range
+#                                      under faithful routing (must
+#                                      report zero invariant violations
+#                                      while actually promoting, and a
+#                                      hot-shard scenario demonstrably
+#                                      relieved vs its frozen-ring
+#                                      twin), then the planted
+#                                      stale-epoch router is caught
+#                                      shedding on epoch mismatches and
+#                                      shrunk to a minimal repro
+#   scripts/rebalance-sim.sh --smoke   print the CI golden JSON and
+#                                      diff it against
+#                                      crates/sim/tests/golden/
+#
+# Exits nonzero if any invariant violation survives faithful routing,
+# if no hot-shard scenario is relieved, if the planted bug goes
+# uncaught or fails to shrink, or if the smoke output drifts from the
+# committed golden.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--smoke" ]]; then
+    cargo run -q --release -p lcakp-bench --bin e18_rebalance -- --smoke \
+        > /tmp/e18_smoke.json
+    diff -u crates/sim/tests/golden/e18_smoke.json /tmp/e18_smoke.json
+    echo "e18 smoke output matches the committed golden"
+else
+    cargo run -q --release -p lcakp-bench --bin e18_rebalance
+fi
